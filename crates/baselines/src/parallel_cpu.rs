@@ -1,0 +1,328 @@
+//! Multi-threaded *software* garbling — the §3 strawman.
+//!
+//! "In a processor, the threads communicate among themselves through shared
+//! memory resources. To ensure that the threads do not read stale variables
+//! … we need to create barriers both before and after a thread accessing
+//! that memory. The time overhead of the barrier is much higher than the
+//! time of generating one garbling table. As a result, parallelizing the GC
+//! operation do\[es\] not result in improvement in timing."
+//!
+//! This module implements exactly that design — levelized garbling with
+//! barriers between dependency levels, labels in shared memory — so the
+//! claim can be *measured* instead of asserted: the `ablation_cpu_parallel`
+//! binary reports barriers-per-table and the resulting (lack of) speedup on
+//! MAC-sized netlists.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use max_crypto::{Block, FixedKeyHash, Tweak};
+use max_gc::{garble_and, Delta, GarbledTable, LabelSource, PrgLabelSource};
+use max_netlist::{GateKind, Netlist};
+
+/// Shared label store: one atomic pair per wire. Levelized execution plus
+/// acquire/release ordering make each wire single-writer-then-readers.
+struct SharedLabels {
+    lo: Vec<AtomicU64>,
+    hi: Vec<AtomicU64>,
+}
+
+impl SharedLabels {
+    fn new(initial: &[Block]) -> Self {
+        SharedLabels {
+            lo: initial
+                .iter()
+                .map(|b| AtomicU64::new(b.bits() as u64))
+                .collect(),
+            hi: initial
+                .iter()
+                .map(|b| AtomicU64::new((b.bits() >> 64) as u64))
+                .collect(),
+        }
+    }
+
+    fn load(&self, w: usize) -> Block {
+        let l = self.lo[w].load(Ordering::Acquire) as u128;
+        let h = self.hi[w].load(Ordering::Acquire) as u128;
+        Block::new((h << 64) | l)
+    }
+
+    fn store(&self, w: usize, b: Block) {
+        self.lo[w].store(b.bits() as u64, Ordering::Release);
+        self.hi[w].store((b.bits() >> 64) as u64, Ordering::Release);
+    }
+}
+
+/// Statistics of one parallel garbling run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Dependency levels (≈ barrier pairs executed).
+    pub levels: usize,
+    /// Barrier waits per thread.
+    pub barrier_waits: usize,
+    /// Garbled tables produced.
+    pub tables: usize,
+}
+
+/// Garbles `netlist` with `threads` worker threads, one barrier pair per
+/// AND-dependency level (the §3 shared-memory design). Returns the tables
+/// in netlist-AND order, the output zero-labels, and the barrier counts.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn garble_parallel(
+    netlist: &Netlist,
+    seed: Block,
+    threads: usize,
+) -> (Vec<GarbledTable>, Vec<Block>, ParallelStats) {
+    assert!(threads > 0, "need at least one thread");
+    let mut source = PrgLabelSource::new(seed);
+    let delta = Delta::from_block(source.next_label());
+
+    // Input labels, exactly as the serial garbler assigns them.
+    let mut zero_labels = vec![Block::ZERO; netlist.wire_count()];
+    for wire in netlist
+        .garbler_inputs()
+        .iter()
+        .chain(netlist.evaluator_inputs())
+    {
+        zero_labels[wire.index()] = source.next_label();
+    }
+    for &(wire, _) in netlist.constants() {
+        zero_labels[wire.index()] = source.next_label();
+    }
+
+    // Levelize. An AND's level is one past the deepest AND in its fan-in;
+    // free gates sit at their inputs' level. Per level L the schedule is:
+    // garble ANDs of level L in parallel → barrier → thread 0 propagates
+    // the free gates of level L → barrier.
+    let mut wire_level = vec![0u32; netlist.wire_count()];
+    let mut max_level = 0u32;
+    let mut gate_levels = Vec::with_capacity(netlist.gates().len());
+    for gate in netlist.gates() {
+        let input_level = wire_level[gate.a.index()].max(wire_level[gate.b.index()]);
+        let level = match gate.kind {
+            GateKind::And => input_level + 1,
+            _ => input_level,
+        };
+        gate_levels.push(level);
+        wire_level[gate.out.index()] = level;
+        max_level = max_level.max(level);
+    }
+    let n_levels = (max_level + 1) as usize;
+    let mut and_levels: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_levels];
+    let mut free_levels: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
+    let mut and_ordinal = 0usize;
+    for (idx, gate) in netlist.gates().iter().enumerate() {
+        let level = gate_levels[idx] as usize;
+        match gate.kind {
+            GateKind::And => {
+                and_levels[level].push((idx, and_ordinal));
+                and_ordinal += 1;
+            }
+            _ => free_levels[level].push(idx),
+        }
+    }
+    let n_ands = and_ordinal;
+
+    let labels = SharedLabels::new(&zero_labels);
+    let table_slots: Vec<AtomicU64> = (0..n_ands * 4).map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(threads);
+    let gates = netlist.gates();
+    let mut barrier_waits = 0usize;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let and_levels = &and_levels;
+            let free_levels = &free_levels;
+            let barrier = &barrier;
+            let labels = &labels;
+            let table_slots = &table_slots;
+            handles.push(scope.spawn(move || {
+                let hash = FixedKeyHash::new();
+                let mut waits = 0usize;
+                for level in 0..and_levels.len() {
+                    for (i, &(gate_idx, ordinal)) in and_levels[level].iter().enumerate() {
+                        if i % threads != t {
+                            continue;
+                        }
+                        let gate = gates[gate_idx];
+                        let a0 = labels.load(gate.a.index());
+                        let b0 = labels.load(gate.b.index());
+                        let tweak = Tweak::from_gate_index(ordinal as u64);
+                        let (c0, table) = garble_and(&hash, delta, a0, b0, tweak);
+                        labels.store(gate.out.index(), c0);
+                        table_slots[4 * ordinal]
+                            .store(table.tg.bits() as u64, Ordering::Release);
+                        table_slots[4 * ordinal + 1]
+                            .store((table.tg.bits() >> 64) as u64, Ordering::Release);
+                        table_slots[4 * ordinal + 2]
+                            .store(table.te.bits() as u64, Ordering::Release);
+                        table_slots[4 * ordinal + 3]
+                            .store((table.te.bits() >> 64) as u64, Ordering::Release);
+                    }
+                    barrier.wait();
+                    waits += 1;
+                    if t == 0 {
+                        for &gate_idx in &free_levels[level] {
+                            let gate = gates[gate_idx];
+                            let a = labels.load(gate.a.index());
+                            let out = match gate.kind {
+                                GateKind::Xor => a ^ labels.load(gate.b.index()),
+                                GateKind::Not => a ^ delta.block(),
+                                GateKind::And => unreachable!("free levels hold no ANDs"),
+                            };
+                            labels.store(gate.out.index(), out);
+                        }
+                    }
+                    barrier.wait();
+                    waits += 1;
+                }
+                waits
+            }));
+        }
+        for handle in handles {
+            barrier_waits = handle.join().expect("worker thread");
+        }
+    });
+
+    let tables: Vec<GarbledTable> = (0..n_ands)
+        .map(|o| {
+            let tg = (table_slots[4 * o + 1].load(Ordering::Acquire) as u128) << 64
+                | table_slots[4 * o].load(Ordering::Acquire) as u128;
+            let te = (table_slots[4 * o + 3].load(Ordering::Acquire) as u128) << 64
+                | table_slots[4 * o + 2].load(Ordering::Acquire) as u128;
+            GarbledTable {
+                tg: Block::new(tg),
+                te: Block::new(te),
+            }
+        })
+        .collect();
+    let outputs = netlist
+        .outputs()
+        .iter()
+        .map(|w| labels.load(w.index()))
+        .collect();
+    (
+        tables,
+        outputs,
+        ParallelStats {
+            levels: n_levels,
+            barrier_waits,
+            tables: n_ands,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use max_netlist::{MacCircuit, MultiplierKind, Sign};
+
+    fn serial_reference(netlist: &Netlist, seed: Block) -> (Vec<GarbledTable>, Vec<Block>) {
+        // The single-threaded equivalent, using the same label draw order.
+        let (tables, outputs, _) = garble_parallel(netlist, seed, 1);
+        (tables, outputs)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let mac = MacCircuit::build(6, 14, Sign::Signed, MultiplierKind::Tree);
+        let seed = Block::new(0xbeef);
+        let (t1, o1) = serial_reference(mac.netlist(), seed);
+        for threads in [2usize, 3, 4, 8] {
+            let (tn, on, stats) = garble_parallel(mac.netlist(), seed, threads);
+            assert_eq!(tn, t1, "{threads} threads: tables differ");
+            assert_eq!(on, o1, "{threads} threads: outputs differ");
+            assert!(stats.barrier_waits >= 2 * stats.levels - 2);
+        }
+    }
+
+    #[test]
+    fn parallel_tables_evaluate_correctly() {
+        use max_crypto::FixedKeyHash;
+        use max_gc::evaluate_and;
+        use max_netlist::encode_signed;
+
+        let mac = MacCircuit::build(4, 10, Sign::Signed, MultiplierKind::Tree);
+        let netlist = mac.netlist();
+        let seed = Block::new(0x1dea);
+        let (tables, out_zero, _) = garble_parallel(netlist, seed, 4);
+
+        // Rebuild the evaluator path manually with the same seed.
+        let mut source = PrgLabelSource::new(seed);
+        let delta = Delta::from_block(source.next_label());
+        let mut zero = vec![Block::ZERO; netlist.wire_count()];
+        for wire in netlist
+            .garbler_inputs()
+            .iter()
+            .chain(netlist.evaluator_inputs())
+        {
+            zero[wire.index()] = source.next_label();
+        }
+        for &(wire, _) in netlist.constants() {
+            zero[wire.index()] = source.next_label();
+        }
+        // Active labels for a = 3, acc = 5, x = -2.
+        let mut bits = mac.garbler_bits(3, 5);
+        bits.extend(mac.evaluator_bits(-2));
+        let all_inputs: Vec<_> = netlist
+            .garbler_inputs()
+            .iter()
+            .chain(netlist.evaluator_inputs())
+            .copied()
+            .collect();
+        let mut active = vec![Block::ZERO; netlist.wire_count()];
+        for (wire, &bit) in all_inputs.iter().zip(&bits) {
+            let z = zero[wire.index()];
+            active[wire.index()] = if bit { z ^ delta.block() } else { z };
+        }
+        for &(wire, value) in netlist.constants() {
+            let z = zero[wire.index()];
+            active[wire.index()] = if value { z ^ delta.block() } else { z };
+        }
+        let hash = FixedKeyHash::new();
+        let mut ordinal = 0u64;
+        for gate in netlist.gates() {
+            let a = active[gate.a.index()];
+            let b = active[gate.b.index()];
+            active[gate.out.index()] = match gate.kind {
+                max_netlist::GateKind::And => {
+                    let t = Tweak::from_gate_index(ordinal);
+                    let table = tables[ordinal as usize];
+                    ordinal += 1;
+                    evaluate_and(&hash, table, a, b, t)
+                }
+                max_netlist::GateKind::Xor => a ^ b,
+                max_netlist::GateKind::Not => a,
+            };
+        }
+        let out_bits: Vec<bool> = netlist
+            .outputs()
+            .iter()
+            .zip(&out_zero)
+            .map(|(w, z)| active[w.index()].lsb() ^ z.lsb())
+            .collect();
+        assert_eq!(max_netlist::decode_signed(&out_bits), 5 + 3 * -2);
+        let _ = encode_signed;
+    }
+
+    #[test]
+    fn barrier_count_scales_with_depth() {
+        let shallow = MacCircuit::build(4, 10, Sign::Signed, MultiplierKind::Tree);
+        let deep = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
+        let (_, _, s1) = garble_parallel(shallow.netlist(), Block::new(1), 2);
+        let (_, _, s2) = garble_parallel(deep.netlist(), Block::new(1), 2);
+        assert!(s2.levels > s1.levels);
+        assert!(s2.barrier_waits > s1.barrier_waits);
+        // The §3 observation in numbers: at MAC scale there are only a few
+        // tables of work per barrier pair.
+        let tables_per_barrier = s2.tables as f64 / s2.barrier_waits as f64;
+        assert!(
+            tables_per_barrier < 10.0,
+            "tables per barrier: {tables_per_barrier}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion: the single-gate GC engine (garble + evaluate one AND) and the
+//! fixed-key AES core it is built on. Hardware garbles one table per 5 ns
+//! clock; these numbers show what one CPU core manages.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use max_crypto::{Aes128, AesPrg, Block, FixedKeyHash, Tweak};
+use max_gc::{evaluate_and, garble_and, Delta};
+use std::hint::black_box;
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes128");
+    group.throughput(Throughput::Bytes(16));
+    let aes = Aes128::new(Block::new(0x2b7e1516));
+    group.bench_function("encrypt_block", |b| {
+        let mut x = Block::new(1);
+        b.iter(|| {
+            x = aes.encrypt(black_box(x));
+            x
+        })
+    });
+    group.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let hash = FixedKeyHash::new();
+    c.bench_function("fixed_key_hash", |b| {
+        let mut x = Block::new(7);
+        b.iter(|| {
+            x = hash.hash(black_box(x), Tweak::from_gate_index(3));
+            x
+        })
+    });
+}
+
+fn bench_gate(c: &mut Criterion) {
+    let hash = FixedKeyHash::new();
+    let delta = Delta::from_block(Block::new(0xdead_beef_cafe));
+    let mut prg = AesPrg::new(Block::new(9));
+    let a0 = prg.next_block();
+    let b0 = prg.next_block();
+
+    let mut group = c.benchmark_group("half_gate");
+    group.bench_function("garble_and", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            garble_and(&hash, delta, black_box(a0), black_box(b0), Tweak::from_gate_index(i))
+        })
+    });
+    let (_, table) = garble_and(&hash, delta, a0, b0, Tweak::from_gate_index(1));
+    group.bench_function("evaluate_and", |b| {
+        b.iter(|| {
+            evaluate_and(
+                &hash,
+                black_box(table),
+                black_box(a0),
+                black_box(b0),
+                Tweak::from_gate_index(1),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_hash, bench_gate);
+criterion_main!(benches);

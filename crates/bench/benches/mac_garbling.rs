@@ -1,0 +1,47 @@
+//! Criterion: whole-MAC garbling — the simulated MAXelerator pipeline vs
+//! the TinyGarble-style software garbler, per bit-width. Wall-clock here is
+//! host time; the *shape* (accelerator-model work scales with the schedule,
+//! software falls off super-linearly in b) is the Table 2 story.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use max_baselines::tinygarble::TinyGarbleMac;
+use maxelerator::{AcceleratorConfig, Maxelerator};
+use std::hint::black_box;
+
+const ROUNDS: usize = 8;
+
+fn bench_software(c: &mut Criterion) {
+    let mut group = c.benchmark_group("software_garbler");
+    group.sample_size(10);
+    for b in [8usize, 16, 32] {
+        group.throughput(Throughput::Elements(ROUNDS as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            bench.iter(|| {
+                let mut garbler = TinyGarbleMac::new(b, 2 * b + 8, 1);
+                for r in 0..ROUNDS {
+                    black_box(garbler.garble_round((r as i64) - 3, r == ROUNDS - 1));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_accelerator_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxelerator_sim");
+    group.sample_size(10);
+    for b in [8usize, 16, 32] {
+        group.throughput(Throughput::Elements(ROUNDS as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            bench.iter(|| {
+                let config = AcceleratorConfig::new(b);
+                let mut accel = Maxelerator::new(config, 1);
+                black_box(accel.garble_job(&vec![5i64; ROUNDS], true));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_software, bench_accelerator_sim);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion: OT throughput — base OT (group exponentiations) vs IKNP
+//! extension (symmetric crypto only), the reason per-round OT is affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use max_crypto::Block;
+use max_ot::{base::run_base_ot, iknp};
+use std::hint::black_box;
+
+fn pairs(n: usize) -> Vec<(Block, Block)> {
+    (0..n)
+        .map(|i| (Block::new(i as u128), Block::new((i + 1) as u128)))
+        .collect()
+}
+
+fn bench_base_ot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base_ot");
+    group.sample_size(10);
+    for n in [16usize, 128] {
+        group.throughput(Throughput::Elements(n as u64));
+        let msgs = pairs(n);
+        let choices: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(run_base_ot(7, &msgs, &choices)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_iknp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iknp_extension");
+    group.sample_size(10);
+    for n in [256usize, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        let msgs = pairs(n);
+        let choices: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let (mut sender, mut receiver) = iknp::setup_pair(11);
+            bench.iter(|| {
+                let (msg, keys) = receiver.prepare(&choices);
+                let cipher = sender.send(&msg, &msgs);
+                black_box(receiver.receive(&cipher, &keys, &choices))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_base_ot, bench_iknp);
+criterion_main!(benches);

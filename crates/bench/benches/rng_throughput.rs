@@ -1,0 +1,29 @@
+//! Criterion: the simulated RO label generator vs the software AES-CTR
+//! label source.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use max_crypto::{AesPrg, Block};
+use max_rng::{LabelGenerator, RoRng};
+use std::hint::black_box;
+
+fn bench_ro_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_sources");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ro_rng_bit", |b| {
+        let mut rng = RoRng::from_seed(1);
+        b.iter(|| black_box(rng.next_bit()))
+    });
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("label_generator_label", |b| {
+        let mut lg = LabelGenerator::new(2, 8);
+        b.iter(|| black_box(lg.next_label()))
+    });
+    group.bench_function("aes_prg_label", |b| {
+        let mut prg = AesPrg::new(Block::new(3));
+        b.iter(|| black_box(prg.next_block()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ro_rng);
+criterion_main!(benches);

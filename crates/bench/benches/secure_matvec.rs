@@ -1,0 +1,34 @@
+//! Criterion: the full Figure-1 protocol — accelerator garbling + OT +
+//! client evaluation — on a small matrix-vector product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maxelerator::{connect, secure_matvec, AcceleratorConfig};
+use std::hint::black_box;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secure_matvec");
+    group.sample_size(10);
+    for (rows, cols) in [(2usize, 4usize), (4, 8)] {
+        let macs = (rows * cols) as u64;
+        group.throughput(Throughput::Elements(macs));
+        let config = AcceleratorConfig::new(8);
+        let weights: Vec<Vec<i64>> = (0..rows)
+            .map(|r| (0..cols).map(|c| ((r * 7 + c * 3) % 19) as i64 - 9).collect())
+            .collect();
+        let x: Vec<i64> = (0..cols).map(|c| (c as i64 % 11) - 5).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    let (mut server, mut client) = connect(&config, weights.clone(), 1);
+                    black_box(secure_matvec(&mut server, &mut client, &x))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation of the core-count design choice: sweep the number of GC cores
+//! for each bit-width and show (a) the paper's formula sits at the knee —
+//! enough cores for ~3b-cycle throughput, none idle — and (b) §6's "linear
+//! throughput scaling" holds until the accumulator recurrence binds.
+//!
+//! ```text
+//! cargo run -p max-bench --bin ablation_cores [bit_width]
+//! ```
+
+use maxelerator::{AcceleratorConfig, Schedule, TimingModel};
+
+fn main() {
+    let b: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let config = AcceleratorConfig::new(b);
+    let netlist = config.mac_circuit().netlist().clone();
+    let ands = netlist.stats().and_gates;
+    let paper_cores = TimingModel::paper(b).cores();
+    let rounds = 16;
+
+    println!("Core-count ablation, b = {b} ({ands} ANDs per MAC round, {rounds} pipelined rounds)");
+    println!("paper's choice: {paper_cores} cores, targeting II = 3b = {} cycles", 3 * b);
+    println!();
+    println!("  cores |    II (cycles/MAC) | utilization | MAC/s @200MHz | MAC/s/core");
+    println!("  ------+--------------------+-------------+---------------+-----------");
+    let candidates: Vec<usize> = [
+        paper_cores / 4,
+        paper_cores / 2,
+        paper_cores - 2,
+        paper_cores,
+        paper_cores + 2,
+        paper_cores * 2,
+        paper_cores * 4,
+    ]
+    .iter()
+    .copied()
+    .filter(|&c| c >= 1)
+    .collect();
+    for cores in candidates {
+        let sched = Schedule::compile(&netlist, cores, rounds, config.state_range());
+        let ii = sched.stats().steady_state_ii;
+        let macs_per_sec = 200e6 / ii;
+        let marker = if cores == paper_cores { "  <- paper" } else { "" };
+        println!(
+            "  {cores:>5} | {ii:>18.1} | {:>10.1}% | {macs_per_sec:>13.0} | {:>9.0}{marker}",
+            sched.stats().utilization * 100.0,
+            macs_per_sec / cores as f64
+        );
+    }
+    println!();
+    println!("II tracks ands/cores (work-bound): per-core throughput stays flat,");
+    println!("which is exactly Sec. 6's 'throughput can be increased linearly by");
+    println!("adding more GC cores'. Utilization decays slowly at high core counts");
+    println!("as the skewed accumulator carry chains limit slot packing.");
+}

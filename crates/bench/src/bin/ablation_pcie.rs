@@ -1,0 +1,72 @@
+//! Ablation of the §6 communication caveat: sweep the PCIe bandwidth and
+//! find where the link, not the garbling fabric, bounds MAC throughput.
+//!
+//! ```text
+//! cargo run -p max-bench --bin ablation_pcie
+//! ```
+
+use max_fpga::PcieLink;
+use maxelerator::{AcceleratorConfig, TimingModel};
+
+fn main() {
+    println!("Sec. 6 caveat ablation: when does the PCIe link become the bottleneck?");
+    println!();
+    for b in [8usize, 16, 32] {
+        let t = TimingModel::paper(b);
+        let ands = AcceleratorConfig::new(b)
+            .mac_circuit()
+            .netlist()
+            .stats()
+            .and_gates as u64;
+        let bytes_per_mac = ands * 32;
+        // Fabric production rate at 200 MHz.
+        let macs_per_sec = t.macs_per_second();
+        let produced_bytes_per_sec = macs_per_sec * bytes_per_mac as f64;
+        println!(
+            "b={b:>2}: {ands} tables/MAC = {bytes_per_mac} B/MAC; fabric produces {:.2} GB/s",
+            produced_bytes_per_sec / 1e9
+        );
+        for gbps in [1.0f64, 4.0, 9.75, 16.0, 32.0, 64.0, 128.0, 256.0] {
+            let link_bps = gbps * 1e9;
+            let effective = macs_per_sec.min(link_bps / bytes_per_mac as f64);
+            let bound = if link_bps < produced_bytes_per_sec {
+                "LINK-BOUND  "
+            } else {
+                "fabric-bound"
+            };
+            println!(
+                "    link {gbps:>6.2} GB/s -> {effective:>12.0} MAC/s  {bound}  ({:.1}% of fabric rate)",
+                100.0 * effective / macs_per_sec
+            );
+        }
+        println!();
+    }
+
+    // Cycle-level demonstration with the queue model: a realistic gen3-x8
+    // link (~8 GB/s = 40 B per 200 MHz cycle) vs b=32 production.
+    println!("queue model: b=32 production vs an 8 GB/s link, 50k cycles");
+    let ands = AcceleratorConfig::new(32)
+        .mac_circuit()
+        .netlist()
+        .stats()
+        .and_gates;
+    let mut link = PcieLink::new(40, 16);
+    let per_cycle = ands as f64 / (3.0 * 32.0); // tables per cycle steady state
+    let mut produced = 0.0f64;
+    for _ in 0..50_000u64 {
+        produced += per_cycle;
+        while produced >= 1.0 {
+            link.push(32);
+            produced -= 1.0;
+        }
+        link.tick();
+    }
+    println!(
+        "  pushed {} B, delivered {} B, peak backlog {} B ({} tables)",
+        link.pushed_bytes(),
+        link.delivered_bytes(),
+        link.peak_queue_bytes(),
+        link.peak_queue_bytes() / 32
+    );
+    println!("  -> backlog grows without bound: exactly the paper's closing caveat.");
+}

@@ -1,0 +1,48 @@
+//! Ablation of the FSM scheduling policy: how much of MAXelerator's
+//! utilization comes from *having a static per-cycle schedule at all*
+//! versus from scheduling cleverly.
+//!
+//! ```text
+//! cargo run -p max-bench --bin ablation_policy [bit_width]
+//! ```
+
+use maxelerator::{AcceleratorConfig, Schedule, SchedulePolicy, TimingModel};
+
+fn main() {
+    let b: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let config = AcceleratorConfig::new(b);
+    let netlist = config.mac_circuit().netlist().clone();
+    let cores = TimingModel::paper(b).cores();
+    let rounds = 16;
+
+    println!("Scheduling-policy ablation (b = {b}, {cores} cores, {rounds} rounds)");
+    println!();
+    println!("  policy        |     II | cyc/round | utilization | fill latency | max idle");
+    println!("  --------------+--------+-----------+-------------+--------------+---------");
+    for (name, policy) in [
+        ("critical-path", SchedulePolicy::CriticalPath),
+        ("fifo", SchedulePolicy::Fifo),
+        ("height-only", SchedulePolicy::HeightOnly),
+    ] {
+        let sched =
+            Schedule::compile_with_policy(&netlist, cores, rounds, config.state_range(), policy);
+        let s = sched.stats();
+        println!(
+            "  {name:<13} | {:>6.1} | {:>9.1} | {:>10.1}% | {:>12} | {:>8}",
+            s.steady_state_ii,
+            s.cycles as f64 / rounds as f64,
+            s.utilization * 100.0,
+            s.first_round_latency,
+            s.max_idle_cores_steady
+        );
+    }
+    println!();
+    println!("all policies respect the same dependency/1-table-per-core-cycle");
+    println!("constraints; the spread shows the value of priority information.");
+    println!("The paper's claim (II = 3b = {} cycles) needs only a competent", 3 * b);
+    println!("static schedule — which is the point: the FSM removes the");
+    println!("synchronization overhead, not the need for cleverness.");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Figure 3**: the per-cycle occupancy of the parallel GC
+//! cores — which core garbles which gate of which round, with the MUX_ADD
+//! (segment 1) and TREE (segment 2) classification — over a steady-state
+//! window of the pipelined schedule.
+//!
+//! ```text
+//! cargo run -p max-bench --bin figure3_muxadd [bit_width]
+//! ```
+
+use maxelerator::{AcceleratorConfig, Schedule, Segment, TimingModel};
+
+fn main() {
+    let b: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let config = AcceleratorConfig::new(b);
+    let mac = config.mac_circuit();
+    let cores = TimingModel::paper(b).cores();
+    let rounds = 8;
+    let schedule = Schedule::compile(mac.netlist(), cores, rounds, config.state_range());
+    let stats = *schedule.stats();
+
+    // Map netlist gate index -> AND ordinal for segment lookup.
+    let mut ordinal = vec![usize::MAX; mac.netlist().gates().len()];
+    let mut next = 0usize;
+    for (i, gate) in mac.netlist().gates().iter().enumerate() {
+        if gate.kind == max_netlist::GateKind::And {
+            ordinal[i] = next;
+            next += 1;
+        }
+    }
+
+    println!("Figure 3: GC-core occupancy (b = {b}, {cores} cores, {rounds} pipelined rounds)");
+    println!();
+    println!(
+        "  ands/round {} | total cycles {} | steady-state II {:.1} (paper 3b = {}) | util {:.1}%",
+        stats.ands_per_round,
+        stats.cycles,
+        stats.steady_state_ii,
+        3 * b,
+        stats.utilization * 100.0
+    );
+    println!();
+    // Steady-state window: one II worth of cycles starting after round 2
+    // completes.
+    let from = schedule.round_completion()[1];
+    let to = (from + (3 * b) as u64).min(stats.cycles);
+    println!("  window: cycles {from}..{to}   (M = MUX_ADD gate, T = TREE gate, . = idle)");
+    print!("  cycle |");
+    for core in 0..cores {
+        print!(" c{core:<2}");
+    }
+    println!();
+    for (offset, row) in schedule.occupancy(from, to).iter().enumerate() {
+        print!("  {:>5} |", from + offset as u64);
+        for slot in row {
+            match slot {
+                Some(a) => {
+                    let seg = schedule.segment_of_and(ordinal[a.gate as usize]);
+                    let tag = match seg {
+                        Segment::MuxAdd => 'M',
+                        Segment::Tree => 'T',
+                    };
+                    print!(" {tag}{:<2}", a.round);
+                }
+                None => print!(" .  "),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("  max idle cores in steady state: {} (paper claim: <= 2)", stats.max_idle_cores_steady);
+    println!("  each label 'Mr'/'Tr' = segment + pipelined round index r garbled in that slot;");
+    println!("  3 consecutive cycles form one 'stage' of the paper's datapath.");
+}

@@ -1,0 +1,90 @@
+//! Dumps the FSM "microcode": the literal hardware artifact the paper's
+//! §4 describes — per clock cycle, which core garbles which gate, where its
+//! operand labels come from (input / carried accumulator / earlier gate),
+//! and which segment the gate belongs to.
+//!
+//! ```text
+//! cargo run -p max-bench --bin fsm_program [bit_width] [cycles]
+//! ```
+
+use max_netlist::GateKind;
+use maxelerator::{AcceleratorConfig, Schedule, Segment, TimingModel};
+
+fn main() {
+    let b: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let show_cycles: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let config = AcceleratorConfig::new(b);
+    let mac = config.mac_circuit();
+    let netlist = mac.netlist();
+    let cores = TimingModel::paper(b).cores();
+    let schedule = Schedule::compile(netlist, cores, 2, config.state_range());
+
+    // AND ordinals for segment lookup.
+    let mut ordinal = vec![usize::MAX; netlist.gates().len()];
+    let mut next = 0usize;
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.kind == GateKind::And {
+            ordinal[i] = next;
+            next += 1;
+        }
+    }
+    // Operand provenance: input wire, accumulator wire, or gate output.
+    let garbler_set: std::collections::HashSet<u32> =
+        netlist.garbler_inputs().iter().map(|w| w.0).collect();
+    let eval_set: std::collections::HashSet<u32> =
+        netlist.evaluator_inputs().iter().map(|w| w.0).collect();
+    let acc_set: std::collections::HashSet<u32> = netlist.garbler_inputs()
+        [config.state_range()]
+    .iter()
+    .map(|w| w.0)
+    .collect();
+    let provenance = |wire: u32| -> &'static str {
+        if acc_set.contains(&wire) {
+            "acc"
+        } else if garbler_set.contains(&wire) {
+            "in.a"
+        } else if eval_set.contains(&wire) {
+            "in.x"
+        } else {
+            "net"
+        }
+    };
+
+    println!("; MAXelerator FSM program, b = {b}, {cores} cores");
+    println!("; one row per (cycle, core): AND gate id, operand sources, segment");
+    println!(";");
+    for row in schedule.occupancy(0, show_cycles) {
+        for slot in row.iter().flatten() {
+            let gate = netlist.gates()[slot.gate as usize];
+            let seg = match schedule.segment_of_and(ordinal[slot.gate as usize]) {
+                Segment::MuxAdd => "MUX_ADD",
+                Segment::Tree => "TREE",
+            };
+            println!(
+                "cycle {:>4}  core {:>2}  r{}  AND g{:<5} a<-{}({})  b<-{}({})  [{}]",
+                slot.cycle,
+                slot.core,
+                slot.round,
+                slot.gate,
+                provenance(gate.a.0),
+                gate.a.0,
+                provenance(gate.b.0),
+                gate.b.0,
+                seg
+            );
+        }
+    }
+    println!(";");
+    println!(
+        "; total: {} slots over {} cycles (2 rounds), II = {:.1}",
+        schedule.assignments().len(),
+        schedule.stats().cycles,
+        schedule.stats().steady_state_ii
+    );
+}

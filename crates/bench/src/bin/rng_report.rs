@@ -1,0 +1,33 @@
+//! Regenerates the **§5.2 RNG validation**: runs the NIST-style battery on
+//! the simulated ring-oscillator label generator.
+//!
+//! ```text
+//! cargo run -p max-bench --bin rng_report [bits]
+//! ```
+
+use max_rng::{nist, RoRng, INVERTERS_PER_RING, RINGS_PER_RNG};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    println!(
+        "Sec. 5.2 RNG validation: Wold-Tan RO-RNG ({RINGS_PER_RNG} rings x {INVERTERS_PER_RING} inverters)"
+    );
+    println!("bitstream length: {n} bits");
+    println!();
+    let mut rng = RoRng::from_seed(0x5eed_2026);
+    let bits = rng.bits(n);
+    let report = nist::run_battery(&bits);
+    print!("{report}");
+    println!();
+    println!(
+        "overall: {}",
+        if report.all_passed() {
+            "ALL TESTS PASSED (alpha = 0.01)"
+        } else {
+            "SOME TESTS FAILED"
+        }
+    );
+}

@@ -1,0 +1,109 @@
+//! Regenerates **Table 2**: throughput comparison of MAXelerator with
+//! state-of-the-art GC frameworks, plus the measured-in-simulation column
+//! our cycle-accurate scheduler adds.
+//!
+//! ```text
+//! cargo run -p max-bench --bin table2 [--measure]
+//! ```
+//!
+//! `--measure` additionally runs the *real* software garbler and the
+//! *simulated* accelerator on this machine and prints their rates (shape
+//! confirmation; absolute numbers depend on this host).
+
+use max_baselines::{garbled_cpu, overlay, tinygarble, FrameworkPerf};
+use max_bench::{row, rule, sci};
+use maxelerator::{AcceleratorConfig, Schedule, TimingModel};
+
+fn maxelerator_perf(b: usize) -> FrameworkPerf {
+    let t = TimingModel::paper(b);
+    FrameworkPerf::from_cycles(
+        "MAXelerator on FPGA",
+        b,
+        t.cycles_per_mac() as f64,
+        t.freq_mhz * 1e6,
+        t.cores(),
+    )
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+    let bit_widths = [8usize, 16, 32];
+    println!("Table 2: Throughput comparison with state-of-the-art GC frameworks");
+    println!();
+    let widths = [34usize, 10, 10, 10];
+    let mut header = vec!["".to_string()];
+    header.extend(bit_widths.iter().map(|b| format!("b={b}")));
+    for (name, perf_of) in [
+        (
+            "TinyGarble [16] on CPU",
+            Box::new(tinygarble::model::perf) as Box<dyn Fn(usize) -> FrameworkPerf>,
+        ),
+        ("FPGA Overlay Architecture [14]", Box::new(overlay::perf)),
+        ("MAXelerator on FPGA", Box::new(maxelerator_perf)),
+        (
+            "GarbledCPU [13] (estimated)",
+            Box::new(garbled_cpu::perf),
+        ),
+    ] {
+        println!("== {name}");
+        println!("{}", row(&header, &widths));
+        println!("{}", rule(&widths));
+        let perfs: Vec<FrameworkPerf> = bit_widths.iter().map(|&b| perf_of(b)).collect();
+        let metric = |label: &str, f: &dyn Fn(&FrameworkPerf) -> f64| {
+            let mut cells = vec![label.to_string()];
+            cells.extend(perfs.iter().map(|p| sci(f(p))));
+            println!("{}", row(&cells, &widths));
+        };
+        metric("Clock cycles per MAC", &|p| p.cycles_per_mac);
+        metric("Time per MAC (us)", &|p| p.seconds_per_mac * 1e6);
+        metric("Throughput (MAC/s)", &|p| p.macs_per_second);
+        metric("No of cores", &|p| p.cores as f64);
+        metric("Throughput/core (MAC/s)", &|p| p.macs_per_second_per_core);
+        println!();
+    }
+
+    println!("== Ratio: MAXelerator throughput/core vs baselines (paper: 44/48/57 and 985/768/672)");
+    for &b in &bit_widths {
+        let max = maxelerator_perf(b).macs_per_second_per_core;
+        let tg = tinygarble::model::perf(b).macs_per_second_per_core;
+        let ov = overlay::perf(b).macs_per_second_per_core;
+        let gc = garbled_cpu::perf(b).macs_per_second_per_core;
+        println!(
+            "  b={b:>2}: vs TinyGarble {:>6.0}x | vs overlay {:>6.0}x | vs GarbledCPU {:>6.0}x",
+            max / tg,
+            max / ov,
+            max / gc
+        );
+    }
+    println!();
+
+    println!("== Cycle-accurate simulation cross-check (measured steady-state II)");
+    for &b in &bit_widths {
+        let config = AcceleratorConfig::new(b);
+        let mac = config.mac_circuit();
+        let cores = TimingModel::paper(b).cores();
+        let sched = Schedule::compile(mac.netlist(), cores, 12, config.state_range());
+        println!(
+            "  b={b:>2}: paper 3b = {:>3} cycles/MAC | measured II = {:>6.1} | util {:>5.1}% | max idle cores {}",
+            3 * b,
+            sched.stats().steady_state_ii,
+            sched.stats().utilization * 100.0,
+            sched.stats().max_idle_cores_steady
+        );
+    }
+
+    if measure {
+        println!();
+        println!("== Host-measured rates (this machine, shape only)");
+        for &b in &bit_widths {
+            let mut garbler = tinygarble::TinyGarbleMac::new(b, 2 * b + 8, 1);
+            let rounds = if b == 32 { 20 } else { 60 };
+            let rate = garbler.measure_rate(rounds);
+            println!(
+                "  software serial garbler b={b:>2}: {:>10.0} MAC/s ({:.1e} tables/s)",
+                rate.macs_per_second(),
+                rate.tables_per_second()
+            );
+        }
+    }
+}

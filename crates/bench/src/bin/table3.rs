@@ -1,0 +1,63 @@
+//! Regenerates **Table 3**: ridge-regression runtime improvement.
+//!
+//! ```text
+//! cargo run -p max-bench --bin table3
+//! ```
+
+use max_bench::{row, rule};
+use max_ml::ridge::{runtime_model, RidgeRegression, TABLE3_DATASETS};
+
+fn main() {
+    println!("Table 3: Ridge Regression Runtime Improvement");
+    println!(
+        "(model: f = d/(d+{}), unit MAC speedup {:.0}x — see EXPERIMENTS.md)",
+        runtime_model::DIVISION_WEIGHT,
+        runtime_model::MAC_SPEEDUP
+    );
+    println!();
+    let widths = [18usize, 6, 4, 10, 10, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "Name".into(),
+                "n".into(),
+                "d".into(),
+                "Time [7]".into(),
+                "Time ours".into(),
+                "Impr.".into()
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for r in runtime_model::table3() {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.name.clone(),
+                    r.n.to_string(),
+                    r.d.to_string(),
+                    format!("{:.0} s", r.baseline_seconds),
+                    format!("{:.1} s", r.ours_seconds),
+                    format!("{:.1} x", r.improvement),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("Published 'ours' column: 7.8 / 3.5 / 1.8 / 1.7 / 1.1 / 1.0 s");
+    println!("Published improvements:  39.8 / 28.4 / 24.5 / 22.6 / 18.7 / 16.8 x");
+    println!();
+    println!("Garbled-phase operation counts per dataset (O(d^3) MACs, O(d) sqrt, O(d^2) div):");
+    let solver = RidgeRegression::new(1.0);
+    for &(name, n, d, _) in &TABLE3_DATASETS {
+        let ops = solver.op_counts(n, d);
+        println!(
+            "  {name:<18} phase1 MACs {:>9} | phase2 MACs {:>7} | sqrt {:>3} | div {:>4}",
+            ops.phase1_macs, ops.phase2_macs, ops.square_roots, ops.divisions
+        );
+    }
+}

@@ -1,0 +1,813 @@
+//! The cycle-accurate MAXelerator pipeline: schedule-driven garbling with
+//! on-chip label generation, BRAM table buffering and PCIe drainage.
+//!
+//! Every garbled table the simulation emits is a *real* half-gates table;
+//! [`ScheduledEvaluator`] (the client side) decrypts them and recovers exact
+//! MAC results. Cycle counts come from walking the compiled [`Schedule`]
+//! slot by slot.
+
+use max_crypto::{Block, FixedKeyHash, Tweak};
+use max_fpga::{Clock, MemorySystem, PcieLink};
+use max_gc::{evaluate_and, garble_and, Delta, GarbledTable};
+use max_netlist::{decode_signed, decode_unsigned, GateKind, MacCircuit};
+use max_rng::LabelGenerator;
+
+use crate::config::AcceleratorConfig;
+use crate::schedule::Schedule;
+use crate::timing::TimingModel;
+
+/// Per-gate tweak: unique across (element, round, gate).
+fn table_tweak(elem: u32, round: u32, gate_idx: u32) -> Tweak {
+    Tweak::new(elem, round, 0, gate_idx, 0)
+}
+
+/// The public per-round message the host CPU relays to the client
+/// (Figure 1): garbled tables plus the garbler-side input labels.
+#[derive(Clone, Debug)]
+pub struct RoundMessage {
+    /// Output-element id (row index during a matrix-vector product).
+    pub elem: u32,
+    /// Sequential round (vector position).
+    pub round: u32,
+    /// Garbled tables in netlist AND order.
+    pub tables: Vec<GarbledTable>,
+    /// Active labels for the server's fresh inputs (`a` bits, then
+    /// constants).
+    pub a_labels: Vec<Block>,
+    /// Round 0 only: active labels of the initial accumulator (zero).
+    pub init_acc_labels: Option<Vec<Block>>,
+    /// Final round only: output decode bits.
+    pub decode: Option<Vec<bool>>,
+}
+
+impl RoundMessage {
+    /// Bytes on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.tables.len() * 32
+            + self.a_labels.len() * 16
+            + self.init_acc_labels.as_ref().map_or(0, |l| l.len() * 16)
+            + self.decode.as_ref().map_or(0, |d| d.len().div_ceil(8))
+    }
+}
+
+/// Hardware activity report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AcceleratorReport {
+    /// Total fabric cycles (including pipeline fill).
+    pub cycles: u64,
+    /// Garbled tables emitted.
+    pub tables: u64,
+    /// MAC rounds completed.
+    pub rounds: u64,
+    /// Measured steady-state cycles per MAC of the last pipelined job.
+    pub last_job_ii: f64,
+    /// Core utilization of the last pipelined job.
+    pub last_job_utilization: f64,
+    /// Fresh labels drawn from the ring-oscillator generator.
+    pub labels_generated: u64,
+    /// Energy saved by label-generator power gating (fraction of worst case).
+    pub label_energy_saving: f64,
+    /// Bytes pushed into the PCIe link.
+    pub pcie_pushed_bytes: u64,
+    /// Bytes the host received.
+    pub pcie_delivered_bytes: u64,
+    /// Peak PCIe backlog (the §6 communication-bottleneck signal).
+    pub pcie_peak_backlog: usize,
+    /// BRAM write rejections (cycles the real hardware would stall).
+    pub bram_would_stall: u64,
+    /// Event counts for the order-of-magnitude energy model.
+    pub energy: max_fpga::EnergyMeter,
+}
+
+impl AcceleratorReport {
+    /// Estimated joules per MAC under the default energy model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rounds have been garbled.
+    pub fn joules_per_mac(&self) -> f64 {
+        self.energy
+            .joules_per_mac(&max_fpga::EnergyModel::default(), self.rounds.max(1))
+    }
+}
+
+/// The simulated accelerator (server side).
+pub struct Maxelerator {
+    config: AcceleratorConfig,
+    mac: MacCircuit,
+    cores: usize,
+    hash: FixedKeyHash,
+    labels: LabelGenerator,
+    delta: Delta,
+    clock: Clock,
+    memory: MemorySystem,
+    pcie: PcieLink,
+    /// Carried accumulator zero-labels between rounds.
+    carried_zero: Option<Vec<Block>>,
+    round: u32,
+    elem: u32,
+    /// OT pairs per absolute round of the current element.
+    eval_pairs: std::collections::HashMap<u32, Vec<(Block, Block)>>,
+    /// Ordinal of each netlist gate among the AND gates.
+    and_ordinal: Vec<Option<u32>>,
+    /// Producing gate of each wire (for free-cone resolution).
+    producer: Vec<Option<u32>>,
+    /// For accumulator-input wires: their position in the state range.
+    acc_pos_of_wire: Vec<Option<u32>>,
+    /// Output wire index per accumulator position.
+    output_wires: Vec<usize>,
+    report: AcceleratorReport,
+    label_pool: std::collections::VecDeque<Block>,
+}
+
+impl std::fmt::Debug for Maxelerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Maxelerator")
+            .field("config", &self.config)
+            .field("round", &self.round)
+            .field("elem", &self.elem)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Maxelerator {
+    /// Builds an accelerator for `config`, seeding the ring-oscillator
+    /// label generator with `seed`.
+    pub fn new(config: AcceleratorConfig, seed: u64) -> Self {
+        let mac = config.mac_circuit();
+        let cores = TimingModel {
+            bit_width: config.bit_width,
+            freq_mhz: config.freq_mhz,
+        }
+        .cores();
+        let mut labels = LabelGenerator::new(seed, config.bit_width.max(4));
+        let delta = Delta::from_block(labels.next_label());
+        let mut and_ordinal = vec![None; mac.netlist().gates().len()];
+        let mut producer = vec![None; mac.netlist().wire_count()];
+        let mut next = 0u32;
+        for (i, gate) in mac.netlist().gates().iter().enumerate() {
+            if gate.kind == GateKind::And {
+                and_ordinal[i] = Some(next);
+                next += 1;
+            }
+            producer[gate.out.index()] = Some(i as u32);
+        }
+        let mut acc_pos_of_wire = vec![None; mac.netlist().wire_count()];
+        for (offset, wire) in mac.netlist().garbler_inputs()[config.state_range()]
+            .iter()
+            .enumerate()
+        {
+            acc_pos_of_wire[wire.index()] = Some(offset as u32);
+        }
+        let output_wires: Vec<usize> = mac.netlist().outputs().iter().map(|w| w.index()).collect();
+        Maxelerator {
+            hash: FixedKeyHash::new(),
+            memory: MemorySystem::new(cores, 1 << 20),
+            pcie: PcieLink::new(256, 16),
+            clock: Clock::new(config.freq_mhz),
+            mac,
+            cores,
+            labels,
+            delta,
+            config,
+            carried_zero: None,
+            round: 0,
+            elem: 0,
+            eval_pairs: std::collections::HashMap::new(),
+            and_ordinal,
+            producer,
+            acc_pos_of_wire,
+            output_wires,
+            report: AcceleratorReport::default(),
+            label_pool: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Number of parallel GC cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Starts a new output element (matrix row): resets the accumulator
+    /// carry and the round counter; `elem` feeds the gate tweaks.
+    pub fn begin_element(&mut self, elem: u32) {
+        self.elem = elem;
+        self.round = 0;
+        self.carried_zero = None;
+        self.eval_pairs.clear();
+    }
+
+    /// Garbles one MAC round for server input `a`.
+    ///
+    /// Convenience wrapper over [`Maxelerator::garble_job`]; use the job
+    /// form for pipelined multi-round throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` does not fit the configured bit-width.
+    pub fn garble_round(&mut self, a: i64, last: bool) -> RoundMessage {
+        self.garble_job(&[a], last).pop().expect("one round")
+    }
+
+    /// Garbles `a_elems.len()` consecutive MAC rounds as one pipelined job.
+    ///
+    /// Rounds continue the current element's accumulator; set `last` to
+    /// release the decode bits with the final round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a_elems` is empty or any element does not fit.
+    pub fn garble_job(&mut self, a_elems: &[i64], last: bool) -> Vec<RoundMessage> {
+        assert!(!a_elems.is_empty(), "job needs at least one round");
+        let rounds = a_elems.len();
+        let schedule = Schedule::compile(
+            self.mac.netlist(),
+            self.cores,
+            rounds,
+            self.config.state_range(),
+        );
+        let netlist = self.mac.netlist().clone();
+        let n_wires = netlist.wire_count();
+        let b = self.config.bit_width;
+        let first_round_abs = self.round;
+
+        // ------------------------------------------------------------------
+        // Label provisioning. Per round: b fresh `a` labels + b fresh `x`
+        // labels + constants; the element's first round also needs the
+        // initial accumulator labels. The generator feeds a pool at
+        // ≤ b/2 labels per cycle; the pool is pre-filled for the first round
+        // (pipeline fill).
+        let consts = netlist.constants().len();
+        let mut needed: u64 = (rounds * (2 * b + consts)) as u64;
+        if self.carried_zero.is_none() {
+            needed += self.config.acc_width as u64;
+        }
+        let per_cycle = (b / 2).max(1);
+        let first_need = (2 * b
+            + consts
+            + if self.carried_zero.is_none() {
+                self.config.acc_width
+            } else {
+                0
+            }) as u64;
+        while (self.label_pool.len() as u64) < first_need {
+            let burst = self.labels.clock(per_cycle);
+            self.report.labels_generated += burst.len() as u64;
+            self.label_pool.extend(burst);
+            self.clock.tick();
+            self.tick_io();
+        }
+        let mut remaining_to_generate = needed.saturating_sub(self.label_pool.len() as u64);
+
+        // ------------------------------------------------------------------
+        // Per-round label tables, filled lazily as the schedule executes.
+        let mut zero: Vec<Vec<Option<Block>>> = Vec::with_capacity(rounds);
+        let mut a_labels_out: Vec<Vec<Block>> = Vec::with_capacity(rounds);
+        let mut init_acc_out: Option<Vec<Block>> = None;
+        let mut pairs_per_round: Vec<Vec<(Block, Block)>> = Vec::with_capacity(rounds);
+        for (r, &a) in a_elems.iter().enumerate() {
+            let mut wires = vec![None; n_wires];
+            let a_bits = if self.config.signed {
+                max_netlist::encode_signed(a, b)
+            } else {
+                max_netlist::encode_unsigned(a as u64, b)
+            };
+            let mut sent = Vec::with_capacity(b + consts);
+            for (pos, wire) in netlist.garbler_inputs().iter().enumerate() {
+                if self.config.state_range().contains(&pos) {
+                    continue;
+                }
+                let z = self.pool_label();
+                wires[wire.index()] = Some(z);
+                let bit = a_bits[pos];
+                sent.push(if bit { self.delta.one_label(z) } else { z });
+            }
+            // Accumulator: carried from the previous round / element start.
+            if r == 0 {
+                match self.carried_zero.take() {
+                    Some(labels) => {
+                        for (offset, wire) in netlist.garbler_inputs()[self.config.state_range()]
+                            .iter()
+                            .enumerate()
+                        {
+                            wires[wire.index()] = Some(labels[offset]);
+                        }
+                    }
+                    None => {
+                        // Fresh labels; initial value 0 ⇒ active = zero-label.
+                        let mut init = Vec::with_capacity(self.config.acc_width);
+                        for wire in &netlist.garbler_inputs()[self.config.state_range()] {
+                            let z = self.pool_label();
+                            wires[wire.index()] = Some(z);
+                            init.push(z);
+                        }
+                        init_acc_out = Some(init);
+                    }
+                }
+            }
+            // Constants: garbler-known bits.
+            for &(wire, value) in netlist.constants() {
+                let z = self.pool_label();
+                wires[wire.index()] = Some(z);
+                sent.push(if value { self.delta.one_label(z) } else { z });
+            }
+            // Evaluator (`x`) labels: fresh pair per bit, delivered via OT.
+            let mut pairs = Vec::with_capacity(b);
+            for wire in netlist.evaluator_inputs() {
+                let z = self.pool_label();
+                wires[wire.index()] = Some(z);
+                pairs.push((z, self.delta.one_label(z)));
+            }
+            pairs_per_round.push(pairs);
+            a_labels_out.push(sent);
+            zero.push(wires);
+        }
+
+        // ------------------------------------------------------------------
+        // Walk the schedule cycle by cycle, garbling one table per busy core.
+        let n_ands = netlist.stats().and_gates;
+        let mut tables: Vec<Vec<Option<GarbledTable>>> = vec![vec![None; n_ands]; rounds];
+        let mut assignment_iter = schedule.assignments().iter().peekable();
+        let total_cycles = schedule.stats().cycles;
+        for cycle in 0..total_cycles {
+            // Keep the label generator pumping (power-gated to the deficit).
+            if remaining_to_generate > 0 {
+                let demand = (remaining_to_generate.min(per_cycle as u64)) as usize;
+                let burst = self.labels.clock(demand);
+                self.report.labels_generated += burst.len() as u64;
+                remaining_to_generate -= burst.len() as u64;
+                self.label_pool.extend(burst);
+            } else {
+                // Fully power-gated cycle.
+                self.labels.clock(0);
+            }
+            while let Some(slot) = assignment_iter.peek() {
+                if slot.cycle != cycle {
+                    break;
+                }
+                let slot = *assignment_iter.next().expect("peeked");
+                let r = slot.round as usize;
+                let gate = netlist.gates()[slot.gate as usize];
+                let a0 = self.resolve(&netlist, &mut zero, r, gate.a.index());
+                let b0 = self.resolve(&netlist, &mut zero, r, gate.b.index());
+                let tweak = table_tweak(self.elem, first_round_abs + slot.round, slot.gate);
+                let (c0, table) = garble_and(&self.hash, self.delta, a0, b0, tweak);
+                zero[r][gate.out.index()] = Some(c0);
+                let ordinal = self.and_ordinal[slot.gate as usize].expect("AND gate");
+                tables[r][ordinal as usize] = Some(table);
+                if !self.memory.write(slot.core, table.to_bytes().to_vec()) {
+                    self.report.bram_would_stall += 1;
+                }
+                self.report.tables += 1;
+            }
+            self.memory.end_cycle();
+            self.clock.tick();
+            self.tick_io();
+        }
+        // Drain the remaining tables through PCIe.
+        while !self.memory.is_empty() || !self.pcie.is_drained() {
+            self.clock.tick();
+            self.tick_io();
+        }
+
+        // ------------------------------------------------------------------
+        // Collect outputs: carried accumulator labels and round messages.
+        let outputs: Vec<usize> = netlist.outputs().iter().map(|w| w.index()).collect();
+        let out_zero: Vec<Block> = outputs
+            .iter()
+            .map(|&w| self.resolve(&netlist, &mut zero, rounds - 1, w))
+            .collect();
+        let decode: Vec<bool> = out_zero.iter().map(|z| z.lsb()).collect();
+        self.carried_zero = Some(out_zero);
+
+        let mut messages = Vec::with_capacity(rounds);
+        for (r, round_tables) in tables.into_iter().enumerate() {
+            let abs_round = first_round_abs + r as u32;
+            self.eval_pairs.insert(abs_round, pairs_per_round[r].clone());
+            let msg = RoundMessage {
+                elem: self.elem,
+                round: abs_round,
+                tables: round_tables
+                    .into_iter()
+                    .map(|t| t.expect("all gates garbled"))
+                    .collect(),
+                a_labels: a_labels_out[r].clone(),
+                init_acc_labels: if r == 0 { init_acc_out.take() } else { None },
+                decode: (last && r == rounds - 1).then_some(decode.clone()),
+            };
+            messages.push(msg);
+        }
+        self.round = first_round_abs + rounds as u32;
+        self.report.rounds += rounds as u64;
+        self.report.cycles = self.clock.cycles();
+        self.report.last_job_ii = schedule.stats().steady_state_ii;
+        self.report.last_job_utilization = schedule.stats().utilization;
+        self.report.label_energy_saving = self.labels.report().energy_saving();
+        self.report.pcie_pushed_bytes = self.pcie.pushed_bytes();
+        self.report.pcie_delivered_bytes = self.pcie.delivered_bytes();
+        self.report.pcie_peak_backlog = self.pcie.peak_queue_bytes();
+        // Energy event counts: 4 fixed-key AES calls per half-gates table,
+        // one BRAM write per table, one 128-bit shift per core-cycle of
+        // label movement (schedule slots), active RNG-cycles from the
+        // power-gated generator.
+        self.report.energy = max_fpga::EnergyMeter {
+            aes_ops: self.report.tables * 4,
+            rng_cycles: self.labels.report().active_rng_cycles,
+            shifts: self.report.tables,
+            bram_writes: self.report.tables,
+            pcie_bytes: self.report.pcie_pushed_bytes,
+            cycles: self.report.cycles,
+        };
+        messages
+    }
+
+    fn pool_label(&mut self) -> Block {
+        if let Some(label) = self.label_pool.pop_front() {
+            return label;
+        }
+        // Pool miss (start-up corner): burst the generator one cycle.
+        let burst = self.labels.clock(1);
+        self.report.labels_generated += 1;
+        self.clock.tick();
+        burst[0]
+    }
+
+    /// One I/O cycle: the shared BRAM read port feeds the PCIe serializer
+    /// (up to four 32-byte beats per cycle, a 512-bit AXI stream).
+    fn tick_io(&mut self) {
+        for _ in 0..4 {
+            match self.memory.read_one() {
+                Some((_, record)) => self.pcie.push(record.len()),
+                None => break,
+            }
+        }
+        self.pcie.tick();
+    }
+
+    /// Resolves a wire's zero-label through the free-gate cone; AND outputs
+    /// must already be garbled (the schedule guarantees it). Accumulator
+    /// inputs of round `r > 0` resolve to the previous round's output
+    /// labels — the shift-register carry between sequential rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an AND output is not yet garbled — a schedule violation.
+    fn resolve(
+        &self,
+        netlist: &max_netlist::Netlist,
+        zero: &mut [Vec<Option<Block>>],
+        round: usize,
+        wire: usize,
+    ) -> Block {
+        if let Some(label) = zero[round][wire] {
+            return label;
+        }
+        if let Some(pos) = self.acc_pos_of_wire[wire] {
+            assert!(round > 0, "round 0 accumulator labels must be pre-assigned");
+            let out_wire = self.output_wires[pos as usize];
+            let label = self.resolve(netlist, zero, round - 1, out_wire);
+            zero[round][wire] = Some(label);
+            return label;
+        }
+        let gate_idx = self.producer[wire]
+            .unwrap_or_else(|| panic!("wire {wire} has no producer and no label"));
+        let gate = netlist.gates()[gate_idx as usize];
+        let label = match gate.kind {
+            GateKind::And => {
+                panic!("schedule violation: AND output {wire} resolved before garbling")
+            }
+            GateKind::Xor => {
+                let a = self.resolve(netlist, zero, round, gate.a.index());
+                let b = self.resolve(netlist, zero, round, gate.b.index());
+                a ^ b
+            }
+            GateKind::Not => {
+                let a = self.resolve(netlist, zero, round, gate.a.index());
+                a ^ self.delta.block()
+            }
+        };
+        zero[round][wire] = Some(label);
+        label
+    }
+
+    /// OT message pairs for round `round`'s evaluator inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that round has not been garbled in the current element.
+    pub fn ot_pairs(&self, round: u32) -> &[(Block, Block)] {
+        self.eval_pairs
+            .get(&round)
+            .map(Vec::as_slice)
+            .unwrap_or_else(|| panic!("no OT pairs buffered for round {round}"))
+    }
+
+    /// Trusted-delivery shortcut: active labels for the most recent round's
+    /// `x` bits (tests / examples; production uses the OT stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round was garbled or the bit count mismatches.
+    pub fn ot_pairs_for_client(&self, x_bits: &[bool]) -> Vec<Block> {
+        let round = self.round.checked_sub(1).expect("no round garbled yet");
+        let pairs = self.ot_pairs(round);
+        assert_eq!(pairs.len(), x_bits.len(), "x bit-count mismatch");
+        pairs
+            .iter()
+            .zip(x_bits)
+            .map(|(&(m0, m1), &bit)| if bit { m1 } else { m0 })
+            .collect()
+    }
+
+    /// Hardware activity so far.
+    pub fn report(&self) -> &AcceleratorReport {
+        &self.report
+    }
+}
+
+/// The client: evaluates the accelerator's round messages in netlist order
+/// with the matching tweaks, carrying the accumulator between rounds.
+#[derive(Debug)]
+pub struct ScheduledEvaluator {
+    config: AcceleratorConfig,
+    netlist: max_netlist::Netlist,
+    hash: FixedKeyHash,
+    carried: Option<Vec<Block>>,
+    elem: u32,
+}
+
+impl ScheduledEvaluator {
+    /// Creates a client evaluator for the same configuration as the server.
+    pub fn new(config: &AcceleratorConfig) -> Self {
+        ScheduledEvaluator {
+            netlist: config.mac_circuit().netlist().clone(),
+            config: config.clone(),
+            hash: FixedKeyHash::new(),
+            carried: None,
+            elem: 0,
+        }
+    }
+
+    /// Starts a new output element.
+    pub fn begin_element(&mut self, elem: u32) {
+        self.elem = elem;
+        self.carried = None;
+    }
+
+    /// Evaluates one round; returns the decoded MAC result when the round
+    /// carries decode bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed messages (wrong table/label counts) — protocol
+    /// violations, not user errors.
+    pub fn evaluate_round(&mut self, msg: &RoundMessage, x_labels: &[Block]) -> Option<i64> {
+        let b = self.config.bit_width;
+        let consts = self.netlist.constants().len();
+        assert_eq!(msg.a_labels.len(), b + consts, "a-label count mismatch");
+        assert_eq!(x_labels.len(), b, "x-label count mismatch");
+
+        let mut active: Vec<Option<Block>> = vec![None; self.netlist.wire_count()];
+        let mut sent = msg.a_labels.iter();
+        for (pos, wire) in self.netlist.garbler_inputs().iter().enumerate() {
+            if self.config.state_range().contains(&pos) {
+                continue;
+            }
+            active[wire.index()] = Some(*sent.next().expect("checked count"));
+        }
+        let acc_active: Vec<Block> = match (&self.carried, &msg.init_acc_labels) {
+            (_, Some(init)) => init.clone(),
+            (Some(carried), None) => carried.clone(),
+            (None, None) => panic!("round {} lacks accumulator labels", msg.round),
+        };
+        for (offset, wire) in self.netlist.garbler_inputs()[self.config.state_range()]
+            .iter()
+            .enumerate()
+        {
+            active[wire.index()] = Some(acc_active[offset]);
+        }
+        for &(wire, _) in self.netlist.constants() {
+            active[wire.index()] = Some(*sent.next().expect("constant label"));
+        }
+        for (wire, &label) in self.netlist.evaluator_inputs().iter().zip(x_labels) {
+            active[wire.index()] = Some(label);
+        }
+
+        let mut and_ordinal = 0usize;
+        for (gate_idx, gate) in self.netlist.gates().iter().enumerate() {
+            let a = active[gate.a.index()].expect("topological order");
+            let bb = active[gate.b.index()].expect("topological order");
+            let out = match gate.kind {
+                GateKind::And => {
+                    let table = msg.tables[and_ordinal];
+                    and_ordinal += 1;
+                    let tweak = table_tweak(self.elem, msg.round, gate_idx as u32);
+                    evaluate_and(&self.hash, table, a, bb, tweak)
+                }
+                GateKind::Xor => a ^ bb,
+                GateKind::Not => a,
+            };
+            active[gate.out.index()] = Some(out);
+        }
+        assert_eq!(and_ordinal, msg.tables.len(), "table count mismatch");
+
+        let outputs: Vec<Block> = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|w| active[w.index()].expect("outputs driven"))
+            .collect();
+        self.carried = Some(outputs.clone());
+
+        msg.decode.as_ref().map(|decode| {
+            let bits: Vec<bool> = outputs
+                .iter()
+                .zip(decode)
+                .map(|(label, &d)| label.lsb() ^ d)
+                .collect();
+            if self.config.signed {
+                decode_signed(&bits)
+            } else {
+                decode_unsigned(&bits) as i64
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secure_dot(b: usize, a: &[i64], x: &[i64], seed: u64) -> i64 {
+        let config = AcceleratorConfig::new(b);
+        let mut accel = Maxelerator::new(config.clone(), seed);
+        let mut client = ScheduledEvaluator::new(&config);
+        let messages = accel.garble_job(a, true);
+        let mut result = None;
+        for (msg, &xl) in messages.iter().zip(x) {
+            let labels: Vec<Block> = accel
+                .ot_pairs(msg.round)
+                .iter()
+                .zip(config.encode_x(xl))
+                .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
+                .collect();
+            result = client.evaluate_round(msg, &labels);
+        }
+        result.expect("final round decodes")
+    }
+
+    #[test]
+    fn end_to_end_dot_product_b8() {
+        let a = [3i64, -4, 5, 0, -7, 2, 127, -128];
+        let x = [2i64, 6, -1, 9, 5, -3, -128, 127];
+        let expected: i64 = a.iter().zip(&x).map(|(p, q)| p * q).sum();
+        assert_eq!(secure_dot(8, &a, &x, 7), expected);
+    }
+
+    #[test]
+    fn end_to_end_dot_product_b16() {
+        let a = [30_000i64, -12_345, 1];
+        let x = [2i64, 3, -32_768];
+        let expected: i64 = a.iter().zip(&x).map(|(p, q)| p * q).sum();
+        assert_eq!(secure_dot(16, &a, &x, 8), expected);
+    }
+
+    #[test]
+    fn single_round_via_garble_round() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 1);
+        let mut client = ScheduledEvaluator::new(&config);
+        let msg = accel.garble_round(-9, true);
+        let labels = accel.ot_pairs_for_client(&config.encode_x(11));
+        assert_eq!(client.evaluate_round(&msg, &labels), Some(-99));
+    }
+
+    #[test]
+    fn multiple_elements_reset_accumulator() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 2);
+        let mut client = ScheduledEvaluator::new(&config);
+        for (elem, a, x, want) in [(0u32, 5i64, 5i64, 25i64), (1, -3, 7, -21)] {
+            accel.begin_element(elem);
+            client.begin_element(elem);
+            let msg = accel.garble_round(a, true);
+            let labels = accel.ot_pairs_for_client(&config.encode_x(x));
+            assert_eq!(client.evaluate_round(&msg, &labels), Some(want));
+        }
+    }
+
+    #[test]
+    fn report_tracks_activity() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 3);
+        let n_ands = config.mac_circuit().netlist().stats().and_gates as u64;
+        accel.garble_job(&[1, 2, 3, 4], false);
+        let report = accel.report();
+        assert_eq!(report.tables, 4 * n_ands);
+        assert_eq!(report.rounds, 4);
+        assert!(report.cycles > 0);
+        assert!(report.labels_generated > 0);
+        assert!(report.last_job_utilization > 0.8);
+        assert!(report.pcie_delivered_bytes >= report.tables * 32);
+        assert_eq!(report.bram_would_stall, 0);
+    }
+
+    #[test]
+    fn measured_ii_close_to_paper() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 12);
+        accel.garble_job(&[1; 12], false);
+        let ii = accel.report().last_job_ii;
+        assert!((ii - 24.0).abs() / 24.0 < 0.25, "II = {ii}");
+    }
+
+    #[test]
+    fn label_generator_power_gating_saves_energy() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 4);
+        accel.garble_job(&[1; 16], false);
+        assert!(
+            accel.report().label_energy_saving > 0.3,
+            "saving = {}",
+            accel.report().label_energy_saving
+        );
+    }
+
+    #[test]
+    fn tampered_table_breaks_decoding() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 5);
+        let mut client = ScheduledEvaluator::new(&config);
+        let mut msg = accel.garble_round(3, true);
+        msg.tables[0] = GarbledTable {
+            tg: Block::new(1),
+            te: Block::new(2),
+        };
+        let labels = accel.ot_pairs_for_client(&config.encode_x(3));
+        let got = client.evaluate_round(&msg, &labels);
+        assert_ne!(got, Some(9));
+    }
+
+    #[test]
+    fn unsigned_mode_works() {
+        let config = AcceleratorConfig::new(8).unsigned();
+        let mut accel = Maxelerator::new(config.clone(), 6);
+        let mut client = ScheduledEvaluator::new(&config);
+        let msgs = accel.garble_job(&[200, 100], true);
+        let xs = [250i64, 3];
+        let mut out = None;
+        for (msg, &x) in msgs.iter().zip(&xs) {
+            let labels: Vec<Block> = accel
+                .ot_pairs(msg.round)
+                .iter()
+                .zip(config.encode_x(x))
+                .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
+                .collect();
+            out = client.evaluate_round(msg, &labels);
+        }
+        assert_eq!(out, Some(200 * 250 + 100 * 3));
+    }
+
+    #[test]
+    fn round_message_wire_bytes() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 9);
+        let msg = accel.garble_round(1, true);
+        assert!(msg.wire_bytes() >= msg.tables.len() * 32 + msg.a_labels.len() * 16);
+        assert!(msg.init_acc_labels.is_some());
+        assert!(msg.decode.is_some());
+    }
+
+    #[test]
+    fn split_jobs_match_single_job() {
+        // Garbling [a0, a1, a2, a3] as one job or as two jobs of two rounds
+        // must produce the same decoded dot product.
+        let config = AcceleratorConfig::new(8);
+        let x = [4i64, -5, 6, -7];
+        let a = [10i64, 11, -12, 13];
+        let expected: i64 = a.iter().zip(&x).map(|(p, q)| p * q).sum();
+
+        let mut accel = Maxelerator::new(config.clone(), 21);
+        let mut client = ScheduledEvaluator::new(&config);
+        let mut result = None;
+        for (job, lastjob) in [(&a[..2], false), (&a[2..], true)] {
+            let msgs = accel.garble_job(job, lastjob);
+            for msg in &msgs {
+                let idx = msg.round as usize;
+                let labels: Vec<Block> = accel
+                    .ot_pairs(msg.round)
+                    .iter()
+                    .zip(config.encode_x(x[idx]))
+                    .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
+                    .collect();
+                result = client.evaluate_round(msg, &labels);
+            }
+        }
+        assert_eq!(result, Some(expected));
+    }
+}

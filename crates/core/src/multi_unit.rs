@@ -1,0 +1,198 @@
+//! Multiple MAC units on one device, operationally: rows of a secure
+//! matrix-vector product split across units that garble in parallel
+//! (§6: "the throughput can be increased linearly by adding more GC
+//! cores"). Functional output is identical to the single-unit server; the
+//! wall-clock model takes the *maximum* of the units' fabric times instead
+//! of the sum.
+
+use max_crypto::Block;
+
+use crate::accelerator::{Maxelerator, RoundMessage, ScheduledEvaluator};
+use crate::config::AcceleratorConfig;
+
+/// A bank of independent MAC units sharing one device.
+pub struct MultiUnitServer {
+    units: Vec<Maxelerator>,
+    weights: Vec<Vec<i64>>,
+    config: AcceleratorConfig,
+}
+
+impl std::fmt::Debug for MultiUnitServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiUnitServer")
+            .field("units", &self.units.len())
+            .field("rows", &self.weights.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Timing summary of a multi-unit matvec.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MultiUnitTiming {
+    /// Units used.
+    pub units: usize,
+    /// Fabric cycles of the busiest unit (= the parallel makespan).
+    pub makespan_cycles: u64,
+    /// Sum of all units' fabric cycles (= the single-unit equivalent).
+    pub total_cycles: u64,
+}
+
+impl MultiUnitTiming {
+    /// Parallel speedup achieved over one unit.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 1.0;
+        }
+        self.total_cycles as f64 / self.makespan_cycles as f64
+    }
+}
+
+impl MultiUnitServer {
+    /// Creates `units` MAC units (distinct label-generator seeds) serving
+    /// model matrix `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero or the matrix is empty/ragged.
+    pub fn new(
+        config: &AcceleratorConfig,
+        weights: Vec<Vec<i64>>,
+        units: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(units > 0, "need at least one unit");
+        assert!(!weights.is_empty(), "model matrix must be non-empty");
+        let cols = weights[0].len();
+        for row in &weights {
+            assert_eq!(row.len(), cols, "ragged model matrix");
+        }
+        MultiUnitServer {
+            units: (0..units)
+                .map(|u| Maxelerator::new(config.clone(), seed ^ (0x1000 + u as u64)))
+                .collect(),
+            weights,
+            config: config.clone(),
+        }
+    }
+
+    /// Number of units.
+    pub fn units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Garbles every row, row `i` on unit `i % units`, and returns the
+    /// per-row messages with their OT pairs (trusted-delivery form for the
+    /// in-process client) and the parallel timing.
+    pub fn garble_matvec(
+        &mut self,
+    ) -> (Vec<Vec<RoundMessage>>, Vec<Vec<Vec<(Block, Block)>>>, MultiUnitTiming) {
+        let n_units = self.units.len();
+        let mut messages = Vec::with_capacity(self.weights.len());
+        let mut pairs = Vec::with_capacity(self.weights.len());
+        let mut per_unit_cycles = vec![0u64; n_units];
+        for (row_idx, row) in self.weights.clone().iter().enumerate() {
+            let unit = &mut self.units[row_idx % n_units];
+            unit.begin_element(row_idx as u32);
+            let before = unit.report().cycles;
+            let msgs = unit.garble_job(row, true);
+            per_unit_cycles[row_idx % n_units] += unit.report().cycles - before;
+            let row_pairs = msgs
+                .iter()
+                .map(|m| unit.ot_pairs(m.round).to_vec())
+                .collect();
+            messages.push(msgs);
+            pairs.push(row_pairs);
+        }
+        let timing = MultiUnitTiming {
+            units: n_units,
+            makespan_cycles: per_unit_cycles.iter().copied().max().unwrap_or(0),
+            total_cycles: per_unit_cycles.iter().sum(),
+        };
+        (messages, pairs, timing)
+    }
+
+    /// Full in-process secure matvec against a client, rows garbled across
+    /// the unit bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` length mismatches the model.
+    pub fn secure_matvec(&mut self, x: &[i64]) -> (Vec<i64>, MultiUnitTiming) {
+        assert_eq!(x.len(), self.weights[0].len(), "vector length mismatch");
+        let (messages, pairs, timing) = self.garble_matvec();
+        let mut client = ScheduledEvaluator::new(&self.config);
+        let mut result = Vec::with_capacity(messages.len());
+        for (row_idx, (msgs, row_pairs)) in messages.iter().zip(&pairs).enumerate() {
+            client.begin_element(row_idx as u32);
+            let mut decoded = None;
+            for (msg, round_pairs) in msgs.iter().zip(row_pairs) {
+                let bits = self.config.encode_x(x[msg.round as usize]);
+                let labels: Vec<Block> = round_pairs
+                    .iter()
+                    .zip(&bits)
+                    .map(|(&(m0, m1), &bit)| if bit { m1 } else { m0 })
+                    .collect();
+                decoded = client.evaluate_round(msg, &labels);
+            }
+            result.push(decoded.expect("final round decodes"));
+        }
+        (result, timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(rows: usize, cols: usize) -> Vec<Vec<i64>> {
+        (0..rows)
+            .map(|r| (0..cols).map(|c| ((r * 5 + c * 3) % 21) as i64 - 10).collect())
+            .collect()
+    }
+
+    #[test]
+    fn multi_unit_result_matches_plaintext() {
+        let config = AcceleratorConfig::new(8);
+        let w = model(4, 3);
+        let x = vec![7i64, -8, 9];
+        let expected: Vec<i64> = w
+            .iter()
+            .map(|row| row.iter().zip(&x).map(|(a, b)| a * b).sum())
+            .collect();
+        for units in [1usize, 2, 4] {
+            let mut server = MultiUnitServer::new(&config, w.clone(), units, 99);
+            let (got, timing) = server.secure_matvec(&x);
+            assert_eq!(got, expected, "{units} units");
+            assert_eq!(timing.units, units);
+        }
+    }
+
+    #[test]
+    fn parallel_makespan_shrinks_with_units() {
+        let config = AcceleratorConfig::new(8);
+        let w = model(8, 4);
+        let x = vec![1i64, 2, 3, 4];
+        let mut one = MultiUnitServer::new(&config, w.clone(), 1, 5);
+        let mut four = MultiUnitServer::new(&config, w, 4, 5);
+        let (_, t1) = one.secure_matvec(&x);
+        let (_, t4) = four.secure_matvec(&x);
+        assert!(
+            t4.makespan_cycles * 3 < t1.makespan_cycles * 4,
+            "4 units gave makespan {} vs {}",
+            t4.makespan_cycles,
+            t1.makespan_cycles
+        );
+        assert!(t4.speedup() > 2.5, "speedup {}", t4.speedup());
+        assert!((t1.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn units_use_distinct_randomness() {
+        let config = AcceleratorConfig::new(8);
+        let mut server = MultiUnitServer::new(&config, model(2, 2), 2, 7);
+        let (messages, _, _) = server.garble_matvec();
+        // Rows on different units must not share tables even for identical
+        // model values.
+        assert_ne!(messages[0][0].tables, messages[1][0].tables);
+    }
+}

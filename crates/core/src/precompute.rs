@@ -1,0 +1,199 @@
+//! Offline precomputation (§3): "the garbling operation does not require
+//! any input from any party … MAXelerator keeps generating the garbled
+//! tables independently and sends them to the host CPU … and when requested
+//! by the client simply performs the garbling with one of the stored
+//! garbled circuits. Note that even if the model does not change, new
+//! labels are required for every garbling operation to ensure security."
+//!
+//! [`PrecomputeStore`] is that host-side buffer: the accelerator fills it
+//! with ready-to-serve garbled jobs for a model row during idle time; a
+//! client query pops one (single use — labels are never reused) and only
+//! the OT runs online.
+
+use max_crypto::Block;
+
+use crate::accelerator::{Maxelerator, RoundMessage};
+use crate::config::AcceleratorConfig;
+
+/// One pre-garbled dot-product job: the public round messages plus the OT
+/// pairs the host needs to answer the client's OT.
+#[derive(Clone, Debug)]
+pub struct PrecomputedJob {
+    /// Per-round public messages (tables, labels, decode on the last).
+    pub messages: Vec<RoundMessage>,
+    /// OT pairs per round (host-side secret until the OT runs).
+    pub ot_pairs: Vec<Vec<(Block, Block)>>,
+}
+
+/// Host-side store of pre-garbled jobs for one model row.
+#[derive(Debug)]
+pub struct PrecomputeStore {
+    config: AcceleratorConfig,
+    row: Vec<i64>,
+    jobs: std::collections::VecDeque<PrecomputedJob>,
+    served: u64,
+    fabric_cycles_spent: u64,
+}
+
+impl PrecomputeStore {
+    /// Creates an empty store for serving dot products against `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is empty.
+    pub fn new(config: AcceleratorConfig, row: Vec<i64>) -> Self {
+        assert!(!row.is_empty(), "model row must be non-empty");
+        PrecomputeStore {
+            config,
+            row,
+            jobs: std::collections::VecDeque::new(),
+            served: 0,
+            fabric_cycles_spent: 0,
+        }
+    }
+
+    /// Jobs currently buffered.
+    pub fn available(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Queries served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The configuration jobs are garbled under.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Fabric cycles spent garbling into this store (offline time).
+    pub fn fabric_cycles_spent(&self) -> u64 {
+        self.fabric_cycles_spent
+    }
+
+    /// Fills the store with `count` fresh jobs using `accelerator` (idle
+    /// fabric time). Every job draws fresh labels — stored jobs are never
+    /// identical.
+    pub fn refill(&mut self, accelerator: &mut Maxelerator, count: usize) {
+        for _ in 0..count {
+            // Element ids continue the queue: the i-th job ever created is
+            // served as element i.
+            accelerator.begin_element(self.served as u32 + self.jobs.len() as u32);
+            let before = accelerator.report().cycles;
+            let messages = accelerator.garble_job(&self.row, true);
+            self.fabric_cycles_spent += accelerator.report().cycles - before;
+            let ot_pairs = messages
+                .iter()
+                .map(|m| accelerator.ot_pairs(m.round).to_vec())
+                .collect();
+            self.jobs.push_back(PrecomputedJob { messages, ot_pairs });
+        }
+    }
+
+    /// Serves one client query: pops a job (it is consumed — labels are
+    /// single-use) or returns `None` if the store is empty and the query
+    /// must wait for live garbling.
+    pub fn serve(&mut self) -> Option<PrecomputedJob> {
+        let job = self.jobs.pop_front()?;
+        self.served += 1;
+        Some(job)
+    }
+}
+
+impl PrecomputedJob {
+    /// Trusted-delivery helper mirroring
+    /// [`Maxelerator::ot_pairs_for_client`]: the active labels for the
+    /// client's bits in round `round_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range round or bit-count mismatch.
+    pub fn labels_for(&self, round_index: usize, x_bits: &[bool]) -> Vec<Block> {
+        let pairs = &self.ot_pairs[round_index];
+        assert_eq!(pairs.len(), x_bits.len(), "x bit-count mismatch");
+        pairs
+            .iter()
+            .zip(x_bits)
+            .map(|(&(m0, m1), &bit)| if bit { m1 } else { m0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::ScheduledEvaluator;
+
+    fn serve_and_evaluate(
+        config: &AcceleratorConfig,
+        job: &PrecomputedJob,
+        elem: u32,
+        x: &[i64],
+    ) -> i64 {
+        let mut client = ScheduledEvaluator::new(config);
+        client.begin_element(elem);
+        let mut result = None;
+        for (i, msg) in job.messages.iter().enumerate() {
+            let labels = job.labels_for(i, &config.encode_x(x[i]));
+            result = client.evaluate_round(msg, &labels);
+        }
+        result.expect("final round decodes")
+    }
+
+    #[test]
+    fn precomputed_queries_decode_correctly() {
+        let config = AcceleratorConfig::new(8);
+        let row = vec![3i64, -4, 5];
+        let mut accel = Maxelerator::new(config.clone(), 61);
+        let mut store = PrecomputeStore::new(config.clone(), row.clone());
+        store.refill(&mut accel, 3);
+        assert_eq!(store.available(), 3);
+
+        for (query, x) in [vec![1i64, 2, 3], vec![-5, 0, 7], vec![9, 9, -9]]
+            .into_iter()
+            .enumerate()
+        {
+            let elem = store.served() as u32;
+            let job = store.serve().expect("job buffered");
+            let expected: i64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert_eq!(
+                serve_and_evaluate(&config, &job, elem, &x),
+                expected,
+                "query {query}"
+            );
+        }
+        assert_eq!(store.available(), 0);
+        assert!(store.serve().is_none(), "store must deplete");
+        assert!(store.fabric_cycles_spent() > 0);
+    }
+
+    #[test]
+    fn stored_jobs_use_fresh_labels() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 62);
+        let mut store = PrecomputeStore::new(config.clone(), vec![7, 7]);
+        store.refill(&mut accel, 2);
+        let a = store.serve().expect("first");
+        let b = store.serve().expect("second");
+        // Same model row, but different tables and labels (fresh randomness
+        // per job — the §3 security requirement).
+        assert_ne!(a.messages[0].tables, b.messages[0].tables);
+        assert_ne!(a.ot_pairs, b.ot_pairs);
+    }
+
+    #[test]
+    fn online_latency_is_ot_plus_evaluation_only() {
+        // The served job needs zero additional fabric cycles: snapshot the
+        // accelerator's clock, serve + evaluate, clock unchanged.
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 63);
+        let mut store = PrecomputeStore::new(config.clone(), vec![2, 3, 4]);
+        store.refill(&mut accel, 1);
+        let cycles_before = accel.report().cycles;
+        let job = store.serve().expect("buffered");
+        let got = serve_and_evaluate(&config, &job, 0, &[1, 1, 1]);
+        assert_eq!(got, 9);
+        assert_eq!(accel.report().cycles, cycles_before, "no online fabric time");
+    }
+}

@@ -1,0 +1,266 @@
+//! A from-scratch software AES-128 implementation.
+//!
+//! The S-box is derived at compile time from its algebraic definition
+//! (multiplicative inverse in GF(2^8) followed by the affine map), which
+//! avoids transcription errors in a hand-typed table. Round keys are
+//! precomputed at construction so [`Aes128::encrypt`] is allocation-free —
+//! this mirrors the MAXelerator GC engine, whose fixed-key AES core never
+//! reschedules keys at runtime.
+
+use crate::Block;
+
+/// GF(2^8) multiplication with the AES polynomial `x^8 + x^4 + x^3 + x + 1`.
+const fn gf256_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut product = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 == 1 {
+            product ^= a;
+        }
+        let high = a & 0x80;
+        a <<= 1;
+        if high != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    product
+}
+
+/// GF(2^8) inverse by Fermat: `a^254`.
+const fn gf256_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 via square-and-multiply (exponent 254 = 0b11111110).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf256_mul(result, base);
+        }
+        base = gf256_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// The AES affine transformation applied to the GF(2^8) inverse.
+const fn sbox_entry(x: u8) -> u8 {
+    let inv = gf256_inv(x);
+    inv ^ inv.rotate_left(1)
+        ^ inv.rotate_left(2)
+        ^ inv.rotate_left(3)
+        ^ inv.rotate_left(4)
+        ^ 0x63
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = sbox_entry(i as u8);
+        i += 1;
+    }
+    table
+}
+
+/// The AES S-box, generated from its algebraic definition.
+pub(crate) const SBOX: [u8; 256] = build_sbox();
+
+/// Round constants for AES-128 key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// AES-128 block cipher with precomputed round keys.
+///
+/// # Example
+///
+/// ```
+/// use max_crypto::{Aes128, Block};
+///
+/// let aes = Aes128::new(Block::new(0));
+/// let ct = aes.encrypt(Block::new(0));
+/// assert_ne!(ct, Block::new(0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    pub fn new(key: Block) -> Self {
+        let key = key.to_bytes();
+        let mut words = [[0u8; 4]; 44];
+        for (i, word) in words.iter_mut().take(4).enumerate() {
+            word.copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = words[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                words[i][j] = words[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (round, round_key) in round_keys.iter_mut().enumerate() {
+            for word in 0..4 {
+                round_key[4 * word..4 * word + 4].copy_from_slice(&words[4 * round + word]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one block.
+    pub fn encrypt(&self, plaintext: Block) -> Block {
+        let mut state = plaintext.to_bytes();
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        Block::from_bytes(state)
+    }
+}
+
+/// The state is stored in FIPS-197 byte order: `state[4*c + r]` is row `r`,
+/// column `c`.
+fn add_round_key(state: &mut [u8; 16], round_key: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(round_key) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for byte in state.iter_mut() {
+        *byte = SBOX[*byte as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let original = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[4 * col + row] = original[4 * ((col + row) % 4) + row];
+        }
+    }
+}
+
+fn xtime(a: u8) -> u8 {
+    let shifted = a << 1;
+    if a & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let column = [
+            state[4 * col],
+            state[4 * col + 1],
+            state[4 * col + 2],
+            state[4 * col + 3],
+        ];
+        let all = column[0] ^ column[1] ^ column[2] ^ column[3];
+        for row in 0..4 {
+            let pair = column[row] ^ column[(row + 1) % 4];
+            state[4 * col + row] = column[row] ^ all ^ xtime(pair);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_from_hex(hex: &str) -> Block {
+        assert_eq!(hex.len(), 32);
+        let mut bytes = [0u8; 16];
+        for (i, byte) in bytes.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).unwrap();
+        }
+        Block::from_bytes(bytes)
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        // Spot checks from FIPS-197 Figure 7.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(SBOX[0x9a], 0xb8);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &entry in SBOX.iter() {
+            assert!(!seen[entry as usize]);
+            seen[entry as usize] = true;
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let aes = Aes128::new(block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let ct = aes.encrypt(block_from_hex("3243f6a8885a308d313198a2e0370734"));
+        assert_eq!(ct, block_from_hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let aes = Aes128::new(block_from_hex("000102030405060708090a0b0c0d0e0f"));
+        let ct = aes.encrypt(block_from_hex("00112233445566778899aabbccddeeff"));
+        assert_eq!(ct, block_from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn nist_kat_ecb_vartxt() {
+        // NIST AESAVS ECB VarTxt KAT, key = 0, plaintext = 80...0.
+        let aes = Aes128::new(Block::ZERO);
+        let ct = aes.encrypt(block_from_hex("80000000000000000000000000000000"));
+        assert_eq!(ct, block_from_hex("3ad78e726c1ec02b7ebfe92b23d9ec34"));
+    }
+
+    #[test]
+    fn nist_kat_ecb_varkey() {
+        // NIST AESAVS ECB VarKey KAT, key = 80...0, plaintext = 0.
+        let aes = Aes128::new(block_from_hex("80000000000000000000000000000000"));
+        let ct = aes.encrypt(Block::ZERO);
+        assert_eq!(ct, block_from_hex("0edd33d3c621e546455bd8ba1418bec8"));
+    }
+
+    #[test]
+    fn distinct_plaintexts_produce_distinct_ciphertexts() {
+        let aes = Aes128::new(Block::new(42));
+        let mut outputs = std::collections::HashSet::new();
+        for i in 0..256u128 {
+            assert!(outputs.insert(aes.encrypt(Block::new(i))));
+        }
+    }
+
+    #[test]
+    fn key_changes_ciphertext() {
+        let pt = Block::new(7);
+        assert_ne!(
+            Aes128::new(Block::new(1)).encrypt(pt),
+            Aes128::new(Block::new(2)).encrypt(pt)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Cryptographic primitives for the MAXelerator reproduction.
+//!
+//! This crate provides every cryptographic building block the garbled-circuit
+//! stack needs, implemented from scratch so the repository has no external
+//! crypto dependencies:
+//!
+//! * [`Block`] — a 128-bit value, the unit of wire labels, garbled-table rows
+//!   and cipher blocks.
+//! * [`Aes128`] — a software AES-128 implementation validated against the
+//!   FIPS-197 known-answer vectors. The MAXelerator hardware instantiates a
+//!   single-stage AES round pipeline; this software model is bit-compatible.
+//! * [`FixedKeyHash`] — the correlation-robust hash
+//!   `H(X, T) = π(2X ⊕ T) ⊕ 2X ⊕ T` of Bellare et al. ("Efficient Garbling
+//!   from a Fixed-Key Blockcipher", S&P 2013) used by JustGarble, TinyGarble
+//!   and MAXelerator's GC engine.
+//! * [`AesPrg`] — an AES-CTR pseudo-random generator used wherever the
+//!   protocol needs expanded randomness (e.g. IKNP OT extension).
+//!
+//! # Security
+//!
+//! These implementations favour clarity and testability over side-channel
+//! resistance. Table lookups are **not constant time**. This is a research
+//! simulator, not a production library.
+//!
+//! # Example
+//!
+//! ```
+//! use max_crypto::{Aes128, Block};
+//!
+//! let key = Block::from_bytes([0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+//!                              0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c]);
+//! let aes = Aes128::new(key);
+//! let pt = Block::from_bytes([0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+//!                             0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34]);
+//! let ct = aes.encrypt(pt);
+//! assert_eq!(ct.to_bytes()[0], 0x39);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod block;
+mod hash;
+mod prg;
+
+pub use aes::Aes128;
+pub use block::Block;
+pub use hash::{FixedKeyHash, Tweak};
+pub use prg::AesPrg;

@@ -1,0 +1,190 @@
+//! AES-CTR pseudo-random generator.
+//!
+//! Used wherever the protocol stack needs *expanded* randomness from a short
+//! seed: the IKNP OT-extension column expansion, deterministic test-vector
+//! generation, and the software baselines' label sampling. The hardware
+//! label generator (ring-oscillator TRNG) lives in `max-rng`; this PRG is its
+//! software-side counterpart.
+
+use crate::{Aes128, Block};
+
+/// A deterministic pseudo-random generator: AES-128 in counter mode.
+///
+/// # Example
+///
+/// ```
+/// use max_crypto::{AesPrg, Block};
+///
+/// let mut a = AesPrg::new(Block::new(1));
+/// let mut b = AesPrg::new(Block::new(1));
+/// assert_eq!(a.next_block(), b.next_block());
+/// ```
+#[derive(Clone, Debug)]
+pub struct AesPrg {
+    cipher: Aes128,
+    counter: u128,
+}
+
+impl AesPrg {
+    /// Creates a PRG from a 128-bit seed.
+    pub fn new(seed: Block) -> Self {
+        AesPrg {
+            cipher: Aes128::new(seed),
+            counter: 0,
+        }
+    }
+
+    /// Creates a PRG from a seed and a starting counter, so disjoint streams
+    /// can be derived from one seed.
+    pub fn with_stream(seed: Block, stream: u64) -> Self {
+        AesPrg {
+            cipher: Aes128::new(seed),
+            counter: (stream as u128) << 64,
+        }
+    }
+
+    /// Returns the next 128 pseudo-random bits.
+    pub fn next_block(&mut self) -> Block {
+        let output = self.cipher.encrypt(Block::new(self.counter));
+        self.counter = self.counter.wrapping_add(1);
+        output
+    }
+
+    /// Fills `out` with pseudo-random blocks.
+    pub fn fill_blocks(&mut self, out: &mut [Block]) {
+        for slot in out {
+            *slot = self.next_block();
+        }
+    }
+
+    /// Returns `n` pseudo-random blocks.
+    pub fn blocks(&mut self, n: usize) -> Vec<Block> {
+        (0..n).map(|_| self.next_block()).collect()
+    }
+
+    /// Fills `out` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(16) {
+            let block = self.next_block().to_bytes();
+            chunk.copy_from_slice(&block[..chunk.len()]);
+        }
+    }
+
+    /// Returns `n` pseudo-random bits.
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(n);
+        'outer: loop {
+            let block = self.next_block().bits();
+            for i in 0..128 {
+                if bits.len() == n {
+                    break 'outer;
+                }
+                bits.push((block >> i) & 1 == 1);
+            }
+            if bits.len() == n {
+                break;
+            }
+        }
+        bits
+    }
+
+    /// Returns a pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.next_block().bits() as u64
+    }
+
+    /// Returns a pseudo-random value uniform in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let sample = self.next_u64();
+            if sample < zone {
+                return sample % bound;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = AesPrg::new(Block::new(77));
+        let mut b = AesPrg::new(Block::new(77));
+        for _ in 0..32 {
+            assert_eq!(a.next_block(), b.next_block());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = AesPrg::new(Block::new(1));
+        let mut b = AesPrg::new(Block::new(2));
+        assert_ne!(a.next_block(), b.next_block());
+    }
+
+    #[test]
+    fn streams_are_disjoint() {
+        let mut a = AesPrg::with_stream(Block::new(9), 0);
+        let mut b = AesPrg::with_stream(Block::new(9), 1);
+        let a_blocks: Vec<_> = a.blocks(64);
+        let b_blocks: Vec<_> = b.blocks(64);
+        for block in &b_blocks {
+            assert!(!a_blocks.contains(block));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_handles_partial_chunks() {
+        let mut prg = AesPrg::new(Block::new(3));
+        let mut buf = [0u8; 21];
+        prg.fill_bytes(&mut buf);
+        // First 16 bytes must match the first block.
+        let mut prg2 = AesPrg::new(Block::new(3));
+        assert_eq!(&buf[..16], &prg2.next_block().to_bytes());
+    }
+
+    #[test]
+    fn bits_returns_exact_count() {
+        let mut prg = AesPrg::new(Block::new(5));
+        for n in [0, 1, 127, 128, 129, 300] {
+            assert_eq!(prg.bits(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn bits_roughly_balanced() {
+        let mut prg = AesPrg::new(Block::new(11));
+        let bits = prg.bits(100_000);
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!((45_000..55_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut prg = AesPrg::new(Block::new(13));
+        for bound in [1, 2, 3, 10, 1000] {
+            for _ in 0..100 {
+                assert!(prg.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_hits_all_residues() {
+        let mut prg = AesPrg::new(Block::new(17));
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[prg.next_below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,90 @@
+//! Fixed-depth shift registers: the delay lines of Figure 2.
+
+use std::collections::VecDeque;
+
+/// A `depth`-stage shift register over any value type (the accelerator
+/// shifts 128-bit labels).
+///
+/// Each [`ShiftRegister::shift`] inserts one value and emits the value
+/// inserted `depth` calls ago; the first `depth` outputs are the initial
+/// fill value.
+///
+/// # Example
+///
+/// ```
+/// use max_fpga::ShiftRegister;
+///
+/// let mut delay = ShiftRegister::new(2, 0u32);
+/// assert_eq!(delay.shift(10), 0);
+/// assert_eq!(delay.shift(20), 0);
+/// assert_eq!(delay.shift(30), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShiftRegister<T> {
+    stages: VecDeque<T>,
+    depth: usize,
+}
+
+impl<T: Clone> ShiftRegister<T> {
+    /// Creates a register of `depth` stages pre-filled with `fill`.
+    ///
+    /// A zero-depth register is a wire: `shift` returns its input.
+    pub fn new(depth: usize, fill: T) -> Self {
+        ShiftRegister {
+            stages: std::iter::repeat_n(fill, depth).collect(),
+            depth,
+        }
+    }
+
+    /// Number of stages.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Clocks the register: pushes `value` in, pops the oldest out.
+    pub fn shift(&mut self, value: T) -> T {
+        if self.depth == 0 {
+            return value;
+        }
+        self.stages.push_back(value);
+        self.stages.pop_front().expect("register is pre-filled")
+    }
+
+    /// Peeks at the value that the next `shift` will emit.
+    pub fn front(&self) -> Option<&T> {
+        self.stages.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_by_depth() {
+        for depth in 1..6 {
+            let mut sr = ShiftRegister::new(depth, -1i64);
+            for i in 0..20i64 {
+                let out = sr.shift(i);
+                let expected = if i < depth as i64 { -1 } else { i - depth as i64 };
+                assert_eq!(out, expected, "depth {depth}, step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_depth_is_a_wire() {
+        let mut sr = ShiftRegister::new(0, 0u8);
+        assert_eq!(sr.shift(42), 42);
+        assert_eq!(sr.shift(7), 7);
+    }
+
+    #[test]
+    fn front_previews_next_output() {
+        let mut sr = ShiftRegister::new(2, 0u32);
+        sr.shift(5);
+        assert_eq!(sr.front(), Some(&0));
+        sr.shift(6);
+        assert_eq!(sr.front(), Some(&5));
+    }
+}

@@ -1,0 +1,186 @@
+//! The single-gate GC engine: half-gate AND garbling and evaluation.
+//!
+//! This is the exact computation MAXelerator's hardware GC engine performs
+//! once per clock cycle (§5.1): four fixed-key AES hashes on the garbler
+//! side produce one two-ciphertext garbled table. The accelerator simulator
+//! invokes [`garble_and`] directly from its per-core pipeline model, so the
+//! simulated hardware emits *real* garbled tables.
+
+use max_crypto::{Block, FixedKeyHash, Tweak};
+
+use crate::label::Delta;
+
+/// One garbled AND gate under half-gates: two ciphertexts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GarbledTable {
+    /// Garbler-half ciphertext.
+    pub tg: Block,
+    /// Evaluator-half ciphertext.
+    pub te: Block,
+}
+
+impl GarbledTable {
+    /// Size on the wire in bytes (2 × 16).
+    pub const WIRE_BYTES: usize = 32;
+
+    /// Serializes to 32 bytes.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        out[..16].copy_from_slice(&self.tg.to_bytes());
+        out[16..].copy_from_slice(&self.te.to_bytes());
+        out
+    }
+
+    /// Deserializes from 32 bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        let mut tg = [0u8; 16];
+        let mut te = [0u8; 16];
+        tg.copy_from_slice(&bytes[..16]);
+        te.copy_from_slice(&bytes[16..]);
+        GarbledTable {
+            tg: Block::from_bytes(tg),
+            te: Block::from_bytes(te),
+        }
+    }
+}
+
+/// Garbles one AND gate.
+///
+/// `a0`, `b0` are the zero-labels of the input wires, `delta` the global
+/// offset, `tweak` the gate-unique tweak. Returns the output wire's
+/// zero-label and the two-ciphertext garbled table.
+///
+/// Construction (Zahur–Rosulek–Evans, half gates):
+///
+/// ```text
+/// pa = color(a0), pb = color(b0)
+/// TG = H(a0,t) ⊕ H(a1,t) ⊕ pb·Δ          WG0 = H(a0,t) ⊕ pa·TG
+/// TE = H(b0,t') ⊕ H(b1,t') ⊕ a0          WE0 = H(b0,t') ⊕ pb·(TE ⊕ a0)
+/// c0 = WG0 ⊕ WE0
+/// ```
+pub fn garble_and(
+    hash: &FixedKeyHash,
+    delta: Delta,
+    a0: Block,
+    b0: Block,
+    tweak: Tweak,
+) -> (Block, GarbledTable) {
+    let d = delta.block();
+    let a1 = a0 ^ d;
+    let b1 = b0 ^ d;
+    let pa = a0.lsb();
+    let pb = b0.lsb();
+    let t2 = tweak.sibling();
+
+    let (ha0, ha1) = hash.hash_pair(a0, a1, tweak);
+    let (hb0, hb1) = hash.hash_pair(b0, b1, t2);
+
+    let tg = (ha0 ^ ha1).xor_if(d, pb);
+    let wg0 = ha0.xor_if(tg, pa);
+    let te = hb0 ^ hb1 ^ a0;
+    let we0 = hb0.xor_if(te ^ a0, pb);
+    let c0 = wg0 ^ we0;
+    (c0, GarbledTable { tg, te })
+}
+
+/// Evaluates one garbled AND gate.
+///
+/// `a`, `b` are the *active* labels held by the evaluator; `table` the
+/// garbled table; `tweak` must match the garbling tweak. Returns the active
+/// output label.
+pub fn evaluate_and(
+    hash: &FixedKeyHash,
+    table: GarbledTable,
+    a: Block,
+    b: Block,
+    tweak: Tweak,
+) -> Block {
+    let sa = a.lsb();
+    let sb = b.lsb();
+    let t2 = tweak.sibling();
+    let mut wg = hash.hash(a, tweak);
+    if sa {
+        wg ^= table.tg;
+    }
+    let mut we = hash.hash(b, t2);
+    if sb {
+        we ^= table.te ^ a;
+    }
+    wg ^= we;
+    wg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use max_crypto::AesPrg;
+
+    fn setup() -> (FixedKeyHash, Delta, AesPrg) {
+        (
+            FixedKeyHash::new(),
+            Delta::from_block(Block::new(0x0123_4567_89ab_cdef_1122_3344_5566_7788)),
+            AesPrg::new(Block::new(0xabc)),
+        )
+    }
+
+    #[test]
+    fn and_gate_all_four_inputs() {
+        let (hash, delta, mut prg) = setup();
+        for trial in 0..16 {
+            let a0 = prg.next_block();
+            let b0 = prg.next_block();
+            let tweak = Tweak::from_gate_index(trial);
+            let (c0, table) = garble_and(&hash, delta, a0, b0, tweak);
+            for va in [false, true] {
+                for vb in [false, true] {
+                    let a = if va { delta.one_label(a0) } else { a0 };
+                    let b = if vb { delta.one_label(b0) } else { b0 };
+                    let c = evaluate_and(&hash, table, a, b, tweak);
+                    let expected = if va && vb { delta.one_label(c0) } else { c0 };
+                    assert_eq!(c, expected, "trial {trial}: {va} AND {vb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_tweak_breaks_evaluation() {
+        let (hash, delta, mut prg) = setup();
+        let a0 = prg.next_block();
+        let b0 = prg.next_block();
+        let (c0, table) = garble_and(&hash, delta, a0, b0, Tweak::from_gate_index(1));
+        let c = evaluate_and(&hash, table, a0, b0, Tweak::from_gate_index(2));
+        assert_ne!(c, c0);
+    }
+
+    #[test]
+    fn output_colors_differ() {
+        let (hash, delta, mut prg) = setup();
+        let a0 = prg.next_block();
+        let b0 = prg.next_block();
+        let (c0, _) = garble_and(&hash, delta, a0, b0, Tweak::from_gate_index(3));
+        assert_ne!(c0.lsb(), delta.one_label(c0).lsb());
+    }
+
+    #[test]
+    fn table_serialization_round_trips() {
+        let table = GarbledTable {
+            tg: Block::new(0x1111_2222),
+            te: Block::new(0x3333_4444_5555),
+        };
+        assert_eq!(GarbledTable::from_bytes(table.to_bytes()), table);
+    }
+
+    #[test]
+    fn tables_look_pseudorandom() {
+        let (hash, delta, mut prg) = setup();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let a0 = prg.next_block();
+            let b0 = prg.next_block();
+            let (_, table) = garble_and(&hash, delta, a0, b0, Tweak::from_gate_index(i));
+            assert!(seen.insert(table.tg));
+            assert!(seen.insert(table.te));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Wire labels, the global Free-XOR offset, and label sources.
+
+use max_crypto::{AesPrg, Block};
+
+/// The global Free-XOR offset Δ.
+///
+/// Invariant: the permute bit (LSB) is always 1, so the two labels of every
+/// wire have opposite color bits — the point-and-permute requirement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Delta(Block);
+
+impl Delta {
+    /// Wraps a random block, forcing the permute bit.
+    pub fn from_block(block: Block) -> Self {
+        Delta(block.with_lsb(true))
+    }
+
+    /// The offset as a block (LSB guaranteed set).
+    pub fn block(self) -> Block {
+        self.0
+    }
+
+    /// The label for value 1 given the label for value 0.
+    pub fn one_label(self, zero_label: Block) -> Block {
+        zero_label ^ self.0
+    }
+}
+
+/// A source of fresh random wire labels.
+///
+/// The hardware accelerator feeds its ring-oscillator label generator
+/// through this trait; software garblers use [`PrgLabelSource`].
+pub trait LabelSource {
+    /// Returns one fresh 128-bit label.
+    fn next_label(&mut self) -> Block;
+
+    /// Returns a fresh Δ (label with the permute bit forced on).
+    fn next_delta(&mut self) -> Delta {
+        Delta::from_block(self.next_label())
+    }
+}
+
+/// AES-CTR-backed label source for software garbling.
+#[derive(Clone, Debug)]
+pub struct PrgLabelSource {
+    prg: AesPrg,
+}
+
+impl PrgLabelSource {
+    /// Creates a label source from a seed.
+    pub fn new(seed: Block) -> Self {
+        PrgLabelSource {
+            prg: AesPrg::new(seed),
+        }
+    }
+}
+
+impl LabelSource for PrgLabelSource {
+    fn next_label(&mut self) -> Block {
+        self.prg.next_block()
+    }
+}
+
+impl LabelSource for AesPrg {
+    fn next_label(&mut self) -> Block {
+        self.next_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_forces_permute_bit() {
+        assert!(Delta::from_block(Block::new(0)).block().lsb());
+        assert!(Delta::from_block(Block::new(2)).block().lsb());
+        assert_eq!(Delta::from_block(Block::new(3)).block(), Block::new(3));
+    }
+
+    #[test]
+    fn one_label_has_opposite_color() {
+        let delta = Delta::from_block(Block::new(0xdead_beef));
+        let zero = Block::new(0x1234);
+        let one = delta.one_label(zero);
+        assert_ne!(zero.lsb(), one.lsb());
+        assert_eq!(one ^ delta.block(), zero);
+    }
+
+    #[test]
+    fn prg_source_is_deterministic() {
+        let mut a = PrgLabelSource::new(Block::new(5));
+        let mut b = PrgLabelSource::new(Block::new(5));
+        for _ in 0..16 {
+            assert_eq!(a.next_label(), b.next_label());
+        }
+    }
+
+    #[test]
+    fn next_delta_always_odd() {
+        let mut src = PrgLabelSource::new(Block::new(9));
+        for _ in 0..64 {
+            assert!(src.next_delta().block().lsb());
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! A reusable two-party execution harness: garbler and evaluator run on
+//! real threads, every message crosses the byte-counted [`Duplex`] wire,
+//! and the evaluator's input labels travel as label pairs the harness
+//! delivers obliviously through a pluggable [`LabelTransfer`].
+//!
+//! `max-ot` plugs its IKNP stack in from above (see the suite integration
+//! tests); the built-in [`trusted_transfer`] is for tests and cost
+//! accounting where OT security is out of scope.
+
+use max_crypto::Block;
+use max_netlist::Netlist;
+
+use crate::channel::Duplex;
+use crate::evaluator::Evaluator;
+use crate::garbler::{Garbler, Material};
+use crate::label::PrgLabelSource;
+
+/// How the evaluator's input labels get from garbler to evaluator.
+///
+/// The garbler side calls this with all `(m0, m1)` pairs and its wire
+/// endpoint; the evaluator side recovers its chosen labels from the wire.
+/// A real implementation runs OT over the channel; [`trusted_transfer`]
+/// ships the pairs and lets the evaluator pick (NOT private — testing
+/// only).
+pub trait LabelTransfer: Send {
+    /// Garbler side: deliver the pairs obliviously via `wire`.
+    fn send(&mut self, wire: &mut Duplex, pairs: &[(Block, Block)]);
+    /// Evaluator side: recover the labels for `choices` from `wire`.
+    fn receive(&mut self, wire: &mut Duplex, choices: &[bool]) -> Vec<Block>;
+}
+
+/// Insecure pair-shipping transfer for tests and bandwidth accounting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrustedTransfer;
+
+/// Constructs the testing transfer.
+pub fn trusted_transfer() -> TrustedTransfer {
+    TrustedTransfer
+}
+
+impl LabelTransfer for TrustedTransfer {
+    fn send(&mut self, wire: &mut Duplex, pairs: &[(Block, Block)]) {
+        let mut flat = Vec::with_capacity(pairs.len() * 2);
+        for &(m0, m1) in pairs {
+            flat.push(m0);
+            flat.push(m1);
+        }
+        wire.send_blocks(&flat);
+    }
+
+    fn receive(&mut self, wire: &mut Duplex, choices: &[bool]) -> Vec<Block> {
+        let flat = wire.recv_blocks().expect("pairs frame");
+        assert_eq!(flat.len(), choices.len() * 2, "pair count mismatch");
+        flat.chunks(2)
+            .zip(choices)
+            .map(|(pair, &c)| if c { pair[1] } else { pair[0] })
+            .collect()
+    }
+}
+
+/// Outcome of a two-party run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TwoPartyOutcome {
+    /// The decoded outputs (revealed to the evaluator, then echoed back —
+    /// the honest-but-curious disclosure of §3).
+    pub outputs: Vec<bool>,
+    /// Bytes the garbler sent.
+    pub garbler_sent: u64,
+    /// Bytes the evaluator sent.
+    pub evaluator_sent: u64,
+}
+
+/// Runs `netlist` as a genuine two-party computation on two threads.
+///
+/// The garbler draws labels from a PRG seeded with `seed`, sends material,
+/// its input labels, and the evaluator labels via `transfer`; the evaluator
+/// decrypts and decodes; the decoded result returns to both.
+///
+/// # Panics
+///
+/// Panics if input lengths mismatch the netlist or a thread dies (protocol
+/// bugs, not user input).
+pub fn run_two_party<T: LabelTransfer + Clone + 'static>(
+    netlist: &Netlist,
+    garbler_bits: &[bool],
+    evaluator_bits: &[bool],
+    seed: Block,
+    transfer: T,
+) -> TwoPartyOutcome {
+    assert_eq!(
+        garbler_bits.len(),
+        netlist.garbler_inputs().len(),
+        "garbler input count mismatch"
+    );
+    assert_eq!(
+        evaluator_bits.len(),
+        netlist.evaluator_inputs().len(),
+        "evaluator input count mismatch"
+    );
+    let (mut wire_g, mut wire_e) = Duplex::pair();
+    let netlist_g = netlist.clone();
+    let netlist_e = netlist.clone();
+    let g_bits = garbler_bits.to_vec();
+    let e_bits = evaluator_bits.to_vec();
+    let mut transfer_g = transfer.clone();
+    let mut transfer_e = transfer;
+
+    let garbler_thread = std::thread::spawn(move || {
+        let mut labels = PrgLabelSource::new(seed);
+        let mut garbler = Garbler::new(&mut labels);
+        let garbled = garbler.garble(&netlist_g, 0);
+        wire_g.send_tables(&garbled.material().tables);
+        wire_g.send_bits(&garbled.material().output_decode);
+        wire_g.send_blocks(&garbled.encode_garbler_inputs(&g_bits));
+        let pairs: Vec<(Block, Block)> = (0..netlist_g.evaluator_inputs().len())
+            .map(|i| garbled.evaluator_label_pair(i))
+            .collect();
+        transfer_g.send(&mut wire_g, &pairs);
+        // Receive the evaluator's disclosed result.
+        let outputs = wire_g.recv_bits().expect("result frame");
+        (outputs, wire_g.sent().bytes())
+    });
+
+    let evaluator_thread = std::thread::spawn(move || {
+        let tables = wire_e.recv_tables().expect("tables");
+        let output_decode = wire_e.recv_bits().expect("decode bits");
+        let garbler_labels = wire_e.recv_blocks().expect("garbler labels");
+        let evaluator_labels = transfer_e.receive(&mut wire_e, &e_bits);
+        let material = Material {
+            tables,
+            output_decode,
+        };
+        let out_labels = Evaluator::new().evaluate(
+            &netlist_e,
+            &material,
+            &garbler_labels,
+            &evaluator_labels,
+            0,
+        );
+        let outputs: Vec<bool> = out_labels
+            .iter()
+            .zip(&material.output_decode)
+            .map(|(l, &d)| l.lsb() ^ d)
+            .collect();
+        wire_e.send_bits(&outputs);
+        (outputs, wire_e.sent().bytes())
+    });
+
+    let (g_outputs, garbler_sent) = garbler_thread.join().expect("garbler thread");
+    let (e_outputs, evaluator_sent) = evaluator_thread.join().expect("evaluator thread");
+    assert_eq!(g_outputs, e_outputs, "parties disagree on the result");
+    TwoPartyOutcome {
+        outputs: e_outputs,
+        garbler_sent,
+        evaluator_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use max_netlist::{decode_unsigned, encode_unsigned, Builder};
+
+    fn adder(width: usize) -> Netlist {
+        let mut b = Builder::new();
+        let x = b.garbler_input_bus(width);
+        let y = b.evaluator_input_bus(width);
+        let s = b.add_expand(&x, &y);
+        b.build(s.wires().to_vec())
+    }
+
+    #[test]
+    fn two_party_addition() {
+        let netlist = adder(8);
+        let outcome = run_two_party(
+            &netlist,
+            &encode_unsigned(99, 8),
+            &encode_unsigned(156, 8),
+            Block::new(0x7777),
+            trusted_transfer(),
+        );
+        assert_eq!(decode_unsigned(&outcome.outputs), 255);
+        assert!(outcome.garbler_sent > 0);
+        assert!(outcome.evaluator_sent > 0);
+        // The garbler ships tables + labels; the evaluator only the result.
+        assert!(outcome.garbler_sent > 50 * outcome.evaluator_sent);
+    }
+
+    #[test]
+    fn two_party_comparison() {
+        let mut b = Builder::new();
+        let x = b.garbler_input_bus(6);
+        let y = b.evaluator_input_bus(6);
+        let lt = b.lt_unsigned(&x, &y);
+        let netlist = b.build(vec![lt]);
+        for (a, c, want) in [(10u64, 20u64, true), (20, 10, false), (7, 7, false)] {
+            let outcome = run_two_party(
+                &netlist,
+                &encode_unsigned(a, 6),
+                &encode_unsigned(c, 6),
+                Block::new(1),
+                trusted_transfer(),
+            );
+            assert_eq!(outcome.outputs, vec![want], "{a} < {c}");
+        }
+    }
+
+    #[test]
+    fn garbler_traffic_tracks_and_count() {
+        let small = adder(4);
+        let large = adder(16);
+        let run = |n: &Netlist| {
+            run_two_party(
+                n,
+                &vec![false; n.garbler_inputs().len()],
+                &vec![false; n.evaluator_inputs().len()],
+                Block::new(3),
+                trusted_transfer(),
+            )
+            .garbler_sent
+        };
+        let ratio = run(&large) as f64 / run(&small) as f64;
+        assert!(ratio > 2.5, "traffic ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "garbler input count mismatch")]
+    fn wrong_input_length_rejected() {
+        let netlist = adder(4);
+        run_two_party(&netlist, &[true], &[false; 4], Block::new(1), trusted_transfer());
+    }
+}
+
+/// Outcome of a streamed sequential run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SequentialOutcome {
+    /// The decoded final outputs.
+    pub outputs: Vec<bool>,
+    /// Bytes the garbler sent.
+    pub garbler_sent: u64,
+    /// Bytes the evaluator sent.
+    pub evaluator_sent: u64,
+    /// Peak number of labels the evaluator held at once — the §3
+    /// "memory-constrained client" metric (sequential GC keeps it at one
+    /// round's worth instead of the whole computation's).
+    pub evaluator_peak_labels: usize,
+}
+
+/// Runs a sequential (multi-round) computation as a genuine two-party
+/// stream: the same `netlist` garbled once per round, rounds crossing the
+/// wire one at a time, the evaluator keeping only the current round's
+/// labels plus the carried state.
+///
+/// `garbler_rounds[r]` are the garbler's fresh input bits for round `r`
+/// (positionally skipping `state_range`); `evaluator_rounds[r]` the
+/// evaluator's. `initial_state` seeds round 0.
+///
+/// # Panics
+///
+/// Panics on length mismatches or protocol violations.
+pub fn run_sequential_two_party<T: LabelTransfer + Clone + 'static>(
+    netlist: &Netlist,
+    state_range: std::ops::Range<usize>,
+    garbler_rounds: &[Vec<bool>],
+    evaluator_rounds: &[Vec<bool>],
+    initial_state: &[bool],
+    seed: Block,
+    transfer: T,
+) -> SequentialOutcome {
+    assert_eq!(
+        garbler_rounds.len(),
+        evaluator_rounds.len(),
+        "round count mismatch"
+    );
+    assert!(!garbler_rounds.is_empty(), "need at least one round");
+    let rounds = garbler_rounds.len();
+    let (mut wire_g, mut wire_e) = Duplex::pair();
+    let netlist_g = netlist.clone();
+    let netlist_e = netlist.clone();
+    let state_g = state_range.clone();
+    let state_e = state_range;
+    let g_rounds = garbler_rounds.to_vec();
+    let e_rounds = evaluator_rounds.to_vec();
+    let init = initial_state.to_vec();
+    let mut transfer_g = transfer.clone();
+    let mut transfer_e = transfer;
+
+    let garbler_thread = std::thread::spawn(move || {
+        let mut garbler = crate::SequentialGarbler::new(
+            netlist_g,
+            PrgLabelSource::new(seed),
+            state_g,
+        );
+        for (r, bits) in g_rounds.iter().enumerate() {
+            let last = r == rounds - 1;
+            let round = garbler.garble_round(bits, (r == 0).then_some(init.as_slice()), last);
+            wire_g.send_tables(&round.material.tables);
+            wire_g.send_blocks(&round.garbler_labels);
+            if let Some(init_labels) = &round.initial_state_labels {
+                wire_g.send_blocks(init_labels);
+            }
+            if let Some(decode) = &round.decode {
+                wire_g.send_bits(decode);
+            }
+            let pairs = garbler.evaluator_label_pairs();
+            transfer_g.send(&mut wire_g, &pairs);
+        }
+        let outputs = wire_g.recv_bits().expect("final result");
+        (outputs, wire_g.sent().bytes())
+    });
+
+    let evaluator_thread = std::thread::spawn(move || {
+        let mut evaluator = crate::SequentialEvaluator::new(netlist_e.clone(), state_e);
+        let mut peak_labels = 0usize;
+        let mut final_outputs = None;
+        for (r, bits) in e_rounds.iter().enumerate() {
+            let last = r == rounds - 1;
+            let tables = wire_e.recv_tables().expect("tables");
+            let garbler_labels = wire_e.recv_blocks().expect("garbler labels");
+            let initial_state_labels = if r == 0 {
+                Some(wire_e.recv_blocks().expect("initial state"))
+            } else {
+                None
+            };
+            let decode = if last {
+                Some(wire_e.recv_bits().expect("decode"))
+            } else {
+                None
+            };
+            let evaluator_labels = transfer_e.receive(&mut wire_e, bits);
+            // The client's live label footprint this round: fresh garbler +
+            // own labels + carried state (outputs of the previous round).
+            let held = garbler_labels.len()
+                + evaluator_labels.len()
+                + initial_state_labels.as_ref().map_or(
+                    evaluator.carried_labels().map_or(0, <[Block]>::len),
+                    Vec::len,
+                );
+            peak_labels = peak_labels.max(held);
+            let round_msg = crate::SequentialRound {
+                round: r as u64,
+                material: Material {
+                    tables,
+                    output_decode: Vec::new(),
+                },
+                garbler_labels,
+                initial_state_labels,
+                decode,
+            };
+            final_outputs = evaluator.evaluate_round(&round_msg, &evaluator_labels);
+        }
+        let outputs = final_outputs.expect("last round decodes");
+        wire_e.send_bits(&outputs);
+        (outputs, wire_e.sent().bytes(), peak_labels)
+    });
+
+    let (g_outputs, garbler_sent) = garbler_thread.join().expect("garbler thread");
+    let (e_outputs, evaluator_sent, evaluator_peak_labels) =
+        evaluator_thread.join().expect("evaluator thread");
+    assert_eq!(g_outputs, e_outputs, "parties disagree");
+    SequentialOutcome {
+        outputs: e_outputs,
+        garbler_sent,
+        evaluator_sent,
+        evaluator_peak_labels,
+    }
+}
+
+#[cfg(test)]
+mod sequential_tests {
+    use super::*;
+    use max_netlist::{decode_signed, encode_signed, MacCircuit, MultiplierKind, Sign};
+
+    #[test]
+    fn streamed_dot_product() {
+        let mac = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
+        let a = [5i64, -6, 7, 8];
+        let x = [2i64, 3, -4, 1];
+        let expected: i64 = a.iter().zip(&x).map(|(p, q)| p * q).sum();
+        let g_rounds: Vec<Vec<bool>> = a.iter().map(|&v| encode_signed(v, 8)).collect();
+        let e_rounds: Vec<Vec<bool>> = x.iter().map(|&v| encode_signed(v, 8)).collect();
+        let outcome = run_sequential_two_party(
+            mac.netlist(),
+            8..32,
+            &g_rounds,
+            &e_rounds,
+            &encode_signed(0, 24),
+            Block::new(0x5e9),
+            trusted_transfer(),
+        );
+        assert_eq!(decode_signed(&outcome.outputs), expected);
+        assert!(outcome.garbler_sent > 0);
+    }
+
+    #[test]
+    fn client_memory_stays_one_round_sized() {
+        // The §3 claim: per-round OT means the client never holds more than
+        // one round of labels (+ state), regardless of vector length.
+        let mac = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
+        let run = |len: usize| {
+            let g: Vec<Vec<bool>> = (0..len).map(|i| encode_signed(i as i64 % 100, 8)).collect();
+            let e: Vec<Vec<bool>> = (0..len).map(|i| encode_signed((i as i64 % 7) - 3, 8)).collect();
+            run_sequential_two_party(
+                mac.netlist(),
+                8..32,
+                &g,
+                &e,
+                &encode_signed(0, 24),
+                Block::new(9),
+                trusted_transfer(),
+            )
+        };
+        let short = run(2);
+        let long = run(16);
+        assert_eq!(short.evaluator_peak_labels, long.evaluator_peak_labels);
+        // But the garbler's total traffic grows with length.
+        assert!(long.garbler_sent > 4 * short.garbler_sent);
+    }
+}

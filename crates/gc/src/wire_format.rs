@@ -1,0 +1,214 @@
+//! Versioned binary wire format for garbled material.
+//!
+//! The host CPU persists pre-garbled jobs (§3's precompute store) and ships
+//! material to clients across real networks; both need a stable byte
+//! encoding. Frames are length-prefixed and carry a magic + version header
+//! so format evolution fails loudly instead of silently.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [ magic: 4B "MXGC" ][ version: u16 ][ kind: u16 ]
+//! [ table_count: u32 ][ tables: 32B each ]
+//! [ decode_count: u32 ][ decode bits packed LSB-first ]
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::engine::GarbledTable;
+use crate::garbler::Material;
+
+/// Format magic.
+pub const MAGIC: [u8; 4] = *b"MXGC";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const KIND_MATERIAL: u16 = 1;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Frame shorter than its header or payload declaration.
+    Truncated,
+    /// Magic bytes do not match.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Unknown frame kind.
+    BadKind(u16),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("frame truncated"),
+            DecodeError::BadMagic => f.write_str("bad magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes garbled material into one self-describing frame.
+pub fn encode_material(material: &Material) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        12 + material.tables.len() * 32 + 4 + material.output_decode.len().div_ceil(8),
+    );
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(KIND_MATERIAL);
+    buf.put_u32_le(material.tables.len() as u32);
+    for table in &material.tables {
+        buf.put_slice(&table.to_bytes());
+    }
+    buf.put_u32_le(material.output_decode.len() as u32);
+    let mut byte = 0u8;
+    for (i, &bit) in material.output_decode.iter().enumerate() {
+        byte |= (bit as u8) << (i % 8);
+        if i % 8 == 7 {
+            buf.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if material.output_decode.len() % 8 != 0 {
+        buf.put_u8(byte);
+    }
+    buf.freeze()
+}
+
+/// Decodes a material frame.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on any structural problem — the decoder never
+/// panics on attacker-controlled bytes.
+pub fn decode_material(mut frame: Bytes) -> Result<Material, DecodeError> {
+    if frame.remaining() < 12 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    frame.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = frame.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let kind = frame.get_u16_le();
+    if kind != KIND_MATERIAL {
+        return Err(DecodeError::BadKind(kind));
+    }
+    let table_count = frame.get_u32_le() as usize;
+    if frame.remaining() < table_count.saturating_mul(32) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        let mut bytes = [0u8; 32];
+        frame.copy_to_slice(&mut bytes);
+        tables.push(GarbledTable::from_bytes(bytes));
+    }
+    if frame.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let decode_count = frame.get_u32_le() as usize;
+    let decode_bytes = decode_count.div_ceil(8);
+    if frame.remaining() < decode_bytes {
+        return Err(DecodeError::Truncated);
+    }
+    let mut packed = vec![0u8; decode_bytes];
+    frame.copy_to_slice(&mut packed);
+    let output_decode = (0..decode_count)
+        .map(|i| (packed[i / 8] >> (i % 8)) & 1 == 1)
+        .collect();
+    Ok(Material {
+        tables,
+        output_decode,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use max_crypto::Block;
+
+    fn sample_material(tables: usize, outputs: usize) -> Material {
+        Material {
+            tables: (0..tables)
+                .map(|i| GarbledTable {
+                    tg: Block::new(i as u128),
+                    te: Block::new((i * 7 + 1) as u128),
+                })
+                .collect(),
+            output_decode: (0..outputs).map(|i| i % 3 == 0).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for (t, o) in [(0usize, 0usize), (1, 1), (5, 7), (100, 24), (3, 8)] {
+            let material = sample_material(t, o);
+            let frame = encode_material(&material);
+            let decoded = decode_material(frame).expect("round trip");
+            assert_eq!(decoded, material, "tables {t} outputs {o}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_material(&sample_material(1, 1)).to_vec();
+        bytes[0] ^= 0xff;
+        assert_eq!(
+            decode_material(Bytes::from(bytes)),
+            Err(DecodeError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = encode_material(&sample_material(1, 1)).to_vec();
+        bytes[4] = 0xfe;
+        assert!(matches!(
+            decode_material(Bytes::from(bytes)),
+            Err(DecodeError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let mut bytes = encode_material(&sample_material(1, 1)).to_vec();
+        bytes[6] = 0x77;
+        assert!(matches!(
+            decode_material(Bytes::from(bytes)),
+            Err(DecodeError::BadKind(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let full = encode_material(&sample_material(4, 9)).to_vec();
+        for len in 0..full.len() {
+            let cut = Bytes::from(full[..len].to_vec());
+            assert!(
+                decode_material(cut).is_err(),
+                "truncation at {len} accepted"
+            );
+        }
+        // And the full frame still decodes.
+        assert!(decode_material(Bytes::from(full)).is_ok());
+    }
+
+    #[test]
+    fn declared_count_larger_than_payload_is_error_not_panic() {
+        let mut bytes = encode_material(&sample_material(2, 2)).to_vec();
+        // Inflate the declared table count absurdly.
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_material(Bytes::from(bytes)),
+            Err(DecodeError::Truncated)
+        );
+    }
+}

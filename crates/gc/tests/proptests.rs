@@ -1,0 +1,127 @@
+//! Property tests: garbled evaluation must agree with plaintext evaluation
+//! on randomly generated circuits and inputs.
+
+use max_crypto::Block;
+use max_gc::{Evaluator, Garbler, PrgLabelSource};
+use max_netlist::{Builder, Netlist, WireId};
+use proptest::prelude::*;
+
+/// A recipe for one random gate.
+#[derive(Clone, Debug)]
+enum GateRecipe {
+    And(usize, usize),
+    Xor(usize, usize),
+    Not(usize),
+    Or(usize, usize),
+    Mux(usize, usize, usize),
+}
+
+fn gate_recipe() -> impl Strategy<Value = GateRecipe> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateRecipe::And(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateRecipe::Xor(a, b)),
+        any::<usize>().prop_map(GateRecipe::Not),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateRecipe::Or(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(s, t, e)| GateRecipe::Mux(s, t, e)),
+    ]
+}
+
+/// Builds a random netlist from recipes; every intermediate wire is kept as
+/// a candidate operand so deep structures arise naturally.
+fn build_random(
+    g_inputs: usize,
+    e_inputs: usize,
+    recipes: &[GateRecipe],
+    n_outputs: usize,
+) -> Netlist {
+    let mut b = Builder::new();
+    let mut pool: Vec<WireId> = Vec::new();
+    for _ in 0..g_inputs {
+        pool.push(b.garbler_input());
+    }
+    for _ in 0..e_inputs {
+        pool.push(b.evaluator_input());
+    }
+    for recipe in recipes {
+        let pick = |i: &usize| pool[i % pool.len()];
+        let w = match recipe {
+            GateRecipe::And(x, y) => {
+                let (x, y) = (pick(x), pick(y));
+                b.and(x, y)
+            }
+            GateRecipe::Xor(x, y) => {
+                let (x, y) = (pick(x), pick(y));
+                b.xor(x, y)
+            }
+            GateRecipe::Not(x) => {
+                let x = pick(x);
+                b.not(x)
+            }
+            GateRecipe::Or(x, y) => {
+                let (x, y) = (pick(x), pick(y));
+                b.or(x, y)
+            }
+            GateRecipe::Mux(s, t, e) => {
+                let (s, t, e) = (pick(s), pick(t), pick(e));
+                b.mux(s, t, e)
+            }
+        };
+        pool.push(w);
+    }
+    let outputs: Vec<WireId> = pool.iter().rev().take(n_outputs).copied().collect();
+    b.build(outputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn garbling_matches_plaintext(
+        g_inputs in 1usize..6,
+        e_inputs in 1usize..6,
+        recipes in prop::collection::vec(gate_recipe(), 1..60),
+        g_bits in prop::collection::vec(any::<bool>(), 6),
+        e_bits in prop::collection::vec(any::<bool>(), 6),
+        seed: u128,
+        tweak_base in 0u64..1 << 40,
+    ) {
+        let netlist = build_random(g_inputs, e_inputs, &recipes, 3);
+        prop_assert!(netlist.validate().is_ok());
+        let g_bits = &g_bits[..g_inputs];
+        let e_bits = &e_bits[..e_inputs];
+        let expected = netlist.evaluate(g_bits, e_bits);
+
+        let mut labels = PrgLabelSource::new(Block::new(seed));
+        let mut garbler = Garbler::new(&mut labels);
+        let garbled = garbler.garble(&netlist, tweak_base);
+        let g_labels = garbled.encode_garbler_inputs(g_bits);
+        let e_labels = garbled.encode_evaluator_inputs(e_bits);
+        let out = Evaluator::new().evaluate(
+            &netlist, garbled.material(), &g_labels, &e_labels, tweak_base,
+        );
+        prop_assert_eq!(garbled.decode_outputs(&out), expected);
+    }
+
+    #[test]
+    fn output_labels_are_always_one_of_the_pair(
+        recipes in prop::collection::vec(gate_recipe(), 1..40),
+        g_bits in prop::collection::vec(any::<bool>(), 4),
+        e_bits in prop::collection::vec(any::<bool>(), 4),
+        seed: u128,
+    ) {
+        let netlist = build_random(4, 4, &recipes, 2);
+        let mut labels = PrgLabelSource::new(Block::new(seed));
+        let mut garbler = Garbler::new(&mut labels);
+        let garbled = garbler.garble(&netlist, 0);
+        let g_labels = garbled.encode_garbler_inputs(&g_bits[..4]);
+        let e_labels = garbled.encode_evaluator_inputs(&e_bits[..4]);
+        let out = Evaluator::new().evaluate(&netlist, garbled.material(), &g_labels, &e_labels, 0);
+        // Authenticity of honest evaluation: each active output label is
+        // exactly the zero- or one-label of its wire.
+        for (active, zero) in out.iter().zip(garbled.output_zero_labels()) {
+            let one = garbled.delta().one_label(zero);
+            prop_assert!(*active == zero || *active == one);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Convolution lowered to matrix multiplication (§2.1: "Common DL
+//! computations including the convolutional layers can be effectively
+//! represented as matrix multiplication as shown in \[10, 18\]").
+//!
+//! The lowering is the standard **im2col**: every sliding window becomes a
+//! column; the kernels become a `[out_channels × in_channels·k²]` matrix;
+//! the convolution is then exactly the `W·X` product MAXelerator
+//! accelerates. [`Conv2d::forward`] (direct) and the im2col path are tested
+//! equal, and the secure path reuses `maxelerator::secure_matmul`.
+
+use max_fixed::FixedFormat;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A 2-D image stack: `[channels][height][width]`.
+pub type Tensor3 = Vec<Vec<Vec<f64>>>;
+
+/// A 2-D convolution layer with square kernels, stride 1, no padding.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Kernels `[out_channel][in_channel][k][k]`.
+    pub kernels: Vec<Vec<Vec<Vec<f64>>>>,
+}
+
+impl Conv2d {
+    /// Random small-weight layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new_random(out_channels: usize, in_channels: usize, k: usize, seed: u64) -> Self {
+        assert!(out_channels > 0 && in_channels > 0 && k > 0, "empty layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Conv2d {
+            kernels: (0..out_channels)
+                .map(|_| {
+                    (0..in_channels)
+                        .map(|_| {
+                            (0..k)
+                                .map(|_| (0..k).map(|_| rng.random_range(-0.5..0.5)).collect())
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Kernel size `k`.
+    pub fn kernel_size(&self) -> usize {
+        self.kernels[0][0].len()
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.kernels[0].len()
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Direct (sliding-window) convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the kernel or channel counts
+    /// mismatch.
+    pub fn forward(&self, input: &Tensor3) -> Tensor3 {
+        assert_eq!(input.len(), self.in_channels(), "channel mismatch");
+        let k = self.kernel_size();
+        let h = input[0].len();
+        let w = input[0][0].len();
+        assert!(h >= k && w >= k, "input smaller than kernel");
+        let oh = h - k + 1;
+        let ow = w - k + 1;
+        self.kernels
+            .iter()
+            .map(|kernel| {
+                (0..oh)
+                    .map(|y| {
+                        (0..ow)
+                            .map(|x| {
+                                let mut acc = 0.0;
+                                for (c, plane) in kernel.iter().enumerate() {
+                                    for (dy, row) in plane.iter().enumerate() {
+                                        for (dx, &wgt) in row.iter().enumerate() {
+                                            acc += wgt * input[c][y + dy][x + dx];
+                                        }
+                                    }
+                                }
+                                acc
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The kernel matrix of the im2col lowering:
+    /// `[out_channels][in_channels·k²]`, window order channel-major then
+    /// row-major.
+    pub fn kernel_matrix(&self) -> Vec<Vec<f64>> {
+        self.kernels
+            .iter()
+            .map(|kernel| {
+                kernel
+                    .iter()
+                    .flat_map(|plane| plane.iter().flatten().copied())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// MACs of one forward pass on an `h × w` input.
+    pub fn mac_count(&self, h: usize, w: usize) -> u64 {
+        let k = self.kernel_size();
+        let oh = h - k + 1;
+        let ow = w - k + 1;
+        (self.out_channels() * oh * ow * self.in_channels() * k * k) as u64
+    }
+}
+
+/// im2col: each output position's receptive field becomes one column
+/// (`[positions][in_channels·k²]`, transposed for column-wise consumption).
+///
+/// # Panics
+///
+/// Panics if the input is smaller than the kernel.
+pub fn im2col(input: &Tensor3, k: usize) -> Vec<Vec<f64>> {
+    let h = input[0].len();
+    let w = input[0][0].len();
+    assert!(h >= k && w >= k, "input smaller than kernel");
+    let oh = h - k + 1;
+    let ow = w - k + 1;
+    let mut columns = Vec::with_capacity(oh * ow);
+    for y in 0..oh {
+        for x in 0..ow {
+            let mut column = Vec::with_capacity(input.len() * k * k);
+            for plane in input {
+                for dy in 0..k {
+                    for dx in 0..k {
+                        column.push(plane[y + dy][x + dx]);
+                    }
+                }
+            }
+            columns.push(column);
+        }
+    }
+    columns
+}
+
+/// Convolution through the lowering: `kernel_matrix · im2col(input)`,
+/// reshaped back to `[out][oh][ow]`.
+pub fn forward_im2col(layer: &Conv2d, input: &Tensor3) -> Tensor3 {
+    let k = layer.kernel_size();
+    let h = input[0].len();
+    let w = input[0][0].len();
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    let kernel = layer.kernel_matrix();
+    let columns = im2col(input, k);
+    layer
+        .kernels
+        .iter()
+        .enumerate()
+        .map(|(o, _)| {
+            (0..oh)
+                .map(|y| {
+                    (0..ow)
+                        .map(|x| {
+                            let column = &columns[y * ow + x];
+                            kernel[o].iter().zip(column).map(|(a, b)| a * b).sum()
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Quantizes the im2col operands for the secure path: returns the kernel
+/// matrix rows and the input columns as raw fixed-point integers.
+pub fn quantize_for_secure(
+    layer: &Conv2d,
+    input: &Tensor3,
+    format: FixedFormat,
+) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+    let kernel = layer
+        .kernel_matrix()
+        .iter()
+        .map(|row| row.iter().map(|&v| format.quantize(v)).collect())
+        .collect();
+    let columns = im2col(input, layer.kernel_size())
+        .iter()
+        .map(|col| col.iter().map(|&v| format.quantize(v)).collect())
+        .collect();
+    (kernel, columns)
+}
+
+/// Random input tensor.
+pub fn random_input(channels: usize, h: usize, w: usize, seed: u64) -> Tensor3 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..channels)
+        .map(|_| {
+            (0..h)
+                .map(|_| (0..w).map(|_| rng.random_range(-1.0..1.0)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_and_im2col_agree() {
+        for seed in 0..4 {
+            let layer = Conv2d::new_random(3, 2, 3, seed);
+            let input = random_input(2, 6, 7, seed + 100);
+            let direct = layer.forward(&input);
+            let lowered = forward_im2col(&layer, &input);
+            for (dp, lp) in direct.iter().zip(&lowered) {
+                for (dr, lr) in dp.iter().zip(lp) {
+                    for (d, l) in dr.iter().zip(lr) {
+                        assert!((d - l).abs() < 1e-9, "{d} vs {l}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_dimensions() {
+        let layer = Conv2d::new_random(4, 1, 3, 1);
+        let input = random_input(1, 8, 10, 2);
+        let out = layer.forward(&input);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].len(), 6);
+        assert_eq!(out[0][0].len(), 8);
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1×1 kernel with weight 1 copies the input.
+        let layer = Conv2d {
+            kernels: vec![vec![vec![vec![1.0]]]],
+        };
+        let input = random_input(1, 3, 3, 5);
+        assert_eq!(layer.forward(&input), input);
+    }
+
+    #[test]
+    fn mac_count_matches_loops() {
+        let layer = Conv2d::new_random(2, 3, 3, 7);
+        // 2 out × (4·5 positions) × 3 in × 9 taps.
+        assert_eq!(layer.mac_count(6, 7), 2 * 20 * 3 * 9);
+    }
+
+    #[test]
+    fn im2col_shapes() {
+        let input = random_input(2, 5, 5, 9);
+        let cols = im2col(&input, 3);
+        assert_eq!(cols.len(), 9); // 3×3 output positions
+        assert_eq!(cols[0].len(), 2 * 9);
+    }
+
+    #[test]
+    fn quantized_operands_match_shapes() {
+        let layer = Conv2d::new_random(2, 1, 2, 3);
+        let input = random_input(1, 4, 4, 4);
+        let (kernel, cols) = quantize_for_secure(&layer, &input, FixedFormat::new(16, 8));
+        assert_eq!(kernel.len(), 2);
+        assert_eq!(kernel[0].len(), 4);
+        assert_eq!(cols.len(), 9);
+        assert_eq!(cols[0].len(), 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Kernel-based iterative solver (§2.1, Eq. 1–2): the gradient iteration
+//! `x ← x − µ(AᵀA x − Aᵀ y)` whose matrix products motivate the
+//! accelerator.
+
+use serde::{Deserialize, Serialize};
+
+/// Iterative least-squares solver for `A x = y` by gradient descent.
+#[derive(Clone, Debug)]
+pub struct KernelSolver {
+    /// Learning rate µ.
+    pub learning_rate: f64,
+}
+
+/// Result of a solve.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// The recovered vector.
+    pub x: Vec<f64>,
+    /// Residual norm ‖Ax − y‖ at exit.
+    pub residual: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl KernelSolver {
+    /// Creates a solver; a safe µ is below `2/λ_max(AᵀA)`.
+    pub fn new(learning_rate: f64) -> Self {
+        KernelSolver { learning_rate }
+    }
+
+    /// Runs Eq. (2) until the residual drops below `tolerance` or
+    /// `max_iterations` pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn solve(
+        &self,
+        a: &[Vec<f64>],
+        y: &[f64],
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> SolveResult {
+        let n = a.len();
+        assert!(n > 0, "empty system");
+        let d = a[0].len();
+        assert_eq!(y.len(), n, "rhs length mismatch");
+        let mut x = vec![0.0; d];
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        while iterations < max_iterations {
+            // r = A x − y, gradient = Aᵀ r.
+            let r: Vec<f64> = a
+                .iter()
+                .zip(y)
+                .map(|(row, &yi)| {
+                    assert_eq!(row.len(), d, "ragged matrix");
+                    row.iter().zip(&x).map(|(p, q)| p * q).sum::<f64>() - yi
+                })
+                .collect();
+            residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if residual < tolerance {
+                break;
+            }
+            for j in 0..d {
+                let grad: f64 = a.iter().zip(&r).map(|(row, &ri)| row[j] * ri).sum();
+                x[j] -= self.learning_rate * grad;
+            }
+            iterations += 1;
+        }
+        SolveResult {
+            x,
+            residual,
+            iterations,
+        }
+    }
+
+    /// MACs per iteration: `A x` costs `n·d`, `Aᵀ r` costs `n·d`.
+    pub fn macs_per_iteration(&self, n: usize, d: usize) -> u64 {
+        2 * (n * d) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_well_conditioned_system() {
+        let a = vec![
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 1.5, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.1, 0.1, 0.1],
+        ];
+        let truth = [1.0, -2.0, 3.0];
+        let y: Vec<f64> = a
+            .iter()
+            .map(|row| row.iter().zip(&truth).map(|(p, q)| p * q).sum())
+            .collect();
+        let result = KernelSolver::new(0.2).solve(&a, &y, 2000, 1e-9);
+        for (got, want) in result.x.iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        assert!(result.residual < 1e-9);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let a = vec![vec![1.0]];
+        let y = vec![5.0];
+        let result = KernelSolver::new(0.01).solve(&a, &y, 3, 0.0);
+        assert_eq!(result.iterations, 3);
+    }
+
+    #[test]
+    fn mac_count() {
+        assert_eq!(KernelSolver::new(0.1).macs_per_iteration(100, 10), 2000);
+    }
+}

@@ -1,0 +1,434 @@
+//! Deep-learning inference (§2.1 "Deep learning algorithms"): dense layers
+//! are matrix multiplications interleaved with non-linearities, and the
+//! privacy-sensitive part is exactly the MAC work MAXelerator accelerates.
+//!
+//! Two secure execution strategies, both implemented:
+//!
+//! 1. **Monolithic GC** ([`Mlp::build_inference_netlist`]): the whole
+//!    network — every layer's MACs *and* the ReLUs — compiled into one
+//!    netlist and garbled in one shot. Fully private (no intermediate
+//!    activation is ever decoded); this is what generic GC frameworks do.
+//! 2. **Accelerated hybrid** (see `examples/private_inference.rs`): the MAC
+//!    layers run on the accelerator as secure matvecs and only the cheap
+//!    non-linearities run in software GC — the deployment §6 argues for.
+//!
+//! The cost model [`InferenceCost`] quantifies why: MACs dominate the gate
+//! count at ratios that grow with layer width.
+
+use max_fixed::FixedFormat;
+use max_netlist::{encode_signed, Builder, Bus, MultiplierKind, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense layer: `y = W·x + b`, followed by ReLU unless it is the output
+/// layer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Row-major weights `[out][in]`.
+    pub weights: Vec<Vec<f64>>,
+    /// Bias per output.
+    pub bias: Vec<f64>,
+}
+
+impl DenseLayer {
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.weights[0].len()
+    }
+}
+
+/// A multilayer perceptron with ReLU hidden activations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+/// Gate-level cost of one secure inference.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceCost {
+    /// Multiply-accumulate operations (the accelerator's work).
+    pub macs: u64,
+    /// ReLU activations (software-GC work in the hybrid).
+    pub relus: u64,
+}
+
+impl Mlp {
+    /// Builds an MLP from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layers are empty or dimensions do not chain.
+    pub fn new(layers: Vec<DenseLayer>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].outputs(),
+                pair[1].inputs(),
+                "layer dimensions must chain"
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// Random small-weight MLP with the given widths, e.g. `[8, 6, 3]` for
+    /// 8 inputs, one 6-unit hidden layer, 3 outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new_random(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| DenseLayer {
+                weights: (0..w[1])
+                    .map(|_| (0..w[0]).map(|_| rng.random_range(-0.5..0.5)).collect())
+                    .collect(),
+                bias: (0..w[1]).map(|_| rng.random_range(-0.2..0.2)).collect(),
+            })
+            .collect();
+        Mlp::new(layers)
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    /// Plaintext `f64` forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` width mismatches.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.inputs(), "input width mismatch");
+        let mut activation = x.to_vec();
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let mut next: Vec<f64> = layer
+                .weights
+                .iter()
+                .zip(&layer.bias)
+                .map(|(row, b)| {
+                    row.iter().zip(&activation).map(|(w, a)| w * a).sum::<f64>() + b
+                })
+                .collect();
+            if idx + 1 < self.layers.len() {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            activation = next;
+        }
+        activation
+    }
+
+    /// Fixed-point reference forward pass with the same truncation schedule
+    /// the secure netlist uses (products re-truncated to `format` after each
+    /// hidden layer). This is the value the garbled circuit must reproduce
+    /// *bit-exactly*.
+    pub fn forward_fixed(&self, x: &[f64], format: FixedFormat) -> Vec<i64> {
+        let f = format.frac_bits;
+        let mut activation: Vec<i64> = x.iter().map(|&v| format.quantize(v)).collect();
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let mut next: Vec<i64> = layer
+                .weights
+                .iter()
+                .zip(&layer.bias)
+                .map(|(row, b)| {
+                    let acc: i64 = row
+                        .iter()
+                        .zip(&activation)
+                        .map(|(w, a)| format.quantize(*w) * a)
+                        .sum();
+                    // Bias carries 2f fractional bits to match the products.
+                    acc + ((format.quantize(*b)) << f)
+                })
+                .collect();
+            if idx + 1 < self.layers.len() {
+                for v in &mut next {
+                    *v = (*v).max(0) >> f; // ReLU then re-truncate to f fracs
+                }
+            }
+            activation = next;
+        }
+        activation
+    }
+
+    /// Gate-level cost of one inference.
+    pub fn inference_cost(&self) -> InferenceCost {
+        let mut cost = InferenceCost::default();
+        for (idx, layer) in self.layers.iter().enumerate() {
+            cost.macs += (layer.outputs() * layer.inputs()) as u64;
+            if idx + 1 < self.layers.len() {
+                cost.relus += layer.outputs() as u64;
+            }
+        }
+        cost
+    }
+
+    /// Compiles the whole inference into one netlist: weights and biases as
+    /// garbler inputs, `x` as evaluator input, outputs the final
+    /// accumulators (carrying `2·frac` fractional bits).
+    ///
+    /// Layer accumulators are sized `2·bit_width + ⌈log₂(fan_in)⌉ + 1` so no
+    /// intermediate overflows; hidden activations are re-truncated to
+    /// `bit_width` after ReLU.
+    ///
+    /// Returns the netlist and the packed garbler input bits for this
+    /// model's weights ([`Mlp::garbler_bits`] recomputes them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quantized weight/bias/activation exceeds its width.
+    pub fn build_inference_netlist(&self, format: FixedFormat) -> MlpCircuit {
+        let b = format.total_bits as usize;
+        let f = format.frac_bits as usize;
+        let mut builder = Builder::new();
+
+        // Declare garbler inputs layer by layer (weights then bias).
+        let mut weight_buses: Vec<Vec<Vec<Bus>>> = Vec::new();
+        let mut bias_buses: Vec<Vec<Bus>> = Vec::new();
+        let mut acc_widths = Vec::new();
+        for layer in &self.layers {
+            let fan_in = layer.inputs();
+            let acc_width = 2 * b + (fan_in as f64).log2().ceil() as usize + 1;
+            acc_widths.push(acc_width);
+            weight_buses.push(
+                layer
+                    .weights
+                    .iter()
+                    .map(|row| row.iter().map(|_| builder.garbler_input_bus(b)).collect())
+                    .collect(),
+            );
+            bias_buses.push(
+                layer
+                    .bias
+                    .iter()
+                    .map(|_| builder.garbler_input_bus(acc_width))
+                    .collect(),
+            );
+        }
+        let x_bus: Vec<Bus> = (0..self.inputs())
+            .map(|_| builder.evaluator_input_bus(b))
+            .collect();
+
+        // Forward pass.
+        let mut activation = x_bus;
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let acc_width = acc_widths[idx];
+            let mut next = Vec::with_capacity(layer.outputs());
+            for (j, _) in layer.weights.iter().enumerate() {
+                let mut acc = builder.sign_extend(&bias_buses[idx][j], acc_width);
+                for (k, a) in activation.iter().enumerate() {
+                    // Signed multiply via magnitude decomposition (same
+                    // structure as the MAC unit).
+                    let w = &weight_buses[idx][j][k];
+                    let sign_w = w.msb();
+                    let sign_a = a.msb();
+                    let mag_w = builder.cond_negate(sign_w, w);
+                    let mag_a = builder.cond_negate(sign_a, a);
+                    let prod = builder.mul(MultiplierKind::Tree, &mag_w, &mag_a);
+                    let sign_p = builder.xor(sign_w, sign_a);
+                    let sprod = builder.cond_negate(sign_p, &prod);
+                    let ext = builder.sign_extend(&sprod, acc_width);
+                    acc = builder.add_wrap(&acc, &ext);
+                }
+                next.push(acc);
+            }
+            if idx + 1 < self.layers.len() {
+                // ReLU then truncate back to b bits with f fractional bits:
+                // keep bits [f, f + b).
+                activation = next
+                    .into_iter()
+                    .map(|acc| {
+                        let relu = builder.relu(&acc);
+                        Bus::new(relu.wires()[f..f + b].to_vec())
+                    })
+                    .collect();
+            } else {
+                activation = next;
+            }
+        }
+
+        let outputs: Vec<_> = activation
+            .iter()
+            .flat_map(|bus| bus.wires().iter().copied())
+            .collect();
+        let netlist = builder.build(outputs);
+        MlpCircuit {
+            netlist,
+            format,
+            acc_widths,
+            output_count: self.outputs(),
+        }
+    }
+
+    /// Packs the model parameters into the garbler input bit order of
+    /// [`Mlp::build_inference_netlist`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a quantized parameter does not fit its width.
+    pub fn garbler_bits(&self, circuit: &MlpCircuit) -> Vec<bool> {
+        let format = circuit.format;
+        let b = format.total_bits as usize;
+        let f = format.frac_bits;
+        let mut bits = Vec::new();
+        for (layer, &acc_width) in self.layers.iter().zip(&circuit.acc_widths) {
+            for row in &layer.weights {
+                for &w in row {
+                    bits.extend(encode_signed(format.quantize(w), b));
+                }
+            }
+            for &bias in &layer.bias {
+                bits.extend(encode_signed(format.quantize(bias) << f, acc_width));
+            }
+        }
+        bits
+    }
+
+    /// Packs a client input vector into the evaluator input bit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or out-of-range values.
+    pub fn evaluator_bits(&self, circuit: &MlpCircuit, x: &[f64]) -> Vec<bool> {
+        assert_eq!(x.len(), self.inputs(), "input width mismatch");
+        let b = circuit.format.total_bits as usize;
+        x.iter()
+            .flat_map(|&v| encode_signed(circuit.format.quantize(v), b))
+            .collect()
+    }
+}
+
+/// A compiled MLP inference circuit.
+#[derive(Clone, Debug)]
+pub struct MlpCircuit {
+    /// The netlist (weights+biases garbler-side, `x` evaluator-side).
+    pub netlist: Netlist,
+    /// The fixed-point format.
+    pub format: FixedFormat,
+    /// Per-layer accumulator widths.
+    pub acc_widths: Vec<usize>,
+    /// Number of output neurons.
+    pub output_count: usize,
+}
+
+impl MlpCircuit {
+    /// Splits flattened output bits back into per-neuron raw values
+    /// (carrying `2·frac` fractional bits).
+    pub fn decode_outputs(&self, bits: &[bool]) -> Vec<i64> {
+        let width = self.acc_widths.last().expect("layers exist");
+        bits.chunks(*width)
+            .map(max_netlist::decode_signed)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plaintext_forward_applies_relu_between_layers() {
+        let mlp = Mlp::new(vec![
+            DenseLayer {
+                weights: vec![vec![1.0], vec![-1.0]],
+                bias: vec![0.0, 0.0],
+            },
+            DenseLayer {
+                weights: vec![vec![1.0, 1.0]],
+                bias: vec![0.0],
+            },
+        ]);
+        // x = 2: hidden = relu([2, -2]) = [2, 0]; out = 2.
+        assert_eq!(mlp.forward(&[2.0]), vec![2.0]);
+        // x = -3: hidden = relu([-3, 3]) = [0, 3]; out = 3.
+        assert_eq!(mlp.forward(&[-3.0]), vec![3.0]);
+    }
+
+    #[test]
+    fn circuit_matches_fixed_point_reference() {
+        let format = FixedFormat::new(10, 4);
+        let mlp = Mlp::new_random(&[4, 3, 2], 77);
+        let circuit = mlp.build_inference_netlist(format);
+        for x in [
+            vec![0.5, -0.25, 1.0, -1.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.5, 1.5, -1.5, 0.25],
+        ] {
+            let got_bits = circuit.netlist.evaluate(
+                &mlp.garbler_bits(&circuit),
+                &mlp.evaluator_bits(&circuit, &x),
+            );
+            let got = circuit.decode_outputs(&got_bits);
+            let want = mlp.forward_fixed(&x, format);
+            assert_eq!(got, want, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_tracks_f64_within_quantization() {
+        let format = FixedFormat::new(14, 6);
+        let mlp = Mlp::new_random(&[5, 4, 2], 9);
+        let x = vec![0.3, -0.8, 0.5, 0.9, -0.1];
+        let fixed = mlp.forward_fixed(&x, format);
+        let float = mlp.forward(&x);
+        for (fx, fl) in fixed.iter().zip(&float) {
+            let dequant = *fx as f64 * format.step() * format.step();
+            assert!((dequant - fl).abs() < 0.15, "{dequant} vs {fl}");
+        }
+    }
+
+    #[test]
+    fn inference_cost_counts() {
+        let mlp = Mlp::new_random(&[8, 6, 3], 1);
+        let cost = mlp.inference_cost();
+        assert_eq!(cost.macs, 8 * 6 + 6 * 3);
+        assert_eq!(cost.relus, 6);
+    }
+
+    #[test]
+    fn circuit_gate_count_is_mac_dominated() {
+        let format = FixedFormat::new(8, 3);
+        let mlp = Mlp::new_random(&[4, 4, 2], 3);
+        let circuit = mlp.build_inference_netlist(format);
+        let ands = circuit.netlist.stats().and_gates;
+        // ReLUs cost ~acc_width ANDs each; MACs cost hundreds. The MAC share
+        // must dominate — the paper's premise.
+        let relu_ands = 6 * (2 * 8 + 3 + 1);
+        assert!(ands > 5 * relu_ands, "ands {ands} vs relu {relu_ands}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must chain")]
+    fn mismatched_layers_rejected() {
+        Mlp::new(vec![
+            DenseLayer {
+                weights: vec![vec![1.0, 2.0]],
+                bias: vec![0.0],
+            },
+            DenseLayer {
+                weights: vec![vec![1.0, 1.0]],
+                bias: vec![0.0],
+            },
+        ]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Integer ⇄ bit-vector encodings (little-endian, two's complement).
+
+/// Encodes `value` as `width` bits, LSB first.
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `width` unsigned bits.
+pub fn encode_unsigned(value: u64, width: usize) -> Vec<bool> {
+    assert!(
+        unsigned_fits(value, width),
+        "{value} does not fit in {width} unsigned bits"
+    );
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Encodes `value` as `width` two's-complement bits, LSB first.
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `width` signed bits.
+pub fn encode_signed(value: i64, width: usize) -> Vec<bool> {
+    assert!(
+        signed_fits(value, width),
+        "{value} does not fit in {width} signed bits"
+    );
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Decodes LSB-first bits as an unsigned integer.
+///
+/// # Panics
+///
+/// Panics if more than 64 bits are supplied.
+pub fn decode_unsigned(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "too many bits for u64");
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (b as u64) << i)
+}
+
+/// Decodes LSB-first bits as a two's-complement signed integer.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or longer than 64 bits.
+pub fn decode_signed(bits: &[bool]) -> i64 {
+    assert!(!bits.is_empty(), "cannot decode an empty bit vector");
+    assert!(bits.len() <= 64, "too many bits for i64");
+    let raw = decode_unsigned(bits);
+    let width = bits.len();
+    if width == 64 {
+        return raw as i64;
+    }
+    if bits[width - 1] {
+        // Sign-extend.
+        (raw | !((1u64 << width) - 1)) as i64
+    } else {
+        raw as i64
+    }
+}
+
+/// True when `value` fits in `width` unsigned bits.
+pub fn unsigned_fits(value: u64, width: usize) -> bool {
+    width >= 64 || value < (1u64 << width)
+}
+
+/// True when `value` fits in `width` two's-complement bits.
+pub fn signed_fits(value: i64, width: usize) -> bool {
+    if width == 0 {
+        return false;
+    }
+    if width >= 64 {
+        return true;
+    }
+    let bound = 1i64 << (width - 1);
+    (-bound..bound).contains(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_round_trip() {
+        for value in [0u64, 1, 2, 127, 128, 255] {
+            assert_eq!(decode_unsigned(&encode_unsigned(value, 8)), value);
+        }
+        assert_eq!(decode_unsigned(&encode_unsigned(u64::MAX, 64)), u64::MAX);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for value in [-128i64, -1, 0, 1, 127] {
+            assert_eq!(decode_signed(&encode_signed(value, 8)), value);
+        }
+        assert_eq!(decode_signed(&encode_signed(i64::MIN, 64)), i64::MIN);
+    }
+
+    #[test]
+    fn signed_decoding_sign_extends() {
+        // 0b1111 as 4-bit two's complement = -1.
+        assert_eq!(decode_signed(&[true, true, true, true]), -1);
+        // 0b1000 = -8.
+        assert_eq!(decode_signed(&[false, false, false, true]), -8);
+    }
+
+    #[test]
+    fn lsb_first_ordering() {
+        assert_eq!(encode_unsigned(1, 3), vec![true, false, false]);
+        assert_eq!(encode_unsigned(4, 3), vec![false, false, true]);
+    }
+
+    #[test]
+    fn fits_predicates() {
+        assert!(unsigned_fits(255, 8));
+        assert!(!unsigned_fits(256, 8));
+        assert!(signed_fits(-128, 8));
+        assert!(!signed_fits(128, 8));
+        assert!(signed_fits(127, 8));
+        assert!(!signed_fits(-129, 8));
+        assert!(!signed_fits(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn encode_unsigned_rejects_overflow() {
+        encode_unsigned(256, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn encode_signed_rejects_overflow() {
+        encode_signed(128, 8);
+    }
+}

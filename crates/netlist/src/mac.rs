@@ -1,0 +1,308 @@
+//! The MAC (multiply-accumulate) unit — MAXelerator's entire datapath.
+//!
+//! One MAC round computes `acc' = acc + a·x` where `a` is the garbler's
+//! (server's) matrix element, `x` the evaluator's (client's) vector element,
+//! and `acc` the running accumulator carried between sequential-GC rounds.
+//!
+//! Signed inputs follow §4.3 of the paper: "two multiplexer-2's complement
+//! pairs are placed at both input and output of the multiplier" — the
+//! magnitudes are multiplied by the unsigned tree and the product is
+//! conditionally negated when the input signs differ.
+
+use crate::builder::Builder;
+use crate::ir::Netlist;
+use crate::mult::MultiplierKind;
+
+/// Signedness of the MAC operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Operands are unsigned integers.
+    Unsigned,
+    /// Operands are two's-complement signed (fixed-point) values.
+    Signed,
+}
+
+/// Wire-index ranges of the MAC netlist's ports, for wiring the sequential
+/// GC outer loop.
+///
+/// All ranges are positional indices into the corresponding input/output
+/// lists of the [`Netlist`], not raw wire ids:
+/// * `a` — garbler inputs `0..bit_width`,
+/// * `acc_in` — garbler inputs `bit_width..bit_width+acc_width` **in round
+///   zero only**; in later rounds the sequential garbler feeds the previous
+///   round's `acc_out` labels straight through,
+/// * `x` — evaluator inputs `0..bit_width`,
+/// * `acc_out` — all `acc_width` outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MacPorts {
+    /// Operand bit-width `b`.
+    pub bit_width: usize,
+    /// Accumulator width.
+    pub acc_width: usize,
+    /// Number of garbler input bits (`a` then `acc_in`).
+    pub garbler_bits: usize,
+    /// Number of evaluator input bits (`x`).
+    pub evaluator_bits: usize,
+}
+
+/// A MAC netlist plus its port map.
+///
+/// # Example
+///
+/// ```
+/// use max_netlist::{MacCircuit, MultiplierKind, Sign};
+///
+/// let mac = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
+/// // acc' = -3 + (-5 · 7)
+/// let out = mac.evaluate_signed(-5, -3, 7);
+/// assert_eq!(out, -38);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MacCircuit {
+    netlist: Netlist,
+    ports: MacPorts,
+    sign: Sign,
+}
+
+impl MacCircuit {
+    /// Builds a MAC circuit with operand width `bit_width` and accumulator
+    /// width `acc_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_width == 0` or `acc_width < 2 * bit_width`.
+    pub fn build(
+        bit_width: usize,
+        acc_width: usize,
+        sign: Sign,
+        multiplier: MultiplierKind,
+    ) -> Self {
+        assert!(bit_width > 0, "bit width must be positive");
+        assert!(
+            acc_width >= 2 * bit_width,
+            "accumulator must hold a full product: acc_width {acc_width} < 2*{bit_width}"
+        );
+        let mut b = Builder::new();
+        let a = b.garbler_input_bus(bit_width);
+        let acc_in = b.garbler_input_bus(acc_width);
+        let x = b.evaluator_input_bus(bit_width);
+
+        let product = match sign {
+            Sign::Unsigned => {
+                let prod = b.mul(multiplier, &a, &x);
+                b.zero_extend(&prod, acc_width)
+            }
+            Sign::Signed => {
+                // Input mux-2's-complement pairs.
+                let sign_a = a.msb();
+                let sign_x = x.msb();
+                let mag_a = b.cond_negate(sign_a, &a);
+                let mag_x = b.cond_negate(sign_x, &x);
+                // |a| ≤ 2^(b-1) fits unsigned in b bits, so the unsigned
+                // tree is exact.
+                let prod = b.mul(multiplier, &mag_a, &mag_x);
+                // Output pair: negate when signs differ.
+                let sign_p = b.xor(sign_a, sign_x);
+                let signed_prod = b.cond_negate(sign_p, &prod);
+                b.sign_extend(&signed_prod, acc_width)
+            }
+        };
+        let acc_out = b.add_wrap(&acc_in, &product);
+        let netlist = b.build(acc_out.wires().to_vec());
+        let ports = MacPorts {
+            bit_width,
+            acc_width,
+            garbler_bits: bit_width + acc_width,
+            evaluator_bits: bit_width,
+        };
+        MacCircuit {
+            netlist,
+            ports,
+            sign,
+        }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The port map.
+    pub fn ports(&self) -> &MacPorts {
+        &self.ports
+    }
+
+    /// Signedness the circuit was built for.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Packs plaintext garbler inputs (`a`, `acc`) into the input bit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the values do not fit the configured widths.
+    pub fn garbler_bits(&self, a: i64, acc: i64) -> Vec<bool> {
+        let mut bits = match self.sign {
+            Sign::Signed => crate::encoding::encode_signed(a, self.ports.bit_width),
+            Sign::Unsigned => crate::encoding::encode_unsigned(a as u64, self.ports.bit_width),
+        };
+        bits.extend(match self.sign {
+            Sign::Signed => crate::encoding::encode_signed(acc, self.ports.acc_width),
+            Sign::Unsigned => crate::encoding::encode_unsigned(acc as u64, self.ports.acc_width),
+        });
+        bits
+    }
+
+    /// Packs the plaintext evaluator input `x` into the input bit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not fit the configured width.
+    pub fn evaluator_bits(&self, x: i64) -> Vec<bool> {
+        match self.sign {
+            Sign::Signed => crate::encoding::encode_signed(x, self.ports.bit_width),
+            Sign::Unsigned => crate::encoding::encode_unsigned(x as u64, self.ports.bit_width),
+        }
+    }
+
+    /// Plaintext reference: `acc + a·x` for signed circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is unsigned or inputs do not fit.
+    pub fn evaluate_signed(&self, a: i64, acc: i64, x: i64) -> i64 {
+        assert_eq!(self.sign, Sign::Signed, "circuit is unsigned");
+        let out = self
+            .netlist
+            .evaluate(&self.garbler_bits(a, acc), &self.evaluator_bits(x));
+        crate::encoding::decode_signed(&out)
+    }
+
+    /// Plaintext reference: `acc + a·x` for unsigned circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is signed or inputs do not fit.
+    pub fn evaluate_unsigned(&self, a: u64, acc: u64, x: u64) -> u64 {
+        assert_eq!(self.sign, Sign::Unsigned, "circuit is signed");
+        let out = self
+            .netlist
+            .evaluate(&self.garbler_bits(a as i64, acc as i64), &self.evaluator_bits(x as i64));
+        crate::encoding::decode_unsigned(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_mac_small_exhaustive() {
+        let mac = MacCircuit::build(4, 8, Sign::Unsigned, MultiplierKind::Tree);
+        for a in 0..16u64 {
+            for x in 0..16u64 {
+                for acc in [0u64, 1, 15, 30] {
+                    assert_eq!(
+                        mac.evaluate_unsigned(a, acc, x),
+                        (acc + a * x) % 256,
+                        "a={a} x={x} acc={acc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_mac_corners() {
+        let mac = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
+        for (a, x, acc) in [
+            (0i64, 0i64, 0i64),
+            (-128, -128, 0),
+            (-128, 127, 1000),
+            (127, 127, -1000),
+            (-1, 1, 0),
+            (1, -1, -1),
+            (-128, 0, 5),
+            (0, -128, -5),
+        ] {
+            assert_eq!(mac.evaluate_signed(a, acc, x), acc + a * x, "a={a} x={x}");
+        }
+    }
+
+    #[test]
+    fn signed_mac_small_exhaustive() {
+        let mac = MacCircuit::build(3, 8, Sign::Signed, MultiplierKind::Tree);
+        for a in -4i64..4 {
+            for x in -4i64..4 {
+                for acc in [-20i64, -1, 0, 1, 20] {
+                    assert_eq!(
+                        mac.evaluate_signed(a, acc, x),
+                        acc + a * x,
+                        "a={a} x={x} acc={acc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_tree_macs_agree() {
+        let tree = MacCircuit::build(8, 16, Sign::Signed, MultiplierKind::Tree);
+        let serial = MacCircuit::build(8, 16, Sign::Signed, MultiplierKind::Serial);
+        for (a, x, acc) in [(7i64, -9i64, 100i64), (-100, 100, -5000), (64, 64, 0)] {
+            assert_eq!(
+                tree.evaluate_signed(a, acc, x),
+                serial.evaluate_signed(a, acc, x)
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_wraps_modulo_width() {
+        let mac = MacCircuit::build(4, 8, Sign::Signed, MultiplierKind::Tree);
+        // 100 + 7*7 = 149 > 127: wraps to 149 - 256 = -107 in 8 bits.
+        assert_eq!(mac.evaluate_signed(7, 100, 7), 149 - 256);
+    }
+
+    #[test]
+    fn port_counts_match_netlist() {
+        let mac = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
+        assert_eq!(
+            mac.netlist().garbler_inputs().len(),
+            mac.ports().garbler_bits
+        );
+        assert_eq!(
+            mac.netlist().evaluator_inputs().len(),
+            mac.ports().evaluator_bits
+        );
+        assert_eq!(mac.netlist().outputs().len(), mac.ports().acc_width);
+    }
+
+    #[test]
+    fn and_count_reported() {
+        // Document the gate budget the scheduler must place: b=8 signed tree
+        // MAC. Exact count is asserted to catch accidental regressions in
+        // the circuit library (update deliberately if the library changes).
+        let mac = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
+        let stats = mac.netlist().stats();
+        assert!(stats.and_gates > 0);
+        assert!(
+            stats.and_gates < 3 * 8 * (8 / 2 + (8 / 2 + 8) / 3),
+            "AND count {} exceeds the paper's table-slot budget",
+            stats.and_gates
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator must hold a full product")]
+    fn narrow_accumulator_rejected() {
+        MacCircuit::build(8, 15, Sign::Signed, MultiplierKind::Tree);
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit is unsigned")]
+    fn signed_eval_on_unsigned_circuit_panics() {
+        MacCircuit::build(4, 8, Sign::Unsigned, MultiplierKind::Tree).evaluate_signed(1, 1, 1);
+    }
+}

@@ -1,0 +1,419 @@
+//! Higher-level circuit operations: the non-MAC garbled operations the
+//! paper's case studies mention (ridge regression needs `O(d)` square roots
+//! and `O(d²)` divisions in its garbled phase) and the activation functions
+//! of the deep-learning motivation (§2.1).
+//!
+//! All constructions keep the one-AND-per-bit discipline of the arithmetic
+//! library: comparisons are borrow chains, conditional updates are muxes.
+
+use crate::builder::{Builder, Bus};
+use crate::ir::WireId;
+
+impl Builder {
+    /// Signed less-than: 1 when `a < b` as two's complement. Costs
+    /// `width + 1` ANDs (unsigned borrow chain on sign-flipped operands).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or empty buses.
+    pub fn lt_signed(&mut self, a: &Bus, b: &Bus) -> WireId {
+        assert_eq!(a.width(), b.width(), "lt bus width mismatch");
+        assert!(a.width() > 0, "empty bus");
+        // Signed compare = unsigned compare with the sign bit inverted.
+        let flip = |builder: &mut Builder, bus: &Bus| -> Bus {
+            let mut wires = bus.wires().to_vec();
+            let last = wires.len() - 1;
+            wires[last] = builder.not(wires[last]);
+            Bus::new(wires)
+        };
+        let fa = flip(self, a);
+        let fb = flip(self, b);
+        self.lt_unsigned(&fa, &fb)
+    }
+
+    /// Signed maximum of two buses (one compare + one mux).
+    pub fn max_signed(&mut self, a: &Bus, b: &Bus) -> Bus {
+        let a_lt_b = self.lt_signed(a, b);
+        self.mux_bus(a_lt_b, b, a)
+    }
+
+    /// Signed minimum of two buses.
+    pub fn min_signed(&mut self, a: &Bus, b: &Bus) -> Bus {
+        let a_lt_b = self.lt_signed(a, b);
+        self.mux_bus(a_lt_b, a, b)
+    }
+
+    /// ReLU on a two's-complement bus: `max(x, 0)`, one AND per bit — the
+    /// deep-learning activation of §2.1.
+    pub fn relu(&mut self, x: &Bus) -> Bus {
+        let positive = self.not(x.msb());
+        self.and_bus(positive, x)
+    }
+
+    /// Absolute value of a two's-complement bus (`|-2^(b-1)|` wraps, as in
+    /// hardware).
+    pub fn abs(&mut self, x: &Bus) -> Bus {
+        self.cond_negate(x.msb(), x)
+    }
+
+    /// Unsigned restoring division: returns `(quotient, remainder)` of
+    /// `dividend / divisor`, both `width` bits. Division by zero yields
+    /// quotient = all-ones, remainder = dividend (the borrow chain never
+    /// fires), matching typical hardware dividers.
+    ///
+    /// Cost ≈ `2·width²` ANDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or empty buses.
+    pub fn div_unsigned(&mut self, dividend: &Bus, divisor: &Bus) -> (Bus, Bus) {
+        assert_eq!(dividend.width(), divisor.width(), "division width mismatch");
+        let width = dividend.width();
+        assert!(width > 0, "empty bus");
+        let zero = self.zero();
+        // Remainder register, width+1 bits so the trial subtraction cannot
+        // overflow.
+        let mut rem = Bus::new(vec![zero; width + 1]);
+        let divisor_ext = self.zero_extend(divisor, width + 1);
+        let mut quotient = vec![zero; width];
+        for i in (0..width).rev() {
+            // rem = (rem << 1) | dividend[i]  (drop the top bit; it is
+            // always zero after a restoring step).
+            let mut shifted = vec![dividend.bit(i)];
+            shifted.extend_from_slice(&rem.wires()[..width]);
+            rem = Bus::new(shifted);
+            // Trial subtract.
+            let diff = self.sub_wrap(&rem, &divisor_ext);
+            let borrow = self.lt_unsigned(&rem, &divisor_ext);
+            let fits = self.not(borrow);
+            quotient[i] = fits;
+            rem = self.mux_bus(fits, &diff, &rem);
+        }
+        (Bus::new(quotient), rem.low(width))
+    }
+
+    /// Unsigned integer square root by the non-restoring digit recurrence:
+    /// returns the `⌈width/2⌉`-bit root `⌊√x⌋`.
+    ///
+    /// Cost ≈ `width²` ANDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bus.
+    pub fn isqrt(&mut self, x: &Bus) -> Bus {
+        assert!(x.width() > 0, "empty bus");
+        let zero = self.zero();
+        let one = self.constant(true);
+        // Pad to an even width.
+        let width = x.width().div_ceil(2) * 2;
+        let x = self.zero_extend(x, width);
+        let out_bits = width / 2;
+        // Remainder can reach 2·(root<<1|1); root has out_bits bits, so
+        // out_bits + 2 extra headroom is safe.
+        let rem_width = out_bits + 2 + 2;
+        let mut rem = Bus::new(vec![zero; rem_width]);
+        let mut root: Vec<WireId> = Vec::new(); // MSB-first accumulation
+        for step in 0..out_bits {
+            // Bring down the next two bits (MSB pair first).
+            let hi = x.bit(width - 2 * step - 1);
+            let lo = x.bit(width - 2 * step - 2);
+            let mut shifted = vec![lo, hi];
+            shifted.extend_from_slice(&rem.wires()[..rem_width - 2]);
+            rem = Bus::new(shifted);
+            // trial = (root << 2) | 01
+            let mut trial = vec![one, zero];
+            for &bit in root.iter().rev() {
+                trial.push(bit);
+            }
+            trial.resize(rem_width, zero);
+            let trial = Bus::new(trial);
+            let diff = self.sub_wrap(&rem, &trial);
+            let borrow = self.lt_unsigned(&rem, &trial);
+            let fits = self.not(borrow);
+            rem = self.mux_bus(fits, &diff, &rem);
+            root.push(fits);
+        }
+        // root is MSB-first; emit LSB-first.
+        root.reverse();
+        Bus::new(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{decode_signed, decode_unsigned, encode_signed, encode_unsigned};
+
+    fn eval_unary_signed(f: impl Fn(&mut Builder, &Bus) -> Bus, width: usize, x: i64) -> i64 {
+        let mut b = Builder::new();
+        let bx = b.garbler_input_bus(width);
+        let out = f(&mut b, &bx);
+        let netlist = b.build(out.wires().to_vec());
+        decode_signed(&netlist.evaluate(&encode_signed(x, width), &[]))
+    }
+
+    #[test]
+    fn relu_matches_max_with_zero() {
+        for x in [-128i64, -5, -1, 0, 1, 99, 127] {
+            assert_eq!(
+                eval_unary_signed(|b, v| b.relu(v), 8, x),
+                x.max(0),
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn abs_matches_signed_abs() {
+        for x in [-127i64, -5, 0, 5, 127] {
+            assert_eq!(eval_unary_signed(|b, v| b.abs(v), 8, x), x.abs());
+        }
+        // The wrap corner.
+        assert_eq!(eval_unary_signed(|b, v| b.abs(v), 8, -128), -128);
+    }
+
+    #[test]
+    fn signed_compare_and_minmax() {
+        for a in [-8i64, -1, 0, 3, 7] {
+            for b in [-8i64, -2, 0, 3, 6] {
+                let mut bld = Builder::new();
+                let ba = bld.garbler_input_bus(4);
+                let bb = bld.evaluator_input_bus(4);
+                let lt = bld.lt_signed(&ba, &bb);
+                let mx = bld.max_signed(&ba, &bb);
+                let mn = bld.min_signed(&ba, &bb);
+                let mut outs = vec![lt];
+                outs.extend(mx.wires());
+                outs.extend(mn.wires());
+                let netlist = bld.build(outs);
+                let got = netlist.evaluate(&encode_signed(a, 4), &encode_signed(b, 4));
+                assert_eq!(got[0], a < b, "lt({a},{b})");
+                assert_eq!(decode_signed(&got[1..5]), a.max(b), "max({a},{b})");
+                assert_eq!(decode_signed(&got[5..9]), a.min(b), "min({a},{b})");
+            }
+        }
+    }
+
+    fn run_div(width: usize, a: u64, b: u64) -> (u64, u64) {
+        let mut bld = Builder::new();
+        let ba = bld.garbler_input_bus(width);
+        let bb = bld.evaluator_input_bus(width);
+        let (q, r) = bld.div_unsigned(&ba, &bb);
+        let mut outs = q.wires().to_vec();
+        outs.extend(r.wires());
+        let netlist = bld.build(outs);
+        let out = netlist.evaluate(&encode_unsigned(a, width), &encode_unsigned(b, width));
+        (
+            decode_unsigned(&out[..width]),
+            decode_unsigned(&out[width..]),
+        )
+    }
+
+    #[test]
+    fn division_exhaustive_4bit() {
+        for a in 0..16u64 {
+            for b in 1..16u64 {
+                let (q, r) = run_div(4, a, b);
+                assert_eq!((q, r), (a / b, a % b), "{a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_8bit_samples() {
+        for (a, b) in [(255u64, 1u64), (255, 255), (200, 7), (1, 200), (128, 2)] {
+            let (q, r) = run_div(8, a, b);
+            assert_eq!((q, r), (a / b, a % b), "{a}/{b}");
+        }
+    }
+
+    #[test]
+    fn division_by_zero_convention() {
+        let (q, r) = run_div(4, 9, 0);
+        assert_eq!(q, 15, "all-ones quotient");
+        assert_eq!(r, 9, "remainder = dividend");
+    }
+
+    fn run_isqrt(width: usize, x: u64) -> u64 {
+        let mut bld = Builder::new();
+        let bx = bld.garbler_input_bus(width);
+        let root = bld.isqrt(&bx);
+        let netlist = bld.build(root.wires().to_vec());
+        decode_unsigned(&netlist.evaluate(&encode_unsigned(x, width), &[]))
+    }
+
+    #[test]
+    fn isqrt_exhaustive_8bit() {
+        for x in 0..256u64 {
+            assert_eq!(run_isqrt(8, x), (x as f64).sqrt() as u64, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn isqrt_odd_width() {
+        for x in [0u64, 1, 2, 80, 127] {
+            assert_eq!(run_isqrt(7, x), (x as f64).sqrt() as u64, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn isqrt_16bit_samples() {
+        for x in [0u64, 1, 255, 256, 10_000, 65_535] {
+            assert_eq!(run_isqrt(16, x), (x as f64).sqrt() as u64, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn division_cost_is_quadratic() {
+        let cost = |width: usize| {
+            let mut bld = Builder::new();
+            let ba = bld.garbler_input_bus(width);
+            let bb = bld.evaluator_input_bus(width);
+            let (q, r) = bld.div_unsigned(&ba, &bb);
+            let mut outs = q.wires().to_vec();
+            outs.extend(r.wires());
+            bld.build(outs).stats().and_gates
+        };
+        let c8 = cost(8);
+        let c16 = cost(16);
+        let ratio = c16 as f64 / c8 as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+        // The paper costs division ≈ 2× a MAC at the same width; sanity
+        // check that our division is the same order as two multiplications.
+        assert!(c8 < 4 * 8 * 8 * 2, "division unexpectedly expensive: {c8}");
+    }
+}
+
+impl Builder {
+    /// Population count: number of set bits, as a `⌈log2(width+1)⌉`-bit bus.
+    /// Built as a balanced adder tree over single-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bus.
+    pub fn popcount(&mut self, x: &Bus) -> Bus {
+        assert!(x.width() > 0, "empty bus");
+        let mut operands: Vec<Bus> = x.iter().map(|&w| Bus::new(vec![w])).collect();
+        while operands.len() > 1 {
+            let mut next = Vec::with_capacity(operands.len().div_ceil(2));
+            let mut iter = operands.into_iter();
+            while let Some(lhs) = iter.next() {
+                match iter.next() {
+                    Some(rhs) => next.push(self.add_expand(&lhs, &rhs)),
+                    None => next.push(lhs),
+                }
+            }
+            operands = next;
+        }
+        operands.pop().expect("at least one operand")
+    }
+
+    /// Hamming distance between two equal-width buses — the data-mining
+    /// similarity kernel (free XORs + one popcount).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or empty buses.
+    pub fn hamming_distance(&mut self, a: &Bus, b: &Bus) -> Bus {
+        assert_eq!(a.width(), b.width(), "hamming width mismatch");
+        let diff: Bus = a.iter().zip(b.iter()).map(|(&x, &y)| self.xor(x, y)).collect();
+        self.popcount(&diff)
+    }
+
+    /// Index of the signed maximum among `candidates` (ties resolve to the
+    /// lower index) as a `⌈log2(n)⌉`-bit bus — the classifier head of a
+    /// private-inference pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or widths differ.
+    pub fn argmax_signed(&mut self, candidates: &[Bus]) -> Bus {
+        assert!(!candidates.is_empty(), "argmax needs candidates");
+        let index_width = (usize::BITS - (candidates.len() - 1).leading_zeros()).max(1) as usize;
+        let zero = self.zero();
+        let mut best_val = candidates[0].clone();
+        let mut best_idx = Bus::new(vec![zero; index_width]);
+        for (i, candidate) in candidates.iter().enumerate().skip(1) {
+            assert_eq!(candidate.width(), best_val.width(), "argmax width mismatch");
+            // candidate > best  ⇔  best < candidate.
+            let better = self.lt_signed(&best_val, candidate);
+            best_val = self.mux_bus(better, candidate, &best_val);
+            let idx_bits: Bus = (0..index_width)
+                .map(|bit| self.constant((i >> bit) & 1 == 1))
+                .collect();
+            best_idx = self.mux_bus(better, &idx_bits, &best_idx);
+        }
+        best_idx
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::encoding::{decode_unsigned, encode_signed, encode_unsigned};
+
+    #[test]
+    fn popcount_exhaustive_6bit() {
+        for x in 0..64u64 {
+            let mut b = Builder::new();
+            let bx = b.garbler_input_bus(6);
+            let pc = b.popcount(&bx);
+            let netlist = b.build(pc.wires().to_vec());
+            let out = netlist.evaluate(&encode_unsigned(x, 6), &[]);
+            assert_eq!(decode_unsigned(&out), x.count_ones() as u64, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn hamming_matches_xor_popcount() {
+        for (a, c) in [(0b1010u64, 0b0101u64), (0xff, 0x00), (0x3c, 0x3c), (1, 0)] {
+            let mut b = Builder::new();
+            let ba = b.garbler_input_bus(8);
+            let bc = b.evaluator_input_bus(8);
+            let h = b.hamming_distance(&ba, &bc);
+            let netlist = b.build(h.wires().to_vec());
+            let out = netlist.evaluate(&encode_unsigned(a, 8), &encode_unsigned(c, 8));
+            assert_eq!(decode_unsigned(&out), (a ^ c).count_ones() as u64);
+        }
+    }
+
+    #[test]
+    fn argmax_picks_signed_maximum() {
+        let cases: [Vec<i64>; 4] = [
+            vec![3, -5, 7, 1],
+            vec![-1, -2, -3],
+            vec![5, 5, 4],  // tie resolves to the lower index
+            vec![-128, 127],
+        ];
+        for values in cases {
+            let mut b = Builder::new();
+            let buses: Vec<Bus> = values.iter().map(|_| b.garbler_input_bus(8)).collect();
+            let idx = b.argmax_signed(&buses);
+            let netlist = b.build(idx.wires().to_vec());
+            let bits: Vec<bool> = values
+                .iter()
+                .flat_map(|&v| encode_signed(v, 8))
+                .collect();
+            let out = netlist.evaluate(&bits, &[]);
+            let want = values
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i as u64)
+                .expect("non-empty");
+            assert_eq!(decode_unsigned(&out), want, "values {values:?}");
+        }
+    }
+
+    #[test]
+    fn argmax_single_candidate_is_zero() {
+        let mut b = Builder::new();
+        let bus = b.garbler_input_bus(4);
+        let idx = b.argmax_signed(&[bus]);
+        let netlist = b.build(idx.wires().to_vec());
+        assert_eq!(
+            decode_unsigned(&netlist.evaluate(&encode_signed(-3, 4), &[])),
+            0
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! IKNP OT extension: 128 base OTs bootstrap unboundedly many transfers
+//! using only symmetric crypto (fixed-key AES).
+//!
+//! Column/row convention: the receiver builds a `m × 128` bit matrix `T`
+//! column by column from PRG-expanded base-OT seeds; the sender reconstructs
+//! `Q` with `q_j = t_j ⊕ r_j·s`. Each row is one 128-bit [`Block`].
+
+use max_crypto::{AesPrg, Block, FixedKeyHash, Tweak};
+
+use crate::base::{BaseOtReceiver, BaseOtSender};
+
+/// Security parameter: number of base OTs / matrix width.
+pub const KAPPA: usize = 128;
+
+/// Receiver → sender correction message: one packed `m`-bit column per base
+/// OT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtendMsg {
+    /// `u_i = G(k_i^0) ⊕ G(k_i^1) ⊕ r`, bit-packed into u64 words.
+    pub columns: Vec<Vec<u64>>,
+    /// Number of transfers this message covers.
+    pub count: usize,
+}
+
+/// Sender → receiver ciphertexts: one pair per transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CipherMsg {
+    /// `(y_j^0, y_j^1)` per transfer.
+    pub pairs: Vec<(Block, Block)>,
+}
+
+/// Extension sender (holds the GC wire-label pairs).
+#[derive(Debug)]
+pub struct OtExtSender {
+    /// Secret choice bits `s` of the base OTs.
+    s: [bool; KAPPA],
+    /// PRGs seeded with the base-OT outputs `k_i^{s_i}`.
+    prgs: Vec<AesPrg>,
+    hash: FixedKeyHash,
+    session: u64,
+}
+
+/// Extension receiver (holds the choice bits).
+#[derive(Debug)]
+pub struct OtExtReceiver {
+    /// PRG pairs from both base-OT seeds.
+    prgs: Vec<(AesPrg, AesPrg)>,
+    hash: FixedKeyHash,
+    session: u64,
+}
+
+/// Runs the 128 base OTs (in memory) and returns a connected sender/receiver
+/// pair ready to extend.
+pub fn setup_pair(seed: u64) -> (OtExtSender, OtExtReceiver) {
+    let mut seed_prg = AesPrg::with_stream(Block::new(0x6b6e_7073 ^ seed as u128), 0);
+    // Receiver of the *extension* acts as base-OT sender with random seed pairs.
+    let seed_pairs: Vec<(Block, Block)> = (0..KAPPA)
+        .map(|_| (seed_prg.next_block(), seed_prg.next_block()))
+        .collect();
+    // Sender of the extension picks its secret s and base-OT-receives.
+    let mut s = [false; KAPPA];
+    let s_bits = seed_prg.next_block();
+    for (i, slot) in s.iter_mut().enumerate() {
+        *slot = s_bits.bit(i);
+    }
+
+    let mut base_sender_prg = AesPrg::with_stream(Block::new(seed as u128), 2);
+    let mut base_receiver_prg = AesPrg::with_stream(Block::new(seed as u128), 3);
+    let (base_sender, setup) = BaseOtSender::new(&mut base_sender_prg);
+    let (base_receiver, msg) = BaseOtReceiver::new(&mut base_receiver_prg, setup, &s);
+    let ciphers = base_sender.encrypt(&msg, &seed_pairs);
+    let received = base_receiver.decrypt(&ciphers, &s);
+
+    let sender = OtExtSender {
+        s,
+        prgs: received
+            .iter()
+            .map(|&k| AesPrg::with_stream(k, 0x4f54))
+            .collect(),
+        hash: FixedKeyHash::new(),
+        session: 0,
+    };
+    let receiver = OtExtReceiver {
+        prgs: seed_pairs
+            .iter()
+            .map(|&(k0, k1)| {
+                (
+                    AesPrg::with_stream(k0, 0x4f54),
+                    AesPrg::with_stream(k1, 0x4f54),
+                )
+            })
+            .collect(),
+        hash: FixedKeyHash::new(),
+        session: 0,
+    };
+    (sender, receiver)
+}
+
+/// Packs bools into u64 words.
+fn pack(bits: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; bits.len().div_ceil(64)];
+    for (i, &bit) in bits.iter().enumerate() {
+        words[i / 64] |= (bit as u64) << (i % 64);
+    }
+    words
+}
+
+fn prg_column(prg: &mut AesPrg, m: usize) -> Vec<u64> {
+    let mut words = Vec::with_capacity(m.div_ceil(64));
+    while words.len() * 64 < m {
+        let block = prg.next_block().bits();
+        words.push(block as u64);
+        if words.len() * 64 < m {
+            words.push((block >> 64) as u64);
+        }
+    }
+    words.truncate(m.div_ceil(64));
+    words
+}
+
+fn column_bit(words: &[u64], j: usize) -> bool {
+    (words[j / 64] >> (j % 64)) & 1 == 1
+}
+
+impl OtExtReceiver {
+    /// Expands the seed PRGs for `choices.len()` transfers and produces the
+    /// correction message plus the decryption keys `t_j` (rows of `T`).
+    pub fn prepare(&mut self, choices: &[bool]) -> (ExtendMsg, Vec<Block>) {
+        let m = choices.len();
+        let r = pack(choices);
+        let mut t_columns = Vec::with_capacity(KAPPA);
+        let mut u_columns = Vec::with_capacity(KAPPA);
+        for (prg0, prg1) in &mut self.prgs {
+            let t = prg_column(prg0, m);
+            let g1 = prg_column(prg1, m);
+            let u: Vec<u64> = t
+                .iter()
+                .zip(&g1)
+                .zip(&r)
+                .map(|((&ti, &gi), &ri)| ti ^ gi ^ ri)
+                .collect();
+            t_columns.push(t);
+            u_columns.push(u);
+        }
+        // Transpose T's columns into per-transfer rows.
+        let keys = (0..m)
+            .map(|j| {
+                let mut row = 0u128;
+                for (i, col) in t_columns.iter().enumerate() {
+                    row |= (column_bit(col, j) as u128) << i;
+                }
+                Block::new(row)
+            })
+            .collect();
+        (
+            ExtendMsg {
+                columns: u_columns,
+                count: m,
+            },
+            keys,
+        )
+    }
+
+    /// Decrypts the chosen message of each pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent.
+    pub fn receive(&mut self, cipher: &CipherMsg, keys: &[Block], choices: &[bool]) -> Vec<Block> {
+        assert_eq!(cipher.pairs.len(), keys.len(), "cipher count mismatch");
+        assert_eq!(choices.len(), keys.len(), "choice count mismatch");
+        let session = self.session;
+        self.session += 1;
+        cipher
+            .pairs
+            .iter()
+            .zip(keys)
+            .zip(choices)
+            .enumerate()
+            .map(|(j, ((&(y0, y1), &t), &c))| {
+                let mask = self
+                    .hash
+                    .hash(t, Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62));
+                if c {
+                    y1 ^ mask
+                } else {
+                    y0 ^ mask
+                }
+            })
+            .collect()
+    }
+}
+
+impl OtExtSender {
+    /// Encrypts `pairs` against the receiver's correction message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs.len() != msg.count` or the message is malformed.
+    pub fn send(&mut self, msg: &ExtendMsg, pairs: &[(Block, Block)]) -> CipherMsg {
+        assert_eq!(pairs.len(), msg.count, "pair count mismatch");
+        assert_eq!(msg.columns.len(), KAPPA, "malformed extension message");
+        let m = msg.count;
+        // q_i = G(k_i^{s_i}) ⊕ s_i·u_i per column.
+        let q_columns: Vec<Vec<u64>> = self
+            .prgs
+            .iter_mut()
+            .zip(&self.s)
+            .zip(&msg.columns)
+            .map(|((prg, &si), u)| {
+                assert_eq!(u.len(), m.div_ceil(64), "malformed column");
+                let g = prg_column(prg, m);
+                g.iter()
+                    .zip(u)
+                    .map(|(&gi, &ui)| if si { gi ^ ui } else { gi })
+                    .collect()
+            })
+            .collect();
+        let s_block = {
+            let mut bits = 0u128;
+            for (i, &si) in self.s.iter().enumerate() {
+                bits |= (si as u128) << i;
+            }
+            Block::new(bits)
+        };
+        let session = self.session;
+        self.session += 1;
+        let out = (0..m)
+            .map(|j| {
+                let mut row = 0u128;
+                for (i, col) in q_columns.iter().enumerate() {
+                    row |= (column_bit(col, j) as u128) << i;
+                }
+                let q = Block::new(row);
+                let tweak = Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62);
+                let y0 = pairs[j].0 ^ self.hash.hash(q, tweak);
+                let y1 = pairs[j].1 ^ self.hash.hash(q ^ s_block, tweak);
+                (y0, y1)
+            })
+            .collect();
+        CipherMsg { pairs: out }
+    }
+}
+
+/// Correlated-OT corrections: one ciphertext per transfer (half the data of
+/// chosen-message OT).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorrelatedMsg {
+    /// `y_j = H(q_j ⊕ s) ⊕ H(q_j) ⊕ Δ` per transfer.
+    pub corrections: Vec<Block>,
+}
+
+impl OtExtSender {
+    /// Correlated OT (Δ-OT): the message pairs are `(m_j, m_j ⊕ delta)`
+    /// with `m_j` *chosen by the protocol* (returned to the sender). Only
+    /// one correction block travels per transfer — this is how GC
+    /// implementations deliver Free-XOR input labels at half the OT
+    /// bandwidth; the garbler adopts the returned `m_j` as the wire
+    /// zero-labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extension message is malformed.
+    pub fn send_correlated(&mut self, msg: &ExtendMsg, delta: Block) -> (Vec<Block>, CorrelatedMsg) {
+        assert_eq!(msg.columns.len(), KAPPA, "malformed extension message");
+        let m = msg.count;
+        let q_columns: Vec<Vec<u64>> = self
+            .prgs
+            .iter_mut()
+            .zip(&self.s)
+            .zip(&msg.columns)
+            .map(|((prg, &si), u)| {
+                assert_eq!(u.len(), m.div_ceil(64), "malformed column");
+                let g = prg_column(prg, m);
+                g.iter()
+                    .zip(u)
+                    .map(|(&gi, &ui)| if si { gi ^ ui } else { gi })
+                    .collect()
+            })
+            .collect();
+        let s_block = {
+            let mut bits = 0u128;
+            for (i, &si) in self.s.iter().enumerate() {
+                bits |= (si as u128) << i;
+            }
+            Block::new(bits)
+        };
+        let session = self.session;
+        self.session += 1;
+        let mut zeros = Vec::with_capacity(m);
+        let mut corrections = Vec::with_capacity(m);
+        for j in 0..m {
+            let mut row = 0u128;
+            for (i, col) in q_columns.iter().enumerate() {
+                row |= (column_bit(col, j) as u128) << i;
+            }
+            let q = Block::new(row);
+            let tweak = Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62);
+            let m0 = self.hash.hash(q, tweak);
+            let m1_mask = self.hash.hash(q ^ s_block, tweak);
+            zeros.push(m0);
+            corrections.push(m1_mask ^ m0 ^ delta);
+        }
+        (zeros, CorrelatedMsg { corrections })
+    }
+}
+
+impl OtExtReceiver {
+    /// Receiver side of [`OtExtSender::send_correlated`]: obtains
+    /// `m_j ⊕ choice_j·Δ` without learning Δ or the other message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent.
+    pub fn receive_correlated(
+        &mut self,
+        msg: &CorrelatedMsg,
+        keys: &[Block],
+        choices: &[bool],
+    ) -> Vec<Block> {
+        assert_eq!(msg.corrections.len(), keys.len(), "correction count mismatch");
+        assert_eq!(choices.len(), keys.len(), "choice count mismatch");
+        let session = self.session;
+        self.session += 1;
+        msg.corrections
+            .iter()
+            .zip(keys)
+            .zip(choices)
+            .enumerate()
+            .map(|(j, ((&y, &t), &c))| {
+                let mask = self
+                    .hash
+                    .hash(t, Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62));
+                mask.xor_if(y, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg_pairs(n: usize) -> Vec<(Block, Block)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Block::new(0x1000 + i as u128),
+                    Block::new(0x2000 + i as u128),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extension_delivers_chosen_messages() {
+        let (mut sender, mut receiver) = setup_pair(11);
+        let n = 300;
+        let pairs = msg_pairs(n);
+        let choices: Vec<bool> = (0..n).map(|i| i % 5 < 2).collect();
+        let (msg, keys) = receiver.prepare(&choices);
+        let cipher = sender.send(&msg, &pairs);
+        let got = receiver.receive(&cipher, &keys, &choices);
+        for ((g, p), &c) in got.iter().zip(&pairs).zip(&choices) {
+            assert_eq!(*g, if c { p.1 } else { p.0 });
+        }
+    }
+
+    #[test]
+    fn multiple_extends_from_one_setup() {
+        let (mut sender, mut receiver) = setup_pair(13);
+        for round in 0..4 {
+            let n = 64 + round * 37;
+            let pairs = msg_pairs(n);
+            let choices: Vec<bool> = (0..n).map(|i| (i + round) % 2 == 0).collect();
+            let (msg, keys) = receiver.prepare(&choices);
+            let cipher = sender.send(&msg, &pairs);
+            let got = receiver.receive(&cipher, &keys, &choices);
+            for ((g, p), &c) in got.iter().zip(&pairs).zip(&choices) {
+                assert_eq!(*g, if c { p.1 } else { p.0 }, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_64_counts() {
+        for n in [1usize, 63, 64, 65, 127, 129] {
+            let (mut sender, mut receiver) = setup_pair(17 + n as u64);
+            let pairs = msg_pairs(n);
+            let choices: Vec<bool> = (0..n).map(|i| i % 3 == 1).collect();
+            let (msg, keys) = receiver.prepare(&choices);
+            let cipher = sender.send(&msg, &pairs);
+            let got = receiver.receive(&cipher, &keys, &choices);
+            for ((g, p), &c) in got.iter().zip(&pairs).zip(&choices) {
+                assert_eq!(*g, if c { p.1 } else { p.0 }, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn unchosen_slot_is_masked() {
+        let (mut sender, mut receiver) = setup_pair(19);
+        let pairs = msg_pairs(16);
+        let choices = vec![false; 16];
+        let (msg, keys) = receiver.prepare(&choices);
+        let cipher = sender.send(&msg, &pairs);
+        // Try to open the *other* slot with the honest keys: must fail.
+        let wrong = receiver.receive(&cipher, &keys, &vec![true; 16]);
+        for (w, p) in wrong.iter().zip(&pairs) {
+            assert_ne!(*w, p.1);
+        }
+    }
+
+    #[test]
+    fn correlated_ot_delivers_offset_pairs() {
+        let (mut sender, mut receiver) = setup_pair(29);
+        let delta = Block::new(0xdddd_1111_2222_3333_4444_5555_6666_7777);
+        let n = 200;
+        let choices: Vec<bool> = (0..n).map(|i| i % 7 < 3).collect();
+        let (msg, keys) = receiver.prepare(&choices);
+        let (zeros, cor) = sender.send_correlated(&msg, delta);
+        let got = receiver.receive_correlated(&cor, &keys, &choices);
+        assert_eq!(cor.corrections.len(), n);
+        for ((g, &m0), &c) in got.iter().zip(&zeros).zip(&choices) {
+            let want = if c { m0 ^ delta } else { m0 };
+            assert_eq!(*g, want);
+        }
+    }
+
+    #[test]
+    fn correlated_ot_halves_the_data() {
+        // n chosen-message OTs cost 2n blocks; correlated OTs cost n.
+        let (mut sender, mut receiver) = setup_pair(31);
+        let n = 64;
+        let choices = vec![true; n];
+        let (msg, _keys) = receiver.prepare(&choices);
+        let (_, cor) = sender.send_correlated(&msg, Block::new(1));
+        let chosen_blocks = 2 * n;
+        assert_eq!(cor.corrections.len() * 2, chosen_blocks);
+    }
+
+    #[test]
+    fn correlated_then_chosen_sessions_do_not_collide() {
+        let (mut sender, mut receiver) = setup_pair(37);
+        let n = 16;
+        let choices: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let (msg1, keys1) = receiver.prepare(&choices);
+        let (zeros, cor) = sender.send_correlated(&msg1, Block::new(0xff));
+        let got1 = receiver.receive_correlated(&cor, &keys1, &choices);
+        for ((g, &m0), &c) in got1.iter().zip(&zeros).zip(&choices) {
+            assert_eq!(*g, m0.xor_if(Block::new(0xff), c));
+        }
+        // A later chosen-message batch on the same setup still works.
+        let pairs = msg_pairs(n);
+        let (msg2, keys2) = receiver.prepare(&choices);
+        let cipher = sender.send(&msg2, &pairs);
+        let got2 = receiver.receive(&cipher, &keys2, &choices);
+        for ((g, p), &c) in got2.iter().zip(&pairs).zip(&choices) {
+            assert_eq!(*g, if c { p.1 } else { p.0 });
+        }
+    }
+
+    #[test]
+    fn correction_columns_look_random() {
+        // The u columns must not leak r directly: two different choice
+        // vectors yield columns that differ in unpredictable positions.
+        let (_, mut receiver) = setup_pair(23);
+        let choices: Vec<bool> = (0..128).map(|i| i % 2 == 0).collect();
+        let (msg, _) = receiver.prepare(&choices);
+        let ones: u32 = msg.columns.iter().flat_map(|c| c.iter()).map(|w| w.count_ones()).sum();
+        let total = (KAPPA * 128) as f64;
+        let ratio = ones as f64 / total;
+        assert!((ratio - 0.5).abs() < 0.05, "bias {ratio}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Oblivious transfer for garbled-circuit input labels.
+//!
+//! The evaluator (client) obtains the wire label matching each of her input
+//! bits without revealing the bits — §2.2 and §3 of the paper. Two layers:
+//!
+//! * [`base`] — 1-out-of-2 base OT with the Chou–Orlandi "simplest OT"
+//!   message flow over a Diffie–Hellman group.
+//! * [`iknp`] — the IKNP OT *extension* (Ishai–Kilian–Nissim–Petrank,
+//!   CRYPTO'03, the paper's reference \[24\]): 128 base OTs bootstrap any
+//!   number of transfers using only fixed-key-AES hashing, which is what
+//!   makes per-round OT affordable for memory-constrained clients (§3).
+//!
+//! # Substitution notice (see DESIGN.md)
+//!
+//! The offline crate set contains no big-integer or elliptic-curve
+//! arithmetic, so the base-OT group is the multiplicative group modulo the
+//! Mersenne prime `2^61 − 1`. A 61-bit discrete log is **not secure** — this
+//! substitutes for Curve25519/RSA groups while preserving the exact message
+//! flow, computation pattern and API of the real protocol. The OT-extension
+//! layer above it is the genuine IKNP construction at the full `k = 128`
+//! security parameter.
+//!
+//! # Example
+//!
+//! ```
+//! use max_crypto::Block;
+//! use max_ot::run_chosen_ot;
+//!
+//! let pairs = vec![(Block::new(10), Block::new(20)), (Block::new(30), Block::new(40))];
+//! let choices = vec![false, true];
+//! let received = run_chosen_ot(7, &pairs, &choices);
+//! assert_eq!(received, vec![Block::new(10), Block::new(40)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod group;
+pub mod iknp;
+
+use max_crypto::Block;
+
+/// Runs the complete stack (base OT + IKNP extension) in memory: the
+/// receiver learns exactly `pairs[i].choices[i]`.
+///
+/// Convenience for tests and single-process simulations; the two-party
+/// channel-separated flow lives in the protocol layers above.
+///
+/// # Panics
+///
+/// Panics if `pairs` and `choices` lengths differ.
+pub fn run_chosen_ot(seed: u64, pairs: &[(Block, Block)], choices: &[bool]) -> Vec<Block> {
+    assert_eq!(pairs.len(), choices.len(), "pairs/choices length mismatch");
+    let (mut sender, mut receiver) = iknp::setup_pair(seed);
+    let (msg, keys) = receiver.prepare(choices);
+    let cipher = sender.send(&msg, pairs);
+    receiver.receive(&cipher, &keys, choices)
+}

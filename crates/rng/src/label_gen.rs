@@ -1,0 +1,189 @@
+//! The accelerator's label generator (§5.2): a power-gated bank of RO-RNGs
+//! wide enough for the worst-case demand of `k × (b/2)` bits per cycle.
+
+use max_crypto::Block;
+
+use crate::wold_tan::RngBank;
+
+/// Security parameter: wire-label width in bits.
+pub const LABEL_BITS: usize = 128;
+
+/// Hardware label generator: `LABEL_BITS × (bit_width / 2)` RO-RNGs, gated
+/// per cycle to the number of labels the scheduling FSM actually needs.
+///
+/// # Example
+///
+/// ```
+/// use max_rng::LabelGenerator;
+///
+/// let mut lg = LabelGenerator::new(0xfeed, 8);
+/// assert_eq!(lg.max_labels_per_cycle(), 4);
+/// let labels = lg.clock(2);
+/// assert_eq!(labels.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LabelGenerator {
+    bank: RngBank,
+    max_labels: usize,
+    labels_produced: u64,
+}
+
+impl LabelGenerator {
+    /// Creates a label generator sized for MAC bit-width `bit_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_width` is zero or odd.
+    pub fn new(seed: u64, bit_width: usize) -> Self {
+        assert!(bit_width > 0 && bit_width % 2 == 0, "bit width must be even and positive");
+        let max_labels = bit_width / 2;
+        LabelGenerator {
+            bank: RngBank::new(seed, LABEL_BITS * max_labels),
+            max_labels,
+            labels_produced: 0,
+        }
+    }
+
+    /// Worst-case labels per cycle the generator can sustain.
+    pub fn max_labels_per_cycle(&self) -> usize {
+        self.max_labels
+    }
+
+    /// Advances one clock, producing `demand` fresh labels and power-gating
+    /// the rest of the bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand > self.max_labels_per_cycle()`.
+    pub fn clock(&mut self, demand: usize) -> Vec<Block> {
+        assert!(
+            demand <= self.max_labels,
+            "demand {demand} exceeds generator width {}",
+            self.max_labels
+        );
+        self.bank.set_active(demand * LABEL_BITS);
+        let bits = self.bank.clock();
+        debug_assert_eq!(bits.len(), demand * LABEL_BITS);
+        let mut labels = Vec::with_capacity(demand);
+        for label_bits in bits.chunks(LABEL_BITS) {
+            let mut value = 0u128;
+            for (i, &bit) in label_bits.iter().enumerate() {
+                value |= (bit as u128) << i;
+            }
+            labels.push(Block::new(value));
+        }
+        self.labels_produced += demand as u64;
+        labels
+    }
+
+    /// Produces one label immediately (one clock at demand 1).
+    pub fn next_label(&mut self) -> Block {
+        self.clock(1)[0]
+    }
+
+    /// Generates the global Free-XOR offset Δ with its permute bit forced to
+    /// 1, as required by point-and-permute.
+    pub fn delta(&mut self) -> Block {
+        self.next_label().with_lsb(true)
+    }
+
+    /// Report for the energy/utilization accounting of §5.2.
+    pub fn report(&self) -> LabelGeneratorReport {
+        LabelGeneratorReport {
+            cycles: self.bank.total_cycles(),
+            labels_produced: self.labels_produced,
+            active_rng_cycles: self.bank.active_rng_cycles(),
+            worst_case_rng_cycles: self.bank.total_cycles() * self.bank.width() as u64,
+        }
+    }
+}
+
+/// Energy accounting snapshot of a [`LabelGenerator`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelGeneratorReport {
+    /// Clock cycles driven.
+    pub cycles: u64,
+    /// Labels handed to the garbling cores.
+    pub labels_produced: u64,
+    /// RNG-cycles actually powered.
+    pub active_rng_cycles: u64,
+    /// RNG-cycles an ungated design would have burned.
+    pub worst_case_rng_cycles: u64,
+}
+
+impl LabelGeneratorReport {
+    /// Energy saved by FSM power gating, as a fraction of worst case.
+    pub fn energy_saving(&self) -> f64 {
+        if self.worst_case_rng_cycles == 0 {
+            return 0.0;
+        }
+        1.0 - self.active_rng_cycles as f64 / self.worst_case_rng_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_labels() {
+        let mut lg = LabelGenerator::new(1, 8);
+        assert_eq!(lg.clock(4).len(), 4);
+        assert_eq!(lg.clock(0).len(), 0);
+        assert_eq!(lg.clock(1).len(), 1);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut lg = LabelGenerator::new(2, 16);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            for label in lg.clock(8) {
+                assert!(seen.insert(label), "label collision");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_has_permute_bit_set() {
+        let mut lg = LabelGenerator::new(3, 8);
+        for _ in 0..8 {
+            assert!(lg.delta().lsb());
+        }
+    }
+
+    #[test]
+    fn gating_saves_energy_at_average_demand() {
+        // Average demand is 1 label/cycle (k bits) while the bank is sized
+        // for b/2 labels/cycle: the saving should be ~ 1 - 2/b.
+        let mut lg = LabelGenerator::new(4, 8);
+        for _ in 0..100 {
+            lg.clock(1);
+        }
+        let report = lg.report();
+        assert_eq!(report.labels_produced, 100);
+        assert!((report.energy_saving() - 0.75).abs() < 1e-12, "{report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds generator width")]
+    fn over_demand_panics() {
+        LabelGenerator::new(5, 8).clock(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_width_rejected() {
+        LabelGenerator::new(6, 7);
+    }
+
+    #[test]
+    fn label_bits_look_random() {
+        let mut lg = LabelGenerator::new(7, 8);
+        let labels: Vec<Block> = (0..256).map(|_| lg.next_label()).collect();
+        let ones: u32 = labels.iter().map(|l| l.bits().count_ones()).sum();
+        let total = 256 * 128;
+        let ratio = ones as f64 / total as f64;
+        assert!((ratio - 0.5).abs() < 0.03, "bit balance {ratio}");
+    }
+}

@@ -1,0 +1,705 @@
+//! A NIST SP 800-22-style statistical battery for TRNG bitstreams.
+//!
+//! §5.2 of the paper: "The entropy of the implemented RNG on our evaluation
+//! platform is thoroughly evaluated by NIST battery of randomness tests."
+//! This module implements the classic core of that battery — frequency
+//! (monobit), block frequency, runs, longest-run-of-ones, cumulative sums,
+//! serial, approximate entropy — plus the FIPS 140-2 poker test. Each test
+//! returns a p-value; a stream passes at the conventional significance level
+//! `α = 0.01`.
+//!
+//! The special functions (`erfc`, regularized incomplete gamma) are
+//! implemented in-repo to keep the dependency set closed.
+
+use std::fmt;
+
+/// Significance level used by the battery.
+pub const ALPHA: f64 = 0.01;
+
+/// Outcome of one statistical test.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TestResult {
+    /// Test name, e.g. `"monobit"`.
+    pub name: &'static str,
+    /// The p-value; uniform on \[0, 1\] for a truly random stream.
+    pub p_value: f64,
+    /// `p_value >= ALPHA`.
+    pub passed: bool,
+}
+
+impl TestResult {
+    fn new(name: &'static str, p_value: f64) -> Self {
+        TestResult {
+            name,
+            p_value,
+            passed: p_value >= ALPHA,
+        }
+    }
+}
+
+/// Results of the whole battery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatteryReport {
+    /// Individual test outcomes.
+    pub results: Vec<TestResult>,
+}
+
+impl BatteryReport {
+    /// True when every test passed.
+    pub fn all_passed(&self) -> bool {
+        self.results.iter().all(|r| r.passed)
+    }
+
+    /// Number of tests run.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when the battery ran no tests.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+impl fmt::Display for BatteryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.results {
+            writeln!(
+                f,
+                "{:<22} p = {:<10.6} {}",
+                r.name,
+                r.p_value,
+                if r.passed { "PASS" } else { "FAIL" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full battery on `bits`.
+///
+/// # Panics
+///
+/// Panics if `bits.len() < 1000` — the tests are meaningless on tiny streams.
+pub fn run_battery(bits: &[bool]) -> BatteryReport {
+    assert!(bits.len() >= 1000, "battery needs at least 1000 bits");
+    BatteryReport {
+        results: vec![
+            monobit(bits),
+            block_frequency(bits, 128),
+            runs(bits),
+            longest_run_of_ones(bits),
+            cumulative_sums(bits),
+            serial(bits, 3),
+            approximate_entropy(bits, 2),
+            poker(bits),
+            spectral(bits),
+            linear_complexity(bits, 500),
+        ],
+    }
+}
+
+/// SP 800-22 §2.1 frequency (monobit) test.
+pub fn monobit(bits: &[bool]) -> TestResult {
+    let n = bits.len() as f64;
+    let sum: i64 = bits.iter().map(|&b| if b { 1 } else { -1 }).sum();
+    let s_obs = (sum as f64).abs() / n.sqrt();
+    TestResult::new("monobit", erfc(s_obs / std::f64::consts::SQRT_2))
+}
+
+/// SP 800-22 §2.2 block frequency test with block size `m`.
+pub fn block_frequency(bits: &[bool], m: usize) -> TestResult {
+    let blocks = bits.len() / m;
+    let mut chi2 = 0.0;
+    for block in 0..blocks {
+        let ones = bits[block * m..(block + 1) * m].iter().filter(|&&b| b).count();
+        let pi = ones as f64 / m as f64;
+        chi2 += (pi - 0.5).powi(2);
+    }
+    chi2 *= 4.0 * m as f64;
+    TestResult::new("block_frequency", igamc(blocks as f64 / 2.0, chi2 / 2.0))
+}
+
+/// SP 800-22 §2.3 runs test.
+pub fn runs(bits: &[bool]) -> TestResult {
+    let n = bits.len() as f64;
+    let pi = bits.iter().filter(|&&b| b).count() as f64 / n;
+    // Prerequisite frequency check.
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return TestResult::new("runs", 0.0);
+    }
+    let v_obs = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+    let num = (v_obs as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    TestResult::new("runs", erfc(num / den))
+}
+
+/// SP 800-22 §2.4 longest run of ones, using the M = 128 parameterization
+/// (requires n ≥ 6272; falls back to M = 8 for shorter streams).
+pub fn longest_run_of_ones(bits: &[bool]) -> TestResult {
+    let (m, k, n_blocks, categories, probs): (usize, usize, usize, Vec<usize>, Vec<f64>) =
+        if bits.len() >= 6272 {
+            (
+                128,
+                5,
+                bits.len() / 128,
+                vec![4, 5, 6, 7, 8, 9],
+                vec![0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124],
+            )
+        } else {
+            (
+                8,
+                3,
+                bits.len() / 8,
+                vec![1, 2, 3, 4],
+                vec![0.2148, 0.3672, 0.2305, 0.1875],
+            )
+        };
+    let mut counts = vec![0usize; k + 1];
+    for block in 0..n_blocks {
+        let slice = &bits[block * m..(block + 1) * m];
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for &bit in slice {
+            if bit {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        let low = categories[0];
+        let high = categories[k];
+        let idx = longest.clamp(low, high) - low;
+        counts[idx] += 1;
+    }
+    let mut chi2 = 0.0;
+    for i in 0..=k {
+        let expected = n_blocks as f64 * probs[i];
+        chi2 += (counts[i] as f64 - expected).powi(2) / expected;
+    }
+    TestResult::new("longest_run", igamc(k as f64 / 2.0, chi2 / 2.0))
+}
+
+/// SP 800-22 §2.13 cumulative sums (forward mode).
+pub fn cumulative_sums(bits: &[bool]) -> TestResult {
+    let n = bits.len() as f64;
+    let mut sum = 0i64;
+    let mut z = 0i64;
+    for &bit in bits {
+        sum += if bit { 1 } else { -1 };
+        z = z.max(sum.abs());
+    }
+    let z = z as f64;
+    let sqrt_n = n.sqrt();
+    let mut p = 1.0;
+    let k_start = ((-n / z + 1.0) / 4.0).floor() as i64;
+    let k_end = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_start..=k_end {
+        p -= phi(((4 * k + 1) as f64 * z) / sqrt_n) - phi(((4 * k - 1) as f64 * z) / sqrt_n);
+    }
+    let k_start = ((-n / z - 3.0) / 4.0).floor() as i64;
+    for k in k_start..=k_end {
+        p += phi(((4 * k + 3) as f64 * z) / sqrt_n) - phi(((4 * k + 1) as f64 * z) / sqrt_n);
+    }
+    TestResult::new("cumulative_sums", p.clamp(0.0, 1.0))
+}
+
+/// SP 800-22 §2.11 serial test with pattern length `m` (uses ∇ψ²).
+pub fn serial(bits: &[bool], m: usize) -> TestResult {
+    let psi2 = |len: usize| -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        let n = bits.len();
+        let mut counts = vec![0u64; 1 << len];
+        for i in 0..n {
+            let mut pattern = 0usize;
+            for j in 0..len {
+                pattern = (pattern << 1) | bits[(i + j) % n] as usize;
+            }
+            counts[pattern] += 1;
+        }
+        let sum_sq: f64 = counts.iter().map(|&c| (c as f64).powi(2)).sum();
+        (1 << len) as f64 / n as f64 * sum_sq - n as f64
+    };
+    let del1 = psi2(m) - psi2(m - 1);
+    let p = igamc((1 << (m - 2)) as f64, del1 / 2.0);
+    TestResult::new("serial", p)
+}
+
+/// SP 800-22 §2.12 approximate entropy with block length `m`.
+pub fn approximate_entropy(bits: &[bool], m: usize) -> TestResult {
+    let n = bits.len();
+    let phi_m = |len: usize| -> f64 {
+        let mut counts = vec![0u64; 1 << len];
+        for i in 0..n {
+            let mut pattern = 0usize;
+            for j in 0..len {
+                pattern = (pattern << 1) | bits[(i + j) % n] as usize;
+            }
+            counts[pattern] += 1;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n as f64;
+                p * p.ln()
+            })
+            .sum()
+    };
+    let ap_en = phi_m(m) - phi_m(m + 1);
+    let chi2 = 2.0 * n as f64 * (std::f64::consts::LN_2 - ap_en);
+    TestResult::new("approx_entropy", igamc((1 << (m - 1)) as f64, chi2 / 2.0))
+}
+
+/// FIPS 140-2 poker test on 4-bit nibbles, converted to a p-value via the
+/// chi-square distribution with 15 degrees of freedom.
+pub fn poker(bits: &[bool]) -> TestResult {
+    let groups = bits.len() / 4;
+    let mut counts = [0u64; 16];
+    for g in 0..groups {
+        let nibble = (bits[4 * g] as usize) << 3
+            | (bits[4 * g + 1] as usize) << 2
+            | (bits[4 * g + 2] as usize) << 1
+            | bits[4 * g + 3] as usize;
+        counts[nibble] += 1;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64).powi(2)).sum();
+    let x = 16.0 / groups as f64 * sum_sq - groups as f64;
+    TestResult::new("poker", igamc(7.5, x / 2.0))
+}
+
+// ---------------------------------------------------------------------------
+// Special functions
+// ---------------------------------------------------------------------------
+
+/// Standard normal CDF.
+fn phi(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Numerical Recipes' `erfcc`, |err| < 1.2e-7,
+/// refined by one round of series for the battery's accuracy needs).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x)`.
+///
+/// Series for `x < a + 1`, continued fraction otherwise (Numerical Recipes
+/// `gammq`).
+pub fn igamc(a: f64, x: f64) -> f64 {
+    if x <= 0.0 || a <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+fn ln_gamma(x: f64) -> f64 {
+    // Lanczos approximation (g = 5, n = 6).
+    const COEFFS: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Lower regularized incomplete gamma `P(a, x)` by series expansion.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+/// Upper regularized incomplete gamma `Q(a, x)` by continued fraction.
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    ((-x + a * x.ln() - gln).exp()) * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use max_crypto::{AesPrg, Block};
+
+    fn prg_bits(n: usize) -> Vec<bool> {
+        AesPrg::new(Block::new(0x5eed)).bits(n)
+    }
+
+    #[test]
+    fn erfc_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842700).abs() < 1e-5);
+        assert!(erfc(5.0) < 1.6e-12);
+    }
+
+    #[test]
+    fn igamc_known_values() {
+        // Q(0.5, x) = erfc(sqrt(x)).
+        for x in [0.1, 0.5, 1.0, 2.0, 5.0] {
+            assert!(
+                (igamc(0.5, x) - erfc(x.sqrt())).abs() < 1e-6,
+                "x = {x}"
+            );
+        }
+        // Q(1, x) = exp(-x).
+        for x in [0.5, 1.0, 3.0] {
+            assert!((igamc(1.0, x) - (-x_f64(x)).exp()).abs() < 1e-10);
+        }
+        fn x_f64(x: f64) -> f64 {
+            x
+        }
+    }
+
+    #[test]
+    fn sp80022_monobit_example() {
+        // SP 800-22 §2.1.4 worked example: ε = 1011010101 (n = 10),
+        // S_n = 2, p-value = 0.527089.
+        let bits: Vec<bool> = "1011010101".chars().map(|c| c == '1').collect();
+        let result = monobit(&bits);
+        assert!((result.p_value - 0.527089).abs() < 1e-5, "{result:?}");
+    }
+
+    #[test]
+    fn sp80022_runs_example() {
+        // SP 800-22 §2.3.4 worked example: ε = 1001101011 (n = 10),
+        // π = 0.6, V_n = 7, p-value = 0.147232.
+        let bits: Vec<bool> = "1001101011".chars().map(|c| c == '1').collect();
+        let result = runs(&bits);
+        assert!((result.p_value - 0.147232).abs() < 1e-5, "{result:?}");
+    }
+
+    #[test]
+    fn sp80022_block_frequency_example() {
+        // SP 800-22 §2.2.4 worked example: ε = 0110011010 with M = 3,
+        // χ² = 1, p-value = 0.801252.
+        let bits: Vec<bool> = "0110011010".chars().map(|c| c == '1').collect();
+        let result = block_frequency(&bits, 3);
+        assert!((result.p_value - 0.801252).abs() < 1e-5, "{result:?}");
+    }
+
+    #[test]
+    fn aes_prg_passes_battery() {
+        let report = run_battery(&prg_bits(100_000));
+        assert!(report.all_passed(), "{report}");
+    }
+
+    #[test]
+    fn all_zero_stream_fails() {
+        let report = run_battery(&vec![false; 10_000]);
+        assert!(!report.all_passed());
+        assert!(!report.results[0].passed, "monobit must fail on zeros");
+    }
+
+    #[test]
+    fn alternating_stream_fails_runs_family() {
+        let bits: Vec<bool> = (0..10_000).map(|i| i % 2 == 1).collect();
+        let report = run_battery(&bits);
+        // Perfectly alternating bits pass monobit but fail runs/serial.
+        assert!(report.results.iter().any(|r| !r.passed), "{report}");
+    }
+
+    #[test]
+    fn biased_stream_fails_monobit() {
+        let mut prg = AesPrg::new(Block::new(1));
+        let bits: Vec<bool> = (0..20_000)
+            .map(|_| prg.next_below(100) < 60) // 60% ones
+            .collect();
+        assert!(!monobit(&bits).passed);
+    }
+
+    #[test]
+    fn battery_reports_ten_tests() {
+        let report = run_battery(&prg_bits(10_000));
+        assert_eq!(report.len(), 10);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1000 bits")]
+    fn battery_rejects_short_streams() {
+        run_battery(&[true; 10]);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let report = run_battery(&prg_bits(10_000));
+        let text = report.to_string();
+        assert_eq!(text.lines().count(), 10);
+        assert!(text.contains("monobit"));
+        assert!(text.contains("spectral"));
+        assert!(text.contains("linear_complexity"));
+    }
+}
+
+/// SP 800-22 §2.6 discrete Fourier transform (spectral) test: detects
+/// periodic features. Uses an in-repo radix-2 FFT; `bits` is truncated to a
+/// power of two.
+pub fn spectral(bits: &[bool]) -> TestResult {
+    let n = bits.len().next_power_of_two() >> 1;
+    let n = n.max(2);
+    // Signal: ±1.
+    let mut re: Vec<f64> = bits
+        .iter()
+        .take(n)
+        .map(|&b| if b { 1.0 } else { -1.0 })
+        .collect();
+    re.resize(n, -1.0);
+    let mut im = vec![0.0; n];
+    fft_in_place(&mut re, &mut im);
+    // Peak heights below the 95% threshold over the first half.
+    let threshold = (n as f64 * (1.0 / 0.05f64).ln()).sqrt();
+    let half = n / 2;
+    let below = (0..half)
+        .filter(|&i| (re[i] * re[i] + im[i] * im[i]).sqrt() < threshold)
+        .count();
+    let expected = 0.95 * half as f64;
+    let variance = (n as f64) * 0.95 * 0.05 / 4.0;
+    let d = (below as f64 - expected) / variance.sqrt();
+    TestResult::new("spectral", erfc(d.abs() / std::f64::consts::SQRT_2))
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two (internal use only).
+fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+        let mut mask = n >> 1;
+        while mask > 0 && j & mask != 0 {
+            j ^= mask;
+            mask >>= 1;
+        }
+        j |= mask;
+    }
+    let mut len = 2;
+    while len <= n {
+        let angle = -std::f64::consts::TAU / len as f64;
+        let (w_re, w_im) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let even = start + k;
+                let odd = start + k + len / 2;
+                let t_re = re[odd] * cur_re - im[odd] * cur_im;
+                let t_im = re[odd] * cur_im + im[odd] * cur_re;
+                re[odd] = re[even] - t_re;
+                im[odd] = im[even] - t_im;
+                re[even] += t_re;
+                im[even] += t_im;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// SP 800-22 §2.10 linear complexity test: Berlekamp–Massey LFSR length of
+/// `m`-bit blocks against the expected profile.
+pub fn linear_complexity(bits: &[bool], m: usize) -> TestResult {
+    let blocks = bits.len() / m;
+    if blocks == 0 {
+        return TestResult::new("linear_complexity", 0.0);
+    }
+    // Expected LFSR length and the 7-bin chi-square of SP 800-22.
+    let mu = m as f64 / 2.0 + (9.0 + if m % 2 == 0 { 1.0 } else { -1.0 }) / 36.0
+        - (m as f64 / 3.0 + 2.0 / 9.0) / 2f64.powi(m as i32);
+    let probs = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
+    let mut counts = [0u64; 7];
+    for block in 0..blocks {
+        let l = berlekamp_massey(&bits[block * m..(block + 1) * m]);
+        let t = if m % 2 == 0 { 1.0 } else { -1.0 } * (l as f64 - mu) + 2.0 / 9.0;
+        let bin = if t <= -2.5 {
+            0
+        } else if t <= -1.5 {
+            1
+        } else if t <= -0.5 {
+            2
+        } else if t <= 0.5 {
+            3
+        } else if t <= 1.5 {
+            4
+        } else if t <= 2.5 {
+            5
+        } else {
+            6
+        };
+        counts[bin] += 1;
+    }
+    let mut chi2 = 0.0;
+    for (count, p) in counts.iter().zip(probs) {
+        let expected = blocks as f64 * p;
+        chi2 += (*count as f64 - expected).powi(2) / expected;
+    }
+    TestResult::new("linear_complexity", igamc(3.0, chi2 / 2.0))
+}
+
+/// Berlekamp–Massey: length of the shortest LFSR generating `bits`.
+pub fn berlekamp_massey(bits: &[bool]) -> usize {
+    let n = bits.len();
+    let mut c = vec![false; n + 1];
+    let mut b = vec![false; n + 1];
+    c[0] = true;
+    b[0] = true;
+    let mut l = 0usize;
+    let mut m: isize = -1;
+    for i in 0..n {
+        // Discrepancy.
+        let mut d = bits[i];
+        for j in 1..=l {
+            d ^= c[j] && bits[i - j];
+        }
+        if d {
+            let t = c.clone();
+            let shift = (i as isize - m) as usize;
+            for j in 0..=n.saturating_sub(shift) {
+                if b[j] {
+                    c[j + shift] ^= true;
+                }
+            }
+            if 2 * l <= i {
+                l = i + 1 - l;
+                m = i as isize;
+                b = t;
+            }
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use max_crypto::{AesPrg, Block};
+
+    #[test]
+    fn fft_of_constant_signal_concentrates_at_dc() {
+        let mut re = vec![1.0; 8];
+        let mut im = vec![0.0; 8];
+        fft_in_place(&mut re, &mut im);
+        assert!((re[0] - 8.0).abs() < 1e-9);
+        for i in 1..8 {
+            assert!(re[i].abs() < 1e-9 && im[i].abs() < 1e-9, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn spectral_passes_prg_fails_periodic() {
+        let good = AesPrg::new(Block::new(0x0dd)).bits(4096);
+        assert!(spectral(&good).passed, "{:?}", spectral(&good));
+        let periodic: Vec<bool> = (0..4096).map(|i| i % 4 < 2).collect();
+        assert!(!spectral(&periodic).passed);
+    }
+
+    #[test]
+    fn berlekamp_massey_known_sequences() {
+        // All zeros: LFSR length 0.
+        assert_eq!(berlekamp_massey(&[false; 16]), 0);
+        // Single one at the end needs full length.
+        let mut impulse = vec![false; 8];
+        impulse[7] = true;
+        assert_eq!(berlekamp_massey(&impulse), 8);
+        // Alternating 1010... has complexity 2.
+        let alt: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        assert_eq!(berlekamp_massey(&alt), 2);
+    }
+
+    #[test]
+    fn linear_complexity_passes_prg_fails_lfsr_like() {
+        let good = AesPrg::new(Block::new(0x1cc)).bits(100_000);
+        let result = linear_complexity(&good, 500);
+        assert!(result.passed, "{result:?}");
+        // A short-period sequence has far-too-low complexity everywhere.
+        let bad: Vec<bool> = (0..100_000).map(|i| (i / 3) % 2 == 0).collect();
+        assert!(!linear_complexity(&bad, 500).passed);
+    }
+
+    #[test]
+    fn ro_rng_passes_extended_tests() {
+        let mut rng = crate::RoRng::from_seed(0xe77);
+        let bits = rng.bits(60_000);
+        assert!(spectral(&bits).passed, "{:?}", spectral(&bits));
+        let lc = linear_complexity(&bits, 500);
+        assert!(lc.passed, "{lc:?}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Phase-accumulation model of a free-running ring oscillator.
+
+/// Nominal sampling clock of the accelerator fabric (200 MHz, §5.3).
+pub(crate) const SAMPLE_CLOCK_HZ: f64 = 200.0e6;
+
+/// Nominal oscillation frequency of a 3-inverter ring on the simulated
+/// process, before mismatch. Chosen incommensurate with the 200 MHz sample
+/// clock so the sampled phase walks the unit interval instead of locking to
+/// a short cycle.
+const NOMINAL_RO_HZ: f64 = 487.3e6;
+
+/// Fast non-cryptographic noise source (xoshiro256++) used to simulate the
+/// *physical* thermal jitter of a ring. The harvested randomness is whitened
+/// downstream by the Wold–Tan XOR tree, exactly as in silicon; the noise
+/// source itself only needs good statistical quality, not crypto strength.
+#[derive(Clone, Debug)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn new(seed: u64) -> Self {
+        // SplitMix64 seeding, per the xoshiro reference implementation.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in [0, 1).
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard Gaussian via Box–Muller (no caching; two uniforms per call
+    /// is cheap with xoshiro).
+    fn gaussian(&mut self) -> f64 {
+        let u1 = self.uniform().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// One free-running ring oscillator (3 inverters — see
+/// [`crate::INVERTERS_PER_RING`]), simulated as a phase accumulator with
+/// manufacturing mismatch and cycle-to-cycle Gaussian jitter.
+///
+/// Each call to [`RingOscillator::sample`] advances the ring by one sample
+/// clock and returns the logic level seen by the sampling flip-flop. Jitter
+/// accumulates in the phase, so the sampled square wave's edges drift — the
+/// physical entropy mechanism of an RO TRNG.
+///
+/// # Example
+///
+/// ```
+/// use max_rng::RingOscillator;
+///
+/// let mut ro = RingOscillator::from_seed(1, 0);
+/// let first: Vec<bool> = (0..8).map(|_| ro.sample()).collect();
+/// assert_eq!(first.len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingOscillator {
+    /// Phase in oscillation periods; the output is high for phase fraction < 0.5.
+    phase: f64,
+    /// Ring frequency relative to the sample clock (includes mismatch).
+    increment: f64,
+    /// Relative RMS cycle-to-cycle jitter.
+    jitter_rms: f64,
+    noise: Xoshiro256,
+}
+
+impl RingOscillator {
+    /// Creates a ring oscillator with reproducible mismatch and jitter drawn
+    /// from `(seed, ring_index)`.
+    pub fn from_seed(seed: u64, ring_index: u64) -> Self {
+        let mut noise = Xoshiro256::new(seed ^ ring_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // ±5% frequency mismatch between rings, drawn once.
+        let mismatch = 1.0 + 0.10 * (noise.uniform() - 0.5);
+        let frequency = NOMINAL_RO_HZ * mismatch;
+        RingOscillator {
+            phase: noise.uniform(), // random initial phase
+            increment: frequency / SAMPLE_CLOCK_HZ,
+            // ~2% RMS accumulated jitter per sample interval: pessimistic-realistic
+            // for a short ring, and enough accumulated drift to decorrelate
+            // samples over a few clocks.
+            jitter_rms: 0.02,
+            noise,
+        }
+    }
+
+    /// Advances one sample clock and returns the sampled level.
+    pub fn sample(&mut self) -> bool {
+        let jitter = self.noise.gaussian() * self.jitter_rms * self.increment;
+        self.phase += self.increment + jitter;
+        if self.phase > 1.0e9 {
+            // Re-wrap occasionally; only the fractional part matters and this
+            // keeps the accumulator in full double precision.
+            self.phase = self.phase.fract();
+        }
+        self.phase.fract() < 0.5
+    }
+
+    /// The ring's mismatch-adjusted frequency in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.increment * SAMPLE_CLOCK_HZ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oscillates() {
+        let mut ro = RingOscillator::from_seed(3, 0);
+        let samples: Vec<bool> = (0..1000).map(|_| ro.sample()).collect();
+        let ones = samples.iter().filter(|&&b| b).count();
+        // A free-running square wave sampled at an incommensurate clock is
+        // roughly balanced.
+        assert!((300..700).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let mut a = RingOscillator::from_seed(5, 2);
+        let mut b = RingOscillator::from_seed(5, 2);
+        for _ in 0..256 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn rings_have_mismatched_frequencies() {
+        let a = RingOscillator::from_seed(5, 0);
+        let b = RingOscillator::from_seed(5, 1);
+        assert_ne!(a.frequency_hz(), b.frequency_hz());
+    }
+
+    #[test]
+    fn frequency_within_mismatch_band() {
+        for ring in 0..32 {
+            let ro = RingOscillator::from_seed(9, ring);
+            let f = ro.frequency_hz();
+            assert!((NOMINAL_RO_HZ * 0.94..NOMINAL_RO_HZ * 1.06).contains(&f));
+        }
+    }
+
+    #[test]
+    fn single_ring_is_biased_or_patterned() {
+        // A single RO sampled at a fixed clock shows strong serial structure;
+        // the Wold-Tan XOR of 16 rings is what removes it. Verify the raw
+        // ring indeed has high lag-1 autocorrelation so the corrector is
+        // actually doing work.
+        let mut ro = RingOscillator::from_seed(1, 0);
+        let samples: Vec<bool> = (0..10_000).map(|_| ro.sample()).collect();
+        let mut agree = 0usize;
+        for pair in samples.windows(2) {
+            if pair[0] == pair[1] {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / (samples.len() - 1) as f64;
+        assert!(
+            (rate - 0.5).abs() > 0.02,
+            "raw ring unexpectedly white: agree rate {rate}"
+        );
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_nontrivial() {
+        let mut a = Xoshiro256::new(1);
+        let mut b = Xoshiro256::new(1);
+        let mut c = Xoshiro256::new(2);
+        let xa = a.next_u64();
+        assert_eq!(xa, b.next_u64());
+        assert_ne!(xa, c.next_u64());
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate hosting the repository-level `examples/` and `tests/`
+//! directories (Cargo requires a package to own them; this one depends on
+//! every crate in the workspace).
+//!
+//! Run an example with e.g.:
+//!
+//! ```text
+//! cargo run -p max-suite --example quickstart
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Workspace name, re-exported so the crate is non-empty.
+pub const WORKSPACE: &str = "maxelerator";

@@ -1,0 +1,71 @@
+//! A look inside the accelerator: compile the FSM schedule for a chosen
+//! bit-width and inspect the pipeline, the resource model and the analytic
+//! timing model side by side.
+//!
+//! ```text
+//! cargo run -p max-suite --example accelerator_pipeline [bit_width]
+//! ```
+
+use maxelerator::{
+    mac_unit_resources, resource_breakdown, AcceleratorConfig, Schedule, TimingModel,
+};
+
+fn main() {
+    let b: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let config = AcceleratorConfig::new(b);
+    let mac = config.mac_circuit();
+    let timing = TimingModel::paper(b);
+
+    println!("== MAXelerator MAC unit, b = {b} ==");
+    println!();
+    println!("netlist: {}", mac.netlist().stats());
+    println!(
+        "cores: {} ({} MUX_ADD + {} TREE)",
+        timing.cores(),
+        timing.segment1_cores(),
+        timing.segment2_cores()
+    );
+    println!();
+
+    println!("-- analytic model (Sec. 4.3) --");
+    println!("  latency: {} stages = {} cycles", timing.latency_stages(), timing.latency_cycles());
+    println!("  throughput: 1 MAC / {} cycles = {:.3e} MAC/s", timing.cycles_per_mac(), timing.macs_per_second());
+    println!("  per core: {:.3e} MAC/s", timing.macs_per_second_per_core());
+    println!(
+        "  1024x1024 by 1024x1 matvec: {:.1} ms",
+        timing.matmul_seconds(1024, 1024, 1) * 1e3
+    );
+    println!();
+
+    println!("-- compiled pipelined schedule (12 rounds) --");
+    let schedule = Schedule::compile(mac.netlist(), timing.cores(), 12, config.state_range());
+    let stats = schedule.stats();
+    println!("  ANDs per round: {}", stats.ands_per_round);
+    println!(
+        "  measured steady-state II: {:.1} cycles/MAC (paper formula: {})",
+        stats.steady_state_ii,
+        timing.cycles_per_mac()
+    );
+    println!(
+        "  pipeline-fill latency: {} cycles (paper formula: {})",
+        stats.first_round_latency,
+        timing.latency_cycles()
+    );
+    println!(
+        "  utilization: {:.1}% | max idle cores in steady state: {} (claim: <= 2)",
+        stats.utilization * 100.0,
+        stats.max_idle_cores_steady
+    );
+    println!();
+
+    println!("-- resource model (Table 1 calibration) --");
+    println!("  unit total: {}", mac_unit_resources(b));
+    for part in resource_breakdown(b) {
+        println!("    {:<18} {}", part.name, part.usage);
+    }
+    let copies = mac_unit_resources(b).copies_within(&max_fpga::XCVU095);
+    println!("  MAC units fitting the XCVU095: {copies}");
+}

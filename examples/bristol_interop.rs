@@ -1,0 +1,52 @@
+//! Interop with the MPC community's Bristol-fashion circuit format: export
+//! our GC-optimized multiplier, re-import it, and garble the imported
+//! circuit with the software stack — what you would do to run one of this
+//! repository's netlists under another framework (or theirs under ours).
+//!
+//! ```text
+//! cargo run -p max-suite --example bristol_interop
+//! ```
+
+use max_crypto::Block;
+use max_gc::protocol::{run_two_party, trusted_transfer};
+use max_netlist::{bristol, decode_unsigned, encode_unsigned, Builder, MultiplierKind};
+
+fn main() {
+    // Build an 8×8 tree multiplier (constant-free so Bristol can express it).
+    let mut b = Builder::new();
+    let x = b.garbler_input_bus(8);
+    let y = b.evaluator_input_bus(8);
+    let p = b.mul(MultiplierKind::Tree, &x, &y);
+    let netlist = b.build(p.wires().to_vec());
+    println!("source netlist: {}", netlist.stats());
+
+    let text = bristol::export(&netlist).expect("constant-free circuit exports");
+    println!(
+        "exported {} bytes of Bristol fashion; first lines:",
+        text.len()
+    );
+    for line in text.lines().take(5) {
+        println!("  | {line}");
+    }
+
+    let imported = bristol::import(&text).expect("round trip parses");
+    println!("re-imported: {}", imported.stats());
+
+    // Garble the *imported* circuit in a real two-party run.
+    let (a, c) = (57u64, 113u64);
+    let outcome = run_two_party(
+        &imported,
+        &encode_unsigned(a, 8),
+        &encode_unsigned(c, 8),
+        Block::new(0xb1570),
+        trusted_transfer(),
+    );
+    let product = decode_unsigned(&outcome.outputs);
+    println!();
+    println!("two-party {a} x {c} over the imported circuit = {product}");
+    assert_eq!(product, a * c);
+    println!(
+        "garbler sent {} B, evaluator sent {} B",
+        outcome.garbler_sent, outcome.evaluator_sent
+    );
+}

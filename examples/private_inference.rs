@@ -1,0 +1,80 @@
+//! Fully-private neural-network inference (§2.1's deep-learning
+//! motivation): the whole MLP — every layer's MACs *and* the ReLUs — is one
+//! garbled circuit. The server never sees the client's features; the client
+//! never sees the model; no intermediate activation is ever decoded.
+//!
+//! Also prints the accelerator cost model for the hybrid deployment, where
+//! the MAC layers (≫ 95 % of the gates) run on MAXelerator.
+//!
+//! ```text
+//! cargo run -p max-suite --example private_inference
+//! ```
+
+use max_crypto::Block;
+use max_fixed::FixedFormat;
+use max_gc::{Evaluator, Garbler, PrgLabelSource};
+use max_ml::neural::Mlp;
+use max_ot::run_chosen_ot;
+use maxelerator::TimingModel;
+
+fn main() {
+    let format = FixedFormat::new(12, 5);
+    let mlp = Mlp::new_random(&[6, 5, 3], 2026);
+    let client_x = vec![0.9, -0.4, 0.6, -1.1, 0.2, 0.75];
+
+    println!("model: 6 -> 5 (ReLU) -> 3 MLP, Q12.5 fixed point");
+    let circuit = mlp.build_inference_netlist(format);
+    let stats = circuit.netlist.stats();
+    println!("inference netlist: {stats}");
+
+    // ---- garble (server) ----------------------------------------------------
+    let mut labels = PrgLabelSource::new(Block::new(0xd1_2026));
+    let mut garbler = Garbler::new(&mut labels);
+    let garbled = garbler.garble(&circuit.netlist, 0);
+    let server_labels = garbled.encode_garbler_inputs(&mlp.garbler_bits(&circuit));
+
+    // ---- client input labels via OT ------------------------------------------
+    let choices = mlp.evaluator_bits(&circuit, &client_x);
+    let pairs: Vec<(Block, Block)> = (0..choices.len())
+        .map(|i| garbled.evaluator_label_pair(i))
+        .collect();
+    let client_labels = run_chosen_ot(41, &pairs, &choices);
+
+    // ---- evaluate (client) ---------------------------------------------------
+    let out_labels = Evaluator::new().evaluate(
+        &circuit.netlist,
+        garbled.material(),
+        &server_labels,
+        &client_labels,
+        0,
+    );
+    let out_bits = garbled.decode_outputs(&out_labels);
+    let secure = circuit.decode_outputs(&out_bits);
+    let reference = mlp.forward_fixed(&client_x, format);
+    let float = mlp.forward(&client_x);
+
+    println!();
+    println!("logits (secure | fixed-point reference | f64):");
+    for ((s, r), f) in secure.iter().zip(&reference).zip(&float) {
+        let dequant = *s as f64 * format.step() * format.step();
+        println!("  {s:>8} | {r:>8} | {dequant:>8.4} vs {f:.4}");
+    }
+    assert_eq!(secure, reference, "garbled inference must be bit-exact");
+
+    // ---- cost story -----------------------------------------------------------
+    let cost = mlp.inference_cost();
+    let t32 = TimingModel::paper(32);
+    println!();
+    println!(
+        "cost: {} MACs + {} ReLUs; netlist {} AND gates = {} KiB of tables",
+        cost.macs,
+        cost.relus,
+        stats.and_gates,
+        stats.and_gates * 32 / 1024
+    );
+    println!(
+        "hybrid deployment: the {} MACs take {:.2} us on one 32-bit MAXelerator unit",
+        cost.macs,
+        cost.macs as f64 * t32.seconds_per_mac() * 1e6
+    );
+}

@@ -1,0 +1,61 @@
+//! Private movie recommendation (§6 case study A).
+//!
+//! The service holds item profiles learned by matrix factorization; the
+//! user holds their taste profile. A rating prediction is the dot product
+//! of the two — computed under garbled circuits so the service never sees
+//! the user profile and the user never sees the model.
+//!
+//! ```text
+//! cargo run -p max-suite --example private_recommender
+//! ```
+
+use max_fixed::FixedFormat;
+use max_ml::recommender::{iteration_model, synthetic_ratings, MatrixFactorization};
+use maxelerator::{connect, secure_matvec, AcceleratorConfig};
+
+fn main() {
+    // ---- offline: the service trains item profiles -------------------------
+    let (n_users, n_items, dim) = (60, 40, 6);
+    let ratings = synthetic_ratings(n_users, n_items, 2500, dim, 11);
+    let mut mf = MatrixFactorization::new(n_users, n_items, dim, 12);
+    let mut rmse = 0.0;
+    for _ in 0..25 {
+        rmse = mf.epoch(&ratings);
+    }
+    println!("trained matrix factorization: d = {dim}, final RMSE = {rmse:.4}");
+
+    // ---- online: private prediction for user 3, items 0..5 -----------------
+    let format = FixedFormat::new(16, 10);
+    let user = 3usize;
+    let user_profile = mf.quantized_user(user, format);
+    let item_matrix: Vec<Vec<i64>> = (0..5).map(|i| mf.quantized_item(i, format)).collect();
+
+    let config = AcceleratorConfig::new(16);
+    let (mut server, mut client) = connect(&config, item_matrix, 13);
+    let (raw_scores, transcript) = secure_matvec(&mut server, &mut client, &user_profile);
+
+    println!();
+    println!("private rating predictions for user {user}:");
+    for (item, raw) in raw_scores.iter().enumerate() {
+        let secure = format.dequantize_product(*raw);
+        let plain = mf.predict(user, item);
+        println!("  item {item}: secure {secure:.3} | plaintext {plain:.3}");
+        assert!((secure - plain).abs() < 0.25, "quantization drift too large");
+    }
+    println!(
+        "({} MAC rounds, {} tables, {:.2} us fabric time)",
+        transcript.rounds,
+        transcript.tables,
+        transcript.fabric_seconds * 1e6
+    );
+
+    // ---- the paper's MovieLens-scale iteration estimate ---------------------
+    println!();
+    let est = iteration_model::paper_estimate();
+    println!(
+        "MovieLens-scale training iteration [6]: {:.1} h -> {:.2} h ({:.0}% reduction; paper: 2.9 h -> ~1 h)",
+        est.baseline_seconds / 3600.0,
+        est.accelerated_seconds / 3600.0,
+        est.reduction * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: a privacy-preserving dot product between a cloud server and
+//! a client.
+//!
+//! The server holds a weight vector `a` (one row of its model); the client
+//! holds a feature vector `x`. Neither reveals its vector; the client learns
+//! only `<a, x>`. The server garbles on the simulated MAXelerator, the
+//! client receives its input labels via the real OT-extension stack.
+//!
+//! ```text
+//! cargo run -p max-suite --example quickstart
+//! ```
+
+use maxelerator::{connect, secure_matvec, AcceleratorConfig};
+
+fn main() {
+    // 8-bit signed fixed-point operands, the paper's smallest configuration.
+    let config = AcceleratorConfig::new(8);
+
+    // Server-side secret: one model row. Client-side secret: the features.
+    let server_row = vec![12i64, -7, 33, 9, -25, 5, 18, -8];
+    let client_x = vec![3i64, -2, 7, 1, -5, 4, 6, -1];
+    let expected: i64 = server_row.iter().zip(&client_x).map(|(a, x)| a * x).sum();
+
+    let (mut server, mut client) = connect(&config, vec![server_row], 7);
+    let (result, transcript) = secure_matvec(&mut server, &mut client, &client_x);
+
+    println!("secure <a, x>  = {}", result[0]);
+    println!("plaintext      = {expected}");
+    assert_eq!(result[0], expected);
+
+    println!();
+    println!("what it cost:");
+    println!("  {} MAC rounds, {} garbled tables", transcript.rounds, transcript.tables);
+    println!(
+        "  {} bytes of garbled material, {} bytes of OT",
+        transcript.material_bytes, transcript.ot_bytes
+    );
+    println!(
+        "  {} fabric cycles = {:.2} us at 200 MHz",
+        transcript.fabric_cycles,
+        transcript.fabric_seconds * 1e6
+    );
+    let report = server.accelerator_report();
+    println!(
+        "  accelerator: {:.1} cycles/MAC steady-state (paper: {}), {:.0}% core utilization",
+        report.last_job_ii,
+        3 * config.bit_width,
+        report.last_job_utilization * 100.0
+    );
+}

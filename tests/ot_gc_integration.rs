@@ -1,0 +1,234 @@
+//! OT ↔ GC integration: evaluator input labels delivered through the real
+//! OT stack (base OT + IKNP extension) must evaluate garbled circuits
+//! correctly, including across threads on a byte-counted duplex wire.
+
+use max_crypto::Block;
+use max_gc::channel::Duplex;
+use max_gc::{Evaluator, Garbler, Material, PrgLabelSource};
+use max_netlist::{decode_unsigned, encode_unsigned, Builder};
+use max_ot::{iknp, run_chosen_ot};
+
+#[test]
+fn ot_delivers_working_input_labels() {
+    // An 8-bit adder where the evaluator's labels arrive via OT.
+    let mut builder = Builder::new();
+    let ga = builder.garbler_input_bus(8);
+    let ea = builder.evaluator_input_bus(8);
+    let sum = builder.add_expand(&ga, &ea);
+    let netlist = builder.build(sum.wires().to_vec());
+
+    let mut labels = PrgLabelSource::new(Block::new(0xabc));
+    let mut garbler = Garbler::new(&mut labels);
+    let garbled = garbler.garble(&netlist, 0);
+
+    let g_value = 200u64;
+    let e_value = 55u64;
+    let g_labels = garbled.encode_garbler_inputs(&encode_unsigned(g_value, 8));
+
+    // The OT: pairs from the garbler, choices from the evaluator.
+    let pairs: Vec<(Block, Block)> = (0..8).map(|i| garbled.evaluator_label_pair(i)).collect();
+    let choices = encode_unsigned(e_value, 8);
+    let e_labels = run_chosen_ot(99, &pairs, &choices);
+
+    let out = Evaluator::new().evaluate(&netlist, garbled.material(), &g_labels, &e_labels, 0);
+    assert_eq!(
+        decode_unsigned(&garbled.decode_outputs(&out)),
+        g_value + e_value
+    );
+}
+
+#[test]
+fn two_party_protocol_over_threads() {
+    // Full two-party run on real threads with the byte-counted wire: the
+    // garbler ships material + its own labels + OT ciphertexts; the client
+    // ships only its OT correction message. The base-OT setup runs before
+    // the split (it is interactive in the same way); each party takes its
+    // own endpoint to its thread.
+    let mut builder = Builder::new();
+    let ga = builder.garbler_input_bus(4);
+    let ea = builder.evaluator_input_bus(4);
+    let prod = builder.mul(max_netlist::MultiplierKind::Tree, &ga, &ea);
+    let netlist = builder.build(prod.wires().to_vec());
+    let netlist_client = netlist.clone();
+
+    let (mut wire_s, mut wire_c) = Duplex::pair();
+    let (mut ot_sender, mut ot_receiver) = iknp::setup_pair(3);
+    let g_value = 13u64;
+    let e_value = 11u64;
+
+    let server = std::thread::spawn(move || {
+        let mut labels = PrgLabelSource::new(Block::new(0x5e55));
+        let mut garbler = Garbler::new(&mut labels);
+        let garbled = garbler.garble(&netlist, 0);
+        wire_s.send_tables(&garbled.material().tables);
+        wire_s.send_bits(&garbled.material().output_decode);
+        wire_s.send_blocks(&garbled.encode_garbler_inputs(&encode_unsigned(g_value, 4)));
+        // OT sender side: receive the (choice-hiding) correction columns,
+        // reply with the ciphertext pairs.
+        let mut ext_columns = Vec::with_capacity(iknp::KAPPA);
+        for _ in 0..iknp::KAPPA {
+            let frame = wire_s.recv_blocks().expect("ot column");
+            ext_columns.push(frame.iter().map(|b| b.bits() as u64).collect::<Vec<u64>>());
+        }
+        let count = wire_s.recv_bits().expect("ot count").len();
+        let pairs: Vec<(Block, Block)> =
+            (0..4).map(|i| garbled.evaluator_label_pair(i)).collect();
+        let cipher = ot_sender.send(
+            &iknp::ExtendMsg {
+                columns: ext_columns,
+                count,
+            },
+            &pairs,
+        );
+        let mut flat = Vec::with_capacity(cipher.pairs.len() * 2);
+        for (y0, y1) in &cipher.pairs {
+            flat.push(*y0);
+            flat.push(*y1);
+        }
+        wire_s.send_blocks(&flat);
+        wire_s.sent().bytes()
+    });
+
+    let client = std::thread::spawn(move || {
+        let tables = wire_c.recv_tables().expect("tables");
+        let decode = wire_c.recv_bits().expect("decode");
+        let g_labels = wire_c.recv_blocks().expect("garbler labels");
+
+        // OT receiver side: send correction columns, get ciphertexts back.
+        let choices = encode_unsigned(e_value, 4);
+        let (ext, keys) = ot_receiver.prepare(&choices);
+        for column in &ext.columns {
+            let blocks: Vec<Block> = column.iter().map(|&w| Block::new(w as u128)).collect();
+            wire_c.send_blocks(&blocks);
+        }
+        wire_c.send_bits(&vec![false; ext.count]);
+        let flat = wire_c.recv_blocks().expect("ot cipher");
+        let cipher = iknp::CipherMsg {
+            pairs: flat.chunks(2).map(|c| (c[0], c[1])).collect(),
+        };
+        let e_labels = ot_receiver.receive(&cipher, &keys, &choices);
+
+        let material = Material {
+            tables,
+            output_decode: decode,
+        };
+        let out = Evaluator::new().evaluate(&netlist_client, &material, &g_labels, &e_labels, 0);
+        let bits: Vec<bool> = out
+            .iter()
+            .zip(&material.output_decode)
+            .map(|(l, &d)| l.lsb() ^ d)
+            .collect();
+        decode_unsigned(&bits)
+    });
+
+    let bytes_sent = server.join().expect("server thread");
+    let result = client.join().expect("client thread");
+    assert_eq!(result, g_value * e_value);
+    assert!(bytes_sent > 0);
+}
+
+#[test]
+fn iknp_scales_to_gc_row_sizes() {
+    // A 32-bit, 64-round dot product needs 2048 OTs in one batch.
+    let n = 32 * 64;
+    let pairs: Vec<(Block, Block)> = (0..n)
+        .map(|i| (Block::new(i as u128), Block::new((i + n) as u128)))
+        .collect();
+    let choices: Vec<bool> = (0..n).map(|i| (i * 7) % 3 == 0).collect();
+    let got = run_chosen_ot(1234, &pairs, &choices);
+    for ((g, p), &c) in got.iter().zip(&pairs).zip(&choices) {
+        assert_eq!(*g, if c { p.1 } else { p.0 });
+    }
+}
+
+/// A real-OT [`max_gc::protocol::LabelTransfer`]: ships IKNP extension
+/// messages over the duplex wire. The base-OT setup happens at construction
+/// (it is interactive the same way); each clone carries its endpoint state.
+mod iknp_transfer {
+    use max_crypto::Block;
+    use max_gc::channel::Duplex;
+    use max_gc::protocol::LabelTransfer;
+    use max_ot::iknp::{self, CipherMsg, ExtendMsg, OtExtReceiver, OtExtSender};
+    use std::sync::{Arc, Mutex};
+
+    /// Both endpoints of the OT state; the harness clones the transfer for
+    /// each party and each side uses only its half.
+    #[derive(Clone)]
+    pub struct IknpTransfer {
+        sender: Arc<Mutex<OtExtSender>>,
+        receiver: Arc<Mutex<OtExtReceiver>>,
+    }
+
+    impl IknpTransfer {
+        pub fn new(seed: u64) -> Self {
+            let (sender, receiver) = iknp::setup_pair(seed);
+            IknpTransfer {
+                sender: Arc::new(Mutex::new(sender)),
+                receiver: Arc::new(Mutex::new(receiver)),
+            }
+        }
+    }
+
+    impl LabelTransfer for IknpTransfer {
+        fn send(&mut self, wire: &mut Duplex, pairs: &[(Block, Block)]) {
+            // Receive the correction columns, reply with ciphertexts.
+            let mut columns = Vec::with_capacity(iknp::KAPPA);
+            for _ in 0..iknp::KAPPA {
+                let blocks = wire.recv_blocks().expect("ot column");
+                columns.push(blocks.iter().map(|b| b.bits() as u64).collect());
+            }
+            let count = wire.recv_bits().expect("count frame").len();
+            let cipher = self.sender.lock().expect("lock").send(
+                &ExtendMsg { columns, count },
+                pairs,
+            );
+            let mut flat = Vec::with_capacity(cipher.pairs.len() * 2);
+            for (y0, y1) in &cipher.pairs {
+                flat.push(*y0);
+                flat.push(*y1);
+            }
+            wire.send_blocks(&flat);
+        }
+
+        fn receive(&mut self, wire: &mut Duplex, choices: &[bool]) -> Vec<Block> {
+            let mut receiver = self.receiver.lock().expect("lock");
+            let (ext, keys) = receiver.prepare(choices);
+            for column in &ext.columns {
+                let blocks: Vec<Block> =
+                    column.iter().map(|&w| Block::new(w as u128)).collect();
+                wire.send_blocks(&blocks);
+            }
+            wire.send_bits(&vec![false; ext.count]);
+            let flat = wire.recv_blocks().expect("ot cipher");
+            let cipher = CipherMsg {
+                pairs: flat.chunks(2).map(|c| (c[0], c[1])).collect(),
+            };
+            receiver.receive(&cipher, &keys, choices)
+        }
+    }
+}
+
+#[test]
+fn protocol_runner_with_real_ot() {
+    use max_gc::protocol::run_two_party;
+    use max_netlist::{decode_unsigned, encode_unsigned, Builder};
+
+    let mut b = Builder::new();
+    let x = b.garbler_input_bus(8);
+    let y = b.evaluator_input_bus(8);
+    let p = b.mul(max_netlist::MultiplierKind::Tree, &x, &y);
+    let netlist = b.build(p.wires().to_vec());
+
+    let transfer = iknp_transfer::IknpTransfer::new(77);
+    let outcome = run_two_party(
+        &netlist,
+        &encode_unsigned(23, 8),
+        &encode_unsigned(19, 8),
+        Block::new(0x0905),
+        transfer,
+    );
+    assert_eq!(decode_unsigned(&outcome.outputs), 23 * 19);
+    // With OT, the evaluator's upload is substantial (the correction
+    // columns), unlike the trusted transfer.
+    assert!(outcome.evaluator_sent > 1000);
+}

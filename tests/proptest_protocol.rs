@@ -1,0 +1,60 @@
+//! Property tests over the full stack: random models, random client
+//! vectors, random widths — the secure result must always equal plaintext.
+
+use maxelerator::{connect, secure_matvec, AcceleratorConfig, Maxelerator, ScheduledEvaluator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn secure_matvec_always_matches(
+        rows in 1usize..3,
+        cols in 1usize..5,
+        seed in 0u64..1_000_000,
+        values in prop::collection::vec(-128i64..128, 16),
+        xs in prop::collection::vec(-128i64..128, 4),
+    ) {
+        let config = AcceleratorConfig::new(8);
+        let w: Vec<Vec<i64>> = (0..rows)
+            .map(|r| (0..cols).map(|c| values[(r * cols + c) % values.len()]).collect())
+            .collect();
+        let x: Vec<i64> = (0..cols).map(|c| xs[c % xs.len()]).collect();
+        let expected: Vec<i64> = w
+            .iter()
+            .map(|row| row.iter().zip(&x).map(|(a, b)| a * b).sum())
+            .collect();
+        let (mut server, mut client) = connect(&config, w, seed);
+        let (got, transcript) = secure_matvec(&mut server, &mut client, &x);
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(transcript.rounds, (rows * cols) as u64);
+    }
+
+    #[test]
+    fn accelerator_dot_matches_for_random_widths(
+        b_choice in 0usize..3,
+        seed in 0u64..1_000_000,
+        pairs in prop::collection::vec((-100i64..100, -100i64..100), 1..6),
+    ) {
+        let b = [8usize, 10, 16][b_choice];
+        let config = AcceleratorConfig::new(b);
+        let a: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let x: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let expected: i64 = pairs.iter().map(|p| p.0 * p.1).sum();
+
+        let mut accel = Maxelerator::new(config.clone(), seed);
+        let mut client = ScheduledEvaluator::new(&config);
+        let msgs = accel.garble_job(&a, true);
+        let mut result = None;
+        for (msg, &xl) in msgs.iter().zip(&x) {
+            let labels: Vec<max_crypto::Block> = accel
+                .ot_pairs(msg.round)
+                .iter()
+                .zip(config.encode_x(xl))
+                .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
+                .collect();
+            result = client.evaluate_round(msg, &labels);
+        }
+        prop_assert_eq!(result, Some(expected));
+    }
+}

@@ -1,0 +1,141 @@
+//! Hardware-model invariants across bit-widths: the §4.3 performance
+//! analysis, the Table 1 calibration, and the schedule's structural
+//! guarantees must all hold together.
+
+use maxelerator::{
+    mac_unit_resources, AcceleratorConfig, Maxelerator, Schedule, TimingModel,
+};
+
+#[test]
+fn paper_formulas_hold_across_widths() {
+    for b in [4usize, 8, 16, 32, 64] {
+        let t = TimingModel::paper(b);
+        assert_eq!(t.cores(), b / 2 + (b / 2 + 8).div_ceil(3), "cores at b={b}");
+        assert_eq!(t.cycles_per_mac(), (3 * b) as u64, "II at b={b}");
+        // Latency: b + log2(b) + 2 stages.
+        let log2b = (b as f64).log2().ceil() as usize;
+        assert_eq!(t.latency_stages(), b + log2b + 2, "latency at b={b}");
+    }
+}
+
+#[test]
+fn measured_ii_tracks_paper_within_tolerance() {
+    for b in [8usize, 16, 32] {
+        let config = AcceleratorConfig::new(b);
+        let cores = TimingModel::paper(b).cores();
+        // Enough rounds that the steady-state window clears the pipeline
+        // fill/drain boundary effects at every width.
+        let rounds = if b == 32 { 24 } else { 12 };
+        let sched = Schedule::compile(config.mac_circuit().netlist(), cores, rounds, config.state_range());
+        let paper = (3 * b) as f64;
+        let measured = sched.stats().steady_state_ii;
+        assert!(
+            (measured - paper).abs() / paper < 0.25,
+            "b={b}: measured {measured} vs paper {paper}"
+        );
+        assert!(sched.stats().utilization > 0.85, "b={b} utilization");
+        assert!(
+            sched.stats().max_idle_cores_steady <= 2,
+            "b={b}: idle {} > 2",
+            sched.stats().max_idle_cores_steady
+        );
+    }
+}
+
+#[test]
+fn throughput_scales_inversely_with_bit_width() {
+    let t8 = TimingModel::paper(8).macs_per_second();
+    let t16 = TimingModel::paper(16).macs_per_second();
+    let t32 = TimingModel::paper(32).macs_per_second();
+    assert!((t8 / t16 - 2.0).abs() < 1e-9);
+    assert!((t16 / t32 - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn table2_speedup_ratios() {
+    // Paper: 44/48/57x vs TinyGarble per core, 985/768/672x vs overlay.
+    use max_baselines::{overlay, tinygarble};
+    let published_tg = [(8usize, 44.0), (16, 48.0), (32, 57.0)];
+    let published_ov = [(8usize, 985.0), (16, 768.0), (32, 672.0)];
+    for ((b, want_tg), (_, want_ov)) in published_tg.into_iter().zip(published_ov) {
+        let t = TimingModel::paper(b);
+        let ratio_tg =
+            t.macs_per_second_per_core() / tinygarble::model::perf(b).macs_per_second_per_core;
+        let ratio_ov =
+            t.macs_per_second_per_core() / overlay::perf(b).macs_per_second_per_core;
+        assert!(
+            (ratio_tg - want_tg).abs() / want_tg < 0.02,
+            "b={b}: TG ratio {ratio_tg} vs {want_tg}"
+        );
+        assert!(
+            (ratio_ov - want_ov).abs() / want_ov < 0.02,
+            "b={b}: overlay ratio {ratio_ov} vs {want_ov}"
+        );
+    }
+}
+
+#[test]
+fn resource_model_linear_growth() {
+    // "resource utilization of our design increases linearly with b":
+    // doubling b must scale LUTs by 1.8x-2.2x.
+    let r8 = mac_unit_resources(8);
+    let r16 = mac_unit_resources(16);
+    let r32 = mac_unit_resources(32);
+    let ratio1 = r16.lut as f64 / r8.lut as f64;
+    let ratio2 = r32.lut as f64 / r16.lut as f64;
+    assert!((1.8..2.2).contains(&ratio1), "{ratio1}");
+    assert!((1.8..2.2).contains(&ratio2), "{ratio2}");
+}
+
+#[test]
+fn simulated_cycles_match_schedule_cycles() {
+    // The accelerator's clock must advance exactly with the schedule plus
+    // fill/drain I/O cycles — no hidden time.
+    let config = AcceleratorConfig::new(8);
+    let cores = TimingModel::paper(8).cores();
+    let rounds = 6;
+    let sched = Schedule::compile(config.mac_circuit().netlist(), cores, rounds, config.state_range());
+    let mut accel = Maxelerator::new(config, 5);
+    accel.garble_job(&vec![3i64; rounds], false);
+    let cycles = accel.report().cycles;
+    assert!(cycles >= sched.stats().cycles, "clock ran backwards");
+    // Overheads beyond the schedule: label-pool fill, and draining the BRAM
+    // through the single shared read port (4 records/cycle) plus the PCIe
+    // pipeline latency.
+    let tables = (rounds * sched.stats().ands_per_round) as u64;
+    let allowed = sched.stats().cycles + tables / 4 + 100;
+    assert!(
+        cycles <= allowed,
+        "unexplained cycle inflation: {} vs schedule {} (+ drain budget {})",
+        cycles,
+        sched.stats().cycles,
+        allowed
+    );
+}
+
+#[test]
+fn energy_gating_improves_with_longer_jobs() {
+    let config = AcceleratorConfig::new(8);
+    let mut short = Maxelerator::new(config.clone(), 6);
+    short.garble_job(&[1], false);
+    let mut long = Maxelerator::new(config, 6);
+    long.garble_job(&[1; 32], false);
+    assert!(
+        long.report().label_energy_saving >= short.report().label_energy_saving,
+        "gating should not degrade with pipelining"
+    );
+}
+
+#[test]
+fn linear_core_scaling_claim() {
+    // §6: "the throughput can be increased linearly by adding more GC
+    // cores" — scheduling the same netlist on 2x cores should roughly halve
+    // the steady-state II until the recurrence bound binds.
+    let config = AcceleratorConfig::new(16);
+    let netlist = config.mac_circuit().netlist().clone();
+    let base_cores = TimingModel::paper(16).cores();
+    let s1 = Schedule::compile(&netlist, base_cores, 8, config.state_range());
+    let s2 = Schedule::compile(&netlist, base_cores * 2, 8, config.state_range());
+    let ratio = s1.stats().steady_state_ii / s2.stats().steady_state_ii;
+    assert!(ratio > 1.6, "2x cores gave only {ratio:.2}x II improvement");
+}
