@@ -154,8 +154,7 @@ pub fn garble_parallel(
                         let tweak = Tweak::from_gate_index(ordinal as u64);
                         let (c0, table) = garble_and(&hash, delta, a0, b0, tweak);
                         labels.store(gate.out.index(), c0);
-                        table_slots[4 * ordinal]
-                            .store(table.tg.bits() as u64, Ordering::Release);
+                        table_slots[4 * ordinal].store(table.tg.bits() as u64, Ordering::Release);
                         table_slots[4 * ordinal + 1]
                             .store((table.tg.bits() >> 64) as u64, Ordering::Release);
                         table_slots[4 * ordinal + 2]

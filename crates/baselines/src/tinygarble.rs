@@ -192,8 +192,7 @@ mod tests {
     fn software_garbler_is_correct() {
         // Drive the real software garbler against the real evaluator.
         let mut garbler = TinyGarbleMac::new(8, 24, 5);
-        let mut evaluator =
-            SequentialEvaluator::new(garbler.circuit().netlist().clone(), 8..32);
+        let mut evaluator = SequentialEvaluator::new(garbler.circuit().netlist().clone(), 8..32);
         let a = [7i64, -3, 50];
         let x = [2i64, 9, -4];
         let expected: i64 = a.iter().zip(&x).map(|(p, q)| p * q).sum();
@@ -229,8 +228,6 @@ mod tests {
         // TinyGarble's cost is execution style, not gate count.
         let serial = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Serial);
         let tree = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
-        assert!(
-            serial.netlist().stats().and_gates <= tree.netlist().stats().and_gates
-        );
+        assert!(serial.netlist().stats().and_gates <= tree.netlist().stats().and_gates);
     }
 }

@@ -44,7 +44,13 @@ fn bench_gate(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            garble_and(&hash, delta, black_box(a0), black_box(b0), Tweak::from_gate_index(i))
+            garble_and(
+                &hash,
+                delta,
+                black_box(a0),
+                black_box(b0),
+                Tweak::from_gate_index(i),
+            )
         })
     });
     let (_, table) = garble_and(&hash, delta, a0, b0, Tweak::from_gate_index(1));

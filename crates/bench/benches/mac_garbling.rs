@@ -36,7 +36,7 @@ fn bench_accelerator_sim(c: &mut Criterion) {
             bench.iter(|| {
                 let config = AcceleratorConfig::new(b);
                 let mut accel = Maxelerator::new(config, 1);
-                black_box(accel.garble_job(&vec![5i64; ROUNDS], true));
+                black_box(accel.garble_job(&[5i64; ROUNDS], true));
             })
         });
     }

@@ -1,8 +1,9 @@
 //! Criterion: the full Figure-1 protocol — accelerator garbling + OT +
-//! client evaluation — on a small matrix-vector product.
+//! client evaluation — on a small matrix-vector product, single-unit and
+//! with the threaded multi-unit pipeline at several unit counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use maxelerator::{connect, secure_matvec, AcceleratorConfig};
+use maxelerator::{connect, connect_multi, secure_matvec, secure_matvec_multi, AcceleratorConfig};
 use std::hint::black_box;
 
 fn bench_protocol(c: &mut Criterion) {
@@ -13,7 +14,11 @@ fn bench_protocol(c: &mut Criterion) {
         group.throughput(Throughput::Elements(macs));
         let config = AcceleratorConfig::new(8);
         let weights: Vec<Vec<i64>> = (0..rows)
-            .map(|r| (0..cols).map(|c| ((r * 7 + c * 3) % 19) as i64 - 9).collect())
+            .map(|r| {
+                (0..cols)
+                    .map(|c| ((r * 7 + c * 3) % 19) as i64 - 9)
+                    .collect()
+            })
             .collect();
         let x: Vec<i64> = (0..cols).map(|c| (c as i64 % 11) - 5).collect();
         group.bench_with_input(
@@ -30,5 +35,41 @@ fn bench_protocol(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_protocol);
+fn bench_multi_unit(c: &mut Criterion) {
+    // Same full protocol, garbled by N fabric units on N threads. The
+    // transcript is bit-identical to the single-unit run (tested in
+    // proptest_protocol.rs); only the wall clock should move.
+    let mut group = c.benchmark_group("secure_matvec_multi_unit");
+    group.sample_size(10);
+    let (rows, cols) = (4usize, 8usize);
+    let config = AcceleratorConfig::new(8);
+    let weights: Vec<Vec<i64>> = (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| ((r * 7 + c * 3) % 19) as i64 - 9)
+                .collect()
+        })
+        .collect();
+    let x: Vec<i64> = (0..cols).map(|c| (c as i64 % 11) - 5).collect();
+    group.throughput(Throughput::Elements((rows * cols) as u64));
+    for units in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}/{units}u")),
+            &units,
+            |bench, &units| {
+                bench.iter(|| {
+                    let (mut server, mut client) =
+                        connect_multi(&config, weights.clone(), units, 1);
+                    black_box(
+                        secure_matvec_multi(&mut server, &mut client, &x)
+                            .expect("in-process frames are well-formed"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol, bench_multi_unit);
 criterion_main!(benches);

@@ -21,7 +21,10 @@ fn main() {
     let rounds = 16;
 
     println!("Core-count ablation, b = {b} ({ands} ANDs per MAC round, {rounds} pipelined rounds)");
-    println!("paper's choice: {paper_cores} cores, targeting II = 3b = {} cycles", 3 * b);
+    println!(
+        "paper's choice: {paper_cores} cores, targeting II = 3b = {} cycles",
+        3 * b
+    );
     println!();
     println!("  cores |    II (cycles/MAC) | utilization | MAC/s @200MHz | MAC/s/core");
     println!("  ------+--------------------+-------------+---------------+-----------");
@@ -42,7 +45,11 @@ fn main() {
         let sched = Schedule::compile(&netlist, cores, rounds, config.state_range());
         let ii = sched.stats().steady_state_ii;
         let macs_per_sec = 200e6 / ii;
-        let marker = if cores == paper_cores { "  <- paper" } else { "" };
+        let marker = if cores == paper_cores {
+            "  <- paper"
+        } else {
+            ""
+        };
         println!(
             "  {cores:>5} | {ii:>18.1} | {:>10.1}% | {macs_per_sec:>13.0} | {:>9.0}{marker}",
             sched.stats().utilization * 100.0,

@@ -27,8 +27,7 @@ fn main() {
         let mut waits = 0;
         let start = std::time::Instant::now();
         for r in 0..reps {
-            let (_, _, stats) =
-                garble_parallel(&netlist, Block::new(r as u128), threads);
+            let (_, _, stats) = garble_parallel(&netlist, Block::new(r as u128), threads);
             waits = stats.barrier_waits;
         }
         (start.elapsed().as_secs_f64() / reps as f64, waits)

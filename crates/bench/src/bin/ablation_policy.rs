@@ -42,7 +42,10 @@ fn main() {
     println!();
     println!("all policies respect the same dependency/1-table-per-core-cycle");
     println!("constraints; the spread shows the value of priority information.");
-    println!("The paper's claim (II = 3b = {} cycles) needs only a competent", 3 * b);
+    println!(
+        "The paper's claim (II = 3b = {} cycles) needs only a competent",
+        3 * b
+    );
     println!("static schedule — which is the point: the FSM removes the");
     println!("synchronization overhead, not the need for cleverness.");
 }

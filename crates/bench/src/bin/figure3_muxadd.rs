@@ -70,7 +70,10 @@ fn main() {
         println!();
     }
     println!();
-    println!("  max idle cores in steady state: {} (paper claim: <= 2)", stats.max_idle_cores_steady);
+    println!(
+        "  max idle cores in steady state: {} (paper claim: <= 2)",
+        stats.max_idle_cores_steady
+    );
     println!("  each label 'Mr'/'Tr' = segment + pipelined round index r garbled in that slot;");
     println!("  3 consecutive cycles form one 'stage' of the paper's datapath.");
 }

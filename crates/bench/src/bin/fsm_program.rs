@@ -39,11 +39,10 @@ fn main() {
         netlist.garbler_inputs().iter().map(|w| w.0).collect();
     let eval_set: std::collections::HashSet<u32> =
         netlist.evaluator_inputs().iter().map(|w| w.0).collect();
-    let acc_set: std::collections::HashSet<u32> = netlist.garbler_inputs()
-        [config.state_range()]
-    .iter()
-    .map(|w| w.0)
-    .collect();
+    let acc_set: std::collections::HashSet<u32> = netlist.garbler_inputs()[config.state_range()]
+        .iter()
+        .map(|w| w.0)
+        .collect();
     let provenance = |wire: u32| -> &'static str {
         if acc_set.contains(&wire) {
             "acc"

@@ -17,11 +17,7 @@ fn main() {
     header.extend(bit_widths.iter().map(|b| b.to_string()));
     println!("{}", row(&header, &widths));
     println!("{}", rule(&widths));
-    for (label, pick) in [
-        ("LUT", 0usize),
-        ("LUTRAM", 1),
-        ("Flip-Flop", 2),
-    ] {
+    for (label, pick) in [("LUT", 0usize), ("LUTRAM", 1), ("Flip-Flop", 2)] {
         let mut cells = vec![label.to_string()];
         for &b in &bit_widths {
             let r = mac_unit_resources(b);

@@ -40,10 +40,7 @@ fn main() {
         ),
         ("FPGA Overlay Architecture [14]", Box::new(overlay::perf)),
         ("MAXelerator on FPGA", Box::new(maxelerator_perf)),
-        (
-            "GarbledCPU [13] (estimated)",
-            Box::new(garbled_cpu::perf),
-        ),
+        ("GarbledCPU [13] (estimated)", Box::new(garbled_cpu::perf)),
     ] {
         println!("== {name}");
         println!("{}", row(&header, &widths));
@@ -62,7 +59,9 @@ fn main() {
         println!();
     }
 
-    println!("== Ratio: MAXelerator throughput/core vs baselines (paper: 44/48/57 and 985/768/672)");
+    println!(
+        "== Ratio: MAXelerator throughput/core vs baselines (paper: 44/48/57 and 985/768/672)"
+    );
     for &b in &bit_widths {
         let max = maxelerator_perf(b).macs_per_second_per_core;
         let tg = tinygarble::model::perf(b).macs_per_second_per_core;

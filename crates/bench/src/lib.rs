@@ -46,7 +46,11 @@ pub fn rule(widths: &[usize]) -> String {
 /// A labelled paper-vs-measured comparison line for EXPERIMENTS.md capture.
 pub fn compare(label: &str, paper: f64, ours: f64) -> String {
     let ratio = if paper != 0.0 { ours / paper } else { f64::NAN };
-    format!("{label:<44} paper {:>10}  ours {:>10}  (x{ratio:.3})", sci(paper), sci(ours))
+    format!(
+        "{label:<44} paper {:>10}  ours {:>10}  (x{ratio:.3})",
+        sci(paper),
+        sci(ours)
+    )
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use max_netlist::{decode_signed, decode_unsigned, GateKind, MacCircuit};
 use max_rng::LabelGenerator;
 
 use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
 use crate::schedule::Schedule;
 use crate::timing::TimingModel;
 
@@ -21,9 +22,20 @@ fn table_tweak(elem: u32, round: u32, gate_idx: u32) -> Tweak {
     Tweak::new(elem, round, 0, gate_idx, 0)
 }
 
+/// Derives the label-stream seed of one output element from the server's
+/// base seed (SplitMix64 finalizer). Every element gets an independent
+/// stream keyed only by `(base, elem)`, so an element garbles to identical
+/// bytes no matter which accelerator unit — or how many — processes it.
+pub(crate) fn element_label_seed(base: u64, elem: u32) -> u64 {
+    let mut z = base ^ (u64::from(elem).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The public per-round message the host CPU relays to the client
 /// (Figure 1): garbled tables plus the garbler-side input labels.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoundMessage {
     /// Output-element id (row index during a matrix-vector product).
     pub elem: u32,
@@ -43,7 +55,7 @@ pub struct RoundMessage {
 impl RoundMessage {
     /// Bytes on the wire.
     pub fn wire_bytes(&self) -> usize {
-        self.tables.len() * 32
+        self.tables.len() * GarbledTable::WIRE_BYTES
             + self.a_labels.len() * 16
             + self.init_acc_labels.as_ref().map_or(0, |l| l.len() * 16)
             + self.decode.as_ref().map_or(0, |d| d.len().div_ceil(8))
@@ -97,7 +109,13 @@ pub struct Maxelerator {
     mac: MacCircuit,
     cores: usize,
     hash: FixedKeyHash,
+    /// Seed all per-element label streams derive from.
+    base_seed: u64,
     labels: LabelGenerator,
+    /// RNG activity of label generators retired by earlier elements
+    /// (`begin_element` reseeds, which resets the generator's counters).
+    rng_active_base: u64,
+    rng_worst_base: u64,
     delta: Delta,
     clock: Clock,
     memory: MemorySystem,
@@ -140,7 +158,7 @@ impl Maxelerator {
             freq_mhz: config.freq_mhz,
         }
         .cores();
-        let mut labels = LabelGenerator::new(seed, config.bit_width.max(4));
+        let mut labels = LabelGenerator::new(element_label_seed(seed, 0), config.bit_width.max(4));
         let delta = Delta::from_block(labels.next_label());
         let mut and_ordinal = vec![None; mac.netlist().gates().len()];
         let mut producer = vec![None; mac.netlist().wire_count()];
@@ -167,7 +185,10 @@ impl Maxelerator {
             clock: Clock::new(config.freq_mhz),
             mac,
             cores,
+            base_seed: seed,
             labels,
+            rng_active_base: 0,
+            rng_worst_base: 0,
             delta,
             config,
             carried_zero: None,
@@ -195,11 +216,35 @@ impl Maxelerator {
 
     /// Starts a new output element (matrix row): resets the accumulator
     /// carry and the round counter; `elem` feeds the gate tweaks.
+    ///
+    /// The label generator reseeds to the element's own stream (derived
+    /// from the base seed and `elem` alone), so the element's garbled
+    /// material is bit-identical whichever unit garbles it and in whatever
+    /// order elements are processed — the invariant the multi-unit pipeline
+    /// relies on for transcript parity with a single-unit server.
     pub fn begin_element(&mut self, elem: u32) {
+        let retiring = self.labels.report();
+        self.rng_active_base += retiring.active_rng_cycles;
+        self.rng_worst_base += retiring.worst_case_rng_cycles;
+        self.labels = LabelGenerator::new(
+            element_label_seed(self.base_seed, elem),
+            self.config.bit_width.max(4),
+        );
+        self.delta = Delta::from_block(self.labels.next_label());
+        self.label_pool.clear();
         self.elem = elem;
         self.round = 0;
         self.carried_zero = None;
         self.eval_pairs.clear();
+    }
+
+    /// Cumulative RNG activity across all per-element generators.
+    fn rng_totals(&self) -> (u64, u64) {
+        let current = self.labels.report();
+        (
+            self.rng_active_base + current.active_rng_cycles,
+            self.rng_worst_base + current.worst_case_rng_cycles,
+        )
     }
 
     /// Garbles one MAC round for server input `a`.
@@ -221,8 +266,33 @@ impl Maxelerator {
     ///
     /// # Panics
     ///
-    /// Panics if `a_elems` is empty or any element does not fit.
+    /// Panics if `a_elems` is empty, any element does not fit, or the
+    /// compiled schedule violates its own dependency order (an internal
+    /// bug, never reachable from peer input).
     pub fn garble_job(&mut self, a_elems: &[i64], last: bool) -> Vec<RoundMessage> {
+        self.try_garble_job(a_elems, last)
+            .expect("compiled schedule satisfies its own dependencies")
+    }
+
+    /// Fallible form of [`Maxelerator::garble_job`]: reports schedule
+    /// violations and unresolvable wires as [`AcceleratorError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::ScheduleViolation`] or
+    /// [`AcceleratorError::UnresolvedWire`] if the compiled schedule would
+    /// read a label before it exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a_elems` is empty or any element does not fit the
+    /// configured bit-width (caller errors, not peer input).
+    pub fn try_garble_job(
+        &mut self,
+        a_elems: &[i64],
+        last: bool,
+    ) -> Result<Vec<RoundMessage>, AcceleratorError> {
         assert!(!a_elems.is_empty(), "job needs at least one round");
         let rounds = a_elems.len();
         let schedule = Schedule::compile(
@@ -353,8 +423,8 @@ impl Maxelerator {
                 let slot = *assignment_iter.next().expect("peeked");
                 let r = slot.round as usize;
                 let gate = netlist.gates()[slot.gate as usize];
-                let a0 = self.resolve(&netlist, &mut zero, r, gate.a.index());
-                let b0 = self.resolve(&netlist, &mut zero, r, gate.b.index());
+                let a0 = self.resolve(&netlist, &mut zero, r, gate.a.index())?;
+                let b0 = self.resolve(&netlist, &mut zero, r, gate.b.index())?;
                 let tweak = table_tweak(self.elem, first_round_abs + slot.round, slot.gate);
                 let (c0, table) = garble_and(&self.hash, self.delta, a0, b0, tweak);
                 zero[r][gate.out.index()] = Some(c0);
@@ -381,14 +451,15 @@ impl Maxelerator {
         let out_zero: Vec<Block> = outputs
             .iter()
             .map(|&w| self.resolve(&netlist, &mut zero, rounds - 1, w))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let decode: Vec<bool> = out_zero.iter().map(|z| z.lsb()).collect();
         self.carried_zero = Some(out_zero);
 
         let mut messages = Vec::with_capacity(rounds);
         for (r, round_tables) in tables.into_iter().enumerate() {
             let abs_round = first_round_abs + r as u32;
-            self.eval_pairs.insert(abs_round, pairs_per_round[r].clone());
+            self.eval_pairs
+                .insert(abs_round, pairs_per_round[r].clone());
             let msg = RoundMessage {
                 elem: self.elem,
                 round: abs_round,
@@ -407,7 +478,12 @@ impl Maxelerator {
         self.report.cycles = self.clock.cycles();
         self.report.last_job_ii = schedule.stats().steady_state_ii;
         self.report.last_job_utilization = schedule.stats().utilization;
-        self.report.label_energy_saving = self.labels.report().energy_saving();
+        let (rng_active, rng_worst) = self.rng_totals();
+        self.report.label_energy_saving = if rng_worst == 0 {
+            0.0
+        } else {
+            1.0 - rng_active as f64 / rng_worst as f64
+        };
         self.report.pcie_pushed_bytes = self.pcie.pushed_bytes();
         self.report.pcie_delivered_bytes = self.pcie.delivered_bytes();
         self.report.pcie_peak_backlog = self.pcie.peak_queue_bytes();
@@ -417,13 +493,13 @@ impl Maxelerator {
         // power-gated generator.
         self.report.energy = max_fpga::EnergyMeter {
             aes_ops: self.report.tables * 4,
-            rng_cycles: self.labels.report().active_rng_cycles,
+            rng_cycles: rng_active,
             shifts: self.report.tables,
             bram_writes: self.report.tables,
             pcie_bytes: self.report.pcie_pushed_bytes,
             cycles: self.report.cycles,
         };
-        messages
+        Ok(messages)
     }
 
     fn pool_label(&mut self) -> Block {
@@ -454,57 +530,58 @@ impl Maxelerator {
     /// inputs of round `r > 0` resolve to the previous round's output
     /// labels — the shift-register carry between sequential rounds.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an AND output is not yet garbled — a schedule violation.
+    /// Returns [`AcceleratorError::ScheduleViolation`] if an AND output is
+    /// not yet garbled, [`AcceleratorError::UnresolvedWire`] for a wire with
+    /// neither label nor producer.
     fn resolve(
         &self,
         netlist: &max_netlist::Netlist,
         zero: &mut [Vec<Option<Block>>],
         round: usize,
         wire: usize,
-    ) -> Block {
+    ) -> Result<Block, AcceleratorError> {
         if let Some(label) = zero[round][wire] {
-            return label;
+            return Ok(label);
         }
         if let Some(pos) = self.acc_pos_of_wire[wire] {
             assert!(round > 0, "round 0 accumulator labels must be pre-assigned");
             let out_wire = self.output_wires[pos as usize];
-            let label = self.resolve(netlist, zero, round - 1, out_wire);
+            let label = self.resolve(netlist, zero, round - 1, out_wire)?;
             zero[round][wire] = Some(label);
-            return label;
+            return Ok(label);
         }
-        let gate_idx = self.producer[wire]
-            .unwrap_or_else(|| panic!("wire {wire} has no producer and no label"));
+        let gate_idx = self.producer[wire].ok_or(AcceleratorError::UnresolvedWire { wire })?;
         let gate = netlist.gates()[gate_idx as usize];
         let label = match gate.kind {
-            GateKind::And => {
-                panic!("schedule violation: AND output {wire} resolved before garbling")
-            }
+            GateKind::And => return Err(AcceleratorError::ScheduleViolation { wire }),
             GateKind::Xor => {
-                let a = self.resolve(netlist, zero, round, gate.a.index());
-                let b = self.resolve(netlist, zero, round, gate.b.index());
+                let a = self.resolve(netlist, zero, round, gate.a.index())?;
+                let b = self.resolve(netlist, zero, round, gate.b.index())?;
                 a ^ b
             }
             GateKind::Not => {
-                let a = self.resolve(netlist, zero, round, gate.a.index());
+                let a = self.resolve(netlist, zero, round, gate.a.index())?;
                 a ^ self.delta.block()
             }
         };
         zero[round][wire] = Some(label);
-        label
+        Ok(label)
     }
 
     /// OT message pairs for round `round`'s evaluator inputs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if that round has not been garbled in the current element.
-    pub fn ot_pairs(&self, round: u32) -> &[(Block, Block)] {
+    /// Returns [`AcceleratorError::UnknownRound`] if that round has not
+    /// been garbled in the current element — e.g. a peer requesting labels
+    /// for a round id it invented.
+    pub fn ot_pairs(&self, round: u32) -> Result<&[(Block, Block)], AcceleratorError> {
         self.eval_pairs
             .get(&round)
             .map(Vec::as_slice)
-            .unwrap_or_else(|| panic!("no OT pairs buffered for round {round}"))
+            .ok_or(AcceleratorError::UnknownRound { round })
     }
 
     /// Trusted-delivery shortcut: active labels for the most recent round's
@@ -515,7 +592,7 @@ impl Maxelerator {
     /// Panics if no round was garbled or the bit count mismatches.
     pub fn ot_pairs_for_client(&self, x_bits: &[bool]) -> Vec<Block> {
         let round = self.round.checked_sub(1).expect("no round garbled yet");
-        let pairs = self.ot_pairs(round);
+        let pairs = self.ot_pairs(round).expect("last round was garbled");
         assert_eq!(pairs.len(), x_bits.len(), "x bit-count mismatch");
         pairs
             .iter()
@@ -562,15 +639,59 @@ impl ScheduledEvaluator {
     /// Evaluates one round; returns the decoded MAC result when the round
     /// carries decode bits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on malformed messages (wrong table/label counts) — protocol
-    /// violations, not user errors.
-    pub fn evaluate_round(&mut self, msg: &RoundMessage, x_labels: &[Block]) -> Option<i64> {
+    /// Returns a typed [`AcceleratorError`] for any malformed message —
+    /// wrong table, label, or decode-bit counts, or a missing accumulator.
+    /// Peer-supplied data can never panic the evaluator.
+    pub fn evaluate_round(
+        &mut self,
+        msg: &RoundMessage,
+        x_labels: &[Block],
+    ) -> Result<Option<i64>, AcceleratorError> {
         let b = self.config.bit_width;
         let consts = self.netlist.constants().len();
-        assert_eq!(msg.a_labels.len(), b + consts, "a-label count mismatch");
-        assert_eq!(x_labels.len(), b, "x-label count mismatch");
+        if msg.a_labels.len() != b + consts {
+            return Err(AcceleratorError::ALabelCount {
+                expected: b + consts,
+                got: msg.a_labels.len(),
+            });
+        }
+        if x_labels.len() != b {
+            return Err(AcceleratorError::XLabelCount {
+                expected: b,
+                got: x_labels.len(),
+            });
+        }
+        let n_ands = self.netlist.stats().and_gates;
+        if msg.tables.len() != n_ands {
+            return Err(AcceleratorError::TableCount {
+                expected: n_ands,
+                got: msg.tables.len(),
+            });
+        }
+        let acc_width = self.netlist.garbler_inputs()[self.config.state_range()].len();
+        let acc_active: Vec<Block> = match (&self.carried, &msg.init_acc_labels) {
+            (_, Some(init)) => {
+                if init.len() != acc_width {
+                    return Err(AcceleratorError::AccLabelCount {
+                        expected: acc_width,
+                        got: init.len(),
+                    });
+                }
+                init.clone()
+            }
+            (Some(carried), None) => carried.clone(),
+            (None, None) => return Err(AcceleratorError::MissingAccumulator { round: msg.round }),
+        };
+        if let Some(decode) = &msg.decode {
+            if decode.len() != self.netlist.outputs().len() {
+                return Err(AcceleratorError::DecodeCount {
+                    expected: self.netlist.outputs().len(),
+                    got: decode.len(),
+                });
+            }
+        }
 
         let mut active: Vec<Option<Block>> = vec![None; self.netlist.wire_count()];
         let mut sent = msg.a_labels.iter();
@@ -580,11 +701,6 @@ impl ScheduledEvaluator {
             }
             active[wire.index()] = Some(*sent.next().expect("checked count"));
         }
-        let acc_active: Vec<Block> = match (&self.carried, &msg.init_acc_labels) {
-            (_, Some(init)) => init.clone(),
-            (Some(carried), None) => carried.clone(),
-            (None, None) => panic!("round {} lacks accumulator labels", msg.round),
-        };
         for (offset, wire) in self.netlist.garbler_inputs()[self.config.state_range()]
             .iter()
             .enumerate()
@@ -614,7 +730,6 @@ impl ScheduledEvaluator {
             };
             active[gate.out.index()] = Some(out);
         }
-        assert_eq!(and_ordinal, msg.tables.len(), "table count mismatch");
 
         let outputs: Vec<Block> = self
             .netlist
@@ -624,7 +739,7 @@ impl ScheduledEvaluator {
             .collect();
         self.carried = Some(outputs.clone());
 
-        msg.decode.as_ref().map(|decode| {
+        Ok(msg.decode.as_ref().map(|decode| {
             let bits: Vec<bool> = outputs
                 .iter()
                 .zip(decode)
@@ -635,7 +750,7 @@ impl ScheduledEvaluator {
             } else {
                 decode_unsigned(&bits) as i64
             }
-        })
+        }))
     }
 }
 
@@ -652,11 +767,12 @@ mod tests {
         for (msg, &xl) in messages.iter().zip(x) {
             let labels: Vec<Block> = accel
                 .ot_pairs(msg.round)
+                .unwrap()
                 .iter()
                 .zip(config.encode_x(xl))
                 .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
                 .collect();
-            result = client.evaluate_round(msg, &labels);
+            result = client.evaluate_round(msg, &labels).unwrap();
         }
         result.expect("final round decodes")
     }
@@ -684,7 +800,7 @@ mod tests {
         let mut client = ScheduledEvaluator::new(&config);
         let msg = accel.garble_round(-9, true);
         let labels = accel.ot_pairs_for_client(&config.encode_x(11));
-        assert_eq!(client.evaluate_round(&msg, &labels), Some(-99));
+        assert_eq!(client.evaluate_round(&msg, &labels).unwrap(), Some(-99));
     }
 
     #[test]
@@ -697,7 +813,7 @@ mod tests {
             client.begin_element(elem);
             let msg = accel.garble_round(a, true);
             let labels = accel.ot_pairs_for_client(&config.encode_x(x));
-            assert_eq!(client.evaluate_round(&msg, &labels), Some(want));
+            assert_eq!(client.evaluate_round(&msg, &labels).unwrap(), Some(want));
         }
     }
 
@@ -749,7 +865,7 @@ mod tests {
             te: Block::new(2),
         };
         let labels = accel.ot_pairs_for_client(&config.encode_x(3));
-        let got = client.evaluate_round(&msg, &labels);
+        let got = client.evaluate_round(&msg, &labels).unwrap();
         assert_ne!(got, Some(9));
     }
 
@@ -764,11 +880,12 @@ mod tests {
         for (msg, &x) in msgs.iter().zip(&xs) {
             let labels: Vec<Block> = accel
                 .ot_pairs(msg.round)
+                .unwrap()
                 .iter()
                 .zip(config.encode_x(x))
                 .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
                 .collect();
-            out = client.evaluate_round(msg, &labels);
+            out = client.evaluate_round(msg, &labels).unwrap();
         }
         assert_eq!(out, Some(200 * 250 + 100 * 3));
     }
@@ -778,7 +895,10 @@ mod tests {
         let config = AcceleratorConfig::new(8);
         let mut accel = Maxelerator::new(config.clone(), 9);
         let msg = accel.garble_round(1, true);
-        assert!(msg.wire_bytes() >= msg.tables.len() * 32 + msg.a_labels.len() * 16);
+        assert!(
+            msg.wire_bytes()
+                >= msg.tables.len() * GarbledTable::WIRE_BYTES + msg.a_labels.len() * 16
+        );
         assert!(msg.init_acc_labels.is_some());
         assert!(msg.decode.is_some());
     }
@@ -801,13 +921,158 @@ mod tests {
                 let idx = msg.round as usize;
                 let labels: Vec<Block> = accel
                     .ot_pairs(msg.round)
+                    .unwrap()
                     .iter()
                     .zip(config.encode_x(x[idx]))
                     .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
                     .collect();
-                result = client.evaluate_round(msg, &labels);
+                result = client.evaluate_round(msg, &labels).unwrap();
             }
         }
         assert_eq!(result, Some(expected));
+    }
+
+    #[test]
+    fn malformed_messages_return_typed_errors() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 31);
+        let msg = accel.garble_round(3, true);
+        let labels = accel.ot_pairs_for_client(&config.encode_x(4));
+
+        // Wrong x-label count.
+        let mut client = ScheduledEvaluator::new(&config);
+        assert_eq!(
+            client.evaluate_round(&msg, &labels[..labels.len() - 1]),
+            Err(AcceleratorError::XLabelCount {
+                expected: labels.len(),
+                got: labels.len() - 1
+            })
+        );
+
+        // Truncated a-labels.
+        let mut short = msg.clone();
+        let expected_a = short.a_labels.len();
+        short.a_labels.pop();
+        assert_eq!(
+            client.evaluate_round(&short, &labels),
+            Err(AcceleratorError::ALabelCount {
+                expected: expected_a,
+                got: expected_a - 1
+            })
+        );
+
+        // Missing tables.
+        let mut tableless = msg.clone();
+        let expected_tables = tableless.tables.len();
+        tableless.tables.clear();
+        assert_eq!(
+            client.evaluate_round(&tableless, &labels),
+            Err(AcceleratorError::TableCount {
+                expected: expected_tables,
+                got: 0
+            })
+        );
+
+        // Missing accumulator on a fresh element.
+        let mut no_acc = msg.clone();
+        no_acc.init_acc_labels = None;
+        assert_eq!(
+            client.evaluate_round(&no_acc, &labels),
+            Err(AcceleratorError::MissingAccumulator { round: msg.round })
+        );
+
+        // Short initial accumulator.
+        let mut short_acc = msg.clone();
+        short_acc.init_acc_labels.as_mut().unwrap().pop();
+        assert_eq!(
+            client.evaluate_round(&short_acc, &labels),
+            Err(AcceleratorError::AccLabelCount {
+                expected: config.acc_width,
+                got: config.acc_width - 1
+            })
+        );
+
+        // Wrong decode width.
+        let mut bad_decode = msg.clone();
+        bad_decode.decode.as_mut().unwrap().push(false);
+        assert_eq!(
+            client.evaluate_round(&bad_decode, &labels),
+            Err(AcceleratorError::DecodeCount {
+                expected: config.acc_width,
+                got: config.acc_width + 1
+            })
+        );
+
+        // The pristine message still evaluates after all the rejections.
+        assert_eq!(client.evaluate_round(&msg, &labels).unwrap(), Some(12));
+
+        // Unknown OT round id.
+        assert_eq!(
+            accel.ot_pairs(999),
+            Err(AcceleratorError::UnknownRound { round: 999 })
+        );
+    }
+
+    #[test]
+    fn element_streams_are_position_independent() {
+        // Element 7's garbled bytes must not depend on which elements were
+        // garbled before it — the invariant multi-unit parity rests on.
+        let config = AcceleratorConfig::new(8);
+        let a = [9i64, -3, 44];
+
+        let mut direct = Maxelerator::new(config.clone(), 77);
+        direct.begin_element(7);
+        let lone = direct.garble_job(&a, true);
+
+        let mut warmed = Maxelerator::new(config.clone(), 77);
+        for elem in [2u32, 0, 5] {
+            warmed.begin_element(elem);
+            warmed.garble_job(&[1, 2], true);
+        }
+        warmed.begin_element(7);
+        let after_others = warmed.garble_job(&a, true);
+
+        assert_eq!(lone.len(), after_others.len());
+        for (m1, m2) in lone.iter().zip(&after_others) {
+            assert_eq!(m1.tables, m2.tables);
+            assert_eq!(m1.a_labels, m2.a_labels);
+            assert_eq!(m1.init_acc_labels, m2.init_acc_labels);
+            assert_eq!(m1.decode, m2.decode);
+        }
+        for round in 0..a.len() as u32 {
+            assert_eq!(
+                direct.ot_pairs(round).unwrap(),
+                warmed.ot_pairs(round).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_elements_use_distinct_label_streams() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 5);
+        accel.begin_element(0);
+        let m0 = accel.garble_round(3, true);
+        accel.begin_element(1);
+        let m1 = accel.garble_round(3, true);
+        assert_ne!(m0.a_labels, m1.a_labels, "element streams must differ");
+        assert_ne!(m0.tables, m1.tables);
+    }
+
+    #[test]
+    fn energy_accounting_survives_element_reseeds() {
+        let config = AcceleratorConfig::new(8);
+        let mut accel = Maxelerator::new(config.clone(), 6);
+        accel.begin_element(0);
+        accel.garble_job(&[1, 2, 3, 4], true);
+        let rng_after_first = accel.report().energy.rng_cycles;
+        accel.begin_element(1);
+        accel.garble_job(&[1, 2, 3, 4], true);
+        let report = accel.report();
+        assert!(
+            report.energy.rng_cycles > rng_after_first,
+            "RNG activity must accumulate across element reseeds"
+        );
+        assert!(report.label_energy_saving > 0.0 && report.label_energy_saving < 1.0);
     }
 }

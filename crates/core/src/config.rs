@@ -30,7 +30,7 @@ impl AcceleratorConfig {
     /// Panics if `b` is odd or `< 4`.
     pub fn new(bit_width: usize) -> Self {
         assert!(
-            bit_width >= 4 && bit_width % 2 == 0,
+            bit_width >= 4 && bit_width.is_multiple_of(2),
             "bit width must be even and at least 4"
         );
         AcceleratorConfig {
@@ -77,7 +77,11 @@ impl AcceleratorConfig {
         MacCircuit::build(
             self.bit_width,
             self.acc_width,
-            if self.signed { Sign::Signed } else { Sign::Unsigned },
+            if self.signed {
+                Sign::Signed
+            } else {
+                Sign::Unsigned
+            },
             MultiplierKind::Tree,
         )
     }

@@ -1,0 +1,124 @@
+//! Typed protocol errors.
+//!
+//! Everything a peer can influence — round messages, label vectors,
+//! requested round ids, streamed frames — reports malformed input through
+//! [`AcceleratorError`] instead of panicking, so a hostile or buggy client
+//! cannot abort the server process.
+
+/// Protocol-path failure of the accelerator server or scheduled evaluator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AcceleratorError {
+    /// A netlist wire had neither an assigned label nor a producing gate.
+    UnresolvedWire {
+        /// The wire index.
+        wire: usize,
+    },
+    /// An AND-gate output was needed before its table was garbled — the
+    /// compiled schedule violated its own dependency order.
+    ScheduleViolation {
+        /// The wire index resolved too early.
+        wire: usize,
+    },
+    /// OT pairs were requested for a round the current element never
+    /// garbled.
+    UnknownRound {
+        /// The requested round.
+        round: u32,
+    },
+    /// A round message carried neither fresh initial-accumulator labels
+    /// nor followed a round that left carried labels.
+    MissingAccumulator {
+        /// The offending round.
+        round: u32,
+    },
+    /// Garbler-input label count does not match the netlist.
+    ALabelCount {
+        /// Labels required (`b` + constants).
+        expected: usize,
+        /// Labels supplied.
+        got: usize,
+    },
+    /// Evaluator-input label count does not match the bit-width.
+    XLabelCount {
+        /// Labels required (`b`).
+        expected: usize,
+        /// Labels supplied.
+        got: usize,
+    },
+    /// Initial-accumulator label count does not match the accumulator
+    /// width.
+    AccLabelCount {
+        /// Labels required (accumulator width).
+        expected: usize,
+        /// Labels supplied.
+        got: usize,
+    },
+    /// Garbled-table count does not match the netlist's AND gates.
+    TableCount {
+        /// Tables required (one per AND gate).
+        expected: usize,
+        /// Tables supplied.
+        got: usize,
+    },
+    /// Decode-bit count does not match the output width.
+    DecodeCount {
+        /// Bits required (one per output wire).
+        expected: usize,
+        /// Bits supplied.
+        got: usize,
+    },
+    /// A streamed frame ended before its declared payload.
+    FrameTruncated,
+    /// A streamed frame carried an unknown header or impossible counts.
+    FrameHeader,
+    /// The streaming peer disconnected mid-protocol.
+    Disconnected,
+}
+
+impl std::fmt::Display for AcceleratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcceleratorError::UnresolvedWire { wire } => {
+                write!(f, "wire {wire} has no producer and no label")
+            }
+            AcceleratorError::ScheduleViolation { wire } => {
+                write!(
+                    f,
+                    "schedule violation: AND output {wire} resolved before garbling"
+                )
+            }
+            AcceleratorError::UnknownRound { round } => {
+                write!(f, "no OT pairs buffered for round {round}")
+            }
+            AcceleratorError::MissingAccumulator { round } => {
+                write!(f, "round {round} lacks accumulator labels")
+            }
+            AcceleratorError::ALabelCount { expected, got } => {
+                write!(f, "a-label count mismatch: expected {expected}, got {got}")
+            }
+            AcceleratorError::XLabelCount { expected, got } => {
+                write!(f, "x-label count mismatch: expected {expected}, got {got}")
+            }
+            AcceleratorError::AccLabelCount { expected, got } => {
+                write!(
+                    f,
+                    "accumulator label count mismatch: expected {expected}, got {got}"
+                )
+            }
+            AcceleratorError::TableCount { expected, got } => {
+                write!(f, "table count mismatch: expected {expected}, got {got}")
+            }
+            AcceleratorError::DecodeCount { expected, got } => {
+                write!(
+                    f,
+                    "decode bit count mismatch: expected {expected}, got {got}"
+                )
+            }
+            AcceleratorError::FrameTruncated => f.write_str("streamed frame truncated"),
+            AcceleratorError::FrameHeader => f.write_str("streamed frame header malformed"),
+            AcceleratorError::Disconnected => f.write_str("streaming peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for AcceleratorError {}

@@ -44,7 +44,7 @@
 //! for (l, (&al, &xl)) in a.iter().zip(&x).enumerate() {
 //!     let round = accel.garble_round(al, l == a.len() - 1);
 //!     let labels = accel.ot_pairs_for_client(&config.encode_x(xl));
-//!     result = client.evaluate_round(&round, &labels);
+//!     result = client.evaluate_round(&round, &labels).expect("well-formed round");
 //! }
 //! assert_eq!(result.unwrap(), 3 * 2 + (-4) * 6 + 5 * (-1));
 //! ```
@@ -54,6 +54,7 @@
 
 mod accelerator;
 mod config;
+mod error;
 mod multi_unit;
 mod precompute;
 mod resources;
@@ -61,13 +62,18 @@ mod scaling;
 mod schedule;
 mod server;
 mod timing;
+mod wire;
 
 pub use accelerator::{AcceleratorReport, Maxelerator, RoundMessage, ScheduledEvaluator};
 pub use config::AcceleratorConfig;
-pub use multi_unit::{MultiUnitServer, MultiUnitTiming};
+pub use error::AcceleratorError;
+pub use multi_unit::{connect_multi, secure_matvec_multi, MultiUnitServer, MultiUnitTiming};
 pub use precompute::{PrecomputeStore, PrecomputedJob};
 pub use resources::{mac_unit_resources, resource_breakdown, ComponentUsage};
 pub use scaling::{client_capacity_ratio, pack_device, xcvu095_scaling, DeviceScaling};
 pub use schedule::{Schedule, SchedulePolicy, ScheduleStats, Segment, SlotAssignment};
-pub use server::{connect, secure_matmul, secure_matvec, ClientSession, CloudServer, MatvecTranscript};
+pub use server::{
+    connect, secure_matmul, secure_matvec, ClientSession, CloudServer, MatvecTranscript,
+};
 pub use timing::TimingModel;
+pub use wire::{decode_round_message, encode_round_message};

@@ -1,20 +1,48 @@
-//! Multiple MAC units on one device, operationally: rows of a secure
-//! matrix-vector product split across units that garble in parallel
-//! (§6: "the throughput can be increased linearly by adding more GC
-//! cores"). Functional output is identical to the single-unit server; the
-//! wall-clock model takes the *maximum* of the units' fabric times instead
-//! of the sum.
+//! Multiple MAC units on one device, running **concurrently**: each unit
+//! garbles its share of the rows on its own thread (§6: "the throughput can
+//! be increased linearly by adding more GC cores") and streams the round
+//! messages to the host CPU through the `max_gc::channel` layer, so
+//! garbling overlaps host-side OT and evaluation instead of barriering per
+//! row.
+//!
+//! Functional output is **bit-identical** to the single-unit
+//! [`crate::CloudServer`]: every element's label stream derives from
+//! `(base_seed, elem)` alone (see [`Maxelerator::begin_element`]), so the
+//! thread/unit assignment cannot leak into the transcript. The host
+//! consumes rows in row order, which also keeps the OT-extension state
+//! transitions identical to the sequential server's.
+//!
+//! Timing is reported two ways: the *modeled* fabric cycles (makespan =
+//! busiest unit) and the *measured* wall-clock of the host pipeline, so the
+//! linear-scaling claim can be checked against real thread-level speedup.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use max_crypto::Block;
+use max_gc::channel::Duplex;
+use max_ot::iknp::{self, OtExtSender};
 
 use crate::accelerator::{Maxelerator, RoundMessage, ScheduledEvaluator};
 use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+use crate::server::{ClientSession, MatvecTranscript};
+use crate::wire::{decode_round_message, encode_round_message};
+
+/// OT label pairs for one row, one inner `Vec` per round.
+pub type RowOtPairs = Vec<Vec<(Block, Block)>>;
 
 /// A bank of independent MAC units sharing one device.
+///
+/// All units derive per-element label streams from the **same** base seed,
+/// which is what makes the parallel transcript equal to the single-unit
+/// one.
 pub struct MultiUnitServer {
     units: Vec<Maxelerator>,
     weights: Vec<Vec<i64>>,
     config: AcceleratorConfig,
+    /// Present when built via [`connect_multi`]; powers the full OT path.
+    ot_sender: Option<OtExtSender>,
 }
 
 impl std::fmt::Debug for MultiUnitServer {
@@ -26,7 +54,8 @@ impl std::fmt::Debug for MultiUnitServer {
     }
 }
 
-/// Timing summary of a multi-unit matvec.
+/// Timing summary of a multi-unit matvec: modeled fabric cycles plus the
+/// measured wall-clock of the actual threaded run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MultiUnitTiming {
     /// Units used.
@@ -35,25 +64,48 @@ pub struct MultiUnitTiming {
     pub makespan_cycles: u64,
     /// Sum of all units' fabric cycles (= the single-unit equivalent).
     pub total_cycles: u64,
+    /// Measured wall-clock of the busiest garbling thread.
+    pub measured_makespan: Duration,
+    /// Sum of all garbling threads' busy time (= single-thread equivalent).
+    pub measured_busy_total: Duration,
+    /// Measured end-to-end wall-clock of the streamed pipeline (garbling
+    /// overlapped with host-side OT/evaluation).
+    pub measured_wall: Duration,
+    /// Bytes of garbled material streamed unit → host over the channel
+    /// layer.
+    pub streamed_bytes: u64,
 }
 
 impl MultiUnitTiming {
-    /// Parallel speedup achieved over one unit.
+    /// Modeled parallel speedup over one unit.
     pub fn speedup(&self) -> f64 {
         if self.makespan_cycles == 0 {
             return 1.0;
         }
         self.total_cycles as f64 / self.makespan_cycles as f64
     }
+
+    /// Measured thread-level speedup: total garbling CPU time over the
+    /// busiest thread's wall-clock.
+    pub fn measured_speedup(&self) -> f64 {
+        if self.measured_makespan.is_zero() {
+            return 1.0;
+        }
+        self.measured_busy_total.as_secs_f64() / self.measured_makespan.as_secs_f64()
+    }
 }
 
+/// Per-unit result of one garbling thread, drained after the scope joins.
+type UnitStats = (usize, Duration, u64);
+
 impl MultiUnitServer {
-    /// Creates `units` MAC units (distinct label-generator seeds) serving
-    /// model matrix `weights`.
+    /// Creates `units` MAC units serving model matrix `weights`. An empty
+    /// matrix is accepted (the matvec is then the empty vector).
     ///
     /// # Panics
     ///
-    /// Panics if `units` is zero or the matrix is empty/ragged.
+    /// Panics if `units` is zero, the matrix is ragged, or a non-empty
+    /// matrix has zero columns.
     pub fn new(
         config: &AcceleratorConfig,
         weights: Vec<Vec<i64>>,
@@ -61,17 +113,21 @@ impl MultiUnitServer {
         seed: u64,
     ) -> Self {
         assert!(units > 0, "need at least one unit");
-        assert!(!weights.is_empty(), "model matrix must be non-empty");
-        let cols = weights[0].len();
+        let cols = weights.first().map_or(0, Vec::len);
+        assert!(
+            weights.is_empty() || cols > 0,
+            "model matrix must have columns"
+        );
         for row in &weights {
             assert_eq!(row.len(), cols, "ragged model matrix");
         }
         MultiUnitServer {
             units: (0..units)
-                .map(|u| Maxelerator::new(config.clone(), seed ^ (0x1000 + u as u64)))
+                .map(|_| Maxelerator::new(config.clone(), seed))
                 .collect(),
             weights,
             config: config.clone(),
+            ot_sender: None,
         }
     }
 
@@ -80,73 +136,289 @@ impl MultiUnitServer {
         self.units.len()
     }
 
+    /// Number of model rows (output elements).
+    pub fn rows(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Vector length the client must supply (zero for an empty model).
+    pub fn cols(&self) -> usize {
+        self.weights.first().map_or(0, Vec::len)
+    }
+
+    /// Runs the threaded garbling pipeline: every unit garbles rows
+    /// `u, u + n, u + 2n, …` on its own thread and streams each round's
+    /// encoded [`RoundMessage`] over a [`Duplex`] channel; `on_row` runs on
+    /// the host thread, in row order, overlapped with the still-garbling
+    /// units. OT pairs travel on a server-internal side channel (they never
+    /// leave the garbler's trust domain).
+    fn stream_rows<F>(&mut self, mut on_row: F) -> Result<MultiUnitTiming, AcceleratorError>
+    where
+        F: FnMut(
+            usize,
+            Vec<RoundMessage>,
+            Vec<Vec<(Block, Block)>>,
+        ) -> Result<(), AcceleratorError>,
+    {
+        let started = Instant::now();
+        let n_units = self.units.len();
+        let rows = self.weights.len();
+        if rows == 0 {
+            return Ok(MultiUnitTiming {
+                units: n_units,
+                measured_wall: started.elapsed(),
+                ..MultiUnitTiming::default()
+            });
+        }
+
+        let mut unit_ends = Vec::with_capacity(n_units);
+        let mut host_ends = Vec::with_capacity(n_units);
+        let mut pair_txs = Vec::with_capacity(n_units);
+        let mut pair_rxs = Vec::with_capacity(n_units);
+        for _ in 0..n_units {
+            let (unit_end, host_end) = Duplex::pair();
+            unit_ends.push(unit_end);
+            host_ends.push(host_end);
+            let (tx, rx) = mpsc::channel::<Vec<Vec<(Block, Block)>>>();
+            pair_txs.push(tx);
+            pair_rxs.push(rx);
+        }
+        let (stats_tx, stats_rx) = mpsc::channel::<UnitStats>();
+
+        let weights = &self.weights;
+        let host_result = std::thread::scope(|scope| {
+            for ((u, unit), (mut wire, pair_tx)) in self
+                .units
+                .iter_mut()
+                .enumerate()
+                .zip(unit_ends.into_iter().zip(pair_txs))
+            {
+                let stats_tx = stats_tx.clone();
+                scope.spawn(move || {
+                    let thread_started = Instant::now();
+                    let cycles_before = unit.report().cycles;
+                    for row_idx in (u..rows).step_by(n_units) {
+                        unit.begin_element(row_idx as u32);
+                        let msgs = unit.garble_job(&weights[row_idx], true);
+                        let pairs: Vec<Vec<(Block, Block)>> = msgs
+                            .iter()
+                            .map(|m| unit.ot_pairs(m.round).expect("just garbled").to_vec())
+                            .collect();
+                        for msg in &msgs {
+                            wire.send_bytes(encode_round_message(msg));
+                        }
+                        // Receiver only drops early if the host errored out.
+                        let _ = pair_tx.send(pairs);
+                    }
+                    let _ = stats_tx.send((
+                        u,
+                        thread_started.elapsed(),
+                        unit.report().cycles - cycles_before,
+                    ));
+                });
+            }
+            drop(stats_tx);
+
+            // Host side: consume rows strictly in row order (each unit's
+            // stream is FIFO and its rows ascend, so the owner's next frame
+            // bundle is exactly the next row we need). Early rows are
+            // evaluated while later rows are still being garbled.
+            let rounds_per_row = weights[0].len();
+            for row_idx in 0..rows {
+                let owner = row_idx % n_units;
+                let mut msgs = Vec::with_capacity(rounds_per_row);
+                for _ in 0..rounds_per_row {
+                    let frame = host_ends[owner]
+                        .recv_bytes()
+                        .map_err(|_| AcceleratorError::Disconnected)?;
+                    msgs.push(decode_round_message(frame)?);
+                }
+                let pairs = pair_rxs[owner]
+                    .recv()
+                    .map_err(|_| AcceleratorError::Disconnected)?;
+                on_row(row_idx, msgs, pairs)?;
+            }
+            Ok(())
+        });
+
+        let mut busy = vec![Duration::ZERO; n_units];
+        let mut cycles = vec![0u64; n_units];
+        for (u, elapsed, unit_cycles) in stats_rx.iter() {
+            busy[u] = elapsed;
+            cycles[u] = unit_cycles;
+        }
+        host_result?;
+
+        Ok(MultiUnitTiming {
+            units: n_units,
+            makespan_cycles: cycles.iter().copied().max().unwrap_or(0),
+            total_cycles: cycles.iter().sum(),
+            measured_makespan: busy.iter().copied().max().unwrap_or(Duration::ZERO),
+            measured_busy_total: busy.iter().sum(),
+            measured_wall: started.elapsed(),
+            streamed_bytes: host_ends.iter().map(|e| e.received().bytes()).sum(),
+        })
+    }
+
     /// Garbles every row, row `i` on unit `i % units`, and returns the
     /// per-row messages with their OT pairs (trusted-delivery form for the
-    /// in-process client) and the parallel timing.
-    pub fn garble_matvec(
-        &mut self,
-    ) -> (Vec<Vec<RoundMessage>>, Vec<Vec<Vec<(Block, Block)>>>, MultiUnitTiming) {
-        let n_units = self.units.len();
+    /// in-process client) and the parallel timing. The units run on real
+    /// threads; this form gathers everything before returning.
+    pub fn garble_matvec(&mut self) -> (Vec<Vec<RoundMessage>>, Vec<RowOtPairs>, MultiUnitTiming) {
         let mut messages = Vec::with_capacity(self.weights.len());
         let mut pairs = Vec::with_capacity(self.weights.len());
-        let mut per_unit_cycles = vec![0u64; n_units];
-        for (row_idx, row) in self.weights.clone().iter().enumerate() {
-            let unit = &mut self.units[row_idx % n_units];
-            unit.begin_element(row_idx as u32);
-            let before = unit.report().cycles;
-            let msgs = unit.garble_job(row, true);
-            per_unit_cycles[row_idx % n_units] += unit.report().cycles - before;
-            let row_pairs = msgs
-                .iter()
-                .map(|m| unit.ot_pairs(m.round).to_vec())
-                .collect();
-            messages.push(msgs);
-            pairs.push(row_pairs);
-        }
-        let timing = MultiUnitTiming {
-            units: n_units,
-            makespan_cycles: per_unit_cycles.iter().copied().max().unwrap_or(0),
-            total_cycles: per_unit_cycles.iter().sum(),
-        };
+        let timing = self
+            .stream_rows(|_, msgs, row_pairs| {
+                messages.push(msgs);
+                pairs.push(row_pairs);
+                Ok(())
+            })
+            .expect("in-process units stream well-formed frames");
         (messages, pairs, timing)
     }
 
     /// Full in-process secure matvec against a client, rows garbled across
-    /// the unit bank.
+    /// the unit bank and evaluated on the host thread while later rows are
+    /// still being garbled (trusted label delivery; production uses
+    /// [`connect_multi`] + [`secure_matvec_multi`]).
     ///
     /// # Panics
     ///
     /// Panics if `x` length mismatches the model.
     pub fn secure_matvec(&mut self, x: &[i64]) -> (Vec<i64>, MultiUnitTiming) {
-        assert_eq!(x.len(), self.weights[0].len(), "vector length mismatch");
-        let (messages, pairs, timing) = self.garble_matvec();
-        let mut client = ScheduledEvaluator::new(&self.config);
-        let mut result = Vec::with_capacity(messages.len());
-        for (row_idx, (msgs, row_pairs)) in messages.iter().zip(&pairs).enumerate() {
-            client.begin_element(row_idx as u32);
-            let mut decoded = None;
-            for (msg, round_pairs) in msgs.iter().zip(row_pairs) {
-                let bits = self.config.encode_x(x[msg.round as usize]);
-                let labels: Vec<Block> = round_pairs
-                    .iter()
-                    .zip(&bits)
-                    .map(|(&(m0, m1), &bit)| if bit { m1 } else { m0 })
-                    .collect();
-                decoded = client.evaluate_round(msg, &labels);
-            }
-            result.push(decoded.expect("final round decodes"));
-        }
+        assert_eq!(x.len(), self.cols(), "vector length mismatch");
+        let config = self.config.clone();
+        let mut client = ScheduledEvaluator::new(&config);
+        let mut result = Vec::with_capacity(self.weights.len());
+        let timing = self
+            .stream_rows(|row_idx, msgs, row_pairs| {
+                client.begin_element(row_idx as u32);
+                let mut decoded = None;
+                for (msg, round_pairs) in msgs.iter().zip(&row_pairs) {
+                    let bits = config.encode_x(x[msg.round as usize]);
+                    let labels: Vec<Block> = round_pairs
+                        .iter()
+                        .zip(&bits)
+                        .map(|(&(m0, m1), &bit)| if bit { m1 } else { m0 })
+                        .collect();
+                    decoded = client.evaluate_round(msg, &labels)?;
+                }
+                result.push(decoded.expect("final round decodes"));
+                Ok(())
+            })
+            .expect("in-process units stream well-formed frames");
         (result, timing)
     }
+}
+
+/// Creates a connected multi-unit server / client pair, mirroring
+/// [`crate::connect`]: same OT base phase, same seeds, so the resulting
+/// transcript is byte-identical to the single-unit server's.
+///
+/// # Panics
+///
+/// Panics if `units` is zero or the matrix is ragged.
+pub fn connect_multi(
+    config: &AcceleratorConfig,
+    weights: Vec<Vec<i64>>,
+    units: usize,
+    seed: u64,
+) -> (MultiUnitServer, ClientSession) {
+    let mut server = MultiUnitServer::new(config, weights, units, seed);
+    let (ot_sender, ot_receiver) = iknp::setup_pair(seed ^ 0x0055_aaff);
+    server.ot_sender = Some(ot_sender);
+    (
+        server,
+        ClientSession {
+            evaluator: ScheduledEvaluator::new(config),
+            config: config.clone(),
+            ot_receiver,
+        },
+    )
+}
+
+/// Runs a complete privacy-preserving `y = W·x` through the threaded
+/// multi-unit pipeline with the client's `x` delivered via the full
+/// OT-extension stack — the parallel counterpart of
+/// [`crate::secure_matvec`], producing byte-identical results, OT
+/// ciphertexts and transcript byte counts.
+///
+/// # Errors
+///
+/// Returns a typed [`AcceleratorError`] if a streamed frame is malformed
+/// or a unit disconnects mid-protocol.
+///
+/// # Panics
+///
+/// Panics if `server` was not built via [`connect_multi`] or `x` length
+/// mismatches the model.
+pub fn secure_matvec_multi(
+    server: &mut MultiUnitServer,
+    client: &mut ClientSession,
+    x: &[i64],
+) -> Result<(Vec<i64>, MatvecTranscript, MultiUnitTiming), AcceleratorError> {
+    assert_eq!(x.len(), server.cols(), "vector length mismatch");
+    let mut ot_sender = server
+        .ot_sender
+        .take()
+        .expect("server must be built via connect_multi");
+    let config = client.config.clone();
+    let b = config.bit_width;
+    let mut choices = Vec::with_capacity(x.len() * b);
+    for &xl in x {
+        choices.extend(config.encode_x(xl));
+    }
+
+    let mut transcript = MatvecTranscript::default();
+    let mut result = Vec::with_capacity(server.rows());
+    let evaluator = &mut client.evaluator;
+    let ot_receiver = &mut client.ot_receiver;
+    let timing = server.stream_rows(|row_idx, msgs, row_pairs| {
+        evaluator.begin_element(row_idx as u32);
+        // One OT-extension batch per row, exactly as the single-unit
+        // server batches it, so the OT state transitions match.
+        let pairs: Vec<(Block, Block)> = row_pairs.into_iter().flatten().collect();
+        let (ext_msg, keys) = ot_receiver.prepare(&choices);
+        let cipher = ot_sender.send(&ext_msg, &pairs);
+        let labels: Vec<Block> = ot_receiver.receive(&cipher, &keys, &choices);
+        transcript.ot_bytes += (cipher.pairs.len() * 32) as u64;
+        transcript.ot_upload_bytes += ext_msg
+            .columns
+            .iter()
+            .map(|c| c.len() as u64 * 8)
+            .sum::<u64>();
+
+        let mut decoded = None;
+        for (i, msg) in msgs.iter().enumerate() {
+            transcript.material_bytes += msg.wire_bytes() as u64;
+            transcript.tables += msg.tables.len() as u64;
+            decoded = evaluator.evaluate_round(msg, &labels[i * b..(i + 1) * b])?;
+        }
+        result.push(decoded.expect("final round decodes"));
+        transcript.rounds += msgs.len() as u64;
+        Ok(())
+    });
+    server.ot_sender = Some(ot_sender);
+    let timing = timing?;
+
+    transcript.elements = server.rows();
+    transcript.fabric_cycles = timing.makespan_cycles;
+    transcript.fabric_seconds = timing.makespan_cycles as f64 / (config.freq_mhz * 1e6);
+    Ok((result, transcript, timing))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::{connect, secure_matvec};
 
     fn model(rows: usize, cols: usize) -> Vec<Vec<i64>> {
         (0..rows)
-            .map(|r| (0..cols).map(|c| ((r * 5 + c * 3) % 21) as i64 - 10).collect())
+            .map(|r| {
+                (0..cols)
+                    .map(|c| ((r * 5 + c * 3) % 21) as i64 - 10)
+                    .collect()
+            })
             .collect()
     }
 
@@ -164,6 +436,7 @@ mod tests {
             let (got, timing) = server.secure_matvec(&x);
             assert_eq!(got, expected, "{units} units");
             assert_eq!(timing.units, units);
+            assert!(timing.streamed_bytes > 0);
         }
     }
 
@@ -192,7 +465,78 @@ mod tests {
         let mut server = MultiUnitServer::new(&config, model(2, 2), 2, 7);
         let (messages, _, _) = server.garble_matvec();
         // Rows on different units must not share tables even for identical
-        // model values.
+        // model values: each element has its own derived label stream.
         assert_ne!(messages[0][0].tables, messages[1][0].tables);
+    }
+
+    #[test]
+    fn unit_count_does_not_change_garbled_bytes() {
+        // The acceptance invariant at the message level: the exact same
+        // RoundMessages (tables, labels, decode bits) come out no matter
+        // how many threads garble them.
+        let config = AcceleratorConfig::new(8);
+        let w = model(5, 3);
+        let mut one = MultiUnitServer::new(&config, w.clone(), 1, 42);
+        let mut five = MultiUnitServer::new(&config, w, 5, 42);
+        let (m1, p1, _) = one.garble_matvec();
+        let (m5, p5, _) = five.garble_matvec();
+        assert_eq!(m1, m5);
+        assert_eq!(p1, p5);
+    }
+
+    #[test]
+    fn full_protocol_transcript_matches_single_unit_server() {
+        // N = 4 threads, full OT stack: outputs and every byte count must
+        // equal the sequential CloudServer's.
+        let config = AcceleratorConfig::new(8);
+        let w = model(6, 4);
+        let x = vec![3i64, -1, 0, 7];
+        let (mut single, mut single_client) = connect(&config, w.clone(), 77);
+        let (want, st) = secure_matvec(&mut single, &mut single_client, &x);
+
+        let (mut multi, mut multi_client) = connect_multi(&config, w, 4, 77);
+        let (got, mt, timing) = secure_matvec_multi(&mut multi, &mut multi_client, &x).unwrap();
+
+        assert_eq!(got, want);
+        assert_eq!(mt.elements, st.elements);
+        assert_eq!(mt.rounds, st.rounds);
+        assert_eq!(mt.tables, st.tables);
+        assert_eq!(mt.material_bytes, st.material_bytes);
+        assert_eq!(mt.ot_bytes, st.ot_bytes);
+        assert_eq!(mt.ot_upload_bytes, st.ot_upload_bytes);
+        assert_eq!(timing.units, 4);
+        assert!(timing.measured_wall > Duration::ZERO);
+        assert!(timing.measured_makespan > Duration::ZERO);
+        assert!(timing.measured_busy_total >= timing.measured_makespan);
+    }
+
+    #[test]
+    fn more_units_than_rows_is_fine() {
+        let config = AcceleratorConfig::new(8);
+        let w = model(2, 3);
+        let x = vec![1i64, -2, 3];
+        let expected: Vec<i64> = w
+            .iter()
+            .map(|row| row.iter().zip(&x).map(|(a, b)| a * b).sum())
+            .collect();
+        let mut server = MultiUnitServer::new(&config, w, 6, 11);
+        let (got, timing) = server.secure_matvec(&x);
+        assert_eq!(got, expected);
+        assert_eq!(timing.units, 6);
+    }
+
+    #[test]
+    fn empty_model_is_fine() {
+        let config = AcceleratorConfig::new(8);
+        let mut server = MultiUnitServer::new(&config, vec![], 3, 11);
+        let (got, timing) = server.secure_matvec(&[]);
+        assert!(got.is_empty());
+        assert_eq!(timing.total_cycles, 0);
+        assert_eq!(timing.streamed_bytes, 0);
+
+        let (mut server, mut client) = connect_multi(&config, vec![], 2, 4);
+        let (y, t, _) = secure_matvec_multi(&mut server, &mut client, &[]).unwrap();
+        assert!(y.is_empty());
+        assert_eq!(t.elements, 0);
     }
 }

@@ -85,7 +85,12 @@ impl PrecomputeStore {
             self.fabric_cycles_spent += accelerator.report().cycles - before;
             let ot_pairs = messages
                 .iter()
-                .map(|m| accelerator.ot_pairs(m.round).to_vec())
+                .map(|m| {
+                    accelerator
+                        .ot_pairs(m.round)
+                        .expect("round just garbled")
+                        .to_vec()
+                })
                 .collect();
             self.jobs.push_back(PrecomputedJob { messages, ot_pairs });
         }
@@ -136,7 +141,7 @@ mod tests {
         let mut result = None;
         for (i, msg) in job.messages.iter().enumerate() {
             let labels = job.labels_for(i, &config.encode_x(x[i]));
-            result = client.evaluate_round(msg, &labels);
+            result = client.evaluate_round(msg, &labels).unwrap();
         }
         result.expect("final round decodes")
     }
@@ -194,6 +199,10 @@ mod tests {
         let job = store.serve().expect("buffered");
         let got = serve_and_evaluate(&config, &job, 0, &[1, 1, 1]);
         assert_eq!(got, 9);
-        assert_eq!(accel.report().cycles, cycles_before, "no online fabric time");
+        assert_eq!(
+            accel.report().cycles,
+            cycles_before,
+            "no online fabric time"
+        );
     }
 }

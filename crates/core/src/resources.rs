@@ -30,7 +30,7 @@ const CALIBRATION: [(usize, u64, u64, u64); 3] = [
 /// Panics if `b < 4` or `b` is odd.
 pub fn mac_unit_resources(bit_width: usize) -> ResourceUsage {
     assert!(
-        bit_width >= 4 && bit_width % 2 == 0,
+        bit_width >= 4 && bit_width.is_multiple_of(2),
         "bit width must be even and at least 4"
     );
     for &(b, lut, lutram, ff) in &CALIBRATION {
@@ -41,7 +41,9 @@ pub fn mac_unit_resources(bit_width: usize) -> ResourceUsage {
     // Piecewise-linear in b over the calibration table.
     let interp = |x0: usize, y0: u64, x1: usize, y1: u64, x: usize| -> u64 {
         let slope = (y1 as f64 - y0 as f64) / (x1 as f64 - x0 as f64);
-        (y0 as f64 + slope * (x as f64 - x0 as f64)).max(0.0).round() as u64
+        (y0 as f64 + slope * (x as f64 - x0 as f64))
+            .max(0.0)
+            .round() as u64
     };
     let (lo, hi) = if bit_width < 16 {
         (CALIBRATION[0], CALIBRATION[1])
@@ -78,12 +80,7 @@ pub fn resource_breakdown(bit_width: usize) -> Vec<ComponentUsage> {
     // Architectural shares: AES engines dominate LUT (~70%); shift-register
     // delay lines dominate FF (~55%); all LUTRAM is s-boxes; the FSM and
     // label generator split the remainder.
-    let engines = ResourceUsage::new(
-        total.lut * 70 / 100,
-        total.lutram,
-        total.ff * 30 / 100,
-        0,
-    );
+    let engines = ResourceUsage::new(total.lut * 70 / 100, total.lutram, total.ff * 30 / 100, 0);
     let shift_regs = ResourceUsage::new(total.lut * 5 / 100, 0, total.ff * 55 / 100, 0);
     let fsm = ResourceUsage::new(total.lut * 15 / 100, 0, total.ff * 10 / 100, 0);
     let label_gen = ResourceUsage::new(

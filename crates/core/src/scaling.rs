@@ -39,7 +39,10 @@ pub struct DeviceScaling {
 ///
 /// Panics if `usable` is not in `(0, 1]`.
 pub fn pack_device(bit_width: usize, device: &ResourceUsage, usable: f64) -> DeviceScaling {
-    assert!(usable > 0.0 && usable <= 1.0, "usable fraction out of range");
+    assert!(
+        usable > 0.0 && usable <= 1.0,
+        "usable fraction out of range"
+    );
     let unit = mac_unit_resources(bit_width);
     let budget = ResourceUsage::new(
         (device.lut as f64 * usable) as u64,
@@ -56,7 +59,7 @@ pub fn pack_device(bit_width: usize, device: &ResourceUsage, usable: f64) -> Dev
     let (bound_by, used, avail) = per_resource
         .into_iter()
         .filter(|&(_, u, _)| u > 0)
-        .min_by_key(|&(_, u, a)| if u == 0 { u64::MAX } else { a / u })
+        .min_by_key(|&(_, u, a)| a.checked_div(u).unwrap_or(u64::MAX))
         .expect("at least one resource used");
     let timing = TimingModel::paper(bit_width);
     DeviceScaling {

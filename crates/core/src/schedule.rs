@@ -208,7 +208,13 @@ impl GateGraph {
         }
         let segments = level
             .iter()
-            .map(|&l| if l <= 2 { Segment::MuxAdd } else { Segment::Tree })
+            .map(|&l| {
+                if l <= 2 {
+                    Segment::MuxAdd
+                } else {
+                    Segment::Tree
+                }
+            })
             .collect();
 
         GateGraph {
@@ -260,7 +266,13 @@ impl Schedule {
         rounds: usize,
         state_range: std::ops::Range<usize>,
     ) -> Self {
-        Self::compile_with_policy(netlist, cores, rounds, state_range, SchedulePolicy::default())
+        Self::compile_with_policy(
+            netlist,
+            cores,
+            rounds,
+            state_range,
+            SchedulePolicy::default(),
+        )
     }
 
     /// [`Schedule::compile`] with an explicit gate-selection policy.
@@ -383,8 +395,7 @@ impl Schedule {
             ($node:expr, $completion:expr, $queue:expr) => {{
                 let node: u32 = $node;
                 let completion: u64 = $completion;
-                for di in 0..dependents[node as usize].len() {
-                    let dep = dependents[node as usize][di];
+                for &dep in &dependents[node as usize] {
                     let slot = &mut dep_completion[dep as usize];
                     if *slot < completion {
                         *slot = completion;
@@ -440,8 +451,7 @@ impl Schedule {
                 busy += 1;
                 round_completion[r] = round_completion[r].max(cycle + 1);
                 // AND completes at `cycle`; dependents may start at cycle+1.
-                for di in 0..dependents[node as usize].len() {
-                    let dep = dependents[node as usize][di];
+                for &dep in &dependents[node as usize] {
                     let slot = &mut dep_completion[dep as usize];
                     if *slot < cycle + 1 {
                         *slot = cycle + 1;
@@ -459,8 +469,7 @@ impl Schedule {
             // Cascade completed STATE nodes (zero-latency).
             while let Some(node) = state_queue.pop() {
                 let completion = dep_completion[node as usize];
-                round_completion[round_of(node)] =
-                    round_completion[round_of(node)].max(completion);
+                round_completion[round_of(node)] = round_completion[round_of(node)].max(completion);
                 let mut sub: Vec<u32> = Vec::new();
                 complete_node!(node, completion, sub);
                 for dep in sub {
@@ -548,8 +557,7 @@ impl Schedule {
 
     /// Per-cycle core occupancy over `[from, to)` — the Figure 3 view.
     pub fn occupancy(&self, from: u64, to: u64) -> Vec<Vec<Option<SlotAssignment>>> {
-        let mut grid =
-            vec![vec![None; self.cores]; (to - from) as usize];
+        let mut grid = vec![vec![None; self.cores]; (to - from) as usize];
         for a in &self.assignments {
             if a.cycle >= from && a.cycle < to {
                 grid[(a.cycle - from) as usize][a.core] = Some(*a);
@@ -674,11 +682,7 @@ mod tests {
                     _ => in_ready,
                 };
             }
-            netlist
-                .outputs()
-                .iter()
-                .map(|w| ready[w.index()])
-                .collect()
+            netlist.outputs().iter().map(|w| ready[w.index()]).collect()
         }
     }
 

@@ -53,9 +53,9 @@ impl std::fmt::Debug for CloudServer {
 
 /// The client: scheduled evaluator + OT receiver.
 pub struct ClientSession {
-    evaluator: ScheduledEvaluator,
-    config: AcceleratorConfig,
-    ot_receiver: OtExtReceiver,
+    pub(crate) evaluator: ScheduledEvaluator,
+    pub(crate) config: AcceleratorConfig,
+    pub(crate) ot_receiver: OtExtReceiver,
 }
 
 impl std::fmt::Debug for ClientSession {
@@ -66,18 +66,22 @@ impl std::fmt::Debug for ClientSession {
 
 /// Creates a connected server/client pair (the OT base phase runs here).
 ///
+/// An empty matrix is accepted: the resulting matvec is the empty vector.
+///
 /// # Panics
 ///
-/// Panics if the matrix is empty or ragged, or its values do not fit the
-/// configured bit-width.
+/// Panics if the matrix is ragged, a non-empty matrix has zero columns, or
+/// its values do not fit the configured bit-width.
 pub fn connect(
     config: &AcceleratorConfig,
     weights: Vec<Vec<i64>>,
     seed: u64,
 ) -> (CloudServer, ClientSession) {
-    assert!(!weights.is_empty(), "model matrix must be non-empty");
-    let cols = weights[0].len();
-    assert!(cols > 0, "model matrix must have columns");
+    let cols = weights.first().map_or(0, Vec::len);
+    assert!(
+        weights.is_empty() || cols > 0,
+        "model matrix must have columns"
+    );
     for row in &weights {
         assert_eq!(row.len(), cols, "ragged model matrix");
     }
@@ -102,9 +106,9 @@ impl CloudServer {
         self.weights.len()
     }
 
-    /// Vector length the client must supply.
+    /// Vector length the client must supply (zero for an empty model).
     pub fn cols(&self) -> usize {
-        self.weights[0].len()
+        self.weights.first().map_or(0, Vec::len)
     }
 
     /// Direct access to the accelerator's activity report.
@@ -147,7 +151,12 @@ pub fn secure_matvec(
         }
         let mut pairs = Vec::with_capacity(choices.len());
         for msg in &messages {
-            pairs.extend_from_slice(server.accelerator.ot_pairs(msg.round));
+            pairs.extend_from_slice(
+                server
+                    .accelerator
+                    .ot_pairs(msg.round)
+                    .expect("round just garbled"),
+            );
         }
         let (ext_msg, keys) = client.ot_receiver.prepare(&choices);
         let cipher = server.ot_sender.send(&ext_msg, &pairs);
@@ -166,7 +175,8 @@ pub fn secure_matvec(
             transcript.tables += msg.tables.len() as u64;
             decoded = client
                 .evaluator
-                .evaluate_round(msg, &labels[i * b..(i + 1) * b]);
+                .evaluate_round(msg, &labels[i * b..(i + 1) * b])
+                .expect("in-process server messages are well-formed");
         }
         result.push(decoded.expect("final round decodes"));
         transcript.rounds += messages.len() as u64;
@@ -175,8 +185,7 @@ pub fn secure_matvec(
     transcript.elements = server.rows();
     let report = server.accelerator.report();
     transcript.fabric_cycles = report.cycles;
-    transcript.fabric_seconds =
-        report.cycles as f64 / (server.accelerator.config().freq_mhz * 1e6);
+    transcript.fabric_seconds = report.cycles as f64 / (server.accelerator.config().freq_mhz * 1e6);
     (result, transcript)
 }
 
@@ -218,6 +227,7 @@ pub fn secure_matmul(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use max_gc::GarbledTable;
 
     fn plain_matvec(w: &[Vec<i64>], x: &[i64]) -> Vec<i64> {
         w.iter()
@@ -241,7 +251,7 @@ mod tests {
         assert_eq!(transcript.elements, 3);
         assert_eq!(transcript.rounds, 12);
         assert!(transcript.tables > 0);
-        assert!(transcript.material_bytes > transcript.tables * 32);
+        assert!(transcript.material_bytes > transcript.tables * GarbledTable::WIRE_BYTES as u64);
         assert!(transcript.ot_bytes > 0);
         assert!(transcript.fabric_seconds > 0.0);
     }
@@ -285,6 +295,17 @@ mod tests {
         }
         assert_eq!(t.elements, 4);
         assert_eq!(t.rounds, 12);
+    }
+
+    #[test]
+    fn empty_model_yields_empty_result() {
+        let config = AcceleratorConfig::new(8);
+        let (mut server, mut client) = connect(&config, vec![], 3);
+        let (y, t) = secure_matvec(&mut server, &mut client, &[]);
+        assert!(y.is_empty());
+        assert_eq!(t.elements, 0);
+        assert_eq!(t.tables, 0);
+        assert_eq!(t.material_bytes, 0);
     }
 
     #[test]

@@ -114,10 +114,7 @@ mod tests {
         // Table 2: 0.12 / 0.24 / 0.48 µs per MAC.
         for (b, us) in [(8, 0.12), (16, 0.24), (32, 0.48)] {
             let t = TimingModel::paper(b);
-            assert!(
-                (t.seconds_per_mac() * 1e6 - us).abs() < 1e-9,
-                "b = {b}"
-            );
+            assert!((t.seconds_per_mac() * 1e6 - us).abs() < 1e-9, "b = {b}");
         }
     }
 

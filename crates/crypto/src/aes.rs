@@ -50,11 +50,7 @@ const fn gf256_inv(a: u8) -> u8 {
 /// The AES affine transformation applied to the GF(2^8) inverse.
 const fn sbox_entry(x: u8) -> u8 {
     let inv = gf256_inv(x);
-    inv ^ inv.rotate_left(1)
-        ^ inv.rotate_left(2)
-        ^ inv.rotate_left(3)
-        ^ inv.rotate_left(4)
-        ^ 0x63
+    inv ^ inv.rotate_left(1) ^ inv.rotate_left(2) ^ inv.rotate_left(3) ^ inv.rotate_left(4) ^ 0x63
 }
 
 const fn build_sbox() -> [u8; 256] {

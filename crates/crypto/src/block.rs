@@ -71,7 +71,11 @@ impl Block {
     #[must_use]
     pub const fn gf_double(self) -> Self {
         let shifted = self.0 << 1;
-        let reduced = if self.0 >> 127 == 1 { shifted ^ 0x87 } else { shifted };
+        let reduced = if self.0 >> 127 == 1 {
+            shifted ^ 0x87
+        } else {
+            shifted
+        };
         Block(reduced)
     }
 

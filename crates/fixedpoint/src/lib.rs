@@ -64,7 +64,7 @@ impl FixedFormat {
 
     /// The quantization step `2^-frac_bits`.
     pub fn step(&self) -> f64 {
-        (self.frac_bits as f64 * -1.0).exp2()
+        (-(self.frac_bits as f64)).exp2()
     }
 
     /// Largest representable value.
@@ -158,11 +158,7 @@ impl Vector {
     /// Panics on length mismatch.
     pub fn dot(&self, other: &Vector) -> i64 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.raw
-            .iter()
-            .zip(&other.raw)
-            .map(|(&a, &b)| a * b)
-            .sum()
+        self.raw.iter().zip(&other.raw).map(|(&a, &b)| a * b).sum()
     }
 }
 
@@ -234,13 +230,7 @@ impl Matrix {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
         Vector {
             raw: (0..self.rows)
-                .map(|r| {
-                    self.row(r)
-                        .iter()
-                        .zip(v.raw())
-                        .map(|(&a, &b)| a * b)
-                        .sum()
-                })
+                .map(|r| self.row(r).iter().zip(v.raw()).map(|(&a, &b)| a * b).sum())
                 .collect(),
         }
     }
@@ -296,7 +286,7 @@ mod tests {
     #[test]
     fn quantize_round_trips_within_step() {
         let q = FixedFormat::new(32, 16);
-        for x in [-100.5, -0.001, 0.0, 0.123456, 3.14159, 1000.0] {
+        for x in [-100.5, -0.001, 0.0, 0.123456, std::f64::consts::PI, 1000.0] {
             let raw = q.quantize(x);
             assert!((q.dequantize(raw) - x).abs() <= q.quantization_error_bound());
         }

@@ -58,13 +58,7 @@ impl ResourceUsage {
     /// How many copies of `self` fit in `budget` (limited by the scarcest
     /// resource; columns `self` does not use are unconstrained).
     pub fn copies_within(&self, budget: &ResourceUsage) -> u64 {
-        let ratio = |used: u64, avail: u64| {
-            if used == 0 {
-                u64::MAX
-            } else {
-                avail / used
-            }
-        };
+        let ratio = |used: u64, avail: u64| avail.checked_div(used).unwrap_or(u64::MAX);
         ratio(self.lut, budget.lut)
             .min(ratio(self.lutram, budget.lutram))
             .min(ratio(self.ff, budget.ff))

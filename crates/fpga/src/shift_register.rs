@@ -66,7 +66,11 @@ mod tests {
             let mut sr = ShiftRegister::new(depth, -1i64);
             for i in 0..20i64 {
                 let out = sr.shift(i);
-                let expected = if i < depth as i64 { -1 } else { i - depth as i64 };
+                let expected = if i < depth as i64 {
+                    -1
+                } else {
+                    i - depth as i64
+                };
                 assert_eq!(out, expected, "depth {depth}, step {i}");
             }
         }

@@ -154,7 +154,7 @@ impl Duplex {
 
     /// Sends garbled tables as one frame.
     pub fn send_tables(&mut self, tables: &[GarbledTable]) {
-        let mut buf = BytesMut::with_capacity(4 + tables.len() * 32);
+        let mut buf = BytesMut::with_capacity(4 + tables.len() * GarbledTable::WIRE_BYTES);
         buf.put_u32(tables.len() as u32);
         for table in tables {
             buf.put_slice(&table.to_bytes());
@@ -174,10 +174,14 @@ impl Duplex {
     pub fn recv_tables(&mut self) -> Result<Vec<GarbledTable>, RecvDisconnected> {
         let mut frame = self.recv_bytes()?;
         let count = frame.get_u32() as usize;
-        assert_eq!(frame.remaining(), count * 32, "malformed table frame");
+        assert_eq!(
+            frame.remaining(),
+            count * GarbledTable::WIRE_BYTES,
+            "malformed table frame"
+        );
         let mut tables = Vec::with_capacity(count);
         for _ in 0..count {
-            let mut bytes = [0u8; 32];
+            let mut bytes = [0u8; GarbledTable::WIRE_BYTES];
             frame.copy_to_slice(&mut bytes);
             tables.push(GarbledTable::from_bytes(bytes));
         }
@@ -196,7 +200,7 @@ impl Duplex {
                 byte = 0;
             }
         }
-        if bits.len() % 8 != 0 {
+        if !bits.len().is_multiple_of(8) {
             buf.put_u8(byte);
         }
         self.send_bytes(buf.freeze());
@@ -216,7 +220,9 @@ impl Duplex {
         let count = frame.get_u32() as usize;
         assert_eq!(frame.remaining(), count.div_ceil(8), "malformed bit frame");
         let bytes: Vec<u8> = frame.chunk().to_vec();
-        Ok((0..count).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect())
+        Ok((0..count)
+            .map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1)
+            .collect())
     }
 }
 

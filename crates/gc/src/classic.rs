@@ -116,7 +116,7 @@ pub fn garble_and_grr3(
     let derived = hash.hash2(a_col0, b_col0, tweak);
     let c0 = derived.xor_if(d, va && vb);
 
-    let mut rows = vec![Block::ZERO; 4];
+    let mut rows = [Block::ZERO; 4];
     for xa in [false, true] {
         for xb in [false, true] {
             let a = a0.xor_if(d, xa);
@@ -127,9 +127,12 @@ pub fn garble_and_grr3(
         }
     }
     debug_assert_eq!(rows[0], Block::ZERO, "GRR3 row 0 must vanish");
-    (c0, RowTable {
-        rows: rows[1..].to_vec(),
-    })
+    (
+        c0,
+        RowTable {
+            rows: rows[1..].to_vec(),
+        },
+    )
 }
 
 /// Evaluates a GRR3 AND gate (three transmitted rows; row 0 is implicit).
@@ -279,7 +282,11 @@ impl ClassicGarbled {
     ///
     /// Panics if `scheme` is [`Scheme::HalfGates`] (use [`crate::Garbler`]).
     pub fn garble(netlist: &Netlist, scheme: Scheme, seed: Block) -> Self {
-        assert_ne!(scheme, Scheme::HalfGates, "use the main Garbler for half gates");
+        assert_ne!(
+            scheme,
+            Scheme::HalfGates,
+            "use the main Garbler for half gates"
+        );
         let hash = max_crypto::FixedKeyHash::new();
         let mut source = PrgLabelSource::new(seed);
         let delta = source.next_delta();
@@ -383,8 +390,7 @@ impl ClassicGarbled {
                 GateKind::And => {
                     let tweak = Tweak::from_gate_index(and_index as u64);
                     let table = RowTable {
-                        rows: self.rows
-                            [and_index * rows_per_gate..(and_index + 1) * rows_per_gate]
+                        rows: self.rows[and_index * rows_per_gate..(and_index + 1) * rows_per_gate]
                             .to_vec(),
                     };
                     and_index += 1;
@@ -424,7 +430,11 @@ mod netlist_tests {
                     &mac.garbler_bits(a, acc),
                     &mac.evaluator_bits(x),
                 );
-                assert_eq!(decode_signed(&out), acc + a * x, "{scheme:?}: {a},{acc},{x}");
+                assert_eq!(
+                    decode_signed(&out),
+                    acc + a * x,
+                    "{scheme:?}: {a},{acc},{x}"
+                );
             }
         }
     }

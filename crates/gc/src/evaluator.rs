@@ -65,7 +65,11 @@ impl Evaluator {
         {
             active[wire.index()] = label;
         }
-        for ((wire, _), &label) in netlist.constants().iter().zip(&garbler_labels[garbler_count..]) {
+        for ((wire, _), &label) in netlist
+            .constants()
+            .iter()
+            .zip(&garbler_labels[garbler_count..])
+        {
             active[wire.index()] = label;
         }
         for (wire, &label) in netlist.evaluator_inputs().iter().zip(evaluator_labels) {
@@ -93,7 +97,11 @@ impl Evaluator {
             material.tables.len(),
             "table count mismatch"
         );
-        netlist.outputs().iter().map(|w| active[w.index()]).collect()
+        netlist
+            .outputs()
+            .iter()
+            .map(|w| active[w.index()])
+            .collect()
     }
 
     /// Evaluates and decodes in one step.
@@ -105,7 +113,13 @@ impl Evaluator {
         evaluator_labels: &[Block],
         tweak_base: u64,
     ) -> Vec<bool> {
-        let labels = self.evaluate(netlist, material, garbler_labels, evaluator_labels, tweak_base);
+        let labels = self.evaluate(
+            netlist,
+            material,
+            garbler_labels,
+            evaluator_labels,
+            tweak_base,
+        );
         labels
             .iter()
             .zip(&material.output_decode)
@@ -117,9 +131,10 @@ impl Evaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::GarbledTable;
     use crate::garbler::Garbler;
     use crate::label::PrgLabelSource;
-    use max_netlist::{encode_signed, decode_signed, Builder, MacCircuit, MultiplierKind, Sign};
+    use max_netlist::{decode_signed, encode_signed, Builder, MacCircuit, MultiplierKind, Sign};
 
     fn garble_eval(netlist: &Netlist, g_bits: &[bool], e_bits: &[bool]) -> Vec<bool> {
         let mut labels = PrgLabelSource::new(Block::new(0x1234));
@@ -162,10 +177,7 @@ mod tests {
         let o = b.or(x, zero);
         let netlist = b.build(vec![a, o, one, zero]);
         for ex in [false, true] {
-            assert_eq!(
-                garble_eval(&netlist, &[], &[ex]),
-                vec![ex, ex, true, false]
-            );
+            assert_eq!(garble_eval(&netlist, &[], &[ex]), vec![ex, ex, true, false]);
         }
     }
 
@@ -178,11 +190,7 @@ mod tests {
         let sum = b.add_expand(&x, &y);
         let netlist = b.build(sum.wires().to_vec());
         for (a, c) in [(0u64, 0u64), (255, 255), (170, 85), (1, 99)] {
-            let out = garble_eval(
-                &netlist,
-                &encode_unsigned(a, 8),
-                &encode_unsigned(c, 8),
-            );
+            let out = garble_eval(&netlist, &encode_unsigned(a, 8), &encode_unsigned(c, 8));
             assert_eq!(decode_unsigned(&out), a + c);
         }
     }
@@ -190,7 +198,12 @@ mod tests {
     #[test]
     fn signed_mac_garbles_correctly() {
         let mac = MacCircuit::build(8, 20, Sign::Signed, MultiplierKind::Tree);
-        for (a, acc, x) in [(-5i64, -3i64, 7i64), (127, 1000, -128), (0, 0, 0), (-128, -400, -128)] {
+        for (a, acc, x) in [
+            (-5i64, -3i64, 7i64),
+            (127, 1000, -128),
+            (0, 0, 0),
+            (-128, -400, -128),
+        ] {
             let out = garble_eval(
                 mac.netlist(),
                 &mac.garbler_bits(a, acc),
@@ -229,7 +242,7 @@ mod tests {
         assert_eq!(garbled.material().tables.len(), stats.and_gates);
         assert_eq!(
             garbled.material().wire_bytes(),
-            stats.and_gates * 32 + mac.netlist().outputs().len().div_ceil(8)
+            stats.and_gates * GarbledTable::WIRE_BYTES + mac.netlist().outputs().len().div_ceil(8)
         );
     }
 
@@ -277,11 +290,13 @@ mod tests {
         };
         let _ = g_bits2;
         let acc_wire_labels: Vec<Block> = (0..10)
-            .map(|i| second.encode_garbler_inputs(&{
-                let mut bits = signed_bits(0, 4);
-                bits.extend(vec![false; 10]);
-                bits
-            })[4 + i])
+            .map(|i| {
+                second.encode_garbler_inputs(&{
+                    let mut bits = signed_bits(0, 4);
+                    bits.extend(vec![false; 10]);
+                    bits
+                })[4 + i]
+            })
             .collect();
         assert_eq!(acc_wire_labels, first.output_zero_labels());
     }

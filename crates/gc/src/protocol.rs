@@ -130,13 +130,8 @@ pub fn run_two_party<T: LabelTransfer + Clone + 'static>(
             tables,
             output_decode,
         };
-        let out_labels = Evaluator::new().evaluate(
-            &netlist_e,
-            &material,
-            &garbler_labels,
-            &evaluator_labels,
-            0,
-        );
+        let out_labels =
+            Evaluator::new().evaluate(&netlist_e, &material, &garbler_labels, &evaluator_labels, 0);
         let outputs: Vec<bool> = out_labels
             .iter()
             .zip(&material.output_decode)
@@ -227,7 +222,13 @@ mod tests {
     #[should_panic(expected = "garbler input count mismatch")]
     fn wrong_input_length_rejected() {
         let netlist = adder(4);
-        run_two_party(&netlist, &[true], &[false; 4], Block::new(1), trusted_transfer());
+        run_two_party(
+            &netlist,
+            &[true],
+            &[false; 4],
+            Block::new(1),
+            trusted_transfer(),
+        );
     }
 }
 
@@ -286,11 +287,8 @@ pub fn run_sequential_two_party<T: LabelTransfer + Clone + 'static>(
     let mut transfer_e = transfer;
 
     let garbler_thread = std::thread::spawn(move || {
-        let mut garbler = crate::SequentialGarbler::new(
-            netlist_g,
-            PrgLabelSource::new(seed),
-            state_g,
-        );
+        let mut garbler =
+            crate::SequentialGarbler::new(netlist_g, PrgLabelSource::new(seed), state_g);
         for (r, bits) in g_rounds.iter().enumerate() {
             let last = r == rounds - 1;
             let round = garbler.garble_round(bits, (r == 0).then_some(init.as_slice()), last);
@@ -399,7 +397,9 @@ mod sequential_tests {
         let mac = MacCircuit::build(8, 24, Sign::Signed, MultiplierKind::Tree);
         let run = |len: usize| {
             let g: Vec<Vec<bool>> = (0..len).map(|i| encode_signed(i as i64 % 100, 8)).collect();
-            let e: Vec<Vec<bool>> = (0..len).map(|i| encode_signed((i as i64 % 7) - 3, 8)).collect();
+            let e: Vec<Vec<bool>> = (0..len)
+                .map(|i| encode_signed((i as i64 % 7) - 3, 8))
+                .collect();
             run_sequential_two_party(
                 mac.netlist(),
                 8..32,

@@ -41,9 +41,12 @@ pub struct SequentialRound {
 impl SequentialRound {
     /// Bytes this round occupies on the wire (tables + labels + decode).
     pub fn wire_bytes(&self) -> usize {
-        self.material.tables.len() * 32
+        self.material.tables.len() * crate::engine::GarbledTable::WIRE_BYTES
             + self.garbler_labels.len() * 16
-            + self.initial_state_labels.as_ref().map_or(0, |l| l.len() * 16)
+            + self
+                .initial_state_labels
+                .as_ref()
+                .map_or(0, |l| l.len() * 16)
             + self.decode.as_ref().map_or(0, |d| d.len().div_ceil(8))
     }
 }
@@ -165,9 +168,9 @@ impl<S: LabelSource> SequentialGarbler<S> {
         // split out what actually travels.
         let mut full_bits = vec![false; total_inputs];
         let mut non_state_iter = non_state_bits.iter();
-        for pos in 0..total_inputs {
+        for (pos, bit) in full_bits.iter_mut().enumerate() {
             if !self.state_inputs.contains(&pos) {
-                full_bits[pos] = *non_state_iter.next().expect("checked length");
+                *bit = *non_state_iter.next().expect("checked length");
             }
         }
         if let Some(init) = initial_state_bits {
@@ -406,11 +409,7 @@ mod tests {
             PrgLabelSource::new(Block::new(1)),
             range.clone(),
         );
-        let round = garbler.garble_round(
-            &encode_signed(1, 4),
-            Some(&encode_signed(0, 10)),
-            false,
-        );
+        let round = garbler.garble_round(&encode_signed(1, 4), Some(&encode_signed(0, 10)), false);
         assert!(round.decode.is_none());
         assert!(round.material.output_decode.is_empty());
         let round2 = garbler.garble_round(&encode_signed(2, 4), None, true);
@@ -467,6 +466,9 @@ mod tests {
         let r1 = garbler.garble_round(&encode_signed(1, 4), None, false);
         // Round 0 carries initial state labels, so it is strictly larger.
         assert!(r0.wire_bytes() > r1.wire_bytes());
-        assert!(r1.wire_bytes() >= mac.netlist().stats().and_gates * 32);
+        assert!(
+            r1.wire_bytes()
+                >= mac.netlist().stats().and_gates * crate::engine::GarbledTable::WIRE_BYTES
+        );
     }
 }

@@ -54,7 +54,9 @@ impl std::error::Error for DecodeError {}
 /// Encodes garbled material into one self-describing frame.
 pub fn encode_material(material: &Material) -> Bytes {
     let mut buf = BytesMut::with_capacity(
-        12 + material.tables.len() * 32 + 4 + material.output_decode.len().div_ceil(8),
+        12 + material.tables.len() * GarbledTable::WIRE_BYTES
+            + 4
+            + material.output_decode.len().div_ceil(8),
     );
     buf.put_slice(&MAGIC);
     buf.put_u16_le(VERSION);
@@ -72,7 +74,7 @@ pub fn encode_material(material: &Material) -> Bytes {
             byte = 0;
         }
     }
-    if material.output_decode.len() % 8 != 0 {
+    if !material.output_decode.len().is_multiple_of(8) {
         buf.put_u8(byte);
     }
     buf.freeze()
@@ -102,12 +104,12 @@ pub fn decode_material(mut frame: Bytes) -> Result<Material, DecodeError> {
         return Err(DecodeError::BadKind(kind));
     }
     let table_count = frame.get_u32_le() as usize;
-    if frame.remaining() < table_count.saturating_mul(32) {
+    if frame.remaining() < table_count.saturating_mul(GarbledTable::WIRE_BYTES) {
         return Err(DecodeError::Truncated);
     }
     let mut tables = Vec::with_capacity(table_count);
     for _ in 0..table_count {
-        let mut bytes = [0u8; 32];
+        let mut bytes = [0u8; GarbledTable::WIRE_BYTES];
         frame.copy_to_slice(&mut bytes);
         tables.push(GarbledTable::from_bytes(bytes));
     }

@@ -125,9 +125,7 @@ impl Mlp {
                 .weights
                 .iter()
                 .zip(&layer.bias)
-                .map(|(row, b)| {
-                    row.iter().zip(&activation).map(|(w, a)| w * a).sum::<f64>() + b
-                })
+                .map(|(row, b)| row.iter().zip(&activation).map(|(w, a)| w * a).sum::<f64>() + b)
                 .collect();
             if idx + 1 < self.layers.len() {
                 for v in &mut next {

@@ -83,12 +83,7 @@ impl Portfolio {
         // t carries 2·frac bits; rescale back before the second stage so the
         // final product carries 2·frac again (as the hardware pipeline does
         // with its truncation stage).
-        let t_rescaled = Vector::from_raw(
-            t.raw()
-                .iter()
-                .map(|&r| r >> format.frac_bits)
-                .collect(),
-        );
+        let t_rescaled = Vector::from_raw(t.raw().iter().map(|&r| r >> format.frac_bits).collect());
         format.dequantize_product(w.dot(&t_rescaled))
     }
 

@@ -104,12 +104,18 @@ impl MatrixFactorization {
 
     /// Quantizes a user profile for the secure datapath.
     pub fn quantized_user(&self, user: usize, format: FixedFormat) -> Vec<i64> {
-        self.users[user].iter().map(|&v| format.quantize(v)).collect()
+        self.users[user]
+            .iter()
+            .map(|&v| format.quantize(v))
+            .collect()
     }
 
     /// Quantizes an item profile for the secure datapath.
     pub fn quantized_item(&self, item: usize, format: FixedFormat) -> Vec<i64> {
-        self.items[item].iter().map(|&v| format.quantize(v)).collect()
+        self.items[item]
+            .iter()
+            .map(|&v| format.quantize(v))
+            .collect()
     }
 }
 

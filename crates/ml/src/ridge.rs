@@ -63,8 +63,8 @@ impl RidgeRegression {
         for i in 0..d {
             for j in 0..=i {
                 let mut sum = a[i][j];
-                for k in 0..j {
-                    sum -= l[i][k] * l[j][k];
+                for (&lik, &ljk) in l[i][..j].iter().zip(&l[j][..j]) {
+                    sum -= lik * ljk;
                 }
                 if i == j {
                     assert!(sum > 0.0, "matrix not positive definite");

@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn add_expand_never_overflows() {
         for (a, b) in [(0u64, 0u64), (255, 255), (200, 100), (1, 254)] {
-            assert_eq!(eval_binary(|bld, x, y| bld.add_expand(x, y), 8, a, b), a + b);
+            assert_eq!(
+                eval_binary(|bld, x, y| bld.add_expand(x, y), 8, a, b),
+                a + b
+            );
         }
     }
 

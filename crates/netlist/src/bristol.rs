@@ -32,7 +32,11 @@ pub struct ParseBristolError {
 
 impl std::fmt::Display for ParseBristolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bristol parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "bristol parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -159,7 +163,9 @@ pub fn import(text: &str) -> Result<Netlist, ParseBristolError> {
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| err(l1, "bad wire count"))?;
 
-    let (l2, inputs_line) = lines.next().ok_or_else(|| err(l1, "missing input header"))?;
+    let (l2, inputs_line) = lines
+        .next()
+        .ok_or_else(|| err(l1, "missing input header"))?;
     let input_counts: Vec<usize> = inputs_line
         .split_whitespace()
         .skip(1)
@@ -174,7 +180,9 @@ pub fn import(text: &str) -> Result<Netlist, ParseBristolError> {
         return Err(err(l2, "expected 1 or 2 input bundles"));
     }
 
-    let (l3, outputs_line) = lines.next().ok_or_else(|| err(l2, "missing output header"))?;
+    let (l3, outputs_line) = lines
+        .next()
+        .ok_or_else(|| err(l2, "missing output header"))?;
     let output_counts: Vec<usize> = outputs_line
         .split_whitespace()
         .skip(1)
@@ -200,11 +208,7 @@ pub fn import(text: &str) -> Result<Netlist, ParseBristolError> {
     for slot in map.iter_mut().take(garbler_in) {
         *slot = Some(builder.garbler_input());
     }
-    for slot in map
-        .iter_mut()
-        .skip(garbler_in)
-        .take(evaluator_in)
-    {
+    for slot in map.iter_mut().skip(garbler_in).take(evaluator_in) {
         *slot = Some(builder.evaluator_input());
     }
 
@@ -385,7 +389,10 @@ impl RawEmitter {
             gates: self.gates,
             outputs,
         };
-        debug_assert!(netlist.validate().is_ok(), "constant lowering broke the netlist");
+        debug_assert!(
+            netlist.validate().is_ok(),
+            "constant lowering broke the netlist"
+        );
         netlist
     }
 }
@@ -451,7 +458,10 @@ mod tests {
         let y = b.evaluator_input_bus(4);
         let p = b.mul(crate::mult::MultiplierKind::Tree, &x, &y);
         let netlist = b.build(p.wires().to_vec());
-        assert!(!netlist.constants().is_empty(), "tree mult uses the zero wire");
+        assert!(
+            !netlist.constants().is_empty(),
+            "tree mult uses the zero wire"
+        );
         let text = export(&netlist).expect("constants are lowered");
         let imported = import(&text).expect("parses");
         for (a, c) in [(5u64, 9u64), (15, 15), (0, 7)] {
@@ -502,10 +512,8 @@ mod tests {
         // The imported netlist slots straight into the GC stack via the
         // shared IR; check by plaintext equivalence + validation here (the
         // GC path is covered by max-gc's generic netlist tests).
-        let netlist = import(
-            "3 5\n2 1 1\n1 1\n\n2 1 0 1 2 AND\n1 1 0 3 INV\n2 1 2 3 4 XOR\n",
-        )
-        .expect("parses");
+        let netlist = import("3 5\n2 1 1\n1 1\n\n2 1 0 1 2 AND\n1 1 0 3 INV\n2 1 2 3 4 XOR\n")
+            .expect("parses");
         assert!(netlist.validate().is_ok());
     }
 }

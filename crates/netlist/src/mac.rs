@@ -186,9 +186,10 @@ impl MacCircuit {
     /// Panics if the circuit is signed or inputs do not fit.
     pub fn evaluate_unsigned(&self, a: u64, acc: u64, x: u64) -> u64 {
         assert_eq!(self.sign, Sign::Unsigned, "circuit is signed");
-        let out = self
-            .netlist
-            .evaluate(&self.garbler_bits(a as i64, acc as i64), &self.evaluator_bits(x as i64));
+        let out = self.netlist.evaluate(
+            &self.garbler_bits(a as i64, acc as i64),
+            &self.evaluator_bits(x as i64),
+        );
         crate::encoding::decode_unsigned(&out)
     }
 }

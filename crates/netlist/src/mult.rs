@@ -23,7 +23,10 @@ impl Builder {
     ///
     /// Panics if either bus is empty.
     pub fn mul(&mut self, kind: MultiplierKind, a: &Bus, x: &Bus) -> Bus {
-        assert!(a.width() > 0 && x.width() > 0, "cannot multiply empty buses");
+        assert!(
+            a.width() > 0 && x.width() > 0,
+            "cannot multiply empty buses"
+        );
         match kind {
             MultiplierKind::Serial => self.mul_serial(a, x),
             MultiplierKind::Tree => self.mul_tree(a, x),
@@ -116,7 +119,14 @@ mod tests {
 
     #[test]
     fn multipliers_agree_at_8bit_corners() {
-        for (a, x) in [(0u64, 0u64), (255, 255), (255, 1), (1, 255), (128, 2), (85, 3)] {
+        for (a, x) in [
+            (0u64, 0u64),
+            (255, 255),
+            (255, 1),
+            (1, 255),
+            (128, 2),
+            (85, 3),
+        ] {
             assert_eq!(
                 run_mul(MultiplierKind::Serial, 8, a, x),
                 run_mul(MultiplierKind::Tree, 8, a, x)

@@ -316,7 +316,11 @@ impl Builder {
     /// Panics on width mismatch or empty buses.
     pub fn hamming_distance(&mut self, a: &Bus, b: &Bus) -> Bus {
         assert_eq!(a.width(), b.width(), "hamming width mismatch");
-        let diff: Bus = a.iter().zip(b.iter()).map(|(&x, &y)| self.xor(x, y)).collect();
+        let diff: Bus = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| self.xor(x, y))
+            .collect();
         self.popcount(&diff)
     }
 
@@ -382,7 +386,7 @@ mod extra_tests {
         let cases: [Vec<i64>; 4] = [
             vec![3, -5, 7, 1],
             vec![-1, -2, -3],
-            vec![5, 5, 4],  // tie resolves to the lower index
+            vec![5, 5, 4], // tie resolves to the lower index
             vec![-128, 127],
         ];
         for values in cases {
@@ -390,10 +394,7 @@ mod extra_tests {
             let buses: Vec<Bus> = values.iter().map(|_| b.garbler_input_bus(8)).collect();
             let idx = b.argmax_signed(&buses);
             let netlist = b.build(idx.wires().to_vec());
-            let bits: Vec<bool> = values
-                .iter()
-                .flat_map(|&v| encode_signed(v, 8))
-                .collect();
+            let bits: Vec<bool> = values.iter().flat_map(|&v| encode_signed(v, 8)).collect();
             let out = netlist.evaluate(&bits, &[]);
             let want = values
                 .iter()

@@ -40,7 +40,7 @@ impl Netlist {
 
     fn eliminate_common_subexpressions(&self, stats: &mut OptStats) -> Netlist {
         // Map each original wire to its canonical replacement.
-        let mut canon: Vec<WireId> = (0..self.wire_count as u32).map(WireId).collect();
+        let mut canon: Vec<WireId> = (0..self.wire_count).map(WireId).collect();
         let mut seen: HashMap<(GateKind, u32, u32), WireId> = HashMap::new();
         let mut gates = Vec::with_capacity(self.gates.len());
         for gate in &self.gates {

@@ -96,7 +96,10 @@ pub struct BaseOtReceiver {
 impl BaseOtReceiver {
     /// Creates the receiver and its blinded message for `choices`.
     pub fn new(prg: &mut AesPrg, setup: SenderSetup, choices: &[bool]) -> (Self, ReceiverMsg) {
-        let exponents: Vec<u64> = choices.iter().map(|_| random_exponent(prg.next_u64())).collect();
+        let exponents: Vec<u64> = choices
+            .iter()
+            .map(|_| random_exponent(prg.next_u64()))
+            .collect();
         let elements = exponents
             .iter()
             .zip(choices)
@@ -187,7 +190,7 @@ mod tests {
         let (receiver, msg) = BaseOtReceiver::new(&mut receiver_prg, setup, &choices);
         let ciphers = sender.encrypt(&msg, &msgs);
         // Flip the choices at decrypt time: the results must be garbage.
-        let wrong = receiver.decrypt(&ciphers, &vec![true; 8]);
+        let wrong = receiver.decrypt(&ciphers, &[true; 8]);
         for (w, m) in wrong.iter().zip(&msgs) {
             assert_ne!(*w, m.1);
             assert_ne!(*w, m.0);

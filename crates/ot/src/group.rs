@@ -40,6 +40,7 @@ impl GroupElem {
 
     /// Group multiplication.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: GroupElem) -> GroupElem {
         GroupElem(((self.0 as u128 * rhs.0 as u128) % MODULUS as u128) as u64)
     }
@@ -147,7 +148,7 @@ mod tests {
     fn random_exponent_in_range() {
         for bits in [0u64, 1, u64::MAX, MODULUS, MODULUS - 3] {
             let e = random_exponent(bits);
-            assert!(e >= 1 && e < MODULUS - 1);
+            assert!((1..MODULUS - 1).contains(&e));
         }
     }
 

@@ -178,9 +178,10 @@ impl OtExtReceiver {
             .zip(choices)
             .enumerate()
             .map(|(j, ((&(y0, y1), &t), &c))| {
-                let mask = self
-                    .hash
-                    .hash(t, Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62));
+                let mask = self.hash.hash(
+                    t,
+                    Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62),
+                );
                 if c {
                     y1 ^ mask
                 } else {
@@ -261,7 +262,11 @@ impl OtExtSender {
     /// # Panics
     ///
     /// Panics if the extension message is malformed.
-    pub fn send_correlated(&mut self, msg: &ExtendMsg, delta: Block) -> (Vec<Block>, CorrelatedMsg) {
+    pub fn send_correlated(
+        &mut self,
+        msg: &ExtendMsg,
+        delta: Block,
+    ) -> (Vec<Block>, CorrelatedMsg) {
         assert_eq!(msg.columns.len(), KAPPA, "malformed extension message");
         let m = msg.count;
         let q_columns: Vec<Vec<u64>> = self
@@ -318,7 +323,11 @@ impl OtExtReceiver {
         keys: &[Block],
         choices: &[bool],
     ) -> Vec<Block> {
-        assert_eq!(msg.corrections.len(), keys.len(), "correction count mismatch");
+        assert_eq!(
+            msg.corrections.len(),
+            keys.len(),
+            "correction count mismatch"
+        );
         assert_eq!(choices.len(), keys.len(), "choice count mismatch");
         let session = self.session;
         self.session += 1;
@@ -328,9 +337,10 @@ impl OtExtReceiver {
             .zip(choices)
             .enumerate()
             .map(|(j, ((&y, &t), &c))| {
-                let mask = self
-                    .hash
-                    .hash(t, Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62));
+                let mask = self.hash.hash(
+                    t,
+                    Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62),
+                );
                 mask.xor_if(y, c)
             })
             .collect()
@@ -405,7 +415,7 @@ mod tests {
         let (msg, keys) = receiver.prepare(&choices);
         let cipher = sender.send(&msg, &pairs);
         // Try to open the *other* slot with the honest keys: must fail.
-        let wrong = receiver.receive(&cipher, &keys, &vec![true; 16]);
+        let wrong = receiver.receive(&cipher, &keys, &[true; 16]);
         for (w, p) in wrong.iter().zip(&pairs) {
             assert_ne!(*w, p.1);
         }
@@ -467,7 +477,12 @@ mod tests {
         let (_, mut receiver) = setup_pair(23);
         let choices: Vec<bool> = (0..128).map(|i| i % 2 == 0).collect();
         let (msg, _) = receiver.prepare(&choices);
-        let ones: u32 = msg.columns.iter().flat_map(|c| c.iter()).map(|w| w.count_ones()).sum();
+        let ones: u32 = msg
+            .columns
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|w| w.count_ones())
+            .sum();
         let total = (KAPPA * 128) as f64;
         let ratio = ones as f64 / total;
         assert!((ratio - 0.5).abs() < 0.05, "bias {ratio}");

@@ -35,7 +35,10 @@ impl LabelGenerator {
     ///
     /// Panics if `bit_width` is zero or odd.
     pub fn new(seed: u64, bit_width: usize) -> Self {
-        assert!(bit_width > 0 && bit_width % 2 == 0, "bit width must be even and positive");
+        assert!(
+            bit_width > 0 && bit_width.is_multiple_of(2),
+            "bit width must be even and positive"
+        );
         let max_labels = bit_width / 2;
         LabelGenerator {
             bank: RngBank::new(seed, LABEL_BITS * max_labels),

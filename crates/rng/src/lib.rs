@@ -35,9 +35,7 @@ pub mod nist;
 mod oscillator;
 mod wold_tan;
 
-pub use health::{
-    HealthMonitor, PROPORTION_CUTOFF, PROPORTION_WINDOW, REPETITION_CUTOFF,
-};
+pub use health::{HealthMonitor, PROPORTION_CUTOFF, PROPORTION_WINDOW, REPETITION_CUTOFF};
 pub use label_gen::{LabelGenerator, LabelGeneratorReport};
 pub use oscillator::RingOscillator;
 pub use wold_tan::{RngBank, RoRng};

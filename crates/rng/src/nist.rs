@@ -112,7 +112,10 @@ pub fn block_frequency(bits: &[bool], m: usize) -> TestResult {
     let blocks = bits.len() / m;
     let mut chi2 = 0.0;
     for block in 0..blocks {
-        let ones = bits[block * m..(block + 1) * m].iter().filter(|&&b| b).count();
+        let ones = bits[block * m..(block + 1) * m]
+            .iter()
+            .filter(|&&b| b)
+            .count();
         let pi = ones as f64 / m as f64;
         chi2 += (pi - 0.5).powi(2);
     }
@@ -293,9 +296,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -406,10 +408,7 @@ mod tests {
     fn igamc_known_values() {
         // Q(0.5, x) = erfc(sqrt(x)).
         for x in [0.1, 0.5, 1.0, 2.0, 5.0] {
-            assert!(
-                (igamc(0.5, x) - erfc(x.sqrt())).abs() < 1e-6,
-                "x = {x}"
-            );
+            assert!((igamc(0.5, x) - erfc(x.sqrt())).abs() < 1e-6, "x = {x}");
         }
         // Q(1, x) = exp(-x).
         for x in [0.5, 1.0, 3.0] {
@@ -582,13 +581,13 @@ pub fn linear_complexity(bits: &[bool], m: usize) -> TestResult {
         return TestResult::new("linear_complexity", 0.0);
     }
     // Expected LFSR length and the 7-bin chi-square of SP 800-22.
-    let mu = m as f64 / 2.0 + (9.0 + if m % 2 == 0 { 1.0 } else { -1.0 }) / 36.0
+    let mu = m as f64 / 2.0 + (9.0 + if m.is_multiple_of(2) { 1.0 } else { -1.0 }) / 36.0
         - (m as f64 / 3.0 + 2.0 / 9.0) / 2f64.powi(m as i32);
     let probs = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
     let mut counts = [0u64; 7];
     for block in 0..blocks {
         let l = berlekamp_massey(&bits[block * m..(block + 1) * m]);
-        let t = if m % 2 == 0 { 1.0 } else { -1.0 } * (l as f64 - mu) + 2.0 / 9.0;
+        let t = if m.is_multiple_of(2) { 1.0 } else { -1.0 } * (l as f64 - mu) + 2.0 / 9.0;
         let bin = if t <= -2.5 {
             0
         } else if t <= -1.5 {

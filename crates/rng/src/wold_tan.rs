@@ -81,7 +81,9 @@ impl RngBank {
     /// Creates a bank of `width` independent RNGs.
     pub fn new(seed: u64, width: usize) -> Self {
         RngBank {
-            rngs: (0..width).map(|i| RoRng::with_index(seed, i as u64)).collect(),
+            rngs: (0..width)
+                .map(|i| RoRng::with_index(seed, i as u64))
+                .collect(),
             enabled: vec![true; width],
             active_rng_cycles: 0,
             total_cycles: 0,
@@ -99,7 +101,10 @@ impl RngBank {
     ///
     /// Panics if `active > self.width()`.
     pub fn set_active(&mut self, active: usize) {
-        assert!(active <= self.rngs.len(), "cannot enable more RNGs than exist");
+        assert!(
+            active <= self.rngs.len(),
+            "cannot enable more RNGs than exist"
+        );
         for (i, gate) in self.enabled.iter_mut().enumerate() {
             *gate = i < active;
         }

@@ -31,9 +31,20 @@ fn main() {
     println!();
 
     println!("-- analytic model (Sec. 4.3) --");
-    println!("  latency: {} stages = {} cycles", timing.latency_stages(), timing.latency_cycles());
-    println!("  throughput: 1 MAC / {} cycles = {:.3e} MAC/s", timing.cycles_per_mac(), timing.macs_per_second());
-    println!("  per core: {:.3e} MAC/s", timing.macs_per_second_per_core());
+    println!(
+        "  latency: {} stages = {} cycles",
+        timing.latency_stages(),
+        timing.latency_cycles()
+    );
+    println!(
+        "  throughput: 1 MAC / {} cycles = {:.3e} MAC/s",
+        timing.cycles_per_mac(),
+        timing.macs_per_second()
+    );
+    println!(
+        "  per core: {:.3e} MAC/s",
+        timing.macs_per_second_per_core()
+    );
     println!(
         "  1024x1024 by 1024x1 matvec: {:.1} ms",
         timing.matmul_seconds(1024, 1024, 1) * 1e3

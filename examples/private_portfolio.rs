@@ -61,7 +61,10 @@ fn main() {
     println!();
     println!("--- the paper's 252-round, size-2 case study (b = 32) ---");
     let est = case_model::paper_estimate();
-    println!("TinyGarble (software GC):  {:.2} s   (paper: 1.33 s)", est.tinygarble_seconds);
+    println!(
+        "TinyGarble (software GC):  {:.2} s   (paper: 1.33 s)",
+        est.tinygarble_seconds
+    );
     println!(
         "MAXelerator:               {:.2} ms  (paper: 15.23 ms; transfer-bound)",
         est.maxelerator_seconds * 1e3

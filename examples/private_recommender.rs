@@ -40,7 +40,10 @@ fn main() {
         let secure = format.dequantize_product(*raw);
         let plain = mf.predict(user, item);
         println!("  item {item}: secure {secure:.3} | plaintext {plain:.3}");
-        assert!((secure - plain).abs() < 0.25, "quantization drift too large");
+        assert!(
+            (secure - plain).abs() < 0.25,
+            "quantization drift too large"
+        );
     }
     println!(
         "({} MAC rounds, {} tables, {:.2} us fabric time)",

@@ -25,8 +25,7 @@ fn main() {
     let y_train: Vec<f64> = x_train
         .iter()
         .map(|row| {
-            row.iter().zip(&truth).map(|(a, b)| a * b).sum::<f64>()
-                + rng.random_range(-0.02..0.02)
+            row.iter().zip(&truth).map(|(a, b)| a * b).sum::<f64>() + rng.random_range(-0.02..0.02)
         })
         .collect();
     let beta = RidgeRegression::new(1e-3).fit(&x_train, &y_train);
@@ -42,11 +41,7 @@ fn main() {
     let x_q = Vector::quantize(&client_features, format);
     let (pred_raw, transcript) = secure_matvec(&mut server, &mut client, x_q.raw());
     let secure_pred = format.dequantize_product(pred_raw[0]);
-    let plain_pred: f64 = beta
-        .iter()
-        .zip(&client_features)
-        .map(|(b, x)| b * x)
-        .sum();
+    let plain_pred: f64 = beta.iter().zip(&client_features).map(|(b, x)| b * x).sum();
     println!();
     println!("client features (secret): {client_features:?}");
     println!("secure prediction  = {secure_pred:.5}");

@@ -30,7 +30,10 @@ fn main() {
 
     println!();
     println!("what it cost:");
-    println!("  {} MAC rounds, {} garbled tables", transcript.rounds, transcript.tables);
+    println!(
+        "  {} MAC rounds, {} garbled tables",
+        transcript.rounds, transcript.tables
+    );
     println!(
         "  {} bytes of garbled material, {} bytes of OT",
         transcript.material_bytes, transcript.ot_bytes

@@ -12,10 +12,8 @@ use maxelerator::{AcceleratorConfig, Maxelerator, ScheduledEvaluator};
 fn software_dot(b: usize, a: &[i64], x: &[i64], seed: u64) -> i64 {
     let acc_width = 2 * b + 8;
     let mut garbler = TinyGarbleMac::new(b, acc_width, seed);
-    let mut evaluator = SequentialEvaluator::new(
-        garbler.circuit().netlist().clone(),
-        b..b + acc_width,
-    );
+    let mut evaluator =
+        SequentialEvaluator::new(garbler.circuit().netlist().clone(), b..b + acc_width);
     let mut result = None;
     for (l, (&al, &xl)) in a.iter().zip(x).enumerate() {
         let round = garbler.garble_round(al, l == a.len() - 1);
@@ -40,11 +38,12 @@ fn hardware_dot(b: usize, a: &[i64], x: &[i64], seed: u64) -> i64 {
     for (msg, &xl) in messages.iter().zip(x) {
         let labels: Vec<Block> = accel
             .ot_pairs(msg.round)
+            .unwrap()
             .iter()
             .zip(config.encode_x(xl))
             .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
             .collect();
-        result = client.evaluate_round(msg, &labels);
+        result = client.evaluate_round(msg, &labels).unwrap();
     }
     result.expect("decodes")
 }

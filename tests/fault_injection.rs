@@ -23,7 +23,9 @@ fn evaluate(
 ) -> Option<i64> {
     let mut client = ScheduledEvaluator::new(config);
     let labels = accel.ot_pairs_for_client(&config.encode_x(x));
-    client.evaluate_round(msg, &labels)
+    client
+        .evaluate_round(msg, &labels)
+        .expect("structurally well-formed message")
 }
 
 #[test]
@@ -102,21 +104,30 @@ fn wrong_ot_labels_yield_garbage_not_crash() {
     let mut client = ScheduledEvaluator::new(&config);
     // Random blocks instead of valid labels.
     let bogus: Vec<Block> = (0..8).map(|i| Block::new(0xbad0 + i as u128)).collect();
-    let got = client.evaluate_round(&msg, &bogus);
+    let got = client
+        .evaluate_round(&msg, &bogus)
+        .expect("valid structure, garbage contents");
     assert!(got.is_some(), "evaluation should complete");
     assert_ne!(got, Some(65));
     let _ = accel;
 }
 
 #[test]
-fn truncated_tables_panic_loudly() {
+fn truncated_tables_rejected_with_typed_error() {
+    // A short table stream must be refused up front — a typed error, not a
+    // panic: peer-supplied data can never abort the evaluator.
     let (config, accel, msg) = one_round(7);
     let mut bad = msg.clone();
     bad.tables.truncate(bad.tables.len() - 1);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        evaluate(&config, &accel, &bad, 5)
-    }));
-    assert!(result.is_err(), "short table stream must not pass silently");
+    let mut client = ScheduledEvaluator::new(&config);
+    let labels = accel.ot_pairs_for_client(&config.encode_x(5));
+    assert_eq!(
+        client.evaluate_round(&bad, &labels),
+        Err(maxelerator::AcceleratorError::TableCount {
+            expected: msg.tables.len(),
+            got: msg.tables.len() - 1,
+        })
+    );
 }
 
 #[test]
@@ -139,8 +150,5 @@ fn transcript_never_contains_plaintext_input_bytes() {
         trusted_transfer(),
     );
     // The result is the only disclosed plaintext.
-    assert_eq!(
-        max_netlist::decode_unsigned(&outcome.outputs),
-        0xA5 + 0x5A
-    );
+    assert_eq!(max_netlist::decode_unsigned(&outcome.outputs), 0xA5 + 0x5A);
 }

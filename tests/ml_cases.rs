@@ -131,7 +131,10 @@ fn secure_convolution_via_im2col_matches_direct() {
             assert_eq!(secure[o][p], want, "out {o}, position {p}");
         }
     }
-    assert_eq!(transcript.rounds, (kernel_rows.len() * columns.len() * 4) as u64);
+    assert_eq!(
+        transcript.rounds,
+        (kernel_rows.len() * columns.len() * 4) as u64
+    );
 
     // And the dequantized secure result tracks the f64 convolution.
     let float = forward_im2col(&layer, &input);
@@ -201,7 +204,11 @@ fn secure_kernel_iteration_matches_plaintext() {
         .collect();
     let x1_plain: Vec<f64> = (0..2)
         .map(|j| {
-            let grad: f64 = a_rows.iter().zip(&r_plain).map(|(row, &ri)| row[j] * ri).sum();
+            let grad: f64 = a_rows
+                .iter()
+                .zip(&r_plain)
+                .map(|(row, &ri)| row[j] * ri)
+                .sum();
             x0[j] - mu * grad
         })
         .collect();

@@ -71,8 +71,7 @@ fn two_party_protocol_over_threads() {
             ext_columns.push(frame.iter().map(|b| b.bits() as u64).collect::<Vec<u64>>());
         }
         let count = wire_s.recv_bits().expect("ot count").len();
-        let pairs: Vec<(Block, Block)> =
-            (0..4).map(|i| garbled.evaluator_label_pair(i)).collect();
+        let pairs: Vec<(Block, Block)> = (0..4).map(|i| garbled.evaluator_label_pair(i)).collect();
         let cipher = ot_sender.send(
             &iknp::ExtendMsg {
                 columns: ext_columns,
@@ -178,10 +177,11 @@ mod iknp_transfer {
                 columns.push(blocks.iter().map(|b| b.bits() as u64).collect());
             }
             let count = wire.recv_bits().expect("count frame").len();
-            let cipher = self.sender.lock().expect("lock").send(
-                &ExtendMsg { columns, count },
-                pairs,
-            );
+            let cipher = self
+                .sender
+                .lock()
+                .expect("lock")
+                .send(&ExtendMsg { columns, count }, pairs);
             let mut flat = Vec::with_capacity(cipher.pairs.len() * 2);
             for (y0, y1) in &cipher.pairs {
                 flat.push(*y0);
@@ -194,8 +194,7 @@ mod iknp_transfer {
             let mut receiver = self.receiver.lock().expect("lock");
             let (ext, keys) = receiver.prepare(choices);
             for column in &ext.columns {
-                let blocks: Vec<Block> =
-                    column.iter().map(|&w| Block::new(w as u128)).collect();
+                let blocks: Vec<Block> = column.iter().map(|&w| Block::new(w as u128)).collect();
                 wire.send_blocks(&blocks);
             }
             wire.send_bits(&vec![false; ext.count]);

@@ -1,7 +1,12 @@
 //! Property tests over the full stack: random models, random client
-//! vectors, random widths — the secure result must always equal plaintext.
+//! vectors, random widths — the secure result must always equal plaintext,
+//! and the threaded multi-unit pipeline must be transcript-identical to the
+//! single-unit server.
 
-use maxelerator::{connect, secure_matvec, AcceleratorConfig, Maxelerator, ScheduledEvaluator};
+use maxelerator::{
+    connect, connect_multi, secure_matvec, secure_matvec_multi, AcceleratorConfig, Maxelerator,
+    ScheduledEvaluator,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -49,12 +54,53 @@ proptest! {
         for (msg, &xl) in msgs.iter().zip(&x) {
             let labels: Vec<max_crypto::Block> = accel
                 .ot_pairs(msg.round)
+                .unwrap()
                 .iter()
                 .zip(config.encode_x(xl))
                 .map(|(&(m0, m1), bit)| if bit { m1 } else { m0 })
                 .collect();
-            result = client.evaluate_round(msg, &labels);
+            result = client.evaluate_round(msg, &labels).unwrap();
         }
         prop_assert_eq!(result, Some(expected));
+    }
+
+    #[test]
+    fn multi_unit_transcript_identical_to_single_unit(
+        rows in 0usize..4,
+        cols in 1usize..4,
+        units in 1usize..6,
+        b_choice in 0usize..2,
+        seed in 0u64..1_000_000,
+        values in prop::collection::vec(-100i64..100, 16),
+        xs in prop::collection::vec(-100i64..100, 4),
+    ) {
+        // Covers units > rows (rows can be 0..3 with up to 5 units) and the
+        // empty matrix (rows = 0 forces an empty x as well).
+        let b = [8usize, 10][b_choice];
+        let config = AcceleratorConfig::new(b);
+        let w: Vec<Vec<i64>> = (0..rows)
+            .map(|r| (0..cols).map(|c| values[(r * cols + c) % values.len()]).collect())
+            .collect();
+        let x: Vec<i64> = if rows == 0 {
+            Vec::new()
+        } else {
+            (0..cols).map(|c| xs[c % xs.len()]).collect()
+        };
+
+        let (mut single, mut single_client) = connect(&config, w.clone(), seed);
+        let (want, st) = secure_matvec(&mut single, &mut single_client, &x);
+
+        let (mut multi, mut multi_client) = connect_multi(&config, w, units, seed);
+        let (got, mt, timing) =
+            secure_matvec_multi(&mut multi, &mut multi_client, &x).unwrap();
+
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(mt.elements, st.elements);
+        prop_assert_eq!(mt.rounds, st.rounds);
+        prop_assert_eq!(mt.tables, st.tables);
+        prop_assert_eq!(mt.material_bytes, st.material_bytes);
+        prop_assert_eq!(mt.ot_bytes, st.ot_bytes);
+        prop_assert_eq!(mt.ot_upload_bytes, st.ot_upload_bytes);
+        prop_assert_eq!(timing.units, units);
     }
 }

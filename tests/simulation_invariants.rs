@@ -2,9 +2,7 @@
 //! analysis, the Table 1 calibration, and the schedule's structural
 //! guarantees must all hold together.
 
-use maxelerator::{
-    mac_unit_resources, AcceleratorConfig, Maxelerator, Schedule, TimingModel,
-};
+use maxelerator::{mac_unit_resources, AcceleratorConfig, Maxelerator, Schedule, TimingModel};
 
 #[test]
 fn paper_formulas_hold_across_widths() {
@@ -26,7 +24,12 @@ fn measured_ii_tracks_paper_within_tolerance() {
         // Enough rounds that the steady-state window clears the pipeline
         // fill/drain boundary effects at every width.
         let rounds = if b == 32 { 24 } else { 12 };
-        let sched = Schedule::compile(config.mac_circuit().netlist(), cores, rounds, config.state_range());
+        let sched = Schedule::compile(
+            config.mac_circuit().netlist(),
+            cores,
+            rounds,
+            config.state_range(),
+        );
         let paper = (3 * b) as f64;
         let measured = sched.stats().steady_state_ii;
         assert!(
@@ -61,8 +64,7 @@ fn table2_speedup_ratios() {
         let t = TimingModel::paper(b);
         let ratio_tg =
             t.macs_per_second_per_core() / tinygarble::model::perf(b).macs_per_second_per_core;
-        let ratio_ov =
-            t.macs_per_second_per_core() / overlay::perf(b).macs_per_second_per_core;
+        let ratio_ov = t.macs_per_second_per_core() / overlay::perf(b).macs_per_second_per_core;
         assert!(
             (ratio_tg - want_tg).abs() / want_tg < 0.02,
             "b={b}: TG ratio {ratio_tg} vs {want_tg}"
@@ -94,7 +96,12 @@ fn simulated_cycles_match_schedule_cycles() {
     let config = AcceleratorConfig::new(8);
     let cores = TimingModel::paper(8).cores();
     let rounds = 6;
-    let sched = Schedule::compile(config.mac_circuit().netlist(), cores, rounds, config.state_range());
+    let sched = Schedule::compile(
+        config.mac_circuit().netlist(),
+        cores,
+        rounds,
+        config.state_range(),
+    );
     let mut accel = Maxelerator::new(config, 5);
     accel.garble_job(&vec![3i64; rounds], false);
     let cycles = accel.report().cycles;

@@ -1,0 +1,285 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the subset the `max-bench` benches use — groups, throughput
+//! annotation, `bench_function`/`bench_with_input`, `criterion_group!`,
+//! `criterion_main!` — with a plain wall-clock measurement loop: a short
+//! warm-up, then `sample_size` timed samples whose mean/min are printed in
+//! criterion-like one-line reports. When invoked with `--test` (as
+//! `cargo test` does for bench targets), each benchmark body runs exactly
+//! once so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration annotation for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via a sink.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.last_mean = Duration::ZERO;
+            self.min = Duration::ZERO;
+            return;
+        }
+        // Warm-up: run until ~20ms spent or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1000)
+        {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.last_mean = total / self.samples as u32;
+        self.min = min;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn in_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Top-level benchmark registry.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: in_test_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single unparameterized benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            test_mode: self.test_mode,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets the timed sample count.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            test_mode: self.test_mode,
+            last_mean: Duration::ZERO,
+            min: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if self.test_mode {
+            println!("{label}: ok (test mode, 1 iteration)");
+            return;
+        }
+        let rate = self.throughput.map(|t| {
+            let per_sec = |n: u64| n as f64 / bencher.last_mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("  {:.3e} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => format!("  {:.3e} B/s", per_sec(n)),
+            }
+        });
+        println!(
+            "{label}: mean {} min {}{}",
+            format_duration(bencher.last_mean),
+            format_duration(bencher.min),
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl BenchId, f: F) -> &mut Self {
+        self.run(&id.id(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+/// Accepted benchmark-name forms.
+pub trait BenchId {
+    /// The display id.
+    fn id(&self) -> String;
+}
+
+impl BenchId for &str {
+    fn id(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl BenchId for String {
+    fn id(&self) -> String {
+        self.clone()
+    }
+}
+
+impl BenchId for BenchmarkId {
+    fn id(&self) -> String {
+        self.id.clone()
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` over group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(5).throughput(Throughput::Elements(3));
+            group.bench_with_input(BenchmarkId::from_parameter("p"), &7u32, |b, &x| {
+                b.iter(|| {
+                    ran += 1;
+                    x * 2
+                })
+            });
+            group.finish();
+        }
+        assert_eq!(ran, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.000 µs");
+        assert!(format_duration(Duration::from_millis(2)).ends_with("ms"));
+    }
+}

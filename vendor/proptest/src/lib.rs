@@ -1,0 +1,455 @@
+//! Offline stub of `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro (both `arg in strategy` and `arg: Type` bindings,
+//! with an optional `#![proptest_config(..)]`), range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`, `prop_oneof!`,
+//! `.prop_map`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: cases are sampled from a
+//! deterministic per-test SplitMix64 stream (no OS entropy, no persisted
+//! failure seeds) and failing cases are not shrunk — the assertion
+//! message reports the raw inputs instead.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG driving all strategy sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream for one `(test name, case index)` pair.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case counter.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 128-bit types take two draws; narrower ones truncate.
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                wide as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite uniform in [-1e9, 1e9]: plenty for test data, no NaN traps.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (unit - 0.5) * 2e9
+    }
+}
+
+/// Marker strategy for [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (self.start as i128 + (wide % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (start as i128 + (wide % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Acceptable size arguments for [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs each test function over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands the test functions of one `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut proptest_rng =
+                    $crate::TestRng::for_case(stringify!($name), case as u64);
+                $crate::__proptest_bind! { proptest_rng, $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Internal: binds one parameter list entry at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, ) => {};
+    ($rng:ident, $arg:ident in $strategy:expr) => {
+        let $arg = $crate::Strategy::sample(&($strategy), &mut $rng);
+    };
+    ($rng:ident, $arg:ident in $strategy:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bind! { $rng, $($rest)* }
+    };
+    ($rng:ident, $arg:ident : $ty:ty) => {
+        let $arg = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng, $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        fn __union<V>(
+            options: Vec<Box<dyn $crate::Strategy<Value = V>>>,
+        ) -> $crate::Union<V> {
+            $crate::Union::new(options)
+        }
+        __union(vec![$(Box::new($strategy)),+])
+    }};
+}
+
+/// `assert!` variant matching proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` variant matching proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` variant matching proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_types_bind(
+            width in 1usize..16,
+            value in -128i64..128,
+            flag: bool,
+            seed: u128,
+            items in prop::collection::vec(0u64..10, 1..5),
+        ) {
+            prop_assert!((1..16).contains(&width));
+            prop_assert!((-128..128).contains(&value));
+            let _ = (flag, seed);
+            prop_assert!(!items.is_empty() && items.len() < 5);
+            prop_assert!(items.iter().all(|&i| i < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(choice in prop_oneof![
+            (0u32..4).prop_map(|v| v * 2),
+            (10u32..14).prop_map(|v| v * 3),
+        ]) {
+            prop_assert!(choice % 2 == 0 || choice % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use crate::TestRng;
+}

@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker — no code path serializes through serde.
+//! The stub derives therefore expand to nothing, which keeps the attribute
+//! syntax valid without pulling `syn`/`quote` from a registry.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
