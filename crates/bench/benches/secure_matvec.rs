@@ -52,7 +52,19 @@ fn bench_multi_unit(c: &mut Criterion) {
         .collect();
     let x: Vec<i64> = (0..cols).map(|c| (c as i64 % 11) - 5).collect();
     group.throughput(Throughput::Elements((rows * cols) as u64));
+    println!("modeled-vs-measured (from the telemetry snapshot):");
+    println!("  {}", max_bench::multi_unit_perf_header());
     for units in [1usize, 2, 4] {
+        // One instrumented run per unit count feeds the summary table; the
+        // timed iterations below stay un-snapshotted.
+        let recorder = max_telemetry::Recorder::new();
+        let (mut server, mut client) = connect_multi(&config, weights.clone(), units, 1);
+        let (_, _, timing) = secure_matvec_multi(&mut server, &mut client, &x)
+            .expect("in-process frames are well-formed");
+        timing.record_into(&recorder);
+        let perf = max_bench::multi_unit_perf(&recorder.snapshot()).expect("run recorded");
+        println!("  {}", max_bench::multi_unit_perf_row(&perf));
+
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{rows}x{cols}/{units}u")),
             &units,

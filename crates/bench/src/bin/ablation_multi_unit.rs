@@ -14,8 +14,11 @@
 //! ```
 
 use max_baselines::parallel_cpu::garble_parallel;
-use max_bench::{row, rule};
+use max_bench::{
+    multi_unit_perf, multi_unit_perf_header, multi_unit_perf_row, rule, MULTI_UNIT_WIDTHS,
+};
 use max_crypto::Block;
+use max_telemetry::Recorder;
 use maxelerator::{connect, connect_multi, secure_matvec, secure_matvec_multi, AcceleratorConfig};
 use std::time::Instant;
 
@@ -63,54 +66,31 @@ fn main() {
     );
     println!();
 
-    let widths = [5usize, 10, 9, 11, 11, 9];
-    println!(
-        "  {}",
-        row(
-            &[
-                "units",
-                "wall (ms)",
-                "speedup",
-                "modeled (x)",
-                "threads (x)",
-                "MB moved"
-            ]
-            .map(String::from),
-            &widths
-        )
-    );
-    println!("  {}", rule(&widths));
+    // Every number in this table is read back from a telemetry snapshot
+    // (`MultiUnitTiming::record_into` → `multi_unit_perf`), the same path
+    // `perf_report` serializes to BENCH_matvec.json — one source of truth.
+    println!("  {} | {:>9}", multi_unit_perf_header(), "vs single");
+    println!("  {}-+-{}", rule(&MULTI_UNIT_WIDTHS), "-".repeat(9));
 
     let mut speedup_at = Vec::new();
     for units in [1usize, 2, 4, 8] {
-        let start = Instant::now();
+        let recorder = Recorder::new();
         let (mut server, mut client) = connect_multi(&config, weights.clone(), units, 1);
         let (got, transcript, timing) = secure_matvec_multi(&mut server, &mut client, &x)
             .expect("in-process frames are well-formed");
-        let wall = start.elapsed().as_secs_f64();
         assert_eq!(got, expected, "{units}-unit result mismatch");
         assert!(rows == 0 || transcript.tables > 0);
-        speedup_at.push((units, single_wall / wall));
-        println!(
-            "  {}",
-            row(
-                &[
-                    format!("{units}"),
-                    format!("{:.1}", wall * 1e3),
-                    format!("{:.2}x", single_wall / wall),
-                    format!("{:.2}x", timing.speedup()),
-                    format!("{:.2}x", timing.measured_speedup()),
-                    format!("{:.1}", timing.streamed_bytes as f64 / 1e6),
-                ],
-                &widths
-            )
-        );
+        timing.record_into(&recorder);
+        let perf = multi_unit_perf(&recorder.snapshot()).expect("run recorded");
+        let speedup = single_wall * 1e3 / perf.wall_ms;
+        speedup_at.push((units, speedup));
+        println!("  {} | {:>8.2}x", multi_unit_perf_row(&perf), speedup);
     }
     println!();
-    println!("  speedup  = single-unit CloudServer wall / multi-unit wall (full");
-    println!("             protocol: garbling + OT + host evaluation, overlapped)");
-    println!("  modeled  = sum of per-unit fabric cycles / makespan cycles");
-    println!("  threads  = sum of per-thread busy time / garbling makespan");
+    println!("  vs single = single-unit CloudServer wall / multi-unit pipeline wall");
+    println!("              (full protocol: garbling + OT + host eval, overlapped)");
+    println!("  modeled   = sum of per-unit fabric cycles / makespan cycles");
+    println!("  threads   = sum of per-thread busy time / garbling makespan");
 
     // The §3 strawman: levelized barrier-parallel CPU garbling of one MAC.
     let netlist = config.mac_circuit().netlist().clone();

@@ -53,6 +53,69 @@ pub fn compare(label: &str, paper: f64, ours: f64) -> String {
     )
 }
 
+/// Modeled-vs-measured summary of one multi-unit run, derived from a
+/// telemetry [`max_telemetry::Snapshot`] so console tables and JSON
+/// artifacts read the same numbers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultiUnitPerf {
+    /// Units (threads) the run used.
+    pub units: usize,
+    /// End-to-end wall-clock of the streamed pipeline, milliseconds.
+    pub wall_ms: f64,
+    /// Modeled fabric speedup: total unit cycles / makespan cycles.
+    pub modeled_speedup: f64,
+    /// Measured thread speedup: total busy time / busiest thread.
+    pub thread_speedup: f64,
+    /// Garbled material streamed unit → host, megabytes.
+    pub mb_streamed: f64,
+}
+
+/// Extracts the multi-unit summary from `snapshot` (the `multi_unit.*`
+/// counters published by `MultiUnitTiming::record_into`); `None` when no
+/// multi-unit run was recorded.
+pub fn multi_unit_perf(snapshot: &max_telemetry::Snapshot) -> Option<MultiUnitPerf> {
+    let timing = maxelerator::MultiUnitTiming::from_snapshot(snapshot)?;
+    Some(MultiUnitPerf {
+        units: timing.units,
+        wall_ms: timing.measured_wall.as_secs_f64() * 1e3,
+        modeled_speedup: timing.speedup(),
+        thread_speedup: timing.measured_speedup(),
+        mb_streamed: timing.streamed_bytes as f64 / 1e6,
+    })
+}
+
+/// Column widths shared by every multi-unit summary table.
+pub const MULTI_UNIT_WIDTHS: [usize; 5] = [5, 10, 11, 11, 9];
+
+/// Header row matching [`multi_unit_perf_row`].
+pub fn multi_unit_perf_header() -> String {
+    row(
+        &[
+            "units",
+            "wall (ms)",
+            "modeled (x)",
+            "threads (x)",
+            "MB moved",
+        ]
+        .map(String::from),
+        &MULTI_UNIT_WIDTHS,
+    )
+}
+
+/// One table row for a [`MultiUnitPerf`].
+pub fn multi_unit_perf_row(perf: &MultiUnitPerf) -> String {
+    row(
+        &[
+            format!("{}", perf.units),
+            format!("{:.1}", perf.wall_ms),
+            format!("{:.2}x", perf.modeled_speedup),
+            format!("{:.2}x", perf.thread_speedup),
+            format!("{:.1}", perf.mb_streamed),
+        ],
+        &MULTI_UNIT_WIDTHS,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +143,39 @@ mod tests {
         assert!(line.contains("2.00"));
         assert!(line.contains("4.00"));
         assert!(line.contains("x2.000"));
+    }
+
+    #[test]
+    fn multi_unit_perf_round_trips_through_snapshot() {
+        use std::time::Duration;
+        let timing = maxelerator::MultiUnitTiming {
+            units: 4,
+            makespan_cycles: 250,
+            total_cycles: 1000,
+            measured_makespan: Duration::from_millis(10),
+            measured_busy_total: Duration::from_millis(36),
+            measured_wall: Duration::from_millis(12),
+            streamed_bytes: 3_000_000,
+        };
+        let rec = max_telemetry::Recorder::new();
+        timing.record_into(&rec);
+        let snap = rec.snapshot();
+        let perf = multi_unit_perf(&snap).expect("run recorded");
+        assert_eq!(perf.units, 4);
+        assert!((perf.wall_ms - 12.0).abs() < 1e-9);
+        assert!((perf.modeled_speedup - 4.0).abs() < 1e-9);
+        assert!((perf.thread_speedup - 3.6).abs() < 1e-9);
+        assert!((perf.mb_streamed - 3.0).abs() < 1e-9);
+        let line = multi_unit_perf_row(&perf);
+        assert!(line.contains("4.00x"));
+        assert!(line.contains("3.60x"));
+        assert_eq!(
+            multi_unit_perf_header().len(),
+            line.len(),
+            "header and row align"
+        );
+
+        // An empty snapshot yields no summary.
+        assert!(multi_unit_perf(&max_telemetry::Recorder::new().snapshot()).is_none());
     }
 }

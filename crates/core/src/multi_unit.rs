@@ -93,6 +93,51 @@ impl MultiUnitTiming {
         }
         self.measured_busy_total.as_secs_f64() / self.measured_makespan.as_secs_f64()
     }
+
+    /// Publishes this timing into `recorder` as `multi_unit.*` counters —
+    /// the single source of truth the benches and `perf_report` read back
+    /// via [`MultiUnitTiming::from_snapshot`]. Meant to be called once per
+    /// recorder (counters accumulate).
+    pub fn record_into(&self, recorder: &max_telemetry::Recorder) {
+        recorder.add("multi_unit.units", self.units as u64);
+        recorder.add("multi_unit.makespan_cycles", self.makespan_cycles);
+        recorder.add("multi_unit.total_cycles", self.total_cycles);
+        recorder.add(
+            "multi_unit.measured_makespan_ns",
+            self.measured_makespan.as_nanos() as u64,
+        );
+        recorder.add(
+            "multi_unit.measured_busy_total_ns",
+            self.measured_busy_total.as_nanos() as u64,
+        );
+        recorder.add(
+            "multi_unit.measured_wall_ns",
+            self.measured_wall.as_nanos() as u64,
+        );
+        recorder.add("multi_unit.streamed_bytes", self.streamed_bytes);
+    }
+
+    /// Rebuilds a timing from the `multi_unit.*` counters of `snapshot`;
+    /// `None` when no multi-unit run was recorded.
+    pub fn from_snapshot(snapshot: &max_telemetry::Snapshot) -> Option<Self> {
+        let units = snapshot.counter("multi_unit.units");
+        if units == 0 {
+            return None;
+        }
+        Some(MultiUnitTiming {
+            units: units as usize,
+            makespan_cycles: snapshot.counter("multi_unit.makespan_cycles"),
+            total_cycles: snapshot.counter("multi_unit.total_cycles"),
+            measured_makespan: Duration::from_nanos(
+                snapshot.counter("multi_unit.measured_makespan_ns"),
+            ),
+            measured_busy_total: Duration::from_nanos(
+                snapshot.counter("multi_unit.measured_busy_total_ns"),
+            ),
+            measured_wall: Duration::from_nanos(snapshot.counter("multi_unit.measured_wall_ns")),
+            streamed_bytes: snapshot.counter("multi_unit.streamed_bytes"),
+        })
+    }
 }
 
 /// Per-unit result of one garbling thread, drained after the scope joins.
@@ -195,6 +240,10 @@ impl MultiUnitServer {
             {
                 let stats_tx = stats_tx.clone();
                 scope.spawn(move || {
+                    // Busy interval of this unit on the shared timeline;
+                    // closed when the guard drops at thread exit.
+                    let _lane = max_telemetry::timeline("multi_unit.units", u as u32);
+                    let mut span = max_telemetry::span("unit_garble");
                     let thread_started = Instant::now();
                     let cycles_before = unit.report().cycles;
                     for row_idx in (u..rows).step_by(n_units) {
@@ -210,11 +259,14 @@ impl MultiUnitServer {
                         // Receiver only drops early if the host errored out.
                         let _ = pair_tx.send(pairs);
                     }
-                    let _ = stats_tx.send((
-                        u,
-                        thread_started.elapsed(),
-                        unit.report().cycles - cycles_before,
-                    ));
+                    let unit_cycles = unit.report().cycles - cycles_before;
+                    let elapsed = thread_started.elapsed();
+                    span.add_cycles(unit_cycles);
+                    max_telemetry::histogram_record(
+                        "multi_unit.unit_busy_ns",
+                        elapsed.as_nanos() as u64,
+                    );
+                    let _ = stats_tx.send((u, elapsed, unit_cycles));
                 });
             }
             drop(stats_tx);

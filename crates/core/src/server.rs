@@ -134,6 +134,7 @@ pub fn secure_matvec(
     x: &[i64],
 ) -> (Vec<i64>, MatvecTranscript) {
     assert_eq!(x.len(), server.cols(), "vector length mismatch");
+    let _matvec_span = max_telemetry::span("secure_matvec");
     let mut transcript = MatvecTranscript::default();
     let mut result = Vec::with_capacity(server.rows());
 
@@ -141,7 +142,13 @@ pub fn secure_matvec(
     for (row_idx, row) in weights.iter().enumerate() {
         server.accelerator.begin_element(row_idx as u32);
         client.evaluator.begin_element(row_idx as u32);
-        let messages: Vec<RoundMessage> = server.accelerator.garble_job(row, true);
+        let messages: Vec<RoundMessage> = {
+            let mut span = max_telemetry::span("garble");
+            let cycles_before = server.accelerator.report().cycles;
+            let messages = server.accelerator.garble_job(row, true);
+            span.add_cycles(server.accelerator.report().cycles - cycles_before);
+            messages
+        };
 
         // One OT-extension batch covers every round of this row: b choice
         // bits per round.
@@ -158,16 +165,21 @@ pub fn secure_matvec(
                     .expect("round just garbled"),
             );
         }
-        let (ext_msg, keys) = client.ot_receiver.prepare(&choices);
-        let cipher = server.ot_sender.send(&ext_msg, &pairs);
-        let labels: Vec<Block> = client.ot_receiver.receive(&cipher, &keys, &choices);
-        transcript.ot_bytes += (cipher.pairs.len() * 32) as u64;
-        transcript.ot_upload_bytes += ext_msg
-            .columns
-            .iter()
-            .map(|c| c.len() as u64 * 8)
-            .sum::<u64>();
+        let labels: Vec<Block> = {
+            let _span = max_telemetry::span("ot");
+            let (ext_msg, keys) = client.ot_receiver.prepare(&choices);
+            let cipher = server.ot_sender.send(&ext_msg, &pairs);
+            let labels = client.ot_receiver.receive(&cipher, &keys, &choices);
+            transcript.ot_bytes += (cipher.pairs.len() * 32) as u64;
+            transcript.ot_upload_bytes += ext_msg
+                .columns
+                .iter()
+                .map(|c| c.len() as u64 * 8)
+                .sum::<u64>();
+            labels
+        };
 
+        let _eval_span = max_telemetry::span("evaluate");
         let b = client.config.bit_width;
         let mut decoded = None;
         for (i, msg) in messages.iter().enumerate() {
@@ -178,6 +190,7 @@ pub fn secure_matvec(
                 .evaluate_round(msg, &labels[i * b..(i + 1) * b])
                 .expect("in-process server messages are well-formed");
         }
+        drop(_eval_span);
         result.push(decoded.expect("final round decodes"));
         transcript.rounds += messages.len() as u64;
     }

@@ -15,17 +15,131 @@ use max_crypto::Block;
 
 use crate::engine::GarbledTable;
 
+/// What a frame carries, for per-kind communication attribution.
+///
+/// The aggregate byte count answers "how much", the kind breakdown answers
+/// "on what": garbled tables dominate a matvec transcript, OT block frames
+/// dominate input transfer, and packed bit frames are noise — exactly the
+/// split the paper's §6 bandwidth caveat turns on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Untyped byte frames (`send_bytes`), e.g. streamed round messages.
+    Raw,
+    /// 128-bit block vectors (`send_blocks`): wire labels, OT payloads.
+    Blocks,
+    /// Garbled-table vectors (`send_tables`).
+    Tables,
+    /// Packed bit vectors (`send_bits`): select bits, decode info.
+    Bits,
+}
+
+impl FrameKind {
+    /// All kinds, in wire-stat order.
+    pub const ALL: [FrameKind; 4] = [
+        FrameKind::Raw,
+        FrameKind::Blocks,
+        FrameKind::Tables,
+        FrameKind::Bits,
+    ];
+
+    /// Stable lower-case name (used in stats tables and telemetry keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameKind::Raw => "raw",
+            FrameKind::Blocks => "blocks",
+            FrameKind::Tables => "tables",
+            FrameKind::Bits => "bits",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FrameKind::Raw => 0,
+            FrameKind::Blocks => 1,
+            FrameKind::Tables => 2,
+            FrameKind::Bits => 3,
+        }
+    }
+
+    fn telemetry_keys(self) -> (&'static str, &'static str) {
+        match self {
+            FrameKind::Raw => ("channel.raw.bytes", "channel.raw.messages"),
+            FrameKind::Blocks => ("channel.blocks.bytes", "channel.blocks.messages"),
+            FrameKind::Tables => ("channel.tables.bytes", "channel.tables.messages"),
+            FrameKind::Bits => ("channel.bits.bytes", "channel.bits.messages"),
+        }
+    }
+}
+
+/// Byte/message tallies of one frame kind.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KindStats {
+    /// Bytes carried by frames of this kind.
+    pub bytes: u64,
+    /// Frames of this kind.
+    pub messages: u64,
+}
+
+/// Point-in-time snapshot of one direction of a wire, with the per-kind
+/// breakdown alongside the aggregate.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Total bytes, all kinds.
+    pub bytes: u64,
+    /// Total frames, all kinds.
+    pub messages: u64,
+    /// Untyped frames.
+    pub raw: KindStats,
+    /// Block-vector frames.
+    pub blocks: KindStats,
+    /// Garbled-table frames.
+    pub tables: KindStats,
+    /// Packed-bit frames.
+    pub bits: KindStats,
+}
+
+impl ChannelStats {
+    /// Tallies for `kind`.
+    pub fn kind(&self, kind: FrameKind) -> KindStats {
+        match kind {
+            FrameKind::Raw => self.raw,
+            FrameKind::Blocks => self.blocks,
+            FrameKind::Tables => self.tables,
+            FrameKind::Bits => self.bits,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct KindCounter {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl KindCounter {
+    fn stats(&self) -> KindStats {
+        KindStats {
+            bytes: self.bytes.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Tallies of one direction of a wire.
 #[derive(Debug, Default)]
 pub struct Counter {
     bytes: AtomicU64,
     messages: AtomicU64,
+    kinds: [KindCounter; 4],
 }
 
 impl Counter {
-    fn record(&self, len: usize) {
+    fn record(&self, kind: FrameKind, len: usize) {
         self.bytes.fetch_add(len as u64, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
+        let per_kind = &self.kinds[kind.index()];
+        per_kind.bytes.fetch_add(len as u64, Ordering::Relaxed);
+        per_kind.messages.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Bytes sent so far.
@@ -36,6 +150,28 @@ impl Counter {
     /// Messages sent so far.
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent so far in frames of `kind`.
+    pub fn kind_bytes(&self, kind: FrameKind) -> u64 {
+        self.kinds[kind.index()].bytes.load(Ordering::Relaxed)
+    }
+
+    /// Messages sent so far as frames of `kind`.
+    pub fn kind_messages(&self, kind: FrameKind) -> u64 {
+        self.kinds[kind.index()].messages.load(Ordering::Relaxed)
+    }
+
+    /// Consistent snapshot of aggregate and per-kind tallies.
+    pub fn stats(&self) -> ChannelStats {
+        ChannelStats {
+            bytes: self.bytes(),
+            messages: self.messages(),
+            raw: self.kinds[0].stats(),
+            blocks: self.kinds[1].stats(),
+            tables: self.kinds[2].stats(),
+            bits: self.kinds[3].stats(),
+        }
     }
 }
 
@@ -96,7 +232,16 @@ impl Duplex {
 
     /// Sends a raw byte frame.
     pub fn send_bytes(&mut self, frame: Bytes) {
-        self.sent.record(frame.len());
+        self.send_frame(FrameKind::Raw, frame);
+    }
+
+    fn send_frame(&mut self, kind: FrameKind, frame: Bytes) {
+        self.sent.record(kind, frame.len());
+        let (bytes_key, messages_key) = kind.telemetry_keys();
+        max_telemetry::counter_add(bytes_key, frame.len() as u64);
+        max_telemetry::counter_add(messages_key, 1);
+        max_telemetry::counter_add("channel.bytes", frame.len() as u64);
+        max_telemetry::counter_add("channel.messages", 1);
         // A disconnected peer is fine for fire-and-forget sends in tests.
         let _ = self.tx.send(frame);
     }
@@ -127,7 +272,7 @@ impl Duplex {
         for block in blocks {
             buf.put_slice(&block.to_bytes());
         }
-        self.send_bytes(buf.freeze());
+        self.send_frame(FrameKind::Blocks, buf.freeze());
     }
 
     /// Receives a block vector frame.
@@ -159,7 +304,7 @@ impl Duplex {
         for table in tables {
             buf.put_slice(&table.to_bytes());
         }
-        self.send_bytes(buf.freeze());
+        self.send_frame(FrameKind::Tables, buf.freeze());
     }
 
     /// Receives a garbled-table frame.
@@ -203,7 +348,7 @@ impl Duplex {
         if !bits.len().is_multiple_of(8) {
             buf.put_u8(byte);
         }
-        self.send_bytes(buf.freeze());
+        self.send_frame(FrameKind::Bits, buf.freeze());
     }
 
     /// Receives a packed bit-vector frame.
@@ -274,6 +419,55 @@ mod tests {
         a.recv_bits().unwrap();
         assert_eq!(b.sent().bytes(), 5);
         assert_eq!(a.received().bytes(), 5);
+    }
+
+    #[test]
+    fn per_kind_breakdown_sums_to_aggregate() {
+        let (mut a, mut b) = Duplex::pair();
+        a.send_blocks(&[Block::ZERO; 4]); // 4 + 64 bytes
+        a.send_tables(&[GarbledTable {
+            tg: Block::ZERO,
+            te: Block::ZERO,
+        }]); // 4 + 32 bytes
+        a.send_bits(&[true, false, true]); // 4 + 1 bytes
+        a.send_bytes(b"xyz".as_ref().into()); // 3 bytes
+        for _ in 0..4 {
+            b.recv_bytes().unwrap();
+        }
+        let stats = a.sent().stats();
+        assert_eq!(
+            stats.blocks,
+            KindStats {
+                bytes: 68,
+                messages: 1
+            }
+        );
+        assert_eq!(
+            stats.tables,
+            KindStats {
+                bytes: 36,
+                messages: 1
+            }
+        );
+        assert_eq!(
+            stats.bits,
+            KindStats {
+                bytes: 5,
+                messages: 1
+            }
+        );
+        assert_eq!(
+            stats.raw,
+            KindStats {
+                bytes: 3,
+                messages: 1
+            }
+        );
+        let kind_total: u64 = FrameKind::ALL.iter().map(|&k| stats.kind(k).bytes).sum();
+        assert_eq!(kind_total, stats.bytes);
+        assert_eq!(stats.messages, 4);
+        // The receive side shares the same counter.
+        assert_eq!(b.received().stats(), stats);
     }
 
     #[test]

@@ -80,6 +80,11 @@ pub fn garble_and(
     let te = hb0 ^ hb1 ^ a0;
     let we0 = hb0.xor_if(te ^ a0, pb);
     let c0 = wg0 ^ we0;
+
+    max_telemetry::counter_add("gc.gates.and", 1);
+    max_telemetry::counter_add("gc.tables", 1);
+    max_telemetry::counter_add("gc.aes.garble", 4);
+
     (c0, GarbledTable { tg, te })
 }
 
@@ -107,6 +112,10 @@ pub fn evaluate_and(
         we ^= table.te ^ a;
     }
     wg ^= we;
+
+    max_telemetry::counter_add("gc.gates.and_eval", 1);
+    max_telemetry::counter_add("gc.aes.evaluate", 2);
+
     wg
 }
 

@@ -118,7 +118,10 @@ impl<'a, S: LabelSource> Garbler<'a, S> {
                     tables.push(table);
                     c0
                 }
-                GateKind::Xor => a0 ^ b0,
+                GateKind::Xor => {
+                    max_telemetry::counter_add("gc.gates.xor", 1);
+                    a0 ^ b0
+                }
                 // NOT swaps label roles: zero-label of out = one-label of in.
                 GateKind::Not => a0 ^ self.delta.block(),
             };

@@ -76,6 +76,7 @@ impl LabelGenerator {
             labels.push(Block::new(value));
         }
         self.labels_produced += demand as u64;
+        max_telemetry::counter_add("rng.labels", demand as u64);
         labels
     }
 

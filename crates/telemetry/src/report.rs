@@ -1,0 +1,298 @@
+//! Hand-rolled JSON rendering for telemetry snapshots.
+//!
+//! The workspace builds offline against vendored dependency stubs, and the
+//! `serde` stub is marker-traits only — so machine-readable artifacts like
+//! `BENCH_matvec.json` are produced by this small, dependency-free builder
+//! instead. Object keys keep insertion order, strings are escaped per RFC
+//! 8259, and non-finite floats degrade to `null` (JSON has no NaN).
+
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+/// A JSON value with ordered object keys.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer number (u64 is the native telemetry unit).
+    UInt(u64),
+    /// Floating-point number; non-finite renders as `null`.
+    Float(f64),
+    /// String, escaped on render.
+    Str(String),
+    /// Array of values.
+    Array(Vec<JsonValue>),
+    /// Object with keys in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an empty object.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object (panics if `self` is not one).
+    pub fn push(&mut self, key: &str, value: JsonValue) -> &mut Self {
+        match self {
+            JsonValue::Object(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("JsonValue::push on a non-object"),
+        }
+        self
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    /// Renders to a pretty-printed JSON string (two-space indent).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    // `{:?}` for finite f64 always yields a valid JSON
+                    // number (a decimal point or exponent is included).
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1, pretty);
+                    item.write(out, indent + 1, pretty);
+                }
+                newline_indent(out, indent, pretty);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1, pretty);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, indent + 1, pretty);
+                }
+                newline_indent(out, indent, pretty);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize, pretty: bool) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Snapshot {
+    /// Renders this snapshot as a [`JsonValue`] tree with four top-level
+    /// sections: `counters`, `histograms`, `spans`, `timelines`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut counters = JsonValue::object();
+        for c in &self.counters {
+            counters.push(&c.name, JsonValue::UInt(c.value));
+        }
+
+        let mut histograms = JsonValue::object();
+        for h in &self.histograms {
+            let mut entry = JsonValue::object();
+            entry
+                .push("count", JsonValue::UInt(h.count))
+                .push("sum", JsonValue::UInt(h.sum))
+                .push("min", JsonValue::UInt(h.min))
+                .push("max", JsonValue::UInt(h.max))
+                .push(
+                    "buckets",
+                    JsonValue::Array(
+                        h.buckets
+                            .iter()
+                            .map(|&(bucket, count)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::UInt(u64::from(bucket)),
+                                    JsonValue::UInt(count),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+            histograms.push(&h.name, entry);
+        }
+
+        let mut spans = JsonValue::object();
+        for s in &self.spans {
+            let mut entry = JsonValue::object();
+            entry
+                .push("count", JsonValue::UInt(s.count))
+                .push("wall_ns", JsonValue::UInt(s.wall_ns))
+                .push("cycles", JsonValue::UInt(s.cycles));
+            spans.push(&s.path, entry);
+        }
+
+        let mut timelines = JsonValue::object();
+        for t in &self.timelines {
+            let mut lanes = JsonValue::object();
+            for lane in t.lanes() {
+                let mut entry = JsonValue::object();
+                entry.push("busy_ns", JsonValue::UInt(t.lane_busy_ns(lane)));
+                entry.push(
+                    "intervals",
+                    JsonValue::Array(
+                        t.entries
+                            .iter()
+                            .filter(|e| e.lane == lane)
+                            .map(|e| {
+                                JsonValue::Array(vec![
+                                    JsonValue::UInt(e.start_ns),
+                                    JsonValue::UInt(e.end_ns),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+                lanes.push(&lane.to_string(), entry);
+            }
+            let mut entry = JsonValue::object();
+            entry
+                .push("makespan_ns", JsonValue::UInt(t.makespan_ns()))
+                .push("lanes", lanes);
+            timelines.push(&t.name, entry);
+        }
+
+        let mut root = JsonValue::object();
+        root.push("counters", counters)
+            .push("histograms", histograms)
+            .push("spans", spans)
+            .push("timelines", timelines);
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, TimelineEntry};
+    use std::time::Duration;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::UInt(42).render(), "42");
+        assert_eq!(JsonValue::Float(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Float(3.0).render(), "3.0");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd\u{1}".to_string()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut obj = JsonValue::object();
+        obj.push("z", JsonValue::UInt(1))
+            .push("a", JsonValue::UInt(2));
+        assert_eq!(obj.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::Array(vec![]).render(), "[]");
+        assert_eq!(JsonValue::object().render(), "{}");
+        assert_eq!(JsonValue::Array(vec![]).render_pretty(), "[]\n");
+    }
+
+    #[test]
+    fn snapshot_round_trips_to_json() {
+        let rec = Recorder::new();
+        rec.add("gc.tables", 7);
+        rec.record("frame_bytes", 96);
+        rec.record_span("matvec/garble", Duration::from_nanos(1234), 56);
+        rec.record_timeline(
+            "units",
+            TimelineEntry {
+                lane: 0,
+                start_ns: 10,
+                end_ns: 40,
+            },
+        );
+        let json = rec.snapshot().to_json().render();
+        assert!(json.contains(r#""gc.tables":7"#));
+        assert!(json.contains(r#""frame_bytes""#));
+        assert!(json.contains(r#""matvec/garble":{"count":1,"wall_ns":1234,"cycles":56}"#));
+        assert!(json.contains(r#""makespan_ns":30"#));
+        assert!(json.contains(r#""busy_ns":30"#));
+
+        // Pretty output parses the same structure (smoke: balanced braces).
+        let pretty = rec.snapshot().to_json().render_pretty();
+        assert_eq!(
+            pretty.matches('{').count(),
+            pretty.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

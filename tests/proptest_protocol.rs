@@ -5,9 +5,10 @@
 
 use maxelerator::{
     connect, connect_multi, secure_matvec, secure_matvec_multi, AcceleratorConfig, Maxelerator,
-    ScheduledEvaluator,
+    MultiUnitServer, ScheduledEvaluator,
 };
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -102,5 +103,61 @@ proptest! {
         prop_assert_eq!(mt.ot_bytes, st.ot_bytes);
         prop_assert_eq!(mt.ot_upload_bytes, st.ot_upload_bytes);
         prop_assert_eq!(timing.units, units);
+    }
+
+    #[test]
+    fn telemetry_leaves_transcripts_bit_identical(
+        rows in 1usize..3,
+        cols in 1usize..4,
+        units in 1usize..4,
+        seed in 0u64..1_000_000,
+        values in prop::collection::vec(-100i64..100, 16),
+        xs in prop::collection::vec(-100i64..100, 4),
+    ) {
+        // Telemetry must be observably side-effect-free: the exact same
+        // protocol bytes come out whether or not a recorder is installed
+        // and recording. With `--features telemetry` the instrumented run
+        // records real spans/counters; without, the facade is compiled out
+        // and this degenerates to running the protocol twice — still a
+        // valid determinism check.
+        let config = AcceleratorConfig::new(8);
+        let w: Vec<Vec<i64>> = (0..rows)
+            .map(|r| (0..cols).map(|c| values[(r * cols + c) % values.len()]).collect())
+            .collect();
+        let x: Vec<i64> = (0..cols).map(|c| xs[c % xs.len()]).collect();
+
+        // Uninstrumented run: no global recorder.
+        max_telemetry::uninstall();
+        let (mut s1, mut c1) = connect(&config, w.clone(), seed);
+        let (want, st) = secure_matvec(&mut s1, &mut c1, &x);
+        let mut bank1 = MultiUnitServer::new(&config, w.clone(), units, seed);
+        let (msgs1, pairs1, _) = bank1.garble_matvec();
+
+        // Instrumented run: recorder installed, everything recording.
+        let recorder = Arc::new(max_telemetry::Recorder::new());
+        max_telemetry::install(Arc::clone(&recorder));
+        let _root = max_telemetry::span("parity_check");
+        let (mut s2, mut c2) = connect(&config, w.clone(), seed);
+        let (got, mt) = secure_matvec(&mut s2, &mut c2, &x);
+        let mut bank2 = MultiUnitServer::new(&config, w, units, seed);
+        let (msgs2, pairs2, _) = bank2.garble_matvec();
+        drop(_root);
+        max_telemetry::uninstall();
+        let snapshot = recorder.snapshot();
+
+        // Bit-identical GC transcripts: every garbled table, label, and
+        // decode bit, plus the OT pair streams and the byte accounting.
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(mt, st);
+        prop_assert_eq!(msgs1, msgs2);
+        prop_assert_eq!(pairs1, pairs2);
+
+        // And the instrumented run really did record (when compiled in).
+        if max_telemetry::enabled() {
+            prop_assert!(snapshot.counter("gc.gates.and") > 0);
+            prop_assert!(snapshot.span("parity_check").is_some());
+        } else {
+            prop_assert_eq!(snapshot.counter("gc.gates.and"), 0);
+        }
     }
 }
