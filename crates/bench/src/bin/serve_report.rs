@@ -1,0 +1,233 @@
+//! Serving-layer throughput report: sessions/sec and per-round latency of
+//! the `max-serve` unit-pool scheduler at 1, 2, and 4 garbling workers.
+//!
+//! Each sweep point boots a fresh [`GcService`] on a loopback TCP listener,
+//! drives it with 4 concurrent [`RemoteClient`] sessions of 3 jobs each
+//! (every result verified against plaintext), and reports the aggregate.
+//! The full sweep lands in `BENCH_serve.json` (schema
+//! `maxelerator-serve-v1`).
+//!
+//! ```text
+//! cargo run --release -p max-bench --bin serve_report [rows cols]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use max_bench::{row, rule};
+use max_gc::FramedTcp;
+use max_serve::{demo_vector, demo_weights, listen_tcp, plain_matvec, GcService, ServeConfig};
+use max_telemetry::report::JsonValue;
+use maxelerator::{AcceleratorConfig, AcceleratorError, RemoteClient};
+
+const SESSIONS: usize = 4;
+const JOBS_PER_SESSION: usize = 3;
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+const SEED: u64 = 0xBE7C;
+
+struct SweepPoint {
+    workers: usize,
+    wall: Duration,
+    sessions_per_sec: f64,
+    jobs_per_sec: f64,
+    round_p50_ns: u64,
+    round_p95_ns: u64,
+    busy_retries: u64,
+    bytes_down: u64,
+    bytes_up: u64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cols: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    if rows == 0 || cols == 0 {
+        eprintln!("serve_report needs a non-empty model (got {rows}x{cols})");
+        std::process::exit(2);
+    }
+
+    println!(
+        "serve_report: {SESSIONS} concurrent TCP sessions x {JOBS_PER_SESSION} jobs, \
+         model {rows}x{cols}, b=8 signed"
+    );
+    println!();
+
+    let points: Vec<SweepPoint> = WORKER_SWEEP
+        .iter()
+        .map(|&workers| run_point(rows, cols, workers))
+        .collect();
+
+    let widths = [9usize, 10, 12, 10, 14, 14, 8];
+    println!(
+        "  {}",
+        row(
+            &[
+                "workers",
+                "wall (ms)",
+                "sessions/s",
+                "jobs/s",
+                "round p50 (us)",
+                "round p95 (us)",
+                "busy",
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+    println!("  {}", rule(&widths));
+    for p in &points {
+        println!(
+            "  {}",
+            row(
+                &[
+                    format!("{}", p.workers),
+                    format!("{:.1}", p.wall.as_secs_f64() * 1e3),
+                    format!("{:.2}", p.sessions_per_sec),
+                    format!("{:.2}", p.jobs_per_sec),
+                    format!("{:.1}", p.round_p50_ns as f64 / 1e3),
+                    format!("{:.1}", p.round_p95_ns as f64 / 1e3),
+                    format!("{}", p.busy_retries),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let json = build_json(rows, cols, &points);
+    let path = "BENCH_serve.json";
+    std::fs::write(path, json.render_pretty()).expect("write serve artifact");
+    println!();
+    println!("wrote {path}");
+}
+
+fn run_point(rows: usize, cols: usize, workers: usize) -> SweepPoint {
+    let weights = demo_weights(rows, cols, 8, SEED);
+    let mut cfg = ServeConfig::new(AcceleratorConfig::new(8), weights.clone(), SEED);
+    cfg.workers = workers;
+    let service = GcService::start(cfg);
+    let handle = listen_tcp(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.addr();
+
+    let started = Instant::now();
+    let per_session: Vec<(Vec<u64>, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|s| {
+                let weights = &weights;
+                scope.spawn(move || {
+                    let tcp = FramedTcp::connect(addr).expect("connect");
+                    let mut client = RemoteClient::connect(tcp, 8).expect("handshake");
+                    let mut latencies = Vec::new();
+                    let mut busy = 0u64;
+                    for job in 0..JOBS_PER_SESSION {
+                        let x = demo_vector(cols, 8, SEED ^ ((s as u64) << 24) ^ job as u64);
+                        let expected = plain_matvec(weights, &x);
+                        loop {
+                            let t0 = Instant::now();
+                            match client.secure_matvec(&x) {
+                                Ok((y, transcript)) => {
+                                    assert_eq!(y, expected, "served result mismatch");
+                                    latencies.push(
+                                        t0.elapsed().as_nanos() as u64 / transcript.rounds.max(1),
+                                    );
+                                    break;
+                                }
+                                Err(AcceleratorError::Busy { retry_after_ms }) => {
+                                    busy += 1;
+                                    std::thread::sleep(Duration::from_millis(u64::from(
+                                        retry_after_ms.max(1),
+                                    )));
+                                }
+                                Err(e) => panic!("session {s}: {e}"),
+                            }
+                        }
+                    }
+                    let transport = client.goodbye();
+                    (
+                        latencies,
+                        busy,
+                        transport.received().bytes(),
+                        transport.sent().bytes(),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench session panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let stats = handle.shutdown();
+    assert_eq!(stats.sessions_errored, 0, "bench sessions must not error");
+    assert_eq!(
+        stats.jobs_completed,
+        (SESSIONS * JOBS_PER_SESSION) as u64,
+        "every job must complete"
+    );
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut busy_retries = 0u64;
+    let mut bytes_down = 0u64;
+    let mut bytes_up = 0u64;
+    for (lats, busy, down, up) in per_session {
+        latencies.extend(lats);
+        busy_retries += busy;
+        bytes_down += down;
+        bytes_up += up;
+    }
+    latencies.sort_unstable();
+    let round_p50_ns = latencies.get(latencies.len() / 2).copied().unwrap_or(0);
+    let round_p95_ns = latencies
+        .get(latencies.len().saturating_mul(95) / 100)
+        .copied()
+        .unwrap_or(0);
+    SweepPoint {
+        workers,
+        wall,
+        sessions_per_sec: SESSIONS as f64 / wall.as_secs_f64(),
+        jobs_per_sec: (SESSIONS * JOBS_PER_SESSION) as f64 / wall.as_secs_f64(),
+        round_p50_ns,
+        round_p95_ns,
+        busy_retries,
+        bytes_down,
+        bytes_up,
+    }
+}
+
+fn build_json(rows: usize, cols: usize, points: &[SweepPoint]) -> JsonValue {
+    let mut workload = JsonValue::object();
+    workload
+        .push("rows", JsonValue::UInt(rows as u64))
+        .push("cols", JsonValue::UInt(cols as u64))
+        .push("bit_width", JsonValue::UInt(8))
+        .push("sessions", JsonValue::UInt(SESSIONS as u64))
+        .push("jobs_per_session", JsonValue::UInt(JOBS_PER_SESSION as u64))
+        .push("transport", JsonValue::Str("loopback-tcp".to_string()));
+
+    let mut sweep = Vec::new();
+    for p in points {
+        let mut point = JsonValue::object();
+        point
+            .push("workers", JsonValue::UInt(p.workers as u64))
+            .push("wall_ms", JsonValue::Float(p.wall.as_secs_f64() * 1e3))
+            .push("sessions_per_sec", JsonValue::Float(p.sessions_per_sec))
+            .push("jobs_per_sec", JsonValue::Float(p.jobs_per_sec))
+            .push(
+                "round_latency_p50_us",
+                JsonValue::Float(p.round_p50_ns as f64 / 1e3),
+            )
+            .push(
+                "round_latency_p95_us",
+                JsonValue::Float(p.round_p95_ns as f64 / 1e3),
+            )
+            .push("busy_retries", JsonValue::UInt(p.busy_retries))
+            .push("client_download_bytes", JsonValue::UInt(p.bytes_down))
+            .push("client_upload_bytes", JsonValue::UInt(p.bytes_up));
+        sweep.push(point);
+    }
+
+    let mut root = JsonValue::object();
+    root.push("schema", JsonValue::Str("maxelerator-serve-v1".to_string()))
+        .push("workload", workload)
+        .push("sweep", JsonValue::Array(sweep));
+    root
+}

@@ -73,6 +73,23 @@ pub enum AcceleratorError {
     FrameHeader,
     /// The streaming peer disconnected mid-protocol.
     Disconnected,
+    /// The transport layer failed (oversized frame, timeout, socket error).
+    Transport(max_gc::channel::TransportError),
+    /// The peer sent a frame that does not fit the protocol state machine.
+    Protocol {
+        /// What was wrong or expected.
+        what: &'static str,
+    },
+    /// The server's job queue is full; retry after the hinted backoff.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server refused the session during the handshake.
+    Rejected {
+        /// Why (version mismatch, unsupported width, draining, ...).
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for AcceleratorError {
@@ -117,8 +134,34 @@ impl std::fmt::Display for AcceleratorError {
             AcceleratorError::FrameTruncated => f.write_str("streamed frame truncated"),
             AcceleratorError::FrameHeader => f.write_str("streamed frame header malformed"),
             AcceleratorError::Disconnected => f.write_str("streaming peer disconnected"),
+            AcceleratorError::Transport(err) => write!(f, "transport failure: {err}"),
+            AcceleratorError::Protocol { what } => write!(f, "protocol violation: {what}"),
+            AcceleratorError::Busy { retry_after_ms } => {
+                write!(f, "server busy, retry after {retry_after_ms} ms")
+            }
+            AcceleratorError::Rejected { reason } => {
+                write!(f, "session rejected: {reason}")
+            }
         }
     }
 }
 
-impl std::error::Error for AcceleratorError {}
+impl std::error::Error for AcceleratorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AcceleratorError::Transport(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<max_gc::channel::TransportError> for AcceleratorError {
+    fn from(err: max_gc::channel::TransportError) -> Self {
+        match err {
+            // Disconnection already has a first-class protocol meaning here;
+            // keep it as one variant regardless of which transport saw it.
+            max_gc::channel::TransportError::Disconnected => AcceleratorError::Disconnected,
+            other => AcceleratorError::Transport(other),
+        }
+    }
+}

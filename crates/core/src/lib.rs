@@ -57,6 +57,7 @@ mod config;
 mod error;
 mod multi_unit;
 mod precompute;
+pub mod remote;
 mod resources;
 mod scaling;
 mod schedule;
@@ -69,6 +70,7 @@ pub use config::AcceleratorConfig;
 pub use error::AcceleratorError;
 pub use multi_unit::{connect_multi, secure_matvec_multi, MultiUnitServer, MultiUnitTiming};
 pub use precompute::{PrecomputeStore, PrecomputedJob};
+pub use remote::{RemoteClient, PROTOCOL_VERSION};
 pub use resources::{mac_unit_resources, resource_breakdown, ComponentUsage};
 pub use scaling::{client_capacity_ratio, pack_device, xcvu095_scaling, DeviceScaling};
 pub use schedule::{Schedule, SchedulePolicy, ScheduleStats, Segment, SlotAssignment};

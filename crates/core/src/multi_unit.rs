@@ -231,7 +231,7 @@ impl MultiUnitServer {
         let (stats_tx, stats_rx) = mpsc::channel::<UnitStats>();
 
         let weights = &self.weights;
-        let host_result = std::thread::scope(|scope| {
+        let host_result: Result<(), AcceleratorError> = std::thread::scope(|scope| {
             for ((u, unit), (mut wire, pair_tx)) in self
                 .units
                 .iter_mut()

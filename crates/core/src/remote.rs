@@ -1,0 +1,1097 @@
+//! Session-driven two-party protocol over any [`Transport`].
+//!
+//! The in-process [`connect`](crate::connect)/[`secure_matvec`](crate::secure_matvec)
+//! pair assumes both parties live in one address space. This module is the
+//! wire-facing equivalent: a [`RemoteClient`] (the evaluator) speaks a small
+//! framed protocol to a serving garbler — over the in-memory
+//! [`Duplex`](max_gc::channel::Duplex) or loopback/real TCP, identically —
+//! and recovers exact MAC results through the full OT-extension stack.
+//!
+//! ## Protocol
+//!
+//! ```text
+//! client                                server
+//!   | -- HELLO(version, bit_width) ------> |   handshake
+//!   | <-- ACCEPT(session, ot_seed,        |
+//!   |            rows, cols, config) ----- |   (or REJECT(reason))
+//!   |                                      |
+//!   | -- JOB(columns) -------------------> |   enqueue on the unit pool
+//!   | <-- READY(job_id) ------------------ |   (or BUSY(retry_after_ms))
+//!   |    per output element:               |
+//!   | -- EXT(OT corrections) -----------> |
+//!   | <-- CIPHER(OT ciphertext blocks) --- |
+//!   | <-- ROUND x cols (tables+labels) --- |
+//!   | <-- STATS(fabric cycles) ----------- |   job done
+//!   |            ... more jobs ...         |
+//!   | -- BYE ----------------------------> |   graceful close
+//! ```
+//!
+//! Control frames are tagged raw frames; OT ciphertexts ride a
+//! [`FrameKind::Blocks`] frame so the per-kind channel accounting matches
+//! the in-process transcript split. The client's `x` never crosses the wire
+//! — only OT correction bits do, exactly as in the paper's Figure 1.
+//!
+//! Seeds: the server derives one seed per session (see [`derive_seed`]) and
+//! publishes `ot_seed` in ACCEPT; both sides run
+//! [`iknp::setup_pair`]`(ot_seed)` and keep their half. This mirrors the
+//! repository's in-process trusted-dealer base-OT shortcut — the base phase
+//! is modeled, the extension is real.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use max_crypto::Block;
+use max_gc::channel::{decode_blocks, encode_blocks, FrameKind};
+use max_gc::Transport;
+use max_ot::iknp::{self, CipherMsg, ExtendMsg, OtExtReceiver, OtExtSender, KAPPA};
+
+use crate::accelerator::{Maxelerator, RoundMessage, ScheduledEvaluator};
+use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+use crate::server::MatvecTranscript;
+use crate::wire::{decode_round_message, encode_round_message};
+
+/// Version of the handshake + job protocol in this module.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Largest OT batch (choice bits) a single EXT frame may declare.
+///
+/// An honest batch is `cols * bit_width` (≤ 8192 for the paper's largest
+/// configuration); the cap leaves headroom for big models while keeping a
+/// hostile count from driving allocation.
+pub const MAX_OT_BATCH: usize = 1 << 20;
+
+/// REJECT code: the client spoke an unsupported protocol version.
+pub const REJECT_VERSION: u8 = 1;
+/// REJECT code: the client asked for a bit-width this server is not running.
+pub const REJECT_WIDTH: u8 = 2;
+/// REJECT code: the server is draining and takes no new sessions.
+pub const REJECT_DRAINING: u8 = 3;
+
+/// Human-readable reason for a REJECT code.
+pub fn reject_reason(code: u8) -> &'static str {
+    match code {
+        REJECT_VERSION => "protocol version mismatch",
+        REJECT_WIDTH => "unsupported bit width",
+        REJECT_DRAINING => "server draining",
+        _ => "unknown reason",
+    }
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_ACCEPT: u8 = 2;
+const TAG_REJECT: u8 = 3;
+const TAG_JOB: u8 = 4;
+const TAG_BUSY: u8 = 5;
+const TAG_READY: u8 = 6;
+const TAG_STATS: u8 = 7;
+const TAG_BYE: u8 = 8;
+const TAG_EXT: u8 = 9;
+const TAG_ROUND: u8 = 10;
+
+/// A control frame of the session protocol (everything except the
+/// lock-step EXT/CIPHER/ROUND data frames).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControlMsg {
+    /// Client → server: open a session.
+    Hello {
+        /// Client's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Requested operand bit-width.
+        bit_width: u32,
+    },
+    /// Server → client: session open, here is everything the evaluator
+    /// needs (negotiated config is authoritative).
+    Accept {
+        /// Server-assigned session id.
+        session_id: u64,
+        /// Seed for the modeled base-OT phase ([`iknp::setup_pair`]).
+        ot_seed: u64,
+        /// Model rows (output elements per matvec).
+        rows: u32,
+        /// Model columns (client vector length).
+        cols: u32,
+        /// Negotiated operand bit-width.
+        bit_width: u32,
+        /// Negotiated accumulator width.
+        acc_width: u32,
+        /// Whether operands are signed.
+        signed: bool,
+        /// Fabric clock in MHz, as [`f64::to_bits`].
+        freq_mhz_bits: u64,
+    },
+    /// Server → client: handshake refused.
+    Reject {
+        /// One of the `REJECT_*` codes.
+        code: u8,
+        /// Code-specific detail (e.g. the server's version or width).
+        detail: u32,
+    },
+    /// Client → server: run a matvec/matmul job (`columns` passes).
+    JobRequest {
+        /// Number of client vectors (1 = matvec, n = matmul of n columns).
+        columns: u32,
+    },
+    /// Server → client: queue full, try again after the hinted backoff.
+    Busy {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+        /// Queue depth observed at rejection time (for loadgen telemetry).
+        queue_depth: u32,
+    },
+    /// Server → client: job dequeued onto a garbling unit; data frames
+    /// follow.
+    Ready {
+        /// Server-assigned job id (unique within the session).
+        job_id: u64,
+    },
+    /// Server → client: job finished; server-side accounting the client
+    /// cannot measure itself.
+    Stats {
+        /// Fabric cycles the garbling units spent on this job.
+        fabric_cycles: u64,
+    },
+    /// Client → server: done, close the session gracefully.
+    Bye,
+}
+
+impl ControlMsg {
+    /// Encodes this control message as a raw frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(40);
+        match *self {
+            ControlMsg::Hello { version, bit_width } => {
+                buf.put_u8(TAG_HELLO);
+                buf.put_u16(version);
+                buf.put_u32(bit_width);
+            }
+            ControlMsg::Accept {
+                session_id,
+                ot_seed,
+                rows,
+                cols,
+                bit_width,
+                acc_width,
+                signed,
+                freq_mhz_bits,
+            } => {
+                buf.put_u8(TAG_ACCEPT);
+                buf.put_u64(session_id);
+                buf.put_u64(ot_seed);
+                buf.put_u32(rows);
+                buf.put_u32(cols);
+                buf.put_u32(bit_width);
+                buf.put_u32(acc_width);
+                buf.put_u8(u8::from(signed));
+                buf.put_u64(freq_mhz_bits);
+            }
+            ControlMsg::Reject { code, detail } => {
+                buf.put_u8(TAG_REJECT);
+                buf.put_u8(code);
+                buf.put_u32(detail);
+            }
+            ControlMsg::JobRequest { columns } => {
+                buf.put_u8(TAG_JOB);
+                buf.put_u32(columns);
+            }
+            ControlMsg::Busy {
+                retry_after_ms,
+                queue_depth,
+            } => {
+                buf.put_u8(TAG_BUSY);
+                buf.put_u32(retry_after_ms);
+                buf.put_u32(queue_depth);
+            }
+            ControlMsg::Ready { job_id } => {
+                buf.put_u8(TAG_READY);
+                buf.put_u64(job_id);
+            }
+            ControlMsg::Stats { fabric_cycles } => {
+                buf.put_u8(TAG_STATS);
+                buf.put_u64(fabric_cycles);
+            }
+            ControlMsg::Bye => buf.put_u8(TAG_BYE),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a control frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::Protocol`] for unknown tags or truncated
+    /// payloads — peer bytes never panic the decoder.
+    pub fn decode(mut frame: Bytes) -> Result<ControlMsg, AcceleratorError> {
+        fn need(frame: &Bytes, bytes: usize, what: &'static str) -> Result<(), AcceleratorError> {
+            if frame.remaining() < bytes {
+                return Err(AcceleratorError::Protocol { what });
+            }
+            Ok(())
+        }
+        need(&frame, 1, "empty control frame")?;
+        let tag = frame.get_u8();
+        let msg = match tag {
+            TAG_HELLO => {
+                need(&frame, 6, "HELLO payload")?;
+                ControlMsg::Hello {
+                    version: frame.get_u16(),
+                    bit_width: frame.get_u32(),
+                }
+            }
+            TAG_ACCEPT => {
+                need(&frame, 37, "ACCEPT payload")?;
+                ControlMsg::Accept {
+                    session_id: frame.get_u64(),
+                    ot_seed: frame.get_u64(),
+                    rows: frame.get_u32(),
+                    cols: frame.get_u32(),
+                    bit_width: frame.get_u32(),
+                    acc_width: frame.get_u32(),
+                    signed: frame.get_u8() != 0,
+                    freq_mhz_bits: frame.get_u64(),
+                }
+            }
+            TAG_REJECT => {
+                need(&frame, 5, "REJECT payload")?;
+                ControlMsg::Reject {
+                    code: frame.get_u8(),
+                    detail: frame.get_u32(),
+                }
+            }
+            TAG_JOB => {
+                need(&frame, 4, "JOB payload")?;
+                ControlMsg::JobRequest {
+                    columns: frame.get_u32(),
+                }
+            }
+            TAG_BUSY => {
+                need(&frame, 8, "BUSY payload")?;
+                ControlMsg::Busy {
+                    retry_after_ms: frame.get_u32(),
+                    queue_depth: frame.get_u32(),
+                }
+            }
+            TAG_READY => {
+                need(&frame, 8, "READY payload")?;
+                ControlMsg::Ready {
+                    job_id: frame.get_u64(),
+                }
+            }
+            TAG_STATS => {
+                need(&frame, 8, "STATS payload")?;
+                ControlMsg::Stats {
+                    fabric_cycles: frame.get_u64(),
+                }
+            }
+            TAG_BYE => ControlMsg::Bye,
+            _ => {
+                return Err(AcceleratorError::Protocol {
+                    what: "unknown control tag",
+                })
+            }
+        };
+        if frame.remaining() != 0 {
+            return Err(AcceleratorError::Protocol {
+                what: "control frame trailing bytes",
+            });
+        }
+        Ok(msg)
+    }
+}
+
+/// Sends one control message.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn send_control<T: Transport + ?Sized>(
+    transport: &mut T,
+    msg: &ControlMsg,
+) -> Result<(), AcceleratorError> {
+    transport.send_frame(FrameKind::Raw, msg.encode())?;
+    Ok(())
+}
+
+/// Receives and decodes one control message.
+///
+/// # Errors
+///
+/// Propagates transport failures and malformed frames.
+pub fn recv_control<T: Transport + ?Sized>(
+    transport: &mut T,
+) -> Result<ControlMsg, AcceleratorError> {
+    ControlMsg::decode(transport.recv_frame()?)
+}
+
+/// Splitmix-style seed derivation: one base seed, many independent
+/// per-session / per-job seeds.
+pub fn derive_seed(base: u64, tweak: u64) -> u64 {
+    let mut z = base ^ tweak.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn encode_ext(msg: &ExtendMsg) -> Bytes {
+    let words = msg.columns.first().map_or(0, Vec::len);
+    let mut buf = BytesMut::with_capacity(9 + KAPPA * words * 8);
+    buf.put_u8(TAG_EXT);
+    buf.put_u32(msg.count as u32);
+    buf.put_u32(words as u32);
+    for column in &msg.columns {
+        for &word in column {
+            buf.put_u64(word);
+        }
+    }
+    buf.freeze()
+}
+
+fn decode_ext(mut frame: Bytes) -> Result<ExtendMsg, AcceleratorError> {
+    if frame.remaining() < 9 {
+        return Err(AcceleratorError::Protocol { what: "EXT header" });
+    }
+    let tag = frame.get_u8();
+    if tag == TAG_BYE {
+        // A well-behaved client may close instead of sending a job's data.
+        return Err(AcceleratorError::Disconnected);
+    }
+    if tag != TAG_EXT {
+        return Err(AcceleratorError::Protocol {
+            what: "expected EXT frame",
+        });
+    }
+    let count = frame.get_u32() as usize;
+    let words = frame.get_u32() as usize;
+    if count > MAX_OT_BATCH || words != count.div_ceil(64) {
+        return Err(AcceleratorError::Protocol {
+            what: "EXT batch size",
+        });
+    }
+    if frame.remaining() != KAPPA * words * 8 {
+        return Err(AcceleratorError::Protocol {
+            what: "EXT payload length",
+        });
+    }
+    let columns = (0..KAPPA)
+        .map(|_| (0..words).map(|_| frame.get_u64()).collect())
+        .collect();
+    Ok(ExtendMsg { columns, count })
+}
+
+fn encode_round(msg: &RoundMessage) -> Bytes {
+    let body = encode_round_message(msg);
+    let mut buf = BytesMut::with_capacity(1 + body.len());
+    buf.put_u8(TAG_ROUND);
+    buf.put_slice(&body[..]);
+    buf.freeze()
+}
+
+fn decode_round(mut frame: Bytes) -> Result<RoundMessage, AcceleratorError> {
+    if frame.remaining() < 1 {
+        return Err(AcceleratorError::Protocol {
+            what: "ROUND header",
+        });
+    }
+    if frame.get_u8() != TAG_ROUND {
+        return Err(AcceleratorError::Protocol {
+            what: "expected ROUND frame",
+        });
+    }
+    decode_round_message(frame)
+}
+
+/// One garbled output element: its round messages and the OT label pairs
+/// (bit-width pairs per round, concatenated in round order).
+#[derive(Clone, Debug)]
+pub struct GarbledRow {
+    /// Round messages in round order.
+    pub messages: Vec<RoundMessage>,
+    /// OT pairs matching the client's choice bits for this row.
+    pub pairs: Vec<(Block, Block)>,
+}
+
+/// A fully garbled job, ready to stream: the compute-heavy product of a
+/// pool worker, handed back to the session thread for the wire exchange.
+#[derive(Clone, Debug)]
+pub struct GarbledJob {
+    /// `columns * rows` garbled elements, pass-major.
+    pub rows: Vec<GarbledRow>,
+    /// Model rows per pass (output elements of one matvec).
+    pub rows_per_pass: usize,
+    /// Fabric cycles this job cost.
+    pub fabric_cycles: u64,
+    /// Wall-clock the fabric would need at the configured frequency.
+    pub fabric_seconds: f64,
+}
+
+/// Garbles a complete matvec/matmul job on a fresh accelerator seeded with
+/// `seed` — pure compute, no I/O, safe to run on any worker thread.
+///
+/// Each pass garbles every model row; element ids advance across passes so
+/// labels stay fresh for every round of every column.
+///
+/// # Errors
+///
+/// Propagates [`AcceleratorError`] from the garbling schedule.
+///
+/// # Panics
+///
+/// Panics if the model is empty or `columns` is zero (serving code
+/// validates both before enqueueing).
+pub fn garble_matvec_job(
+    config: &AcceleratorConfig,
+    weights: &[Vec<i64>],
+    seed: u64,
+    columns: u32,
+) -> Result<GarbledJob, AcceleratorError> {
+    assert!(!weights.is_empty(), "job needs a non-empty model");
+    assert!(columns > 0, "job needs at least one column");
+    let _span = max_telemetry::span("remote.garble_job");
+    let mut accel = Maxelerator::new(config.clone(), seed);
+    let n_rows = weights.len();
+    let mut rows = Vec::with_capacity(n_rows * columns as usize);
+    for pass in 0..columns as usize {
+        for (r, row) in weights.iter().enumerate() {
+            accel.begin_element((pass * n_rows + r) as u32);
+            let messages = accel.try_garble_job(row, true)?;
+            let mut pairs = Vec::with_capacity(row.len() * config.bit_width);
+            for msg in &messages {
+                pairs.extend_from_slice(accel.ot_pairs(msg.round)?);
+            }
+            rows.push(GarbledRow { messages, pairs });
+        }
+    }
+    let cycles = accel.report().cycles;
+    Ok(GarbledJob {
+        rows,
+        rows_per_pass: n_rows,
+        fabric_cycles: cycles,
+        fabric_seconds: cycles as f64 / (config.freq_mhz * 1e6),
+    })
+}
+
+/// Streams a garbled job to the client: READY, then per element the
+/// EXT → CIPHER → ROUND... exchange, then STATS. Runs on the session
+/// thread (the server side of [`RemoteClient::secure_matvec`]).
+///
+/// # Errors
+///
+/// Propagates transport failures and protocol violations; on any error the
+/// session should be torn down (the OT state is no longer aligned).
+pub fn stream_matvec_job<T: Transport + ?Sized>(
+    transport: &mut T,
+    job: &GarbledJob,
+    ot_sender: &mut OtExtSender,
+    job_id: u64,
+) -> Result<MatvecTranscript, AcceleratorError> {
+    let _span = max_telemetry::span("remote.stream_job");
+    send_control(transport, &ControlMsg::Ready { job_id })?;
+    let mut transcript = MatvecTranscript {
+        elements: job.rows.len(),
+        fabric_cycles: job.fabric_cycles,
+        fabric_seconds: job.fabric_seconds,
+        ..MatvecTranscript::default()
+    };
+    for row in &job.rows {
+        let ext = decode_ext(transport.recv_frame()?)?;
+        if ext.count != row.pairs.len() {
+            return Err(AcceleratorError::Protocol {
+                what: "EXT count does not match the job's OT pairs",
+            });
+        }
+        transcript.ot_upload_bytes += ext.columns.iter().map(|c| c.len() as u64 * 8).sum::<u64>();
+        let cipher = ot_sender.send(&ext, &row.pairs);
+        transcript.ot_bytes += (cipher.pairs.len() * 32) as u64;
+        let mut flat = Vec::with_capacity(cipher.pairs.len() * 2);
+        for &(y0, y1) in &cipher.pairs {
+            flat.push(y0);
+            flat.push(y1);
+        }
+        transport.send_frame(FrameKind::Blocks, encode_blocks(&flat))?;
+        for msg in &row.messages {
+            transcript.material_bytes += msg.wire_bytes() as u64;
+            transcript.tables += msg.tables.len() as u64;
+            transcript.rounds += 1;
+            transport.send_frame(FrameKind::Raw, encode_round(msg))?;
+        }
+    }
+    send_control(
+        transport,
+        &ControlMsg::Stats {
+            fabric_cycles: job.fabric_cycles,
+        },
+    )?;
+    Ok(transcript)
+}
+
+/// The evaluator side of a served session: handshake once, then run any
+/// number of secure matvec/matmul jobs over the transport.
+pub struct RemoteClient<T: Transport> {
+    transport: T,
+    session_id: u64,
+    config: AcceleratorConfig,
+    rows: usize,
+    cols: usize,
+    ot_receiver: OtExtReceiver,
+}
+
+impl<T: Transport> std::fmt::Debug for RemoteClient<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("session_id", &self.session_id)
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Transport> RemoteClient<T> {
+    /// Opens a session: HELLO with the desired bit-width, then builds the
+    /// evaluator from the server's authoritative ACCEPT config and runs the
+    /// (modeled) base-OT phase from the published seed.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::Rejected`] if the server refuses the handshake;
+    /// transport/protocol errors otherwise.
+    pub fn connect(
+        mut transport: T,
+        bit_width: usize,
+    ) -> Result<RemoteClient<T>, AcceleratorError> {
+        send_control(
+            &mut transport,
+            &ControlMsg::Hello {
+                version: PROTOCOL_VERSION,
+                bit_width: bit_width as u32,
+            },
+        )?;
+        match recv_control(&mut transport)? {
+            ControlMsg::Accept {
+                session_id,
+                ot_seed,
+                rows,
+                cols,
+                bit_width,
+                acc_width,
+                signed,
+                freq_mhz_bits,
+            } => {
+                if bit_width < 4 || !(bit_width as usize).is_multiple_of(2) {
+                    return Err(AcceleratorError::Protocol {
+                        what: "ACCEPT bit width",
+                    });
+                }
+                let mut config = AcceleratorConfig::new(bit_width as usize);
+                if (acc_width as usize) < 2 * config.bit_width || acc_width > 64 {
+                    return Err(AcceleratorError::Protocol {
+                        what: "ACCEPT acc width",
+                    });
+                }
+                config = config.with_acc_width(acc_width as usize);
+                let freq = f64::from_bits(freq_mhz_bits);
+                if !(freq.is_finite() && freq > 0.0) {
+                    return Err(AcceleratorError::Protocol {
+                        what: "ACCEPT frequency",
+                    });
+                }
+                config = config.with_freq_mhz(freq);
+                if !signed {
+                    config = config.unsigned();
+                }
+                let (_sender, ot_receiver) = iknp::setup_pair(ot_seed);
+                Ok(RemoteClient {
+                    transport,
+                    session_id,
+                    config,
+                    rows: rows as usize,
+                    cols: cols as usize,
+                    ot_receiver,
+                })
+            }
+            ControlMsg::Reject { code, .. } => Err(AcceleratorError::Rejected {
+                reason: reject_reason(code),
+            }),
+            _ => Err(AcceleratorError::Protocol {
+                what: "expected ACCEPT or REJECT",
+            }),
+        }
+    }
+
+    /// Server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The negotiated configuration (authoritative, from ACCEPT).
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Model rows (length of a matvec result).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Model columns (required length of the client vector).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the underlying transport (e.g. for channel statistics).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Runs one privacy-preserving matvec `y = W·x` against the server.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::Busy`] if the server's queue rejected the job
+    /// (the session stays usable — retry after the hint); any other error
+    /// means the session is dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` length differs from [`RemoteClient::cols`] (caller
+    /// error, matching [`crate::secure_matvec`]).
+    pub fn secure_matvec(
+        &mut self,
+        x: &[i64],
+    ) -> Result<(Vec<i64>, MatvecTranscript), AcceleratorError> {
+        let (mut columns, transcript) = self.secure_matmul(std::slice::from_ref(&x.to_vec()))?;
+        Ok((columns.pop().expect("one column requested"), transcript))
+    }
+
+    /// Runs a matmul `Y = W·X`, column by column in one job.
+    ///
+    /// Returns the per-column results (`x_columns.len()` vectors of
+    /// [`RemoteClient::rows`] elements each) and the merged transcript.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteClient::secure_matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_columns` is empty or any column length differs from
+    /// [`RemoteClient::cols`].
+    pub fn secure_matmul(
+        &mut self,
+        x_columns: &[Vec<i64>],
+    ) -> Result<(Vec<Vec<i64>>, MatvecTranscript), AcceleratorError> {
+        assert!(!x_columns.is_empty(), "need at least one column");
+        for column in x_columns {
+            assert_eq!(column.len(), self.cols, "vector length mismatch");
+        }
+        let _span = max_telemetry::span("remote.client_job");
+        send_control(
+            &mut self.transport,
+            &ControlMsg::JobRequest {
+                columns: x_columns.len() as u32,
+            },
+        )?;
+        match recv_control(&mut self.transport)? {
+            ControlMsg::Ready { .. } => {}
+            ControlMsg::Busy { retry_after_ms, .. } => {
+                return Err(AcceleratorError::Busy { retry_after_ms })
+            }
+            _ => {
+                return Err(AcceleratorError::Protocol {
+                    what: "expected READY or BUSY",
+                })
+            }
+        }
+
+        let b = self.config.bit_width;
+        let mut evaluator = ScheduledEvaluator::new(&self.config);
+        let mut transcript = MatvecTranscript::default();
+        let mut result = Vec::with_capacity(x_columns.len());
+        for (pass, column) in x_columns.iter().enumerate() {
+            let mut y = Vec::with_capacity(self.rows);
+            for r in 0..self.rows {
+                evaluator.begin_element((pass * self.rows + r) as u32);
+                let mut choices = Vec::with_capacity(column.len() * b);
+                for &xl in column {
+                    choices.extend(self.config.encode_x(xl));
+                }
+                let (ext, keys) = self.ot_receiver.prepare(&choices);
+                transcript.ot_upload_bytes +=
+                    ext.columns.iter().map(|c| c.len() as u64 * 8).sum::<u64>();
+                self.transport
+                    .send_frame(FrameKind::Bits, encode_ext(&ext))?;
+                let flat = decode_blocks(self.transport.recv_frame()?)?;
+                if flat.len() != choices.len() * 2 {
+                    return Err(AcceleratorError::Protocol {
+                        what: "CIPHER pair count",
+                    });
+                }
+                transcript.ot_bytes += (flat.len() * 16) as u64;
+                let cipher = CipherMsg {
+                    pairs: flat.chunks_exact(2).map(|p| (p[0], p[1])).collect(),
+                };
+                let labels = self.ot_receiver.receive(&cipher, &keys, &choices);
+                let mut decoded = None;
+                for i in 0..column.len() {
+                    let msg = decode_round(self.transport.recv_frame()?)?;
+                    transcript.material_bytes += msg.wire_bytes() as u64;
+                    transcript.tables += msg.tables.len() as u64;
+                    transcript.rounds += 1;
+                    decoded = evaluator.evaluate_round(&msg, &labels[i * b..(i + 1) * b])?;
+                }
+                y.push(decoded.ok_or(AcceleratorError::Protocol {
+                    what: "final round carried no decode bits",
+                })?);
+                transcript.elements += 1;
+            }
+            result.push(y);
+        }
+        match recv_control(&mut self.transport)? {
+            ControlMsg::Stats { fabric_cycles } => {
+                transcript.fabric_cycles = fabric_cycles;
+                transcript.fabric_seconds = fabric_cycles as f64 / (self.config.freq_mhz * 1e6);
+            }
+            _ => {
+                return Err(AcceleratorError::Protocol {
+                    what: "expected STATS",
+                })
+            }
+        }
+        Ok((result, transcript))
+    }
+
+    /// Gracefully closes the session (best effort) and returns the
+    /// transport for inspection.
+    pub fn goodbye(mut self) -> T {
+        let _ = send_control(&mut self.transport, &ControlMsg::Bye);
+        self.transport
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use max_gc::channel::Duplex;
+
+    /// Minimal single-session server loop over any transport, used by the
+    /// tests here and mirrored (with scheduling) by `max-serve`.
+    fn serve_one_session<T: Transport>(
+        mut transport: T,
+        config: &AcceleratorConfig,
+        weights: &[Vec<i64>],
+        base_seed: u64,
+        session_id: u64,
+    ) -> Result<(), AcceleratorError> {
+        let hello = match recv_control(&mut transport)? {
+            ControlMsg::Hello { version, bit_width } => (version, bit_width),
+            _ => {
+                return Err(AcceleratorError::Protocol {
+                    what: "expected HELLO",
+                })
+            }
+        };
+        if hello.0 != PROTOCOL_VERSION {
+            send_control(
+                &mut transport,
+                &ControlMsg::Reject {
+                    code: REJECT_VERSION,
+                    detail: u32::from(PROTOCOL_VERSION),
+                },
+            )?;
+            return Ok(());
+        }
+        if hello.1 as usize != config.bit_width {
+            send_control(
+                &mut transport,
+                &ControlMsg::Reject {
+                    code: REJECT_WIDTH,
+                    detail: config.bit_width as u32,
+                },
+            )?;
+            return Ok(());
+        }
+        let session_seed = derive_seed(base_seed, session_id);
+        let ot_seed = derive_seed(session_seed, 0x07);
+        send_control(
+            &mut transport,
+            &ControlMsg::Accept {
+                session_id,
+                ot_seed,
+                rows: weights.len() as u32,
+                cols: weights.first().map_or(0, Vec::len) as u32,
+                bit_width: config.bit_width as u32,
+                acc_width: config.acc_width as u32,
+                signed: config.signed,
+                freq_mhz_bits: config.freq_mhz.to_bits(),
+            },
+        )?;
+        let (mut ot_sender, _receiver) = iknp::setup_pair(ot_seed);
+        let mut job_id = 0u64;
+        loop {
+            match recv_control(&mut transport) {
+                Ok(ControlMsg::JobRequest { columns }) => {
+                    let job = garble_matvec_job(
+                        config,
+                        weights,
+                        derive_seed(session_seed, 0x100 + job_id),
+                        columns,
+                    )?;
+                    stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id)?;
+                    job_id += 1;
+                }
+                Ok(ControlMsg::Bye) | Err(AcceleratorError::Disconnected) => return Ok(()),
+                Ok(_) => {
+                    return Err(AcceleratorError::Protocol {
+                        what: "expected JOB or BYE",
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn plain_matvec(w: &[Vec<i64>], x: &[i64]) -> Vec<i64> {
+        w.iter()
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    #[test]
+    fn remote_matvec_over_duplex_matches_plaintext() {
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![1i64, -2, 3], vec![-4, 5, 6], vec![7, 0, -8]];
+        let x = vec![9i64, -10, 11];
+        let expected = plain_matvec(&w, &x);
+        let (server_end, client_end) = Duplex::pair();
+        let server = {
+            let config = config.clone();
+            let w = w.clone();
+            std::thread::spawn(move || serve_one_session(server_end, &config, &w, 42, 0))
+        };
+        let mut client = RemoteClient::connect(client_end, 8).unwrap();
+        assert_eq!(client.rows(), 3);
+        assert_eq!(client.cols(), 3);
+        let (y, t) = client.secure_matvec(&x).unwrap();
+        assert_eq!(y, expected);
+        assert_eq!(t.elements, 3);
+        assert_eq!(t.rounds, 9);
+        assert!(t.tables > 0);
+        assert!(t.material_bytes > 0);
+        assert!(t.ot_bytes > 0);
+        assert!(t.ot_upload_bytes > 0);
+        assert!(t.fabric_cycles > 0);
+        // Second job on the same session still decodes correctly.
+        let (y2, _) = client.secure_matvec(&[1, 1, 1]).unwrap();
+        assert_eq!(y2, plain_matvec(&w, &[1, 1, 1]));
+        client.goodbye();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn remote_matmul_over_duplex_matches_plaintext() {
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![2i64, -3], vec![4, 5]];
+        let cols = vec![vec![1i64, 2], vec![-7, 8], vec![0, -1]];
+        let (server_end, client_end) = Duplex::pair();
+        let server = {
+            let config = config.clone();
+            let w = w.clone();
+            std::thread::spawn(move || serve_one_session(server_end, &config, &w, 7, 3))
+        };
+        let mut client = RemoteClient::connect(client_end, 8).unwrap();
+        let (y, t) = client.secure_matmul(&cols).unwrap();
+        for (j, column) in cols.iter().enumerate() {
+            assert_eq!(y[j], plain_matvec(&w, column), "column {j}");
+        }
+        assert_eq!(t.elements, 6);
+        client.goodbye();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![1i64]];
+        let (server_end, mut client_end) = Duplex::pair();
+        let server = {
+            let config = config.clone();
+            std::thread::spawn(move || serve_one_session(server_end, &config, &w, 1, 0))
+        };
+        // Speak a bogus future version by hand.
+        send_control(
+            &mut client_end,
+            &ControlMsg::Hello {
+                version: 999,
+                bit_width: 8,
+            },
+        )
+        .unwrap();
+        match recv_control(&mut client_end).unwrap() {
+            ControlMsg::Reject { code, detail } => {
+                assert_eq!(code, REJECT_VERSION);
+                assert_eq!(detail, u32::from(PROTOCOL_VERSION));
+                assert_eq!(reject_reason(code), "protocol version mismatch");
+            }
+            other => panic!("expected REJECT, got {other:?}"),
+        }
+        server.join().unwrap().unwrap();
+        let _ = server_end;
+    }
+
+    #[test]
+    fn width_mismatch_surfaces_as_rejected_error() {
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![1i64]];
+        let (server_end, client_end) = Duplex::pair();
+        let server = std::thread::spawn(move || serve_one_session(server_end, &config, &w, 1, 0));
+        let err = RemoteClient::connect(client_end, 16).unwrap_err();
+        assert_eq!(
+            err,
+            AcceleratorError::Rejected {
+                reason: "unsupported bit width"
+            }
+        );
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn mid_job_disconnect_is_a_typed_error_server_side() {
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![1i64, 2]];
+        let (server_end, client_end) = Duplex::pair();
+        let server = {
+            let config = config.clone();
+            std::thread::spawn(move || serve_one_session(server_end, &config, &w, 9, 0))
+        };
+        let mut client = RemoteClient::connect(client_end, 8).unwrap();
+        // Request a job, then vanish before sending EXT.
+        send_control(
+            &mut client.transport,
+            &ControlMsg::JobRequest { columns: 1 },
+        )
+        .unwrap();
+        match recv_control(&mut client.transport).unwrap() {
+            ControlMsg::Ready { .. } => {}
+            other => panic!("expected READY, got {other:?}"),
+        }
+        drop(client);
+        assert_eq!(server.join().unwrap(), Err(AcceleratorError::Disconnected));
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let msgs = [
+            ControlMsg::Hello {
+                version: PROTOCOL_VERSION,
+                bit_width: 16,
+            },
+            ControlMsg::Accept {
+                session_id: 7,
+                ot_seed: 0xdead_beef,
+                rows: 3,
+                cols: 4,
+                bit_width: 16,
+                acc_width: 40,
+                signed: true,
+                freq_mhz_bits: 200.0f64.to_bits(),
+            },
+            ControlMsg::Reject {
+                code: REJECT_DRAINING,
+                detail: 0,
+            },
+            ControlMsg::JobRequest { columns: 2 },
+            ControlMsg::Busy {
+                retry_after_ms: 15,
+                queue_depth: 9,
+            },
+            ControlMsg::Ready { job_id: 11 },
+            ControlMsg::Stats {
+                fabric_cycles: 12345,
+            },
+            ControlMsg::Bye,
+        ];
+        for msg in &msgs {
+            assert_eq!(&ControlMsg::decode(msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn malformed_control_frames_are_typed_errors() {
+        let empty = BytesMut::with_capacity(0);
+        assert!(matches!(
+            ControlMsg::decode(empty.freeze()),
+            Err(AcceleratorError::Protocol { .. })
+        ));
+        let mut unknown = BytesMut::with_capacity(1);
+        unknown.put_u8(200);
+        assert!(matches!(
+            ControlMsg::decode(unknown.freeze()),
+            Err(AcceleratorError::Protocol { .. })
+        ));
+        let mut truncated = BytesMut::with_capacity(2);
+        truncated.put_u8(TAG_HELLO);
+        truncated.put_u8(1);
+        assert!(matches!(
+            ControlMsg::decode(truncated.freeze()),
+            Err(AcceleratorError::Protocol { .. })
+        ));
+        let mut trailing = ControlMsg::Bye.encode().to_vec();
+        trailing.push(0);
+        assert!(matches!(
+            ControlMsg::decode(Bytes::from(trailing)),
+            Err(AcceleratorError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_ext_frames_are_typed_errors() {
+        // Oversized batch.
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(TAG_EXT);
+        buf.put_u32((MAX_OT_BATCH + 1) as u32);
+        buf.put_u32(((MAX_OT_BATCH + 1).div_ceil(64)) as u32);
+        assert!(matches!(
+            decode_ext(buf.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "EXT batch size"
+            })
+        ));
+        // Word count inconsistent with the declared batch.
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(TAG_EXT);
+        buf.put_u32(64);
+        buf.put_u32(2);
+        assert!(matches!(
+            decode_ext(buf.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "EXT batch size"
+            })
+        ));
+        // Payload shorter than KAPPA columns.
+        let mut buf = BytesMut::with_capacity(24);
+        buf.put_u8(TAG_EXT);
+        buf.put_u32(64);
+        buf.put_u32(1);
+        buf.put_u64(0);
+        assert!(matches!(
+            decode_ext(buf.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "EXT payload length"
+            })
+        ));
+    }
+
+    #[test]
+    fn transport_error_converts_into_accelerator_error() {
+        use max_gc::channel::TransportError;
+        assert_eq!(
+            AcceleratorError::from(TransportError::Disconnected),
+            AcceleratorError::Disconnected
+        );
+        let err = AcceleratorError::from(TransportError::FrameTooLarge { len: 10, max: 4 });
+        assert_eq!(
+            err,
+            AcceleratorError::Transport(TransportError::FrameTooLarge { len: 10, max: 4 })
+        );
+        // The source chain reaches the transport error.
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+}

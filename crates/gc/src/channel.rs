@@ -52,12 +52,24 @@ impl FrameKind {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             FrameKind::Raw => 0,
             FrameKind::Blocks => 1,
             FrameKind::Tables => 2,
             FrameKind::Bits => 3,
+        }
+    }
+
+    /// Inverse of [`FrameKind::index`], for transports that tag frames on
+    /// the wire.
+    pub(crate) fn from_index(index: u8) -> Option<FrameKind> {
+        match index {
+            0 => Some(FrameKind::Raw),
+            1 => Some(FrameKind::Blocks),
+            2 => Some(FrameKind::Tables),
+            3 => Some(FrameKind::Bits),
+            _ => None,
         }
     }
 
@@ -134,7 +146,7 @@ pub struct Counter {
 }
 
 impl Counter {
-    fn record(&self, kind: FrameKind, len: usize) {
+    pub(crate) fn record(&self, kind: FrameKind, len: usize) {
         self.bytes.fetch_add(len as u64, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
         let per_kind = &self.kinds[kind.index()];
@@ -207,6 +219,215 @@ impl std::fmt::Display for RecvDisconnected {
 
 impl std::error::Error for RecvDisconnected {}
 
+/// Hard ceiling on a single frame's payload (64 MiB).
+///
+/// A length-prefixed transport must never allocate what a hostile peer's
+/// length field asks for; every decoder in this crate rejects frames (and
+/// declared element counts) beyond this bound with a typed error instead.
+/// The largest honest frame — a full round-message burst for a 256-element
+/// b=32 matvec — is still two orders of magnitude below it.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Failure of a framed transport: disconnection, I/O trouble, or a frame
+/// that is hostile or malformed (oversized length prefix, impossible
+/// element count, trailing garbage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer hung up (or the stream ended mid-frame).
+    Disconnected,
+    /// A frame (or its declared length prefix) exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Declared or actual payload length.
+        len: u64,
+        /// The enforced ceiling ([`MAX_FRAME_BYTES`]).
+        max: u64,
+    },
+    /// The frame's declared element counts do not match its payload.
+    Malformed(&'static str),
+    /// A blocking receive hit the configured idle timeout.
+    TimedOut,
+    /// An OS-level I/O failure that is none of the above.
+    Io {
+        /// The underlying [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => f.write_str("transport peer disconnected"),
+            TransportError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            TransportError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            TransportError::TimedOut => f.write_str("transport receive timed out"),
+            TransportError::Io { kind, detail } => {
+                write!(f, "transport I/O error ({kind:?}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<RecvDisconnected> for TransportError {
+    fn from(_: RecvDisconnected) -> Self {
+        TransportError::Disconnected
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(err: std::io::Error) -> Self {
+        match err.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => TransportError::Disconnected,
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::TimedOut
+            }
+            kind => TransportError::Io {
+                kind,
+                detail: err.to_string(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed-frame codecs, shared by every transport. Decoding never panics and
+// never allocates beyond the actual frame: declared counts are validated
+// against both the remaining payload and MAX_FRAME_BYTES first.
+// ---------------------------------------------------------------------------
+
+fn checked_count(
+    frame: &mut Bytes,
+    item_bytes: usize,
+    what: &'static str,
+) -> Result<usize, TransportError> {
+    if frame.remaining() < 4 {
+        return Err(TransportError::Malformed(what));
+    }
+    let count = frame.get_u32() as usize;
+    let declared = count.saturating_mul(item_bytes.max(1));
+    if declared > MAX_FRAME_BYTES {
+        return Err(TransportError::FrameTooLarge {
+            len: declared as u64,
+            max: MAX_FRAME_BYTES as u64,
+        });
+    }
+    if frame.remaining() < count.saturating_mul(item_bytes) {
+        return Err(TransportError::Malformed(what));
+    }
+    Ok(count)
+}
+
+/// Encodes a block vector as one frame payload.
+pub fn encode_blocks(blocks: &[Block]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + blocks.len() * 16);
+    buf.put_u32(blocks.len() as u32);
+    for block in blocks {
+        buf.put_slice(&block.to_bytes());
+    }
+    buf.freeze()
+}
+
+/// Decodes a block-vector frame.
+///
+/// # Errors
+///
+/// Returns a typed [`TransportError`] for truncated payloads, hostile
+/// counts, or trailing garbage — never panics, never over-allocates.
+pub fn decode_blocks(mut frame: Bytes) -> Result<Vec<Block>, TransportError> {
+    let count = checked_count(&mut frame, 16, "block frame")?;
+    let mut blocks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut bytes = [0u8; 16];
+        frame.copy_to_slice(&mut bytes);
+        blocks.push(Block::from_bytes(bytes));
+    }
+    if frame.remaining() != 0 {
+        return Err(TransportError::Malformed("block frame trailing bytes"));
+    }
+    Ok(blocks)
+}
+
+/// Encodes a garbled-table vector as one frame payload.
+pub fn encode_tables(tables: &[GarbledTable]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + tables.len() * GarbledTable::WIRE_BYTES);
+    buf.put_u32(tables.len() as u32);
+    for table in tables {
+        buf.put_slice(&table.to_bytes());
+    }
+    buf.freeze()
+}
+
+/// Decodes a garbled-table frame.
+///
+/// # Errors
+///
+/// Returns a typed [`TransportError`]; see [`decode_blocks`].
+pub fn decode_tables(mut frame: Bytes) -> Result<Vec<GarbledTable>, TransportError> {
+    let count = checked_count(&mut frame, GarbledTable::WIRE_BYTES, "table frame")?;
+    let mut tables = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut bytes = [0u8; GarbledTable::WIRE_BYTES];
+        frame.copy_to_slice(&mut bytes);
+        tables.push(GarbledTable::from_bytes(bytes));
+    }
+    if frame.remaining() != 0 {
+        return Err(TransportError::Malformed("table frame trailing bytes"));
+    }
+    Ok(tables)
+}
+
+/// Encodes a bit vector as one packed frame payload.
+pub fn encode_bits(bits: &[bool]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + bits.len().div_ceil(8));
+    buf.put_u32(bits.len() as u32);
+    let mut byte = 0u8;
+    for (i, &bit) in bits.iter().enumerate() {
+        byte |= (bit as u8) << (i % 8);
+        if i % 8 == 7 {
+            buf.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(8) {
+        buf.put_u8(byte);
+    }
+    buf.freeze()
+}
+
+/// Decodes a packed bit-vector frame.
+///
+/// # Errors
+///
+/// Returns a typed [`TransportError`]; see [`decode_blocks`].
+pub fn decode_bits(mut frame: Bytes) -> Result<Vec<bool>, TransportError> {
+    if frame.remaining() < 4 {
+        return Err(TransportError::Malformed("bit frame"));
+    }
+    let count = frame.get_u32() as usize;
+    let packed = count.div_ceil(8);
+    if packed > MAX_FRAME_BYTES {
+        return Err(TransportError::FrameTooLarge {
+            len: packed as u64,
+            max: MAX_FRAME_BYTES as u64,
+        });
+    }
+    if frame.remaining() != packed {
+        return Err(TransportError::Malformed("bit frame length"));
+    }
+    let bytes: Vec<u8> = frame.chunk().to_vec();
+    Ok((0..count)
+        .map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1)
+        .collect())
+}
+
 impl Duplex {
     /// Creates a connected pair of endpoints.
     pub fn pair() -> (Duplex, Duplex) {
@@ -235,13 +456,9 @@ impl Duplex {
         self.send_frame(FrameKind::Raw, frame);
     }
 
-    fn send_frame(&mut self, kind: FrameKind, frame: Bytes) {
+    pub(crate) fn send_frame(&mut self, kind: FrameKind, frame: Bytes) {
         self.sent.record(kind, frame.len());
-        let (bytes_key, messages_key) = kind.telemetry_keys();
-        max_telemetry::counter_add(bytes_key, frame.len() as u64);
-        max_telemetry::counter_add(messages_key, 1);
-        max_telemetry::counter_add("channel.bytes", frame.len() as u64);
-        max_telemetry::counter_add("channel.messages", 1);
+        record_send_telemetry(kind, frame.len());
         // A disconnected peer is fine for fire-and-forget sends in tests.
         let _ = self.tx.send(frame);
     }
@@ -267,108 +484,58 @@ impl Duplex {
 
     /// Sends a vector of 128-bit blocks as one frame.
     pub fn send_blocks(&mut self, blocks: &[Block]) {
-        let mut buf = BytesMut::with_capacity(4 + blocks.len() * 16);
-        buf.put_u32(blocks.len() as u32);
-        for block in blocks {
-            buf.put_slice(&block.to_bytes());
-        }
-        self.send_frame(FrameKind::Blocks, buf.freeze());
+        self.send_frame(FrameKind::Blocks, encode_blocks(blocks));
     }
 
     /// Receives a block vector frame.
     ///
     /// # Errors
     ///
-    /// Returns [`RecvDisconnected`] if the peer hung up.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame is malformed (protocol bug, not user input).
-    pub fn recv_blocks(&mut self) -> Result<Vec<Block>, RecvDisconnected> {
-        let mut frame = self.recv_bytes()?;
-        let count = frame.get_u32() as usize;
-        assert_eq!(frame.remaining(), count * 16, "malformed block frame");
-        let mut blocks = Vec::with_capacity(count);
-        for _ in 0..count {
-            let mut bytes = [0u8; 16];
-            frame.copy_to_slice(&mut bytes);
-            blocks.push(Block::from_bytes(bytes));
-        }
-        Ok(blocks)
+    /// Returns [`TransportError::Disconnected`] if the peer hung up, or
+    /// another typed [`TransportError`] if the frame is malformed or its
+    /// declared count is hostile — never panics, never over-allocates.
+    pub fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError> {
+        decode_blocks(self.recv_bytes()?)
     }
 
     /// Sends garbled tables as one frame.
     pub fn send_tables(&mut self, tables: &[GarbledTable]) {
-        let mut buf = BytesMut::with_capacity(4 + tables.len() * GarbledTable::WIRE_BYTES);
-        buf.put_u32(tables.len() as u32);
-        for table in tables {
-            buf.put_slice(&table.to_bytes());
-        }
-        self.send_frame(FrameKind::Tables, buf.freeze());
+        self.send_frame(FrameKind::Tables, encode_tables(tables));
     }
 
     /// Receives a garbled-table frame.
     ///
     /// # Errors
     ///
-    /// Returns [`RecvDisconnected`] if the peer hung up.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame is malformed.
-    pub fn recv_tables(&mut self) -> Result<Vec<GarbledTable>, RecvDisconnected> {
-        let mut frame = self.recv_bytes()?;
-        let count = frame.get_u32() as usize;
-        assert_eq!(
-            frame.remaining(),
-            count * GarbledTable::WIRE_BYTES,
-            "malformed table frame"
-        );
-        let mut tables = Vec::with_capacity(count);
-        for _ in 0..count {
-            let mut bytes = [0u8; GarbledTable::WIRE_BYTES];
-            frame.copy_to_slice(&mut bytes);
-            tables.push(GarbledTable::from_bytes(bytes));
-        }
-        Ok(tables)
+    /// Returns a typed [`TransportError`]; see [`Duplex::recv_blocks`].
+    pub fn recv_tables(&mut self) -> Result<Vec<GarbledTable>, TransportError> {
+        decode_tables(self.recv_bytes()?)
     }
 
     /// Sends a bit vector as one packed frame.
     pub fn send_bits(&mut self, bits: &[bool]) {
-        let mut buf = BytesMut::with_capacity(4 + bits.len().div_ceil(8));
-        buf.put_u32(bits.len() as u32);
-        let mut byte = 0u8;
-        for (i, &bit) in bits.iter().enumerate() {
-            byte |= (bit as u8) << (i % 8);
-            if i % 8 == 7 {
-                buf.put_u8(byte);
-                byte = 0;
-            }
-        }
-        if !bits.len().is_multiple_of(8) {
-            buf.put_u8(byte);
-        }
-        self.send_frame(FrameKind::Bits, buf.freeze());
+        self.send_frame(FrameKind::Bits, encode_bits(bits));
     }
 
     /// Receives a packed bit-vector frame.
     ///
     /// # Errors
     ///
-    /// Returns [`RecvDisconnected`] if the peer hung up.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame is malformed.
-    pub fn recv_bits(&mut self) -> Result<Vec<bool>, RecvDisconnected> {
-        let mut frame = self.recv_bytes()?;
-        let count = frame.get_u32() as usize;
-        assert_eq!(frame.remaining(), count.div_ceil(8), "malformed bit frame");
-        let bytes: Vec<u8> = frame.chunk().to_vec();
-        Ok((0..count)
-            .map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1)
-            .collect())
+    /// Returns a typed [`TransportError`]; see [`Duplex::recv_blocks`].
+    pub fn recv_bits(&mut self) -> Result<Vec<bool>, TransportError> {
+        decode_bits(self.recv_bytes()?)
     }
+}
+
+/// Feeds the shared telemetry keys for one sent frame (the same keys for
+/// every transport, so per-kind attribution carries over unchanged from the
+/// in-memory wire to TCP).
+pub(crate) fn record_send_telemetry(kind: FrameKind, len: usize) {
+    let (bytes_key, messages_key) = kind.telemetry_keys();
+    max_telemetry::counter_add(bytes_key, len as u64);
+    max_telemetry::counter_add(messages_key, 1);
+    max_telemetry::counter_add("channel.bytes", len as u64);
+    max_telemetry::counter_add("channel.messages", 1);
 }
 
 #[cfg(test)]
@@ -475,6 +642,82 @@ mod tests {
         let (mut a, b) = Duplex::pair();
         drop(b);
         assert_eq!(a.recv_bytes(), Err(RecvDisconnected));
+    }
+
+    #[test]
+    fn hostile_counts_return_typed_errors_not_allocations() {
+        // A declared count far beyond the payload must fail fast with a
+        // typed error — the old behavior was an assert (panic), and a
+        // naive decoder would try a multi-GiB Vec::with_capacity first.
+        let (mut a, mut b) = Duplex::pair();
+        let mut huge = BytesMut::with_capacity(0);
+        huge.put_u32(u32::MAX); // 4 Gi blocks = 64 GiB declared
+        a.send_bytes(huge.freeze());
+        assert_eq!(
+            b.recv_blocks(),
+            Err(TransportError::FrameTooLarge {
+                len: (u32::MAX as u64) * 16,
+                max: MAX_FRAME_BYTES as u64,
+            })
+        );
+
+        // A count that over-declares within the cap is malformed.
+        let mut short = BytesMut::with_capacity(0);
+        short.put_u32(3);
+        short.put_slice(&[0u8; 16]); // one block's bytes, three declared
+        a.send_bytes(short.freeze());
+        assert_eq!(
+            b.recv_blocks(),
+            Err(TransportError::Malformed("block frame"))
+        );
+
+        // Trailing garbage after the declared payload is rejected too.
+        let mut trailing = BytesMut::with_capacity(0);
+        trailing.put_u32(1);
+        trailing.put_slice(&[0u8; 17]);
+        a.send_bytes(trailing.freeze());
+        assert_eq!(
+            b.recv_blocks(),
+            Err(TransportError::Malformed("block frame trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn hostile_table_and_bit_frames_rejected() {
+        let (mut a, mut b) = Duplex::pair();
+        let mut huge = BytesMut::with_capacity(0);
+        huge.put_u32(u32::MAX);
+        a.send_bytes(huge.freeze());
+        assert!(matches!(
+            b.recv_tables(),
+            Err(TransportError::FrameTooLarge { .. })
+        ));
+
+        let mut bits = BytesMut::with_capacity(0);
+        bits.put_u32(64); // 8 packed bytes declared, none supplied
+        a.send_bytes(bits.freeze());
+        assert_eq!(
+            b.recv_bits(),
+            Err(TransportError::Malformed("bit frame length"))
+        );
+
+        let empty = BytesMut::with_capacity(0);
+        a.send_bytes(empty.freeze());
+        assert_eq!(b.recv_bits(), Err(TransportError::Malformed("bit frame")));
+    }
+
+    #[test]
+    fn transport_errors_are_std_errors() {
+        // `RecvDisconnected` and `TransportError` both plug into `?`-based
+        // error chains: std::error::Error + Display.
+        fn takes_error<E: std::error::Error>(e: E) -> String {
+            format!("{e}")
+        }
+        assert_eq!(takes_error(RecvDisconnected), "peer disconnected");
+        assert!(takes_error(TransportError::Disconnected).contains("disconnected"));
+        assert!(takes_error(TransportError::FrameTooLarge { len: 9, max: 4 }).contains("limit"));
+        let boxed: Box<dyn std::error::Error> = Box::new(TransportError::TimedOut);
+        assert!(boxed.to_string().contains("timed out"));
     }
 
     #[test]

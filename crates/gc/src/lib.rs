@@ -61,6 +61,7 @@ mod garbler;
 mod label;
 pub mod protocol;
 mod sequential;
+pub mod transport;
 pub mod wire_format;
 
 pub use engine::{evaluate_and, garble_and, GarbledTable};
@@ -68,3 +69,4 @@ pub use evaluator::Evaluator;
 pub use garbler::{GarbledCircuit, Garbler, Material};
 pub use label::{Delta, LabelSource, PrgLabelSource};
 pub use sequential::{SequentialEvaluator, SequentialGarbler, SequentialRound};
+pub use transport::{FramedTcp, Transport};

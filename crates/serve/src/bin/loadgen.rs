@@ -1,0 +1,175 @@
+//! Load generator: genuine two-party GC-MAC traffic against a running
+//! `serve` instance, with every result verified against plaintext.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7700] [--width 8] [--rows 4] [--cols 4]
+//!         [--seed 42] [--sessions 4] [--jobs 3]
+//! ```
+//!
+//! `--width/--rows/--cols/--seed` must match the server so the demo model
+//! can be regenerated locally for verification.
+
+use std::time::Instant;
+
+use max_gc::FramedTcp;
+use max_serve::{demo_vector, demo_weights, plain_matvec};
+use maxelerator::{AcceleratorError, RemoteClient};
+
+struct Args {
+    addr: String,
+    width: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    sessions: usize,
+    jobs: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7700".to_string(),
+        width: 8,
+        rows: 4,
+        cols: 4,
+        seed: 42,
+        sessions: 4,
+        jobs: 3,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--width" => args.width = value("--width").parse().expect("--width"),
+            "--rows" => args.rows = value("--rows").parse().expect("--rows"),
+            "--cols" => args.cols = value("--cols").parse().expect("--cols"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--sessions" => args.sessions = value("--sessions").parse().expect("--sessions"),
+            "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs"),
+            other => panic!("unknown flag: {other}"),
+        }
+    }
+    args
+}
+
+struct SessionOutcome {
+    jobs_ok: usize,
+    busy_retries: usize,
+    round_latencies_ns: Vec<u64>,
+    bytes_down: u64,
+    bytes_up: u64,
+}
+
+fn run_session(args: &Args, session_idx: usize) -> Result<SessionOutcome, AcceleratorError> {
+    let weights = demo_weights(args.rows, args.cols, args.width, args.seed);
+    let transport = FramedTcp::connect(&args.addr).map_err(AcceleratorError::from)?;
+    let mut client = RemoteClient::connect(transport, args.width)?;
+    assert_eq!(client.rows(), args.rows, "server model mismatch");
+    assert_eq!(client.cols(), args.cols, "server model mismatch");
+    let mut outcome = SessionOutcome {
+        jobs_ok: 0,
+        busy_retries: 0,
+        round_latencies_ns: Vec::new(),
+        bytes_down: 0,
+        bytes_up: 0,
+    };
+    for job in 0..args.jobs {
+        let x = demo_vector(
+            args.cols,
+            args.width,
+            args.seed ^ ((session_idx as u64) << 20) ^ job as u64,
+        );
+        let expected = plain_matvec(&weights, &x);
+        loop {
+            let started = Instant::now();
+            match client.secure_matvec(&x) {
+                Ok((y, transcript)) => {
+                    assert_eq!(y, expected, "session {session_idx} job {job} wrong result");
+                    outcome.jobs_ok += 1;
+                    let per_round = started.elapsed().as_nanos() as u64 / transcript.rounds.max(1);
+                    outcome.round_latencies_ns.push(per_round);
+                    break;
+                }
+                Err(AcceleratorError::Busy { retry_after_ms }) => {
+                    outcome.busy_retries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(u64::from(
+                        retry_after_ms.max(1),
+                    )));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    let transport = client.goodbye();
+    outcome.bytes_down = transport.received().bytes();
+    outcome.bytes_up = transport.sent().bytes();
+    Ok(outcome)
+}
+
+fn main() {
+    let args = parse_args();
+    let started = Instant::now();
+    let outcomes: Vec<Result<SessionOutcome, AcceleratorError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.sessions)
+            .map(|s| {
+                scope.spawn({
+                    let args = &args;
+                    move || run_session(args, s)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut jobs_ok = 0usize;
+    let mut busy_retries = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut bytes_down = 0u64;
+    let mut bytes_up = 0u64;
+    let mut failures = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => {
+                jobs_ok += o.jobs_ok;
+                busy_retries += o.busy_retries;
+                latencies.extend(o.round_latencies_ns);
+                bytes_down += o.bytes_down;
+                bytes_up += o.bytes_up;
+            }
+            Err(e) => {
+                eprintln!("session failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let p50 = latencies.get(latencies.len() / 2).copied().unwrap_or(0);
+    let p95 = latencies
+        .get(latencies.len().saturating_mul(95) / 100)
+        .copied()
+        .unwrap_or(0);
+    let sessions_per_sec = (args.sessions - failures) as f64 / wall.as_secs_f64();
+    let jobs_per_sec = jobs_ok as f64 / wall.as_secs_f64();
+    println!(
+        "sessions={} ok_jobs={} busy_retries={} wall_ms={:.1} sessions/s={:.2} jobs/s={:.2} \
+         round_p50_us={:.1} round_p95_us={:.1} down_bytes={} up_bytes={}",
+        args.sessions - failures,
+        jobs_ok,
+        busy_retries,
+        wall.as_secs_f64() * 1e3,
+        sessions_per_sec,
+        jobs_per_sec,
+        p50 as f64 / 1e3,
+        p95 as f64 / 1e3,
+        bytes_down,
+        bytes_up,
+    );
+    assert_eq!(failures, 0, "{failures} sessions failed");
+}

@@ -1,0 +1,82 @@
+//! The serving daemon: bind a TCP address and serve GC-MAC sessions.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7700] [--width 8] [--rows 4] [--cols 4]
+//!       [--seed 42] [--workers 2] [--queue 16] [--idle-ms 30000]
+//! ```
+//!
+//! The model is the deterministic demo matrix; `loadgen` regenerates it
+//! from the same `(rows, cols, width, seed)` to verify every result.
+
+use std::time::Duration;
+
+use max_serve::{demo_weights, listen_tcp, GcService, ServeConfig};
+use maxelerator::AcceleratorConfig;
+
+struct Args {
+    addr: String,
+    width: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    workers: usize,
+    queue: usize,
+    idle_ms: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7700".to_string(),
+        width: 8,
+        rows: 4,
+        cols: 4,
+        seed: 42,
+        workers: 2,
+        queue: 16,
+        idle_ms: 30_000,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--width" => args.width = value("--width").parse().expect("--width"),
+            "--rows" => args.rows = value("--rows").parse().expect("--rows"),
+            "--cols" => args.cols = value("--cols").parse().expect("--cols"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers"),
+            "--queue" => args.queue = value("--queue").parse().expect("--queue"),
+            "--idle-ms" => args.idle_ms = value("--idle-ms").parse().expect("--idle-ms"),
+            other => panic!("unknown flag: {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let config = AcceleratorConfig::new(args.width);
+    let weights = demo_weights(args.rows, args.cols, args.width, args.seed);
+    let mut serve_config = ServeConfig::new(config, weights, args.seed);
+    serve_config.workers = args.workers;
+    serve_config.queue_capacity = args.queue;
+    serve_config.idle_timeout = (args.idle_ms > 0).then(|| Duration::from_millis(args.idle_ms));
+    let service = GcService::start(serve_config);
+    let handle = listen_tcp(service, &args.addr).expect("bind listener");
+    println!(
+        "serving b={} model {}x{} seed={} on {} ({} workers, queue {})",
+        args.width,
+        args.rows,
+        args.cols,
+        args.seed,
+        handle.addr(),
+        args.workers,
+        args.queue,
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

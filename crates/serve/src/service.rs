@@ -1,0 +1,318 @@
+//! The service: session manager + unit pool + transport listeners.
+//!
+//! [`GcService`] owns the model, the worker pool, and every session thread.
+//! Clients reach it two ways — [`GcService::connect`] returns the client
+//! half of an in-memory [`Duplex`] wire, and [`listen_tcp`] accepts real
+//! sockets — and both run the exact same session protocol.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use max_gc::channel::Duplex;
+use max_gc::{FramedTcp, Transport};
+use maxelerator::AcceleratorConfig;
+
+use crate::scheduler::UnitPool;
+use crate::session::run_session;
+
+/// Everything needed to start a [`GcService`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Fabric configuration every session negotiates against.
+    pub config: AcceleratorConfig,
+    /// Model matrix, row-major (must be non-empty and rectangular).
+    pub weights: Vec<Vec<i64>>,
+    /// Base seed; per-session and per-job seeds derive from it.
+    pub base_seed: u64,
+    /// Garbling units (worker threads).
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond it, jobs get BUSY.
+    pub queue_capacity: usize,
+    /// Retry hint attached to BUSY rejections.
+    pub retry_after_ms: u32,
+    /// Reap sessions idle longer than this (transports that support
+    /// timeouts — TCP — only; the in-memory wire is always attended).
+    pub idle_timeout: Option<Duration>,
+    /// Start with the unit pool paused (deterministic backpressure tests).
+    pub start_paused: bool,
+}
+
+impl ServeConfig {
+    /// Sensible defaults: 2 units, queue of 16, 10 ms retry hint, no idle
+    /// timeout.
+    pub fn new(config: AcceleratorConfig, weights: Vec<Vec<i64>>, base_seed: u64) -> ServeConfig {
+        ServeConfig {
+            config,
+            weights,
+            base_seed,
+            workers: 2,
+            queue_capacity: 16,
+            retry_after_ms: 10,
+            idle_timeout: None,
+            start_paused: false,
+        }
+    }
+}
+
+/// Aggregate service counters, snapshotted by [`GcService::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sessions accepted (threads spawned).
+    pub sessions_started: u64,
+    /// Sessions that ended in a protocol/transport error.
+    pub sessions_errored: u64,
+    /// Jobs garbled and streamed to completion.
+    pub jobs_completed: u64,
+    /// Jobs turned away with BUSY.
+    pub busy_rejections: u64,
+}
+
+/// Shared state behind a [`GcService`] (one per service, `Arc`-shared with
+/// every session thread).
+pub(crate) struct ServiceShared {
+    pub(crate) config: AcceleratorConfig,
+    pub(crate) weights: Arc<Vec<Vec<i64>>>,
+    pub(crate) base_seed: u64,
+    pub(crate) pool: UnitPool,
+    pub(crate) retry_after_ms: u32,
+    pub(crate) idle_timeout: Option<Duration>,
+    draining: AtomicBool,
+    next_session: AtomicU64,
+    sessions_started: AtomicU64,
+    sessions_errored: AtomicU64,
+    jobs_completed: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+impl ServiceShared {
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// The multi-session GC-MAC service. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct GcService {
+    shared: Arc<ServiceShared>,
+    session_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for GcService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcService")
+            .field("rows", &self.shared.weights.len())
+            .field("workers", &self.shared.pool.workers())
+            .field("queue_depth", &self.shared.pool.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GcService {
+    /// Builds the unit pool and starts serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is empty or ragged, or values exceed the
+    /// configured bit-width (host configuration errors, not peer input).
+    pub fn start(cfg: ServeConfig) -> GcService {
+        assert!(!cfg.weights.is_empty(), "service needs a model");
+        let cols = cfg.weights[0].len();
+        assert!(cols > 0, "model matrix must have columns");
+        for row in &cfg.weights {
+            assert_eq!(row.len(), cols, "ragged model matrix");
+        }
+        let weights = Arc::new(cfg.weights);
+        let pool = UnitPool::new(
+            cfg.config.clone(),
+            Arc::clone(&weights),
+            cfg.workers,
+            cfg.queue_capacity,
+            cfg.start_paused,
+        );
+        GcService {
+            shared: Arc::new(ServiceShared {
+                config: cfg.config,
+                weights,
+                base_seed: cfg.base_seed,
+                pool,
+                retry_after_ms: cfg.retry_after_ms,
+                idle_timeout: cfg.idle_timeout,
+                draining: AtomicBool::new(false),
+                next_session: AtomicU64::new(0),
+                sessions_started: AtomicU64::new(0),
+                sessions_errored: AtomicU64::new(0),
+                jobs_completed: AtomicU64::new(0),
+                busy_rejections: AtomicU64::new(0),
+            }),
+            session_threads: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Spawns a session over any transport (the generic core of
+    /// [`GcService::connect`] and the TCP accept loop).
+    pub fn serve_transport<T: Transport + 'static>(&self, transport: T) {
+        let shared = Arc::clone(&self.shared);
+        let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        shared.sessions_started.fetch_add(1, Ordering::Relaxed);
+        max_telemetry::counter_add("serve.sessions.started", 1);
+        let handle = std::thread::Builder::new()
+            .name(format!("gc-session-{session_id}"))
+            .spawn(move || match run_session(&shared, transport, session_id) {
+                Ok(summary) => {
+                    shared
+                        .jobs_completed
+                        .fetch_add(summary.jobs_completed, Ordering::Relaxed);
+                    shared
+                        .busy_rejections
+                        .fetch_add(summary.busy_rejections, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // Hostile/broken peers are the session's problem, never
+                    // the process's: account and move on.
+                    shared.sessions_errored.fetch_add(1, Ordering::Relaxed);
+                    max_telemetry::counter_add("serve.sessions.errored", 1);
+                }
+            })
+            .expect("spawn session thread");
+        self.session_threads
+            .lock()
+            .expect("session registry poisoned")
+            .push(handle);
+    }
+
+    /// Opens an in-memory session and returns the client endpoint, ready
+    /// for [`maxelerator::RemoteClient::connect`].
+    pub fn connect(&self) -> Duplex {
+        let (server_end, client_end) = Duplex::pair();
+        self.serve_transport(server_end);
+        client_end
+    }
+
+    /// Accepts one TCP stream as a session.
+    pub fn serve_stream(&self, stream: TcpStream) {
+        self.serve_transport(FramedTcp::from_stream(stream));
+    }
+
+    /// Jobs currently queued on the unit pool.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.pool.depth()
+    }
+
+    /// Releases a pool started with `start_paused`.
+    pub fn resume_workers(&self) {
+        self.shared.pool.resume();
+    }
+
+    /// Stops accepting new sessions (handshakes get REJECT: draining);
+    /// existing sessions keep running.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether [`GcService::drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            sessions_started: self.shared.sessions_started.load(Ordering::Relaxed),
+            sessions_errored: self.shared.sessions_errored.load(Ordering::Relaxed),
+            jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
+            busy_rejections: self.shared.busy_rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: drain, join every session thread, then drain and
+    /// join the unit pool. Returns the final counters.
+    pub fn shutdown(&self) -> ServeStats {
+        self.drain();
+        let handles = std::mem::take(
+            &mut *self
+                .session_threads
+                .lock()
+                .expect("session registry poisoned"),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.shared.pool.shutdown();
+        self.stats()
+    }
+}
+
+/// A running TCP listener bound to a [`GcService`].
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    service: GcService,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the listener.
+    pub fn service(&self) -> &GcService {
+        &self.service
+    }
+
+    /// Stops accepting, drains the service, joins everything.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.service.shutdown()
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves every accepted stream as
+/// a session of `service`.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn listen_tcp<A: ToSocketAddrs>(service: GcService, addr: A) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_service = service.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("gc-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => accept_service.serve_stream(stream),
+                    Err(_) => continue,
+                }
+            }
+        })?;
+    Ok(ServeHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        service,
+    })
+}

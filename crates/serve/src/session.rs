@@ -1,0 +1,160 @@
+//! Per-session protocol loop: handshake, job dispatch, idle reaping.
+//!
+//! One session = one client connection = one thread (blocking transports).
+//! The loop owns the transport and the session's OT sender state; garbling
+//! happens elsewhere, on the unit pool, so a slow client streaming rounds
+//! never occupies a garbling unit.
+
+use max_gc::Transport;
+use max_ot::iknp;
+use maxelerator::remote::{
+    derive_seed, recv_control, send_control, stream_matvec_job, ControlMsg, PROTOCOL_VERSION,
+    REJECT_DRAINING, REJECT_VERSION, REJECT_WIDTH,
+};
+use maxelerator::AcceleratorError;
+
+use crate::service::ServiceShared;
+
+/// Largest matmul a single job request may ask for (columns).
+pub const MAX_JOB_COLUMNS: u32 = 64;
+
+/// How one session ended, with its tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Server-assigned session id.
+    pub session_id: u64,
+    /// Jobs garbled and streamed to completion.
+    pub jobs_completed: u64,
+    /// Jobs turned away with BUSY.
+    pub busy_rejections: u64,
+    /// The session ended because the idle timeout fired.
+    pub idle_reaped: bool,
+    /// The handshake was refused (draining / version / width).
+    pub rejected: bool,
+}
+
+/// Runs one session over `transport` until BYE, disconnect, idle timeout,
+/// or a protocol violation.
+///
+/// # Errors
+///
+/// Returns the error that killed the session; clean closes (BYE,
+/// disconnect between jobs, idle timeout, handshake rejection) are `Ok`.
+pub(crate) fn run_session<T: Transport>(
+    shared: &ServiceShared,
+    mut transport: T,
+    session_id: u64,
+) -> Result<SessionSummary, AcceleratorError> {
+    let mut summary = SessionSummary {
+        session_id,
+        ..SessionSummary::default()
+    };
+    transport.set_idle_timeout(shared.idle_timeout);
+
+    let (version, bit_width) = match recv_control(&mut transport) {
+        Ok(ControlMsg::Hello { version, bit_width }) => (version, bit_width),
+        Ok(_) => {
+            return Err(AcceleratorError::Protocol {
+                what: "expected HELLO",
+            })
+        }
+        Err(AcceleratorError::Disconnected) => return Ok(summary),
+        Err(AcceleratorError::Transport(max_gc::channel::TransportError::TimedOut)) => {
+            summary.idle_reaped = true;
+            max_telemetry::counter_add("serve.sessions.idle_reaped", 1);
+            return Ok(summary);
+        }
+        Err(e) => return Err(e),
+    };
+
+    let reject = |transport: &mut T, code: u8, detail: u32| -> Result<(), AcceleratorError> {
+        send_control(transport, &ControlMsg::Reject { code, detail })
+    };
+    if shared.is_draining() {
+        reject(&mut transport, REJECT_DRAINING, 0)?;
+        summary.rejected = true;
+        return Ok(summary);
+    }
+    if version != PROTOCOL_VERSION {
+        reject(&mut transport, REJECT_VERSION, u32::from(PROTOCOL_VERSION))?;
+        summary.rejected = true;
+        return Ok(summary);
+    }
+    if bit_width as usize != shared.config.bit_width {
+        reject(&mut transport, REJECT_WIDTH, shared.config.bit_width as u32)?;
+        summary.rejected = true;
+        return Ok(summary);
+    }
+
+    let session_seed = derive_seed(shared.base_seed, session_id);
+    let ot_seed = derive_seed(session_seed, 0x07);
+    send_control(
+        &mut transport,
+        &ControlMsg::Accept {
+            session_id,
+            ot_seed,
+            rows: shared.weights.len() as u32,
+            cols: shared.weights.first().map_or(0, Vec::len) as u32,
+            bit_width: shared.config.bit_width as u32,
+            acc_width: shared.config.acc_width as u32,
+            signed: shared.config.signed,
+            freq_mhz_bits: shared.config.freq_mhz.to_bits(),
+        },
+    )?;
+    let (mut ot_sender, _client_half) = iknp::setup_pair(ot_seed);
+
+    let mut next_job = 0u64;
+    loop {
+        match recv_control(&mut transport) {
+            Ok(ControlMsg::JobRequest { columns }) => {
+                if columns == 0 || columns > MAX_JOB_COLUMNS {
+                    return Err(AcceleratorError::Protocol {
+                        what: "JOB column count out of range",
+                    });
+                }
+                let job_id = next_job;
+                let request = crate::scheduler::JobRequest {
+                    session_id,
+                    job_id,
+                    columns,
+                    seed: derive_seed(session_seed, 0x100 + job_id),
+                };
+                match shared.pool.submit(request) {
+                    Ok(result_rx) => {
+                        next_job += 1;
+                        let job = result_rx.recv().map_err(|_| AcceleratorError::Protocol {
+                            what: "unit pool shut down mid-job",
+                        })??;
+                        stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id)?;
+                        summary.jobs_completed += 1;
+                        max_telemetry::counter_add("serve.jobs.completed", 1);
+                    }
+                    Err(full) => {
+                        summary.busy_rejections += 1;
+                        send_control(
+                            &mut transport,
+                            &ControlMsg::Busy {
+                                retry_after_ms: shared.retry_after_ms,
+                                queue_depth: full.queue_depth as u32,
+                            },
+                        )?;
+                    }
+                }
+            }
+            Ok(ControlMsg::Bye) | Err(AcceleratorError::Disconnected) => break,
+            Err(AcceleratorError::Transport(max_gc::channel::TransportError::TimedOut)) => {
+                summary.idle_reaped = true;
+                max_telemetry::counter_add("serve.sessions.idle_reaped", 1);
+                break;
+            }
+            Ok(_) => {
+                return Err(AcceleratorError::Protocol {
+                    what: "expected JOB or BYE",
+                })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    max_telemetry::histogram_record("serve.session.jobs", summary.jobs_completed);
+    Ok(summary)
+}
