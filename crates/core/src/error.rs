@@ -90,6 +90,14 @@ pub enum AcceleratorError {
         /// Why (version mismatch, unsupported width, draining, ...).
         reason: &'static str,
     },
+    /// A resilient client exhausted its retry budget; `last` is the error
+    /// that ended the final attempt.
+    RetriesExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The terminal failure.
+        last: Box<AcceleratorError>,
+    },
 }
 
 impl std::fmt::Display for AcceleratorError {
@@ -142,6 +150,12 @@ impl std::fmt::Display for AcceleratorError {
             AcceleratorError::Rejected { reason } => {
                 write!(f, "session rejected: {reason}")
             }
+            AcceleratorError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempts: {last}"
+                )
+            }
         }
     }
 }
@@ -150,6 +164,7 @@ impl std::error::Error for AcceleratorError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AcceleratorError::Transport(err) => Some(err),
+            AcceleratorError::RetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
     }

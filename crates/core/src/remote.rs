@@ -12,7 +12,7 @@
 //! ```text
 //! client                                server
 //!   | -- HELLO(version, bit_width) ------> |   handshake
-//!   | <-- ACCEPT(session, ot_seed,        |
+//!   | <-- ACCEPT(session, ot_seed, token, |
 //!   |            rows, cols, config) ----- |   (or REJECT(reason))
 //!   |                                      |
 //!   | -- JOB(columns) -------------------> |   enqueue on the unit pool
@@ -23,8 +23,21 @@
 //!   | <-- ROUND x cols (tables+labels) --- |
 //!   | <-- STATS(fabric cycles) ----------- |   job done
 //!   |            ... more jobs ...         |
+//!   | -- PING(nonce) --------------------> |   keep-alive between jobs
+//!   | <-- PONG(nonce) -------------------- |
 //!   | -- BYE ----------------------------> |   graceful close
 //! ```
+//!
+//! **Resumption.** A client that loses its connection mid-job reconnects
+//! and sends `RESUME(session, token, job, columns, elements_done)` instead
+//! of HELLO. The server re-derives the garbled job from the original seed,
+//! restores its OT-sender snapshot at the element boundary, and replies
+//! `READY(job)`; the exchange continues from `elements_done`. Both parties
+//! roll back to the start of the first incomplete element, so the stitched
+//! transcript is bit-identical to an uninterrupted run (the property the
+//! chaos e2e tests pin down). `resume_token` is an unguessable per-session
+//! secret from ACCEPT — possession proves the resumer is the original
+//! client.
 //!
 //! Control frames are tagged raw frames; OT ciphertexts ride a
 //! [`FrameKind::Blocks`] frame so the per-kind channel accounting matches
@@ -36,6 +49,10 @@
 //! [`iknp::setup_pair`]`(ot_seed)` and keep their half. This mirrors the
 //! repository's in-process trusted-dealer base-OT shortcut — the base phase
 //! is modeled, the extension is real.
+
+// Protocol paths must never panic on peer input; unwraps are confined to
+// tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use max_crypto::Block;
@@ -50,7 +67,9 @@ use crate::server::MatvecTranscript;
 use crate::wire::{decode_round_message, encode_round_message};
 
 /// Version of the handshake + job protocol in this module.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 added RESUME/PING/PONG and the `resume_token` field of ACCEPT.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Largest OT batch (choice bits) a single EXT frame may declare.
 ///
@@ -65,6 +84,10 @@ pub const REJECT_VERSION: u8 = 1;
 pub const REJECT_WIDTH: u8 = 2;
 /// REJECT code: the server is draining and takes no new sessions.
 pub const REJECT_DRAINING: u8 = 3;
+/// REJECT code: the server holds no checkpoint matching a RESUME.
+pub const REJECT_RESUME: u8 = 4;
+/// REJECT code: the load-shedding breaker is open; try again later.
+pub const REJECT_OVERLOAD: u8 = 5;
 
 /// Human-readable reason for a REJECT code.
 pub fn reject_reason(code: u8) -> &'static str {
@@ -72,6 +95,8 @@ pub fn reject_reason(code: u8) -> &'static str {
         REJECT_VERSION => "protocol version mismatch",
         REJECT_WIDTH => "unsupported bit width",
         REJECT_DRAINING => "server draining",
+        REJECT_RESUME => "resume state not found",
+        REJECT_OVERLOAD => "server shedding load",
         _ => "unknown reason",
     }
 }
@@ -86,6 +111,9 @@ const TAG_STATS: u8 = 7;
 const TAG_BYE: u8 = 8;
 const TAG_EXT: u8 = 9;
 const TAG_ROUND: u8 = 10;
+const TAG_RESUME: u8 = 11;
+const TAG_PING: u8 = 12;
+const TAG_PONG: u8 = 13;
 
 /// A control frame of the session protocol (everything except the
 /// lock-step EXT/CIPHER/ROUND data frames).
@@ -105,6 +133,9 @@ pub enum ControlMsg {
         session_id: u64,
         /// Seed for the modeled base-OT phase ([`iknp::setup_pair`]).
         ot_seed: u64,
+        /// Per-session secret; quoting it back in RESUME proves the
+        /// resumer is the original client.
+        resume_token: u64,
         /// Model rows (output elements per matvec).
         rows: u32,
         /// Model columns (client vector length).
@@ -149,6 +180,31 @@ pub enum ControlMsg {
         /// Fabric cycles the garbling units spent on this job.
         fabric_cycles: u64,
     },
+    /// Client → server: reconnect into an interrupted session and continue
+    /// the in-flight job from the first incomplete element.
+    Resume {
+        /// The session being resumed (from ACCEPT).
+        session_id: u64,
+        /// The session's resume secret (from ACCEPT).
+        resume_token: u64,
+        /// The interrupted job.
+        job_id: u64,
+        /// Column count of the interrupted job (consistency check).
+        columns: u32,
+        /// Output elements the client has fully evaluated.
+        elements_done: u32,
+    },
+    /// Client → server: keep-alive between jobs; the server answers PONG
+    /// without touching the job state machine.
+    Ping {
+        /// Echoed back verbatim in PONG.
+        nonce: u64,
+    },
+    /// Server → client: answer to PING.
+    Pong {
+        /// The PING's nonce.
+        nonce: u64,
+    },
     /// Client → server: done, close the session gracefully.
     Bye,
 }
@@ -166,6 +222,7 @@ impl ControlMsg {
             ControlMsg::Accept {
                 session_id,
                 ot_seed,
+                resume_token,
                 rows,
                 cols,
                 bit_width,
@@ -176,6 +233,7 @@ impl ControlMsg {
                 buf.put_u8(TAG_ACCEPT);
                 buf.put_u64(session_id);
                 buf.put_u64(ot_seed);
+                buf.put_u64(resume_token);
                 buf.put_u32(rows);
                 buf.put_u32(cols);
                 buf.put_u32(bit_width);
@@ -208,6 +266,28 @@ impl ControlMsg {
                 buf.put_u8(TAG_STATS);
                 buf.put_u64(fabric_cycles);
             }
+            ControlMsg::Resume {
+                session_id,
+                resume_token,
+                job_id,
+                columns,
+                elements_done,
+            } => {
+                buf.put_u8(TAG_RESUME);
+                buf.put_u64(session_id);
+                buf.put_u64(resume_token);
+                buf.put_u64(job_id);
+                buf.put_u32(columns);
+                buf.put_u32(elements_done);
+            }
+            ControlMsg::Ping { nonce } => {
+                buf.put_u8(TAG_PING);
+                buf.put_u64(nonce);
+            }
+            ControlMsg::Pong { nonce } => {
+                buf.put_u8(TAG_PONG);
+                buf.put_u64(nonce);
+            }
             ControlMsg::Bye => buf.put_u8(TAG_BYE),
         }
         buf.freeze()
@@ -237,10 +317,11 @@ impl ControlMsg {
                 }
             }
             TAG_ACCEPT => {
-                need(&frame, 37, "ACCEPT payload")?;
+                need(&frame, 45, "ACCEPT payload")?;
                 ControlMsg::Accept {
                     session_id: frame.get_u64(),
                     ot_seed: frame.get_u64(),
+                    resume_token: frame.get_u64(),
                     rows: frame.get_u32(),
                     cols: frame.get_u32(),
                     bit_width: frame.get_u32(),
@@ -279,6 +360,28 @@ impl ControlMsg {
                 need(&frame, 8, "STATS payload")?;
                 ControlMsg::Stats {
                     fabric_cycles: frame.get_u64(),
+                }
+            }
+            TAG_RESUME => {
+                need(&frame, 32, "RESUME payload")?;
+                ControlMsg::Resume {
+                    session_id: frame.get_u64(),
+                    resume_token: frame.get_u64(),
+                    job_id: frame.get_u64(),
+                    columns: frame.get_u32(),
+                    elements_done: frame.get_u32(),
+                }
+            }
+            TAG_PING => {
+                need(&frame, 8, "PING payload")?;
+                ControlMsg::Ping {
+                    nonce: frame.get_u64(),
+                }
+            }
+            TAG_PONG => {
+                need(&frame, 8, "PONG payload")?;
+                ControlMsg::Pong {
+                    nonce: frame.get_u64(),
                 }
             }
             TAG_BYE => ControlMsg::Bye,
@@ -475,22 +578,46 @@ pub fn garble_matvec_job(
 /// # Errors
 ///
 /// Propagates transport failures and protocol violations; on any error the
-/// session should be torn down (the OT state is no longer aligned).
+/// session should be torn down (the OT state is no longer aligned) — or
+/// checkpointed for RESUME, see [`stream_matvec_job_from`].
 pub fn stream_matvec_job<T: Transport + ?Sized>(
     transport: &mut T,
     job: &GarbledJob,
     ot_sender: &mut OtExtSender,
     job_id: u64,
 ) -> Result<MatvecTranscript, AcceleratorError> {
+    stream_matvec_job_from(transport, job, ot_sender, job_id, 0, |_, _| {})
+}
+
+/// [`stream_matvec_job`] generalized for resumption: starts the exchange
+/// at `start_element` (elements before it were already streamed on an
+/// earlier connection) and calls `on_element(next_element, ot_sender)`
+/// after each completed element — the hook where a serving layer snapshots
+/// the OT sender for round checkpoints.
+///
+/// The caller must hand in an `ot_sender` whose state matches
+/// `start_element` (for a resume: the snapshot taken at that boundary).
+///
+/// # Errors
+///
+/// See [`stream_matvec_job`].
+pub fn stream_matvec_job_from<T: Transport + ?Sized>(
+    transport: &mut T,
+    job: &GarbledJob,
+    ot_sender: &mut OtExtSender,
+    job_id: u64,
+    start_element: usize,
+    mut on_element: impl FnMut(usize, &OtExtSender),
+) -> Result<MatvecTranscript, AcceleratorError> {
     let _span = max_telemetry::span("remote.stream_job");
     send_control(transport, &ControlMsg::Ready { job_id })?;
     let mut transcript = MatvecTranscript {
-        elements: job.rows.len(),
+        elements: job.rows.len().saturating_sub(start_element),
         fabric_cycles: job.fabric_cycles,
         fabric_seconds: job.fabric_seconds,
         ..MatvecTranscript::default()
     };
-    for row in &job.rows {
+    for (idx, row) in job.rows.iter().enumerate().skip(start_element) {
         let ext = decode_ext(transport.recv_frame()?)?;
         if ext.count != row.pairs.len() {
             return Err(AcceleratorError::Protocol {
@@ -512,6 +639,7 @@ pub fn stream_matvec_job<T: Transport + ?Sized>(
             transcript.rounds += 1;
             transport.send_frame(FrameKind::Raw, encode_round(msg))?;
         }
+        on_element(idx + 1, ot_sender);
     }
     send_control(
         transport,
@@ -522,23 +650,133 @@ pub fn stream_matvec_job<T: Transport + ?Sized>(
     Ok(transcript)
 }
 
-/// The evaluator side of a served session: handshake once, then run any
-/// number of secure matvec/matmul jobs over the transport.
-pub struct RemoteClient<T: Transport> {
-    transport: T,
+/// Everything a client must keep to re-enter its session on a brand-new
+/// connection: identity, the resume secret, the negotiated config, and the
+/// live OT-receiver state.
+///
+/// `Clone` is cheap relative to a job and deliberate: a retry loop clones
+/// the state per reconnect attempt so a failed attempt does not poison the
+/// next one ([`OtExtReceiver`]'s `Clone` is an exact state snapshot).
+#[derive(Clone)]
+pub struct SessionState {
     session_id: u64,
+    resume_token: u64,
     config: AcceleratorConfig,
     rows: usize,
     cols: usize,
     ot_receiver: OtExtReceiver,
 }
 
-impl<T: Transport> std::fmt::Debug for RemoteClient<T> {
+impl std::fmt::Debug for SessionState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteClient")
+        // The resume token is a bearer secret — keep it out of logs.
+        f.debug_struct("SessionState")
             .field("session_id", &self.session_id)
             .field("rows", &self.rows)
             .field("cols", &self.cols)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionState {
+    /// Server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The negotiated configuration (authoritative, from ACCEPT).
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Model rows (length of a matvec result).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Model columns (required length of the client vector).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// An in-flight (possibly interrupted) job on the client side.
+///
+/// Progress advances one output element at a time; the embedded
+/// OT-receiver/transcript checkpoints always sit on the last completed
+/// element boundary, so after a mid-element failure
+/// [`RemoteClient::resume_job`] can roll the session back and replay the
+/// element bit-identically on a fresh connection.
+pub struct JobProgress {
+    job_id: u64,
+    x_columns: Vec<Vec<i64>>,
+    y: Vec<Vec<i64>>,
+    total_elements: usize,
+    elements_done: usize,
+    receiver_checkpoint: OtExtReceiver,
+    transcript: MatvecTranscript,
+    transcript_checkpoint: MatvecTranscript,
+    done: bool,
+}
+
+impl std::fmt::Debug for JobProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `x_columns` is the client's private input — keep it out of logs.
+        f.debug_struct("JobProgress")
+            .field("job_id", &self.job_id)
+            .field("elements_done", &self.elements_done)
+            .field("total_elements", &self.total_elements)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobProgress {
+    /// Server-assigned job id.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Output elements fully evaluated so far.
+    pub fn elements_done(&self) -> usize {
+        self.elements_done
+    }
+
+    /// Total output elements of the job (`columns * rows`).
+    pub fn total_elements(&self) -> usize {
+        self.total_elements
+    }
+
+    /// Whether the job ran to completion (STATS received).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Consumes a finished job into its per-column results and merged
+    /// transcript.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not [`done`](JobProgress::is_done) — an
+    /// interrupted job must be driven to completion via
+    /// [`RemoteClient::resume_job`] + [`RemoteClient::run_job`] first.
+    pub fn into_result(self) -> (Vec<Vec<i64>>, MatvecTranscript) {
+        assert!(self.done, "job not finished; resume it first");
+        (self.y, self.transcript)
+    }
+}
+
+/// The evaluator side of a served session: handshake once, then run any
+/// number of secure matvec/matmul jobs over the transport.
+pub struct RemoteClient<T: Transport> {
+    transport: T,
+    state: SessionState,
+}
+
+impl<T: Transport> std::fmt::Debug for RemoteClient<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("state", &self.state)
             .finish_non_exhaustive()
     }
 }
@@ -567,6 +805,7 @@ impl<T: Transport> RemoteClient<T> {
             ControlMsg::Accept {
                 session_id,
                 ot_seed,
+                resume_token,
                 rows,
                 cols,
                 bit_width,
@@ -599,11 +838,14 @@ impl<T: Transport> RemoteClient<T> {
                 let (_sender, ot_receiver) = iknp::setup_pair(ot_seed);
                 Ok(RemoteClient {
                     transport,
-                    session_id,
-                    config,
-                    rows: rows as usize,
-                    cols: cols as usize,
-                    ot_receiver,
+                    state: SessionState {
+                        session_id,
+                        resume_token,
+                        config,
+                        rows: rows as usize,
+                        cols: cols as usize,
+                        ot_receiver,
+                    },
                 })
             }
             ControlMsg::Reject { code, .. } => Err(AcceleratorError::Rejected {
@@ -615,24 +857,39 @@ impl<T: Transport> RemoteClient<T> {
         }
     }
 
+    /// Re-binds a saved [`SessionState`] to a fresh connection, without any
+    /// handshake traffic. Follow with [`RemoteClient::resume_job`] to
+    /// continue an interrupted job, or [`RemoteClient::start_job`] is
+    /// invalid here — a reattached session must resume first (the server
+    /// only honors RESUME as the first frame of a reconnect).
+    pub fn reattach(transport: T, state: SessionState) -> RemoteClient<T> {
+        RemoteClient { transport, state }
+    }
+
+    /// Splits the client back into its transport and portable session
+    /// state (e.g. to persist the state across a planned reconnect).
+    pub fn into_parts(self) -> (T, SessionState) {
+        (self.transport, self.state)
+    }
+
     /// Server-assigned session id.
     pub fn session_id(&self) -> u64 {
-        self.session_id
+        self.state.session_id
     }
 
     /// The negotiated configuration (authoritative, from ACCEPT).
     pub fn config(&self) -> &AcceleratorConfig {
-        &self.config
+        &self.state.config
     }
 
     /// Model rows (length of a matvec result).
     pub fn rows(&self) -> usize {
-        self.rows
+        self.state.rows
     }
 
     /// Model columns (required length of the client vector).
     pub fn cols(&self) -> usize {
-        self.cols
+        self.state.cols
     }
 
     /// Borrow of the underlying transport (e.g. for channel statistics).
@@ -646,7 +903,8 @@ impl<T: Transport> RemoteClient<T> {
     ///
     /// [`AcceleratorError::Busy`] if the server's queue rejected the job
     /// (the session stays usable — retry after the hint); any other error
-    /// means the session is dead.
+    /// means the session is dead (or resumable, see
+    /// [`RemoteClient::resume_job`]).
     ///
     /// # Panics
     ///
@@ -657,13 +915,19 @@ impl<T: Transport> RemoteClient<T> {
         x: &[i64],
     ) -> Result<(Vec<i64>, MatvecTranscript), AcceleratorError> {
         let (mut columns, transcript) = self.secure_matmul(std::slice::from_ref(&x.to_vec()))?;
-        Ok((columns.pop().expect("one column requested"), transcript))
+        let y = columns.pop().ok_or(AcceleratorError::Protocol {
+            what: "job returned no columns",
+        })?;
+        Ok((y, transcript))
     }
 
     /// Runs a matmul `Y = W·X`, column by column in one job.
     ///
     /// Returns the per-column results (`x_columns.len()` vectors of
     /// [`RemoteClient::rows`] elements each) and the merged transcript.
+    /// Equivalent to [`start_job`](RemoteClient::start_job) +
+    /// [`run_job`](RemoteClient::run_job) for callers that do not track
+    /// resumable progress themselves.
     ///
     /// # Errors
     ///
@@ -677,11 +941,32 @@ impl<T: Transport> RemoteClient<T> {
         &mut self,
         x_columns: &[Vec<i64>],
     ) -> Result<(Vec<Vec<i64>>, MatvecTranscript), AcceleratorError> {
+        let _span = max_telemetry::span("remote.client_job");
+        let mut progress = self.start_job(x_columns)?;
+        self.run_job(&mut progress)?;
+        Ok(progress.into_result())
+    }
+
+    /// Submits a job and waits for the server to schedule it.
+    ///
+    /// On READY, returns a [`JobProgress`] whose checkpoints sit at element
+    /// zero; drive it with [`RemoteClient::run_job`].
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::Busy`] if the queue rejected the job — the
+    /// session stays usable, retry after the hint. Transport/protocol
+    /// errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_columns` is empty or any column length differs from
+    /// [`RemoteClient::cols`].
+    pub fn start_job(&mut self, x_columns: &[Vec<i64>]) -> Result<JobProgress, AcceleratorError> {
         assert!(!x_columns.is_empty(), "need at least one column");
         for column in x_columns {
-            assert_eq!(column.len(), self.cols, "vector length mismatch");
+            assert_eq!(column.len(), self.state.cols, "vector length mismatch");
         }
-        let _span = max_telemetry::span("remote.client_job");
         send_control(
             &mut self.transport,
             &ControlMsg::JobRequest {
@@ -689,64 +974,134 @@ impl<T: Transport> RemoteClient<T> {
             },
         )?;
         match recv_control(&mut self.transport)? {
-            ControlMsg::Ready { .. } => {}
+            ControlMsg::Ready { job_id } => Ok(JobProgress {
+                job_id,
+                x_columns: x_columns.to_vec(),
+                y: vec![Vec::with_capacity(self.state.rows); x_columns.len()],
+                total_elements: x_columns.len() * self.state.rows,
+                elements_done: 0,
+                receiver_checkpoint: self.state.ot_receiver.clone(),
+                transcript: MatvecTranscript::default(),
+                transcript_checkpoint: MatvecTranscript::default(),
+                done: false,
+            }),
             ControlMsg::Busy { retry_after_ms, .. } => {
-                return Err(AcceleratorError::Busy { retry_after_ms })
+                Err(AcceleratorError::Busy { retry_after_ms })
             }
-            _ => {
-                return Err(AcceleratorError::Protocol {
-                    what: "expected READY or BUSY",
-                })
-            }
+            _ => Err(AcceleratorError::Protocol {
+                what: "expected READY or BUSY",
+            }),
         }
+    }
 
-        let b = self.config.bit_width;
-        let mut evaluator = ScheduledEvaluator::new(&self.config);
-        let mut transcript = MatvecTranscript::default();
-        let mut result = Vec::with_capacity(x_columns.len());
-        for (pass, column) in x_columns.iter().enumerate() {
-            let mut y = Vec::with_capacity(self.rows);
-            for r in 0..self.rows {
-                evaluator.begin_element((pass * self.rows + r) as u32);
-                let mut choices = Vec::with_capacity(column.len() * b);
-                for &xl in column {
-                    choices.extend(self.config.encode_x(xl));
-                }
-                let (ext, keys) = self.ot_receiver.prepare(&choices);
-                transcript.ot_upload_bytes +=
-                    ext.columns.iter().map(|c| c.len() as u64 * 8).sum::<u64>();
-                self.transport
-                    .send_frame(FrameKind::Bits, encode_ext(&ext))?;
-                let flat = decode_blocks(self.transport.recv_frame()?)?;
-                if flat.len() != choices.len() * 2 {
-                    return Err(AcceleratorError::Protocol {
-                        what: "CIPHER pair count",
-                    });
-                }
-                transcript.ot_bytes += (flat.len() * 16) as u64;
-                let cipher = CipherMsg {
-                    pairs: flat.chunks_exact(2).map(|p| (p[0], p[1])).collect(),
-                };
-                let labels = self.ot_receiver.receive(&cipher, &keys, &choices);
-                let mut decoded = None;
-                for i in 0..column.len() {
-                    let msg = decode_round(self.transport.recv_frame()?)?;
-                    transcript.material_bytes += msg.wire_bytes() as u64;
-                    transcript.tables += msg.tables.len() as u64;
-                    transcript.rounds += 1;
-                    decoded = evaluator.evaluate_round(&msg, &labels[i * b..(i + 1) * b])?;
-                }
-                y.push(decoded.ok_or(AcceleratorError::Protocol {
-                    what: "final round carried no decode bits",
-                })?);
-                transcript.elements += 1;
+    /// Re-enters an interrupted job on a freshly
+    /// [`reattach`](RemoteClient::reattach)ed connection.
+    ///
+    /// Rolls the local OT receiver and transcript back to the last
+    /// completed element boundary, sends RESUME, and waits for the server's
+    /// READY. On success, continue with [`RemoteClient::run_job`] — the
+    /// remaining exchange is bit-identical to what the uninterrupted run
+    /// would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::Rejected`] if the server holds no matching
+    /// checkpoint (restart the job from scratch on a fresh session);
+    /// [`AcceleratorError::Busy`] if the queue cannot re-admit the job yet;
+    /// transport/protocol errors otherwise.
+    pub fn resume_job(&mut self, progress: &mut JobProgress) -> Result<(), AcceleratorError> {
+        self.state.ot_receiver = progress.receiver_checkpoint.clone();
+        progress.transcript = progress.transcript_checkpoint;
+        send_control(
+            &mut self.transport,
+            &ControlMsg::Resume {
+                session_id: self.state.session_id,
+                resume_token: self.state.resume_token,
+                job_id: progress.job_id,
+                columns: progress.x_columns.len() as u32,
+                elements_done: progress.elements_done as u32,
+            },
+        )?;
+        match recv_control(&mut self.transport)? {
+            ControlMsg::Ready { job_id } if job_id == progress.job_id => {
+                max_telemetry::counter_add("remote.jobs_resumed", 1);
+                Ok(())
             }
-            result.push(y);
+            ControlMsg::Ready { .. } => Err(AcceleratorError::Protocol {
+                what: "READY for a different job",
+            }),
+            ControlMsg::Busy { retry_after_ms, .. } => {
+                Err(AcceleratorError::Busy { retry_after_ms })
+            }
+            ControlMsg::Reject { code, .. } => Err(AcceleratorError::Rejected {
+                reason: reject_reason(code),
+            }),
+            _ => Err(AcceleratorError::Protocol {
+                what: "expected READY, BUSY, or REJECT",
+            }),
+        }
+    }
+
+    /// Drives a READY job to completion, element by element, from wherever
+    /// its progress currently stands.
+    ///
+    /// Before each element the OT receiver and transcript are checkpointed
+    /// into `progress`, so on any error the caller can reconnect,
+    /// [`resume_job`](RemoteClient::resume_job), and call `run_job` again
+    /// without losing completed elements.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors; `progress` stays consistent for a resume.
+    pub fn run_job(&mut self, progress: &mut JobProgress) -> Result<(), AcceleratorError> {
+        let b = self.state.config.bit_width;
+        let rows = self.state.rows;
+        let mut evaluator = ScheduledEvaluator::new(&self.state.config);
+        for e in progress.elements_done..progress.total_elements {
+            progress.receiver_checkpoint = self.state.ot_receiver.clone();
+            progress.transcript_checkpoint = progress.transcript;
+            let pass = e / rows;
+            let column = &progress.x_columns[pass];
+            evaluator.begin_element(e as u32);
+            let mut choices = Vec::with_capacity(column.len() * b);
+            for &xl in column {
+                choices.extend(self.state.config.encode_x(xl));
+            }
+            let (ext, keys) = self.state.ot_receiver.prepare(&choices);
+            progress.transcript.ot_upload_bytes +=
+                ext.columns.iter().map(|c| c.len() as u64 * 8).sum::<u64>();
+            self.transport
+                .send_frame(FrameKind::Bits, encode_ext(&ext))?;
+            let flat = decode_blocks(self.transport.recv_frame()?)?;
+            if flat.len() != choices.len() * 2 {
+                return Err(AcceleratorError::Protocol {
+                    what: "CIPHER pair count",
+                });
+            }
+            progress.transcript.ot_bytes += (flat.len() * 16) as u64;
+            let cipher = CipherMsg {
+                pairs: flat.chunks_exact(2).map(|p| (p[0], p[1])).collect(),
+            };
+            let labels = self.state.ot_receiver.receive(&cipher, &keys, &choices);
+            let mut decoded = None;
+            for i in 0..column.len() {
+                let msg = decode_round(self.transport.recv_frame()?)?;
+                progress.transcript.material_bytes += msg.wire_bytes() as u64;
+                progress.transcript.tables += msg.tables.len() as u64;
+                progress.transcript.rounds += 1;
+                decoded = evaluator.evaluate_round(&msg, &labels[i * b..(i + 1) * b])?;
+            }
+            progress.y[pass].push(decoded.ok_or(AcceleratorError::Protocol {
+                what: "final round carried no decode bits",
+            })?);
+            progress.transcript.elements += 1;
+            progress.elements_done += 1;
         }
         match recv_control(&mut self.transport)? {
             ControlMsg::Stats { fabric_cycles } => {
-                transcript.fabric_cycles = fabric_cycles;
-                transcript.fabric_seconds = fabric_cycles as f64 / (self.config.freq_mhz * 1e6);
+                progress.transcript.fabric_cycles = fabric_cycles;
+                progress.transcript.fabric_seconds =
+                    fabric_cycles as f64 / (self.state.config.freq_mhz * 1e6);
             }
             _ => {
                 return Err(AcceleratorError::Protocol {
@@ -754,7 +1109,30 @@ impl<T: Transport> RemoteClient<T> {
                 })
             }
         }
-        Ok((result, transcript))
+        progress.done = true;
+        Ok(())
+    }
+
+    /// Sends a keep-alive PING and waits for the matching PONG.
+    ///
+    /// Valid between jobs only (never mid-exchange); the server answers
+    /// without touching the job state machine.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`AcceleratorError::Protocol`] on a missing or
+    /// mismatched PONG.
+    pub fn ping(&mut self, nonce: u64) -> Result<(), AcceleratorError> {
+        send_control(&mut self.transport, &ControlMsg::Ping { nonce })?;
+        match recv_control(&mut self.transport)? {
+            ControlMsg::Pong { nonce: echoed } if echoed == nonce => Ok(()),
+            ControlMsg::Pong { .. } => Err(AcceleratorError::Protocol {
+                what: "PONG nonce mismatch",
+            }),
+            _ => Err(AcceleratorError::Protocol {
+                what: "expected PONG",
+            }),
+        }
     }
 
     /// Gracefully closes the session (best effort) and returns the
@@ -814,6 +1192,7 @@ mod tests {
             &ControlMsg::Accept {
                 session_id,
                 ot_seed,
+                resume_token: derive_seed(session_seed, 0x7e57),
                 rows: weights.len() as u32,
                 cols: weights.first().map_or(0, Vec::len) as u32,
                 bit_width: config.bit_width as u32,
@@ -835,6 +1214,9 @@ mod tests {
                     )?;
                     stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id)?;
                     job_id += 1;
+                }
+                Ok(ControlMsg::Ping { nonce }) => {
+                    send_control(&mut transport, &ControlMsg::Pong { nonce })?;
                 }
                 Ok(ControlMsg::Bye) | Err(AcceleratorError::Disconnected) => return Ok(()),
                 Ok(_) => {
@@ -877,6 +1259,8 @@ mod tests {
         assert!(t.ot_bytes > 0);
         assert!(t.ot_upload_bytes > 0);
         assert!(t.fabric_cycles > 0);
+        // Keep-alive between jobs answers with the same nonce.
+        client.ping(0xfeed_f00d).unwrap();
         // Second job on the same session still decodes correctly.
         let (y2, _) = client.secure_matvec(&[1, 1, 1]).unwrap();
         assert_eq!(y2, plain_matvec(&w, &[1, 1, 1]));
@@ -985,6 +1369,7 @@ mod tests {
             ControlMsg::Accept {
                 session_id: 7,
                 ot_seed: 0xdead_beef,
+                resume_token: 0x5eed_cafe,
                 rows: 3,
                 cols: 4,
                 bit_width: 16,
@@ -996,6 +1381,15 @@ mod tests {
                 code: REJECT_DRAINING,
                 detail: 0,
             },
+            ControlMsg::Resume {
+                session_id: 7,
+                resume_token: 0x5eed_cafe,
+                job_id: 2,
+                columns: 4,
+                elements_done: 9,
+            },
+            ControlMsg::Ping { nonce: 0xabad_1dea },
+            ControlMsg::Pong { nonce: 0xabad_1dea },
             ControlMsg::JobRequest { columns: 2 },
             ControlMsg::Busy {
                 retry_after_ms: 15,

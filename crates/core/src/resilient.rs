@@ -1,0 +1,547 @@
+//! Self-healing client: retries, backoff, reconnect, resume.
+//!
+//! [`ResilientClient`] wraps [`RemoteClient`] with the recovery policy a
+//! real deployment needs against a lossy network and a busy server:
+//!
+//! * `Busy{retry_after_ms}` → sleep the hinted backoff (plus jitter) and
+//!   retry on the *same* session — the server explicitly kept it open.
+//! * Transport failures / disconnects / corrupted frames → tear the
+//!   connection down, dial a fresh one via the connect factory, and either
+//!   RESUME the in-flight job from the last completed element (when one
+//!   exists) or re-handshake a fresh session.
+//! * `REJECT(resume)` — the server lost its checkpoint — → restart the job
+//!   from scratch on a fresh session rather than failing the caller.
+//! * `REJECT(overload)` — the load-shedding breaker is open — → backoff
+//!   and retry like Busy.
+//!
+//! Backoff is exponential with decorrelated jitter (`sleep = base +
+//! rand(0, prev*3 - base)`, capped), seeded deterministically so chaos
+//! tests replay. Every operation carries a bounded attempt budget; when it
+//! runs out the caller gets [`AcceleratorError::RetriesExhausted`] wrapping
+//! the terminal failure. All recovery events are counted in
+//! [`ResilienceStats`] and mirrored to `max-telemetry` counters.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::time::{Duration, Instant};
+
+use max_gc::Transport;
+
+use crate::error::AcceleratorError;
+use crate::remote::{
+    reject_reason, JobProgress, RemoteClient, SessionState, REJECT_OVERLOAD, REJECT_RESUME,
+};
+use crate::server::MatvecTranscript;
+
+/// Knobs of the retry/backoff loop.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempt budget per operation (initial try plus retries).
+    pub max_attempts: u32,
+    /// Floor of the decorrelated-jitter backoff, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Cap of the backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Per-protocol-step deadline pushed into the transport's idle timeout
+    /// (ignored by transports that cannot time out, e.g. the in-memory
+    /// duplex).
+    pub step_timeout: Option<Duration>,
+    /// Seed of the jitter PRNG — fix it to make a chaos run replayable.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 5,
+            max_backoff_ms: 1_000,
+            step_timeout: None,
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+/// Recovery accounting of one [`ResilientClient`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Operation attempts, including first tries.
+    pub attempts: u64,
+    /// Fresh sessions dialed (initial connect and post-failure redials).
+    pub reconnects: u64,
+    /// Jobs re-entered mid-flight via RESUME.
+    pub resumes: u64,
+    /// Backoffs taken on `Busy` or an open breaker.
+    pub busy_backoffs: u64,
+    /// Jobs restarted from scratch after the server lost its checkpoint.
+    pub restarts: u64,
+    /// Milliseconds slept across all backoffs.
+    pub backoff_ms_total: u64,
+    /// Wall-clock of each operation that needed at least one retry, ms.
+    pub recovery_ms: Vec<u64>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`RemoteClient`] that survives disconnects, busy queues, and lost
+/// checkpoints, reconnecting through a user-supplied transport factory.
+pub struct ResilientClient<T, F>
+where
+    T: Transport,
+    F: FnMut() -> Result<T, AcceleratorError>,
+{
+    connect: F,
+    bit_width: usize,
+    policy: RetryPolicy,
+    client: Option<RemoteClient<T>>,
+    saved_state: Option<SessionState>,
+    stats: ResilienceStats,
+    jitter_state: u64,
+    prev_backoff_ms: u64,
+}
+
+impl<T, F> std::fmt::Debug for ResilientClient<T, F>
+where
+    T: Transport,
+    F: FnMut() -> Result<T, AcceleratorError>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("connected", &self.client.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, F> ResilientClient<T, F>
+where
+    T: Transport,
+    F: FnMut() -> Result<T, AcceleratorError>,
+{
+    /// Builds a resilient client. `connect` dials one fresh transport per
+    /// call; nothing is dialed until the first operation needs it.
+    pub fn new(connect: F, bit_width: usize, policy: RetryPolicy) -> Self {
+        ResilientClient {
+            connect,
+            bit_width,
+            jitter_state: policy.jitter_seed,
+            prev_backoff_ms: policy.base_backoff_ms,
+            policy,
+            client: None,
+            saved_state: None,
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Recovery accounting so far.
+    pub fn stats(&self) -> &ResilienceStats {
+        &self.stats
+    }
+
+    /// The live session, if one is currently attached.
+    pub fn session(&self) -> Option<&RemoteClient<T>> {
+        self.client.as_ref()
+    }
+
+    /// Runs `y = W·x` with the full recovery policy.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::RetriesExhausted`] when the attempt budget runs
+    /// out; the original error immediately for non-recoverable rejections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` length differs from the server's column count (caller
+    /// error, as in [`RemoteClient::secure_matvec`]).
+    pub fn secure_matvec(
+        &mut self,
+        x: &[i64],
+    ) -> Result<(Vec<i64>, MatvecTranscript), AcceleratorError> {
+        let (mut columns, transcript) = self.secure_matmul(std::slice::from_ref(&x.to_vec()))?;
+        let y = columns.pop().ok_or(AcceleratorError::Protocol {
+            what: "job returned no columns",
+        })?;
+        Ok((y, transcript))
+    }
+
+    /// Runs `Y = W·X` with the full recovery policy: bounded retries,
+    /// backoff on Busy/overload, reconnect + RESUME on connection loss,
+    /// restart on a lost server checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::secure_matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_columns` is empty or any column length differs from
+    /// the server's column count once a session exists.
+    pub fn secure_matmul(
+        &mut self,
+        x_columns: &[Vec<i64>],
+    ) -> Result<(Vec<Vec<i64>>, MatvecTranscript), AcceleratorError> {
+        let _span = max_telemetry::span("resilient.job");
+        let started = Instant::now();
+        let mut progress: Option<JobProgress> = None;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.stats.attempts += 1;
+            match self.try_once(x_columns, &mut progress) {
+                Ok(result) => {
+                    self.prev_backoff_ms = self.policy.base_backoff_ms;
+                    if attempts > 1 {
+                        self.stats
+                            .recovery_ms
+                            .push(started.elapsed().as_millis() as u64);
+                    }
+                    return Ok(result);
+                }
+                Err(err) => {
+                    if Self::is_fatal(&err) {
+                        return Err(err);
+                    }
+                    if attempts >= self.policy.max_attempts {
+                        max_telemetry::counter_add("resilient.gave_up", 1);
+                        return Err(AcceleratorError::RetriesExhausted {
+                            attempts,
+                            last: Box::new(err),
+                        });
+                    }
+                    self.recover(&err, &mut progress);
+                }
+            }
+        }
+    }
+
+    /// Gracefully closes any live session (best effort) and returns its
+    /// transport for inspection.
+    pub fn goodbye(mut self) -> Option<T> {
+        self.client.take().map(RemoteClient::goodbye)
+    }
+
+    /// One attempt: ensure a session (resuming if both client-side job
+    /// progress and session state survive), then drive the job.
+    fn try_once(
+        &mut self,
+        x_columns: &[Vec<i64>],
+        progress_slot: &mut Option<JobProgress>,
+    ) -> Result<(Vec<Vec<i64>>, MatvecTranscript), AcceleratorError> {
+        if self.client.is_none() {
+            let mut transport = (self.connect)()?;
+            if self.policy.step_timeout.is_some() {
+                transport.set_idle_timeout(self.policy.step_timeout);
+            }
+            match (self.saved_state.take(), progress_slot.as_mut()) {
+                (Some(state), Some(progress)) => {
+                    let mut client = RemoteClient::reattach(transport, state);
+                    match client.resume_job(progress) {
+                        Ok(()) => {
+                            self.stats.resumes += 1;
+                            max_telemetry::counter_add("resilient.resumes", 1);
+                            self.client = Some(client);
+                        }
+                        Err(err) => {
+                            // Keep the session state: a transport error here
+                            // just means "try resuming again"; a REJECT is
+                            // handled by `recover`, which clears it.
+                            let (_, state) = client.into_parts();
+                            self.saved_state = Some(state);
+                            return Err(err);
+                        }
+                    }
+                }
+                _ => {
+                    *progress_slot = None;
+                    self.client = Some(RemoteClient::connect(transport, self.bit_width)?);
+                    self.stats.reconnects += 1;
+                    max_telemetry::counter_add("resilient.reconnects", 1);
+                }
+            }
+        }
+        let Some(client) = self.client.as_mut() else {
+            return Err(AcceleratorError::Protocol {
+                what: "resilient client lost its session",
+            });
+        };
+        let mut progress = match progress_slot.take() {
+            Some(progress) => progress,
+            None => client.start_job(x_columns)?,
+        };
+        match client.run_job(&mut progress) {
+            Ok(()) => Ok(progress.into_result()),
+            Err(err) => {
+                // Progress (with its element-boundary checkpoints) survives
+                // for the resume attempt.
+                *progress_slot = Some(progress);
+                Err(err)
+            }
+        }
+    }
+
+    /// Applies the per-error recovery action between attempts.
+    fn recover(&mut self, err: &AcceleratorError, progress: &mut Option<JobProgress>) {
+        match err {
+            AcceleratorError::Busy { retry_after_ms } => {
+                // The server kept the session; honor its hint plus jitter.
+                let hint = u64::from(*retry_after_ms).max(1);
+                let jitter = splitmix(&mut self.jitter_state) % (hint / 2 + 1);
+                self.sleep_ms(hint + jitter);
+                self.stats.busy_backoffs += 1;
+                max_telemetry::counter_add("resilient.busy_backoffs", 1);
+            }
+            AcceleratorError::Rejected { reason } if *reason == reject_reason(REJECT_OVERLOAD) => {
+                // Breaker open: the connection was refused, nothing to keep.
+                self.drop_session();
+                self.saved_state = None;
+                let backoff = self.next_backoff_ms();
+                self.sleep_ms(backoff);
+                self.stats.busy_backoffs += 1;
+                max_telemetry::counter_add("resilient.busy_backoffs", 1);
+            }
+            AcceleratorError::Rejected { reason } if *reason == reject_reason(REJECT_RESUME) => {
+                // Server lost the checkpoint: restart the job from scratch
+                // on a fresh session.
+                self.drop_session();
+                self.saved_state = None;
+                *progress = None;
+                self.stats.restarts += 1;
+                max_telemetry::counter_add("resilient.restarts", 1);
+            }
+            _ => {
+                // Connection-level failure: keep the portable session state
+                // for a RESUME, drop the dead transport, back off, redial.
+                if let Some(client) = self.client.take() {
+                    let (_, state) = client.into_parts();
+                    self.saved_state = Some(state);
+                }
+                let backoff = self.next_backoff_ms();
+                self.sleep_ms(backoff);
+            }
+        }
+    }
+
+    fn drop_session(&mut self) {
+        self.client = None;
+    }
+
+    /// Exponential backoff with decorrelated jitter, deterministic under a
+    /// fixed `jitter_seed`.
+    fn next_backoff_ms(&mut self) -> u64 {
+        let base = self.policy.base_backoff_ms.max(1);
+        let cap = self.policy.max_backoff_ms.max(base);
+        let upper = self.prev_backoff_ms.max(base).saturating_mul(3);
+        let span = upper.saturating_sub(base).max(1);
+        let ms = (base + splitmix(&mut self.jitter_state) % span).min(cap);
+        self.prev_backoff_ms = ms;
+        ms
+    }
+
+    fn sleep_ms(&mut self, ms: u64) {
+        self.stats.backoff_ms_total += ms;
+        max_telemetry::counter_add("resilient.backoff_ms", ms);
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+
+    /// Errors no amount of retrying can fix.
+    fn is_fatal(err: &AcceleratorError) -> bool {
+        match err {
+            AcceleratorError::Rejected { reason } => {
+                *reason != reject_reason(REJECT_RESUME) && *reason != reject_reason(REJECT_OVERLOAD)
+            }
+            AcceleratorError::RetriesExhausted { .. } => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use crate::remote::{
+        derive_seed, garble_matvec_job, recv_control, send_control, stream_matvec_job, ControlMsg,
+        PROTOCOL_VERSION,
+    };
+    use max_gc::channel::Duplex;
+    use max_ot::iknp;
+
+    /// Single-session test server that answers the first `busy_first` job
+    /// requests with BUSY before serving.
+    fn serve_with_busy(
+        mut transport: Duplex,
+        config: AcceleratorConfig,
+        weights: Vec<Vec<i64>>,
+        base_seed: u64,
+        mut busy_first: u32,
+    ) -> Result<(), AcceleratorError> {
+        let (version, _width) = match recv_control(&mut transport)? {
+            ControlMsg::Hello { version, bit_width } => (version, bit_width),
+            _ => {
+                return Err(AcceleratorError::Protocol {
+                    what: "expected HELLO",
+                })
+            }
+        };
+        assert_eq!(version, PROTOCOL_VERSION);
+        let session_seed = derive_seed(base_seed, 0);
+        let ot_seed = derive_seed(session_seed, 0x07);
+        send_control(
+            &mut transport,
+            &ControlMsg::Accept {
+                session_id: 0,
+                ot_seed,
+                resume_token: derive_seed(session_seed, 0x7e57),
+                rows: weights.len() as u32,
+                cols: weights[0].len() as u32,
+                bit_width: config.bit_width as u32,
+                acc_width: config.acc_width as u32,
+                signed: config.signed,
+                freq_mhz_bits: config.freq_mhz.to_bits(),
+            },
+        )?;
+        let (mut ot_sender, _receiver) = iknp::setup_pair(ot_seed);
+        let mut job_id = 0u64;
+        loop {
+            match recv_control(&mut transport) {
+                Ok(ControlMsg::JobRequest { columns }) => {
+                    if busy_first > 0 {
+                        busy_first -= 1;
+                        send_control(
+                            &mut transport,
+                            &ControlMsg::Busy {
+                                retry_after_ms: 1,
+                                queue_depth: 1,
+                            },
+                        )?;
+                        continue;
+                    }
+                    let job = garble_matvec_job(
+                        &config,
+                        &weights,
+                        derive_seed(session_seed, 0x100 + job_id),
+                        columns,
+                    )?;
+                    stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id)?;
+                    job_id += 1;
+                }
+                Ok(ControlMsg::Bye) | Err(AcceleratorError::Disconnected) => return Ok(()),
+                Ok(_) => {
+                    return Err(AcceleratorError::Protocol {
+                        what: "expected JOB or BYE",
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    #[test]
+    fn busy_hints_are_honored_with_backoff() {
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![2i64, -3], vec![4, 5]];
+        let (server_end, client_end) = Duplex::pair();
+        let server = {
+            let config = config.clone();
+            let w = w.clone();
+            std::thread::spawn(move || serve_with_busy(server_end, config, w, 11, 2))
+        };
+        let mut ends = vec![client_end];
+        let mut client = ResilientClient::new(
+            move || {
+                ends.pop().ok_or(AcceleratorError::Protocol {
+                    what: "no more transports",
+                })
+            },
+            8,
+            RetryPolicy::default(),
+        );
+        let (y, _) = client.secure_matvec(&[7, -1]).unwrap();
+        assert_eq!(y, vec![2 * 7 + 3, 4 * 7 - 5]);
+        let stats = client.stats().clone();
+        assert_eq!(stats.busy_backoffs, 2);
+        assert_eq!(stats.reconnects, 1);
+        assert_eq!(stats.attempts, 3);
+        assert!(stats.backoff_ms_total >= 2);
+        assert_eq!(stats.recovery_ms.len(), 1);
+        client.goodbye();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn connect_failures_exhaust_the_budget_with_a_typed_error() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            ..RetryPolicy::default()
+        };
+        let mut client: ResilientClient<Duplex, _> =
+            ResilientClient::new(|| Err(AcceleratorError::Disconnected), 8, policy);
+        let err = client.secure_matvec(&[1]).unwrap_err();
+        match err {
+            AcceleratorError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert_eq!(*last, AcceleratorError::Disconnected);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(client.stats().attempts, 3);
+    }
+
+    #[test]
+    fn fatal_rejections_surface_unwrapped_after_one_attempt() {
+        let mut calls = 0u32;
+        let err = {
+            let mut client: ResilientClient<Duplex, _> = ResilientClient::new(
+                || {
+                    calls += 1;
+                    Err(AcceleratorError::Rejected {
+                        reason: "unsupported bit width",
+                    })
+                },
+                8,
+                RetryPolicy::default(),
+            );
+            client.secure_matvec(&[1]).unwrap_err()
+        };
+        assert_eq!(
+            err,
+            AcceleratorError::Rejected {
+                reason: "unsupported bit width"
+            }
+        );
+        assert_eq!(calls, 1);
+    }
+
+    fn never_connect() -> Result<Duplex, AcceleratorError> {
+        Err(AcceleratorError::Disconnected)
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_fixed_seed() {
+        let policy = RetryPolicy {
+            jitter_seed: 99,
+            base_backoff_ms: 2,
+            max_backoff_ms: 50,
+            ..RetryPolicy::default()
+        };
+        type Factory = fn() -> Result<Duplex, AcceleratorError>;
+        let drain = |mut c: ResilientClient<Duplex, Factory>| {
+            (0..6).map(|_| c.next_backoff_ms()).collect::<Vec<_>>()
+        };
+        let a = drain(ResilientClient::new(never_connect as Factory, 8, policy));
+        let b = drain(ResilientClient::new(never_connect as Factory, 8, policy));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&ms| (2..=50).contains(&ms)));
+        // Not constant: the jitter actually spreads the schedule.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -57,6 +57,7 @@ pub mod channel;
 pub mod classic;
 mod engine;
 mod evaluator;
+pub mod fault;
 mod garbler;
 mod label;
 pub mod protocol;
@@ -66,6 +67,7 @@ pub mod wire_format;
 
 pub use engine::{evaluate_and, garble_and, GarbledTable};
 pub use evaluator::Evaluator;
+pub use fault::{FaultSpec, FaultStats, FaultTransport};
 pub use garbler::{GarbledCircuit, Garbler, Material};
 pub use label::{Delta, LabelSource, PrgLabelSource};
 pub use sequential::{SequentialEvaluator, SequentialGarbler, SequentialRound};

@@ -30,7 +30,12 @@ pub struct CipherMsg {
 }
 
 /// Extension sender (holds the GC wire-label pairs).
-#[derive(Debug)]
+///
+/// `Clone` snapshots the whole extension state (PRG counters and the
+/// session counter feeding the hash tweaks) — the primitive behind
+/// resumable sessions: both parties can roll back to a cloned snapshot and
+/// replay an exchange bit-identically.
+#[derive(Clone, Debug)]
 pub struct OtExtSender {
     /// Secret choice bits `s` of the base OTs.
     s: [bool; KAPPA],
@@ -41,7 +46,9 @@ pub struct OtExtSender {
 }
 
 /// Extension receiver (holds the choice bits).
-#[derive(Debug)]
+///
+/// `Clone` snapshots the extension state; see [`OtExtSender`].
+#[derive(Clone, Debug)]
 pub struct OtExtReceiver {
     /// PRG pairs from both base-OT seeds.
     prgs: Vec<(AesPrg, AesPrg)>,
@@ -476,6 +483,37 @@ mod tests {
         let cipher = sender.send(&msg2, &pairs);
         let got2 = receiver.receive(&cipher, &keys2, &choices);
         for ((g, p), &c) in got2.iter().zip(&pairs).zip(&choices) {
+            assert_eq!(*g, if c { p.1 } else { p.0 });
+        }
+    }
+
+    #[test]
+    fn cloned_endpoints_replay_bit_identically() {
+        // The resume protocol depends on Clone being a true state snapshot:
+        // rolling both halves back and replaying must reproduce the exact
+        // same wire messages.
+        let (mut sender, mut receiver) = setup_pair(41);
+        let warmup: Vec<bool> = (0..96).map(|i| i % 3 == 0).collect();
+        let (msg, keys) = receiver.prepare(&warmup);
+        let cipher = sender.send(&msg, &msg_pairs(96));
+        let _ = receiver.receive(&cipher, &keys, &warmup);
+
+        let sender_snap = sender.clone();
+        let receiver_snap = receiver.clone();
+        let choices: Vec<bool> = (0..70).map(|i| i % 2 == 1).collect();
+        let pairs = msg_pairs(70);
+        let (msg1, keys1) = receiver.prepare(&choices);
+        let cipher1 = sender.send(&msg1, &pairs);
+
+        let mut sender2 = sender_snap;
+        let mut receiver2 = receiver_snap;
+        let (msg2, keys2) = receiver2.prepare(&choices);
+        assert_eq!(msg1, msg2);
+        assert_eq!(keys1, keys2);
+        let cipher2 = sender2.send(&msg2, &pairs);
+        assert_eq!(cipher1, cipher2);
+        let got = receiver2.receive(&cipher2, &keys2, &choices);
+        for ((g, p), &c) in got.iter().zip(&pairs).zip(&choices) {
             assert_eq!(*g, if c { p.1 } else { p.0 });
         }
     }

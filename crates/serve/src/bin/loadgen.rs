@@ -3,17 +3,23 @@
 //!
 //! ```text
 //! loadgen [--addr 127.0.0.1:7700] [--width 8] [--rows 4] [--cols 4]
-//!         [--seed 42] [--sessions 4] [--jobs 3]
+//!         [--seed 42] [--sessions 4] [--jobs 3] [--attempts 8]
+//!         [--step-ms 0]
 //! ```
 //!
 //! `--width/--rows/--cols/--seed` must match the server so the demo model
 //! can be regenerated locally for verification.
+//!
+//! Each session drives its jobs through a [`ResilientClient`]: BUSY
+//! replies are honored with the server's `retry_after_ms` hint plus
+//! decorrelated jitter (never a fixed sleep), dropped connections redial
+//! and RESUME, and the summary line reports every recovery event.
 
 use std::time::Instant;
 
 use max_gc::FramedTcp;
 use max_serve::{demo_vector, demo_weights, plain_matvec};
-use maxelerator::{AcceleratorError, RemoteClient};
+use maxelerator::{AcceleratorError, ResilientClient, RetryPolicy};
 
 struct Args {
     addr: String,
@@ -23,6 +29,8 @@ struct Args {
     seed: u64,
     sessions: usize,
     jobs: usize,
+    attempts: u32,
+    step_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +42,8 @@ fn parse_args() -> Args {
         seed: 42,
         sessions: 4,
         jobs: 3,
+        attempts: 8,
+        step_ms: 0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -49,6 +59,8 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().expect("--seed"),
             "--sessions" => args.sessions = value("--sessions").parse().expect("--sessions"),
             "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs"),
+            "--attempts" => args.attempts = value("--attempts").parse().expect("--attempts"),
+            "--step-ms" => args.step_ms = value("--step-ms").parse().expect("--step-ms"),
             other => panic!("unknown flag: {other}"),
         }
     }
@@ -57,7 +69,11 @@ fn parse_args() -> Args {
 
 struct SessionOutcome {
     jobs_ok: usize,
-    busy_retries: usize,
+    busy_retries: u64,
+    redials: u64,
+    resumes: u64,
+    restarts: u64,
+    backoff_ms: u64,
     round_latencies_ns: Vec<u64>,
     bytes_down: u64,
     bytes_up: u64,
@@ -65,13 +81,27 @@ struct SessionOutcome {
 
 fn run_session(args: &Args, session_idx: usize) -> Result<SessionOutcome, AcceleratorError> {
     let weights = demo_weights(args.rows, args.cols, args.width, args.seed);
-    let transport = FramedTcp::connect(&args.addr).map_err(AcceleratorError::from)?;
-    let mut client = RemoteClient::connect(transport, args.width)?;
-    assert_eq!(client.rows(), args.rows, "server model mismatch");
-    assert_eq!(client.cols(), args.cols, "server model mismatch");
+    let addr = args.addr.clone();
+    let policy = RetryPolicy {
+        max_attempts: args.attempts.max(1),
+        step_timeout: (args.step_ms > 0).then(|| std::time::Duration::from_millis(args.step_ms)),
+        // Per-session seed: concurrent sessions must not back off in
+        // lockstep after a shared BUSY burst.
+        jitter_seed: args.seed ^ ((session_idx as u64) << 32) ^ 0x010a_d0e4,
+        ..RetryPolicy::default()
+    };
+    let mut client = ResilientClient::new(
+        move || FramedTcp::connect(&addr).map_err(AcceleratorError::from),
+        args.width,
+        policy,
+    );
     let mut outcome = SessionOutcome {
         jobs_ok: 0,
         busy_retries: 0,
+        redials: 0,
+        resumes: 0,
+        restarts: 0,
+        backoff_ms: 0,
         round_latencies_ns: Vec::new(),
         bytes_down: 0,
         bytes_up: 0,
@@ -83,29 +113,30 @@ fn run_session(args: &Args, session_idx: usize) -> Result<SessionOutcome, Accele
             args.seed ^ ((session_idx as u64) << 20) ^ job as u64,
         );
         let expected = plain_matvec(&weights, &x);
-        loop {
-            let started = Instant::now();
-            match client.secure_matvec(&x) {
-                Ok((y, transcript)) => {
-                    assert_eq!(y, expected, "session {session_idx} job {job} wrong result");
-                    outcome.jobs_ok += 1;
-                    let per_round = started.elapsed().as_nanos() as u64 / transcript.rounds.max(1);
-                    outcome.round_latencies_ns.push(per_round);
-                    break;
-                }
-                Err(AcceleratorError::Busy { retry_after_ms }) => {
-                    outcome.busy_retries += 1;
-                    std::thread::sleep(std::time::Duration::from_millis(u64::from(
-                        retry_after_ms.max(1),
-                    )));
-                }
-                Err(e) => return Err(e),
+        let started = Instant::now();
+        let (y, transcript) = client.secure_matvec(&x)?;
+        assert_eq!(y, expected, "session {session_idx} job {job} wrong result");
+        if job == 0 {
+            if let Some(session) = client.session() {
+                assert_eq!(session.rows(), args.rows, "server model mismatch");
+                assert_eq!(session.cols(), args.cols, "server model mismatch");
             }
         }
+        outcome.jobs_ok += 1;
+        let per_round = started.elapsed().as_nanos() as u64 / transcript.rounds.max(1);
+        outcome.round_latencies_ns.push(per_round);
     }
-    let transport = client.goodbye();
-    outcome.bytes_down = transport.received().bytes();
-    outcome.bytes_up = transport.sent().bytes();
+    let stats = client.stats().clone();
+    outcome.busy_retries = stats.busy_backoffs;
+    // `reconnects` counts the initial dial too; redials are the recoveries.
+    outcome.redials = stats.reconnects.saturating_sub(1);
+    outcome.resumes = stats.resumes;
+    outcome.restarts = stats.restarts;
+    outcome.backoff_ms = stats.backoff_ms_total;
+    if let Some(transport) = client.goodbye() {
+        outcome.bytes_down = transport.received().bytes();
+        outcome.bytes_up = transport.sent().bytes();
+    }
     Ok(outcome)
 }
 
@@ -129,7 +160,11 @@ fn main() {
     let wall = started.elapsed();
 
     let mut jobs_ok = 0usize;
-    let mut busy_retries = 0usize;
+    let mut busy_retries = 0u64;
+    let mut redials = 0u64;
+    let mut resumes = 0u64;
+    let mut restarts = 0u64;
+    let mut backoff_ms = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     let mut bytes_down = 0u64;
     let mut bytes_up = 0u64;
@@ -139,6 +174,10 @@ fn main() {
             Ok(o) => {
                 jobs_ok += o.jobs_ok;
                 busy_retries += o.busy_retries;
+                redials += o.redials;
+                resumes += o.resumes;
+                restarts += o.restarts;
+                backoff_ms += o.backoff_ms;
                 latencies.extend(o.round_latencies_ns);
                 bytes_down += o.bytes_down;
                 bytes_up += o.bytes_up;
@@ -158,11 +197,16 @@ fn main() {
     let sessions_per_sec = (args.sessions - failures) as f64 / wall.as_secs_f64();
     let jobs_per_sec = jobs_ok as f64 / wall.as_secs_f64();
     println!(
-        "sessions={} ok_jobs={} busy_retries={} wall_ms={:.1} sessions/s={:.2} jobs/s={:.2} \
+        "sessions={} ok_jobs={} busy_retries={} redials={} resumes={} restarts={} \
+         backoff_ms={} wall_ms={:.1} sessions/s={:.2} jobs/s={:.2} \
          round_p50_us={:.1} round_p95_us={:.1} down_bytes={} up_bytes={}",
         args.sessions - failures,
         jobs_ok,
         busy_retries,
+        redials,
+        resumes,
+        restarts,
+        backoff_ms,
         wall.as_secs_f64() * 1e3,
         sessions_per_sec,
         jobs_per_sec,

@@ -3,10 +3,18 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7700] [--width 8] [--rows 4] [--cols 4]
 //!       [--seed 42] [--workers 2] [--queue 16] [--idle-ms 30000]
+//!       [--step-ms 0] [--resume-cap 64] [--breaker-fulls 0]
+//!       [--breaker-open-ms 100] [--breaker-retry-ms 50]
 //! ```
 //!
 //! The model is the deterministic demo matrix; `loadgen` regenerates it
 //! from the same `(rows, cols, width, seed)` to verify every result.
+//!
+//! Resilience knobs: `--step-ms` bounds each protocol step mid-job (a
+//! wedged peer is reaped and its job checkpointed for RESUME),
+//! `--resume-cap` sizes the checkpoint registry, and the `--breaker-*`
+//! flags tune the load-shedding breaker (`--breaker-fulls 0` disables
+//! pressure tripping).
 
 use std::time::Duration;
 
@@ -22,6 +30,11 @@ struct Args {
     workers: usize,
     queue: usize,
     idle_ms: u64,
+    step_ms: u64,
+    resume_cap: usize,
+    breaker_fulls: u32,
+    breaker_open_ms: u64,
+    breaker_retry_ms: u32,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +47,11 @@ fn parse_args() -> Args {
         workers: 2,
         queue: 16,
         idle_ms: 30_000,
+        step_ms: 0,
+        resume_cap: 64,
+        breaker_fulls: 0,
+        breaker_open_ms: 100,
+        breaker_retry_ms: 50,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -50,6 +68,23 @@ fn parse_args() -> Args {
             "--workers" => args.workers = value("--workers").parse().expect("--workers"),
             "--queue" => args.queue = value("--queue").parse().expect("--queue"),
             "--idle-ms" => args.idle_ms = value("--idle-ms").parse().expect("--idle-ms"),
+            "--step-ms" => args.step_ms = value("--step-ms").parse().expect("--step-ms"),
+            "--resume-cap" => {
+                args.resume_cap = value("--resume-cap").parse().expect("--resume-cap")
+            }
+            "--breaker-fulls" => {
+                args.breaker_fulls = value("--breaker-fulls").parse().expect("--breaker-fulls")
+            }
+            "--breaker-open-ms" => {
+                args.breaker_open_ms = value("--breaker-open-ms")
+                    .parse()
+                    .expect("--breaker-open-ms")
+            }
+            "--breaker-retry-ms" => {
+                args.breaker_retry_ms = value("--breaker-retry-ms")
+                    .parse()
+                    .expect("--breaker-retry-ms")
+            }
             other => panic!("unknown flag: {other}"),
         }
     }
@@ -64,6 +99,11 @@ fn main() {
     serve_config.workers = args.workers;
     serve_config.queue_capacity = args.queue;
     serve_config.idle_timeout = (args.idle_ms > 0).then(|| Duration::from_millis(args.idle_ms));
+    serve_config.step_timeout = (args.step_ms > 0).then(|| Duration::from_millis(args.step_ms));
+    serve_config.resume_capacity = args.resume_cap;
+    serve_config.breaker.queue_full_trip = args.breaker_fulls;
+    serve_config.breaker.open_for = Duration::from_millis(args.breaker_open_ms.max(1));
+    serve_config.breaker.retry_after_ms = args.breaker_retry_ms;
     let service = GcService::start(serve_config);
     let handle = listen_tcp(service, &args.addr).expect("bind listener");
     println!(

@@ -26,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod resume;
 pub mod scheduler;
 mod service;
 mod session;
@@ -35,6 +37,8 @@ use max_gc::channel::{ChannelStats, FrameKind, TransportError};
 use max_gc::Transport;
 use maxelerator::remote::derive_seed;
 
+pub use breaker::{Breaker, BreakerConfig};
+pub use resume::{ResumeRegistry, SessionCheckpoint};
 pub use scheduler::{JobRequest, JobResult, QueueFull, UnitPool};
 pub use service::{listen_tcp, GcService, ServeConfig, ServeHandle, ServeStats};
 pub use session::{SessionSummary, MAX_JOB_COLUMNS};

@@ -1,0 +1,190 @@
+//! Server-side round checkpoints for RESUME.
+//!
+//! When a session dies mid-job, the session thread deposits a
+//! [`SessionCheckpoint`] here: the session's seed material plus OT-sender
+//! snapshots at the last two element boundaries. A reconnecting client's
+//! RESUME is validated against the checkpoint (token, job, shape, and a
+//! snapshot at exactly the client's rollback point); the job is then
+//! re-garbled from its original seed and streamed from that boundary, so
+//! the stitched transcript is bit-identical to an uninterrupted run.
+//!
+//! Two snapshots always suffice: the client checkpoints *before* each
+//! element and the server snapshots *after* each element, so the client's
+//! rollback point is either the server's position or one element behind it
+//! (the frame in flight when the wire died).
+//!
+//! The registry is capacity-bounded with insertion-order eviction — an
+//! abandoned checkpoint costs memory only until enough newer failures
+//! arrive.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+use max_ot::iknp::OtExtSender;
+
+/// Everything needed to resume one interrupted session on a brand-new
+/// connection.
+#[derive(Clone, Debug)]
+pub struct SessionCheckpoint {
+    /// The interrupted session's id (registry key).
+    pub session_id: u64,
+    /// The session's resume secret (must be quoted back in RESUME).
+    pub resume_token: u64,
+    /// The session's derived seed (later job seeds continue from it).
+    pub session_seed: u64,
+    /// Job-id counter after the interrupted job completes.
+    pub next_job: u64,
+    /// The interrupted job.
+    pub job_id: u64,
+    /// Column count of the interrupted job.
+    pub columns: u32,
+    /// The job's original accelerator seed (deterministic re-garble).
+    pub job_seed: u64,
+    /// `(elements_streamed, sender_state)` snapshots at the most recent
+    /// element boundaries, oldest first (at most two).
+    pub snapshots: Vec<(usize, OtExtSender)>,
+}
+
+impl SessionCheckpoint {
+    /// The sender snapshot at exactly `elements_done`, if held.
+    pub fn snapshot_at(&self, elements_done: usize) -> Option<&OtExtSender> {
+        self.snapshots
+            .iter()
+            .find(|(at, _)| *at == elements_done)
+            .map(|(_, sender)| sender)
+    }
+}
+
+/// Capacity-bounded store of [`SessionCheckpoint`]s keyed by session id,
+/// evicting the oldest entry when full. Capacity zero disables resumption
+/// entirely.
+pub struct ResumeRegistry {
+    capacity: usize,
+    // Insertion-ordered; lookups are rare (one per reconnect) so a scan
+    // beats the bookkeeping of an index.
+    entries: Mutex<VecDeque<SessionCheckpoint>>,
+}
+
+impl std::fmt::Debug for ResumeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResumeRegistry")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ResumeRegistry {
+    /// Creates a registry holding at most `capacity` checkpoints.
+    pub fn new(capacity: usize) -> ResumeRegistry {
+        ResumeRegistry {
+            capacity,
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Deposits (or replaces) the checkpoint for a session, evicting the
+    /// oldest entry if the registry is full. No-op when capacity is zero.
+    pub fn save(&self, checkpoint: SessionCheckpoint) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.retain(|c| c.session_id != checkpoint.session_id);
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(checkpoint);
+        max_telemetry::counter_add("serve.resume.saved", 1);
+    }
+
+    /// Clones the checkpoint for `session_id`, leaving it in place — a
+    /// failed resume attempt must not destroy the state a later attempt
+    /// needs.
+    pub fn lookup(&self, session_id: u64) -> Option<SessionCheckpoint> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|c| c.session_id == session_id)
+            .cloned()
+    }
+
+    /// Drops the checkpoint for `session_id` (after a successful resumed
+    /// job, or a clean BYE).
+    pub fn remove(&self, session_id: u64) {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|c| c.session_id != session_id);
+    }
+
+    /// Checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the registry holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use max_ot::iknp;
+
+    fn checkpoint(session_id: u64) -> SessionCheckpoint {
+        let (sender, _receiver) = iknp::setup_pair(session_id);
+        SessionCheckpoint {
+            session_id,
+            resume_token: session_id ^ 0x7e57,
+            session_seed: 1,
+            next_job: 1,
+            job_id: 0,
+            columns: 1,
+            job_seed: 2,
+            snapshots: vec![(0, sender.clone()), (1, sender)],
+        }
+    }
+
+    #[test]
+    fn save_lookup_remove_round_trip() {
+        let registry = ResumeRegistry::new(4);
+        assert!(registry.is_empty());
+        registry.save(checkpoint(7));
+        let got = registry.lookup(7).unwrap();
+        assert_eq!(got.resume_token, 7 ^ 0x7e57);
+        assert!(got.snapshot_at(1).is_some());
+        assert!(got.snapshot_at(2).is_none());
+        // Peek, not take: still present.
+        assert!(registry.lookup(7).is_some());
+        registry.remove(7);
+        assert!(registry.lookup(7).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_zero_disables() {
+        let registry = ResumeRegistry::new(2);
+        registry.save(checkpoint(1));
+        registry.save(checkpoint(2));
+        registry.save(checkpoint(3));
+        assert_eq!(registry.len(), 2);
+        assert!(registry.lookup(1).is_none());
+        assert!(registry.lookup(2).is_some());
+        assert!(registry.lookup(3).is_some());
+        // Re-saving a session replaces, not duplicates.
+        registry.save(checkpoint(3));
+        assert_eq!(registry.len(), 2);
+
+        let disabled = ResumeRegistry::new(0);
+        disabled.save(checkpoint(1));
+        assert!(disabled.lookup(1).is_none());
+    }
+}

@@ -10,9 +10,11 @@
 //! (reject-with-retry-hint) frame — backpressure instead of unbounded
 //! memory growth.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use maxelerator::remote::{garble_matvec_job, GarbledJob};
@@ -81,7 +83,7 @@ impl FairQueue {
     /// Admits a job or reports the queue full. Returns the depth after the
     /// push.
     fn push(&self, job: QueuedJob) -> Result<usize, QueueFull> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.closed || state.len >= self.capacity {
             return Err(QueueFull {
                 queue_depth: state.len,
@@ -104,43 +106,63 @@ impl FairQueue {
     /// Takes the next job in round-robin session order; blocks while the
     /// queue is empty or paused. Returns `None` once closed and drained.
     fn pop(&self) -> Option<QueuedJob> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if state.len > 0 && !state.paused {
-                let session = state.rotation.pop_front().expect("rotation tracks len");
-                let queue = state
-                    .per_session
-                    .get_mut(&session)
-                    .expect("rotation entries have queues");
-                let job = queue.pop_front().expect("queued sessions are non-empty");
-                if queue.is_empty() {
-                    state.per_session.remove(&session);
-                } else {
-                    state.rotation.push_back(session);
+                let mut popped = None;
+                if let Some(session) = state.rotation.pop_front() {
+                    if let Some(queue) = state.per_session.get_mut(&session) {
+                        popped = queue.pop_front();
+                        if queue.is_empty() {
+                            state.per_session.remove(&session);
+                        } else {
+                            state.rotation.push_back(session);
+                        }
+                    }
                 }
-                state.len -= 1;
-                return Some(job);
+                if let Some(job) = popped {
+                    state.len -= 1;
+                    return Some(job);
+                }
+                // Bookkeeping skew is impossible by construction, but a
+                // worker must never panic while holding the queue: rebuild
+                // the rotation/len from the ground truth and retry.
+                state.len = state.per_session.values().map(VecDeque::len).sum();
+                state.rotation = state.per_session.keys().copied().collect();
+                continue;
             }
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue poisoned");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn resume(&self) {
-        self.state.lock().expect("queue poisoned").paused = false;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .paused = false;
         self.ready.notify_all();
     }
 
     /// Stops admissions; workers drain what is already queued, then exit.
     fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.ready.notify_all();
     }
 
     fn depth(&self) -> usize {
-        self.state.lock().expect("queue poisoned").len
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len
     }
 }
 
@@ -178,11 +200,13 @@ impl UnitPool {
     ) -> UnitPool {
         let queue = Arc::new(FairQueue::new(queue_capacity, start_paused));
         let worker_count = workers.max(1);
-        let handles = (0..worker_count)
-            .map(|w| {
+        let handles: Vec<JoinHandle<()>> = (0..worker_count)
+            .filter_map(|w| {
                 let queue = Arc::clone(&queue);
                 let config = config.clone();
                 let weights = Arc::clone(&weights);
+                // A unit that fails to spawn (thread exhaustion) just
+                // shrinks the pool; the queue still drains through the rest.
                 std::thread::Builder::new()
                     .name(format!("gc-unit-{w}"))
                     .spawn(move || {
@@ -198,9 +222,10 @@ impl UnitPool {
                             let _ = job.reply.send(result);
                         }
                     })
-                    .expect("spawn garbling unit")
+                    .ok()
             })
             .collect();
+        let worker_count = handles.len().max(1);
         UnitPool {
             queue,
             workers: Mutex::new(handles),
@@ -248,7 +273,8 @@ impl UnitPool {
     /// and join them.
     pub fn shutdown(&self) {
         self.queue.close();
-        let handles = std::mem::take(&mut *self.workers.lock().expect("pool poisoned"));
+        let handles =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
         for handle in handles {
             let _ = handle.join();
         }

@@ -1,20 +1,26 @@
 //! The service: session manager + unit pool + transport listeners.
 //!
-//! [`GcService`] owns the model, the worker pool, and every session thread.
-//! Clients reach it two ways — [`GcService::connect`] returns the client
-//! half of an in-memory [`Duplex`] wire, and [`listen_tcp`] accepts real
-//! sockets — and both run the exact same session protocol.
+//! [`GcService`] owns the model, the worker pool, every session thread,
+//! the [`ResumeRegistry`] of round checkpoints, and the load-shedding
+//! [`Breaker`]. Clients reach it two ways — [`GcService::connect`] returns
+//! the client half of an in-memory [`Duplex`] wire, and [`listen_tcp`]
+//! accepts real sockets — and both run the exact same session protocol.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use max_gc::channel::Duplex;
 use max_gc::{FramedTcp, Transport};
+use max_rng::HealthMonitor;
 use maxelerator::AcceleratorConfig;
 
+use crate::breaker::{Breaker, BreakerConfig};
+use crate::resume::ResumeRegistry;
 use crate::scheduler::UnitPool;
 use crate::session::run_session;
 
@@ -36,13 +42,23 @@ pub struct ServeConfig {
     /// Reap sessions idle longer than this (transports that support
     /// timeouts — TCP — only; the in-memory wire is always attended).
     pub idle_timeout: Option<Duration>,
+    /// Per-protocol-step deadline during a job's lock-step exchange: a
+    /// client that stalls mid-job longer than this gets its connection
+    /// reaped (and a checkpoint saved for RESUME). Falls back to
+    /// `idle_timeout` when unset.
+    pub step_timeout: Option<Duration>,
+    /// Round checkpoints held for interrupted sessions (0 disables RESUME).
+    pub resume_capacity: usize,
+    /// Load-shedding breaker tuning.
+    pub breaker: BreakerConfig,
     /// Start with the unit pool paused (deterministic backpressure tests).
     pub start_paused: bool,
 }
 
 impl ServeConfig {
-    /// Sensible defaults: 2 units, queue of 16, 10 ms retry hint, no idle
-    /// timeout.
+    /// Sensible defaults: 2 units, queue of 16, 10 ms retry hint, no
+    /// timeouts, 64 resume checkpoints, breaker tripping only on explicit
+    /// health alarms.
     pub fn new(config: AcceleratorConfig, weights: Vec<Vec<i64>>, base_seed: u64) -> ServeConfig {
         ServeConfig {
             config,
@@ -52,6 +68,9 @@ impl ServeConfig {
             queue_capacity: 16,
             retry_after_ms: 10,
             idle_timeout: None,
+            step_timeout: None,
+            resume_capacity: 64,
+            breaker: BreakerConfig::default(),
             start_paused: false,
         }
     }
@@ -68,6 +87,14 @@ pub struct ServeStats {
     pub jobs_completed: u64,
     /// Jobs turned away with BUSY.
     pub busy_rejections: u64,
+    /// Jobs continued from a round checkpoint after a reconnect.
+    pub jobs_resumed: u64,
+    /// Round checkpoints deposited by dying sessions.
+    pub checkpoints_saved: u64,
+    /// Times the load-shedding breaker tripped open.
+    pub breaker_trips: u64,
+    /// Sessions/jobs turned away by an open breaker.
+    pub shed: u64,
 }
 
 /// Shared state behind a [`GcService`] (one per service, `Arc`-shared with
@@ -79,12 +106,17 @@ pub(crate) struct ServiceShared {
     pub(crate) pool: UnitPool,
     pub(crate) retry_after_ms: u32,
     pub(crate) idle_timeout: Option<Duration>,
+    pub(crate) step_timeout: Option<Duration>,
+    pub(crate) resume: ResumeRegistry,
+    pub(crate) breaker: Breaker,
     draining: AtomicBool,
     next_session: AtomicU64,
     sessions_started: AtomicU64,
     sessions_errored: AtomicU64,
     jobs_completed: AtomicU64,
     busy_rejections: AtomicU64,
+    jobs_resumed: AtomicU64,
+    checkpoints_saved: AtomicU64,
 }
 
 impl ServiceShared {
@@ -140,12 +172,17 @@ impl GcService {
                 pool,
                 retry_after_ms: cfg.retry_after_ms,
                 idle_timeout: cfg.idle_timeout,
+                step_timeout: cfg.step_timeout,
+                resume: ResumeRegistry::new(cfg.resume_capacity),
+                breaker: Breaker::new(cfg.breaker),
                 draining: AtomicBool::new(false),
                 next_session: AtomicU64::new(0),
                 sessions_started: AtomicU64::new(0),
                 sessions_errored: AtomicU64::new(0),
                 jobs_completed: AtomicU64::new(0),
                 busy_rejections: AtomicU64::new(0),
+                jobs_resumed: AtomicU64::new(0),
+                checkpoints_saved: AtomicU64::new(0),
             }),
             session_threads: Arc::new(Mutex::new(Vec::new())),
         }
@@ -158,29 +195,44 @@ impl GcService {
         let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
         shared.sessions_started.fetch_add(1, Ordering::Relaxed);
         max_telemetry::counter_add("serve.sessions.started", 1);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("gc-session-{session_id}"))
-            .spawn(move || match run_session(&shared, transport, session_id) {
-                Ok(summary) => {
-                    shared
-                        .jobs_completed
-                        .fetch_add(summary.jobs_completed, Ordering::Relaxed);
-                    shared
-                        .busy_rejections
-                        .fetch_add(summary.busy_rejections, Ordering::Relaxed);
-                }
-                Err(_) => {
+            .spawn(move || {
+                let (summary, outcome) = run_session(&shared, transport, session_id);
+                // The tallies count either way — a session that died mid-job
+                // is exactly the one whose checkpoint counters matter.
+                shared
+                    .jobs_completed
+                    .fetch_add(summary.jobs_completed, Ordering::Relaxed);
+                shared
+                    .busy_rejections
+                    .fetch_add(summary.busy_rejections, Ordering::Relaxed);
+                shared
+                    .jobs_resumed
+                    .fetch_add(summary.jobs_resumed, Ordering::Relaxed);
+                shared
+                    .checkpoints_saved
+                    .fetch_add(summary.checkpoints_saved, Ordering::Relaxed);
+                if outcome.is_err() {
                     // Hostile/broken peers are the session's problem, never
                     // the process's: account and move on.
                     shared.sessions_errored.fetch_add(1, Ordering::Relaxed);
                     max_telemetry::counter_add("serve.sessions.errored", 1);
                 }
-            })
-            .expect("spawn session thread");
-        self.session_threads
-            .lock()
-            .expect("session registry poisoned")
-            .push(handle);
+            });
+        match spawned {
+            Ok(handle) => self
+                .session_threads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(handle),
+            Err(_) => {
+                // Thread exhaustion: drop the transport (the peer sees a
+                // disconnect) rather than taking the process down.
+                self.shared.sessions_errored.fetch_add(1, Ordering::Relaxed);
+                max_telemetry::counter_add("serve.sessions.spawn_failed", 1);
+            }
+        }
     }
 
     /// Opens an in-memory session and returns the client endpoint, ready
@@ -201,13 +253,18 @@ impl GcService {
         self.shared.pool.depth()
     }
 
+    /// Round checkpoints currently held for interrupted sessions.
+    pub fn resume_checkpoints(&self) -> usize {
+        self.shared.resume.len()
+    }
+
     /// Releases a pool started with `start_paused`.
     pub fn resume_workers(&self) {
         self.shared.pool.resume();
     }
 
     /// Stops accepting new sessions (handshakes get REJECT: draining);
-    /// existing sessions keep running.
+    /// existing sessions keep running, and RESUME is still honored.
     pub fn drain(&self) {
         self.shared.draining.store(true, Ordering::Release);
     }
@@ -217,6 +274,33 @@ impl GcService {
         self.shared.is_draining()
     }
 
+    /// Opens the load-shedding breaker for its configured window: new
+    /// sessions get `REJECT(overload)`, job requests get `BUSY`.
+    pub fn trip_breaker(&self) {
+        self.shared.breaker.trip();
+    }
+
+    /// Force-closes the breaker (operator override).
+    pub fn reset_breaker(&self) {
+        self.shared.breaker.reset();
+    }
+
+    /// Whether the breaker is currently shedding load.
+    pub fn breaker_open(&self) -> bool {
+        self.shared.breaker.is_open()
+    }
+
+    /// Trips the breaker if the RNG health monitor has raised any alarm —
+    /// the serving-layer reaction to the paper's on-chip health checks.
+    /// Returns whether it tripped.
+    pub fn observe_health(&self, monitor: &HealthMonitor) -> bool {
+        if monitor.alarmed() {
+            self.shared.breaker.trip();
+            return true;
+        }
+        false
+    }
+
     /// Snapshot of the aggregate counters.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
@@ -224,6 +308,10 @@ impl GcService {
             sessions_errored: self.shared.sessions_errored.load(Ordering::Relaxed),
             jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
             busy_rejections: self.shared.busy_rejections.load(Ordering::Relaxed),
+            jobs_resumed: self.shared.jobs_resumed.load(Ordering::Relaxed),
+            checkpoints_saved: self.shared.checkpoints_saved.load(Ordering::Relaxed),
+            breaker_trips: self.shared.breaker.trips(),
+            shed: self.shared.breaker.sheds(),
         }
     }
 
@@ -235,7 +323,7 @@ impl GcService {
             &mut *self
                 .session_threads
                 .lock()
-                .expect("session registry poisoned"),
+                .unwrap_or_else(PoisonError::into_inner),
         );
         for handle in handles {
             let _ = handle.join();

@@ -1,18 +1,32 @@
-//! Per-session protocol loop: handshake, job dispatch, idle reaping.
+//! Per-session protocol loop: handshake or resume, job dispatch,
+//! heartbeats, round checkpoints, idle reaping.
 //!
 //! One session = one client connection = one thread (blocking transports).
 //! The loop owns the transport and the session's OT sender state; garbling
 //! happens elsewhere, on the unit pool, so a slow client streaming rounds
 //! never occupies a garbling unit.
+//!
+//! A connection opens with either HELLO (fresh session) or RESUME
+//! (reconnect into an interrupted job, validated against the
+//! [`ResumeRegistry`](crate::resume::ResumeRegistry)). During the
+//! lock-step job exchange the transport runs under the per-step deadline;
+//! between jobs it falls back to the idle timeout, and PING/PONG
+//! heartbeats keep an intentionally quiet session alive.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::VecDeque;
 
 use max_gc::Transport;
-use max_ot::iknp;
+use max_ot::iknp::{self, OtExtSender};
 use maxelerator::remote::{
-    derive_seed, recv_control, send_control, stream_matvec_job, ControlMsg, PROTOCOL_VERSION,
-    REJECT_DRAINING, REJECT_VERSION, REJECT_WIDTH,
+    derive_seed, recv_control, send_control, stream_matvec_job_from, ControlMsg, GarbledJob,
+    PROTOCOL_VERSION, REJECT_DRAINING, REJECT_OVERLOAD, REJECT_RESUME, REJECT_VERSION,
+    REJECT_WIDTH,
 };
 use maxelerator::AcceleratorError;
 
+use crate::resume::SessionCheckpoint;
 use crate::service::ServiceShared;
 
 /// Largest matmul a single job request may ask for (columns).
@@ -21,118 +35,344 @@ pub const MAX_JOB_COLUMNS: u32 = 64;
 /// How one session ended, with its tallies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionSummary {
-    /// Server-assigned session id.
+    /// Server-assigned session id (the *resumed* id for reconnects).
     pub session_id: u64,
     /// Jobs garbled and streamed to completion.
     pub jobs_completed: u64,
     /// Jobs turned away with BUSY.
     pub busy_rejections: u64,
+    /// Jobs continued from a round checkpoint on this connection.
+    pub jobs_resumed: u64,
+    /// Round checkpoints deposited when this connection died mid-job.
+    pub checkpoints_saved: u64,
     /// The session ended because the idle timeout fired.
     pub idle_reaped: bool,
-    /// The handshake was refused (draining / version / width).
+    /// The handshake was refused (draining / version / width / overload /
+    /// unknown resume).
     pub rejected: bool,
+}
+
+/// Identity and seed material of a live session, common to the fresh and
+/// resumed entry paths.
+struct SessionCtx {
+    session_id: u64,
+    session_seed: u64,
+    resume_token: u64,
+    next_job: u64,
+}
+
+/// Identity of one streamed job: what a [`SessionCheckpoint`] must record
+/// to rebuild it after a disconnect.
+struct JobRun {
+    job_id: u64,
+    columns: u32,
+    job_seed: u64,
+    start_element: usize,
+}
+
+/// Streams one job under the per-step deadline, snapshotting the OT sender
+/// at each element boundary; on failure deposits a [`SessionCheckpoint`]
+/// covering the client's two possible rollback points.
+fn stream_job_checkpointed<T: Transport>(
+    shared: &ServiceShared,
+    summary: &mut SessionSummary,
+    transport: &mut T,
+    ctx: &SessionCtx,
+    job: &GarbledJob,
+    ot_sender: &mut OtExtSender,
+    run: &JobRun,
+) -> Result<(), AcceleratorError> {
+    let mut snapshots: VecDeque<(usize, OtExtSender)> = VecDeque::with_capacity(3);
+    snapshots.push_back((run.start_element, ot_sender.clone()));
+    if shared.step_timeout.is_some() {
+        transport.set_idle_timeout(shared.step_timeout);
+    }
+    let result = stream_matvec_job_from(
+        transport,
+        job,
+        ot_sender,
+        run.job_id,
+        run.start_element,
+        |next, sender| {
+            snapshots.push_back((next, sender.clone()));
+            if snapshots.len() > 2 {
+                snapshots.pop_front();
+            }
+        },
+    );
+    transport.set_idle_timeout(shared.idle_timeout);
+    match result {
+        Ok(_) => Ok(()),
+        Err(err) => {
+            shared.resume.save(SessionCheckpoint {
+                session_id: ctx.session_id,
+                resume_token: ctx.resume_token,
+                session_seed: ctx.session_seed,
+                next_job: run.job_id + 1,
+                job_id: run.job_id,
+                columns: run.columns,
+                job_seed: run.job_seed,
+                snapshots: snapshots.into_iter().collect(),
+            });
+            summary.checkpoints_saved += 1;
+            max_telemetry::counter_add("serve.resume.checkpoints", 1);
+            Err(err)
+        }
+    }
 }
 
 /// Runs one session over `transport` until BYE, disconnect, idle timeout,
 /// or a protocol violation.
 ///
-/// # Errors
-///
-/// Returns the error that killed the session; clean closes (BYE,
-/// disconnect between jobs, idle timeout, handshake rejection) are `Ok`.
+/// Always returns the session's tallies — a session that dies mid-job is
+/// exactly the one whose checkpoint/jobs counters matter — alongside how it
+/// ended: `Ok` for clean closes (BYE, disconnect between jobs, idle
+/// timeout, handshake rejection), the killing error otherwise.
 pub(crate) fn run_session<T: Transport>(
     shared: &ServiceShared,
     mut transport: T,
     session_id: u64,
-) -> Result<SessionSummary, AcceleratorError> {
+) -> (SessionSummary, Result<(), AcceleratorError>) {
     let mut summary = SessionSummary {
         session_id,
         ..SessionSummary::default()
     };
+    let outcome = session_loop(shared, &mut transport, session_id, &mut summary);
+    (summary, outcome)
+}
+
+fn session_loop<T: Transport>(
+    shared: &ServiceShared,
+    transport: &mut T,
+    session_id: u64,
+    summary: &mut SessionSummary,
+) -> Result<(), AcceleratorError> {
     transport.set_idle_timeout(shared.idle_timeout);
 
-    let (version, bit_width) = match recv_control(&mut transport) {
-        Ok(ControlMsg::Hello { version, bit_width }) => (version, bit_width),
-        Ok(_) => {
-            return Err(AcceleratorError::Protocol {
-                what: "expected HELLO",
-            })
-        }
-        Err(AcceleratorError::Disconnected) => return Ok(summary),
+    let first = match recv_control(transport) {
+        Ok(msg) => msg,
+        Err(AcceleratorError::Disconnected) => return Ok(()),
         Err(AcceleratorError::Transport(max_gc::channel::TransportError::TimedOut)) => {
             summary.idle_reaped = true;
             max_telemetry::counter_add("serve.sessions.idle_reaped", 1);
-            return Ok(summary);
+            return Ok(());
         }
         Err(e) => return Err(e),
     };
 
-    let reject = |transport: &mut T, code: u8, detail: u32| -> Result<(), AcceleratorError> {
+    let reject = |transport: &mut T,
+                  summary: &mut SessionSummary,
+                  code: u8,
+                  detail: u32|
+     -> Result<(), AcceleratorError> {
+        summary.rejected = true;
         send_control(transport, &ControlMsg::Reject { code, detail })
     };
-    if shared.is_draining() {
-        reject(&mut transport, REJECT_DRAINING, 0)?;
-        summary.rejected = true;
-        return Ok(summary);
-    }
-    if version != PROTOCOL_VERSION {
-        reject(&mut transport, REJECT_VERSION, u32::from(PROTOCOL_VERSION))?;
-        summary.rejected = true;
-        return Ok(summary);
-    }
-    if bit_width as usize != shared.config.bit_width {
-        reject(&mut transport, REJECT_WIDTH, shared.config.bit_width as u32)?;
-        summary.rejected = true;
-        return Ok(summary);
-    }
 
-    let session_seed = derive_seed(shared.base_seed, session_id);
-    let ot_seed = derive_seed(session_seed, 0x07);
-    send_control(
-        &mut transport,
-        &ControlMsg::Accept {
-            session_id,
-            ot_seed,
-            rows: shared.weights.len() as u32,
-            cols: shared.weights.first().map_or(0, Vec::len) as u32,
-            bit_width: shared.config.bit_width as u32,
-            acc_width: shared.config.acc_width as u32,
-            signed: shared.config.signed,
-            freq_mhz_bits: shared.config.freq_mhz.to_bits(),
-        },
-    )?;
-    let (mut ot_sender, _client_half) = iknp::setup_pair(ot_seed);
+    let (mut ctx, mut ot_sender) = match first {
+        ControlMsg::Hello { version, bit_width } => {
+            if shared.is_draining() {
+                reject(transport, summary, REJECT_DRAINING, 0)?;
+                return Ok(());
+            }
+            if shared.breaker.should_shed() {
+                reject(
+                    transport,
+                    summary,
+                    REJECT_OVERLOAD,
+                    shared.breaker.config().retry_after_ms,
+                )?;
+                return Ok(());
+            }
+            if version != PROTOCOL_VERSION {
+                reject(
+                    transport,
+                    summary,
+                    REJECT_VERSION,
+                    u32::from(PROTOCOL_VERSION),
+                )?;
+                return Ok(());
+            }
+            if bit_width as usize != shared.config.bit_width {
+                reject(
+                    transport,
+                    summary,
+                    REJECT_WIDTH,
+                    shared.config.bit_width as u32,
+                )?;
+                return Ok(());
+            }
+            let session_seed = derive_seed(shared.base_seed, session_id);
+            let ot_seed = derive_seed(session_seed, 0x07);
+            let resume_token = derive_seed(session_seed, 0x7e57);
+            send_control(
+                transport,
+                &ControlMsg::Accept {
+                    session_id,
+                    ot_seed,
+                    resume_token,
+                    rows: shared.weights.len() as u32,
+                    cols: shared.weights.first().map_or(0, Vec::len) as u32,
+                    bit_width: shared.config.bit_width as u32,
+                    acc_width: shared.config.acc_width as u32,
+                    signed: shared.config.signed,
+                    freq_mhz_bits: shared.config.freq_mhz.to_bits(),
+                },
+            )?;
+            let (ot_sender, _client_half) = iknp::setup_pair(ot_seed);
+            (
+                SessionCtx {
+                    session_id,
+                    session_seed,
+                    resume_token,
+                    next_job: 0,
+                },
+                ot_sender,
+            )
+        }
+        ControlMsg::Resume {
+            session_id: resumed_id,
+            resume_token,
+            job_id,
+            columns,
+            elements_done,
+        } => {
+            // Resumes finish work already admitted: allowed while draining
+            // and while the breaker sheds new load.
+            let checkpoint = shared.resume.lookup(resumed_id);
+            let valid = checkpoint.as_ref().is_some_and(|cp| {
+                cp.resume_token == resume_token
+                    && cp.job_id == job_id
+                    && cp.columns == columns
+                    && cp.snapshot_at(elements_done as usize).is_some()
+            });
+            let Some(checkpoint) = checkpoint.filter(|_| valid) else {
+                reject(transport, summary, REJECT_RESUME, 0)?;
+                return Ok(());
+            };
+            summary.session_id = resumed_id;
+            let request = crate::scheduler::JobRequest {
+                session_id: resumed_id,
+                job_id,
+                columns,
+                seed: checkpoint.job_seed,
+            };
+            let result_rx = match shared.pool.submit(request) {
+                Ok(rx) => rx,
+                Err(full) => {
+                    // The checkpoint stays put; the client backs off and
+                    // re-sends RESUME on its next connection.
+                    summary.busy_rejections += 1;
+                    send_control(
+                        transport,
+                        &ControlMsg::Busy {
+                            retry_after_ms: shared.retry_after_ms,
+                            queue_depth: full.queue_depth as u32,
+                        },
+                    )?;
+                    return Ok(());
+                }
+            };
+            let start_element = elements_done as usize;
+            let Some(sender) = checkpoint.snapshot_at(start_element).cloned() else {
+                // Unreachable given `valid`, but never panic on peer input.
+                reject(transport, summary, REJECT_RESUME, 0)?;
+                return Ok(());
+            };
+            let mut ot_sender = sender;
+            let job = result_rx.recv().map_err(|_| AcceleratorError::Protocol {
+                what: "unit pool shut down mid-job",
+            })??;
+            let ctx = SessionCtx {
+                session_id: resumed_id,
+                session_seed: checkpoint.session_seed,
+                resume_token: checkpoint.resume_token,
+                next_job: checkpoint.next_job,
+            };
+            stream_job_checkpointed(
+                shared,
+                summary,
+                transport,
+                &ctx,
+                &job,
+                &mut ot_sender,
+                &JobRun {
+                    job_id,
+                    columns,
+                    job_seed: checkpoint.job_seed,
+                    start_element,
+                },
+            )?;
+            shared.resume.remove(resumed_id);
+            summary.jobs_completed += 1;
+            summary.jobs_resumed += 1;
+            max_telemetry::counter_add("serve.jobs.resumed", 1);
+            max_telemetry::counter_add("serve.jobs.completed", 1);
+            (ctx, ot_sender)
+        }
+        _ => {
+            return Err(AcceleratorError::Protocol {
+                what: "expected HELLO or RESUME",
+            })
+        }
+    };
 
-    let mut next_job = 0u64;
     loop {
-        match recv_control(&mut transport) {
+        match recv_control(transport) {
             Ok(ControlMsg::JobRequest { columns }) => {
                 if columns == 0 || columns > MAX_JOB_COLUMNS {
                     return Err(AcceleratorError::Protocol {
                         what: "JOB column count out of range",
                     });
                 }
-                let job_id = next_job;
+                if shared.breaker.should_shed() {
+                    summary.busy_rejections += 1;
+                    send_control(
+                        transport,
+                        &ControlMsg::Busy {
+                            retry_after_ms: shared.breaker.config().retry_after_ms,
+                            queue_depth: shared.pool.depth() as u32,
+                        },
+                    )?;
+                    continue;
+                }
+                let job_id = ctx.next_job;
+                let job_seed = derive_seed(ctx.session_seed, 0x100 + job_id);
                 let request = crate::scheduler::JobRequest {
-                    session_id,
+                    session_id: ctx.session_id,
                     job_id,
                     columns,
-                    seed: derive_seed(session_seed, 0x100 + job_id),
+                    seed: job_seed,
                 };
                 match shared.pool.submit(request) {
                     Ok(result_rx) => {
-                        next_job += 1;
+                        shared.breaker.note_ok();
+                        ctx.next_job += 1;
                         let job = result_rx.recv().map_err(|_| AcceleratorError::Protocol {
                             what: "unit pool shut down mid-job",
                         })??;
-                        stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id)?;
+                        stream_job_checkpointed(
+                            shared,
+                            summary,
+                            transport,
+                            &ctx,
+                            &job,
+                            &mut ot_sender,
+                            &JobRun {
+                                job_id,
+                                columns,
+                                job_seed,
+                                start_element: 0,
+                            },
+                        )?;
                         summary.jobs_completed += 1;
                         max_telemetry::counter_add("serve.jobs.completed", 1);
                     }
                     Err(full) => {
+                        shared.breaker.note_queue_full();
                         summary.busy_rejections += 1;
                         send_control(
-                            &mut transport,
+                            transport,
                             &ControlMsg::Busy {
                                 retry_after_ms: shared.retry_after_ms,
                                 queue_depth: full.queue_depth as u32,
@@ -141,7 +381,17 @@ pub(crate) fn run_session<T: Transport>(
                     }
                 }
             }
-            Ok(ControlMsg::Bye) | Err(AcceleratorError::Disconnected) => break,
+            Ok(ControlMsg::Ping { nonce }) => {
+                send_control(transport, &ControlMsg::Pong { nonce })?;
+                max_telemetry::counter_add("serve.heartbeats", 1);
+            }
+            Ok(ControlMsg::Bye) => {
+                // A clean goodbye retires any stale checkpoint this session
+                // id left behind on an earlier connection.
+                shared.resume.remove(ctx.session_id);
+                break;
+            }
+            Err(AcceleratorError::Disconnected) => break,
             Err(AcceleratorError::Transport(max_gc::channel::TransportError::TimedOut)) => {
                 summary.idle_reaped = true;
                 max_telemetry::counter_add("serve.sessions.idle_reaped", 1);
@@ -149,12 +399,12 @@ pub(crate) fn run_session<T: Transport>(
             }
             Ok(_) => {
                 return Err(AcceleratorError::Protocol {
-                    what: "expected JOB or BYE",
+                    what: "expected JOB, PING, or BYE",
                 })
             }
             Err(e) => return Err(e),
         }
     }
     max_telemetry::histogram_record("serve.session.jobs", summary.jobs_completed);
-    Ok(summary)
+    Ok(())
 }

@@ -1,0 +1,459 @@
+//! Chaos end-to-end tests: deterministic mid-job kills with RESUME
+//! stitching, the self-healing client riding through cuts and lost
+//! checkpoints, breaker-driven load shedding, heartbeats, and a seeded
+//! fault soak over real TCP.
+//!
+//! The headline invariant: a job interrupted by a connection cut and
+//! continued over RESUME produces a stitched wire transcript that is
+//! **bit-identical** to an uninterrupted run — same frames, same bytes,
+//! same order, minus only the rolled-back partial element.
+
+use std::time::{Duration, Instant};
+
+use max_gc::{FaultSpec, FaultTransport, FramedTcp};
+use max_rng::HealthMonitor;
+use max_serve::{
+    demo_vector, demo_weights, listen_tcp, plain_matvec, GcService, RecordingTransport, ServeConfig,
+};
+use maxelerator::{
+    AcceleratorConfig, AcceleratorError, RemoteClient, ResilientClient, RetryPolicy,
+};
+
+const WIDTH: usize = 8;
+const ROWS: usize = 3;
+const COLS: usize = 3;
+const SEED: u64 = 0xC4A0;
+
+/// Client-side frame events per streamed element: 1 EXT send, 1 CIPHER
+/// receive, `COLS` ROUND receives.
+const EVENTS_PER_ELEMENT: u64 = 2 + COLS as u64;
+/// Handshake + job admission: HELLO send, ACCEPT recv, JOB send, READY recv.
+const HANDSHAKE_EVENTS: u64 = 4;
+
+fn demo_service(mutate: impl FnOnce(&mut ServeConfig)) -> GcService {
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let mut cfg = ServeConfig::new(AcceleratorConfig::new(WIDTH), weights, SEED);
+    mutate(&mut cfg);
+    GcService::start(cfg)
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A deterministic cut that dies partway through element `element`: the
+/// client survives the handshake, `element` full elements, and the EXT +
+/// CIPHER of the next one, then loses the connection on a ROUND receive.
+fn cut_mid_element(element: u64) -> u64 {
+    HANDSHAKE_EVENTS + element * EVENTS_PER_ELEMENT + 2
+}
+
+#[test]
+fn killed_mid_job_resumes_bit_identical_to_uninterrupted_run() {
+    let xs = vec![
+        demo_vector(COLS, WIDTH, SEED ^ 1),
+        demo_vector(COLS, WIDTH, SEED ^ 2),
+    ];
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let expected: Vec<Vec<i64>> = xs.iter().map(|x| plain_matvec(&weights, x)).collect();
+
+    // Reference: the same job, uninterrupted, on a fresh service with the
+    // same base seed (both runs are session 0, so every derived seed —
+    // session, OT, resume token, job — is identical).
+    let ref_service = demo_service(|_| {});
+    let mut ref_client =
+        RemoteClient::connect(RecordingTransport::new(ref_service.connect()), WIDTH)
+            .expect("reference handshake");
+    let (ref_ys, _) = ref_client.secure_matmul(&xs).expect("reference job");
+    assert_eq!(ref_ys, expected);
+    let ref_rec = ref_client.goodbye();
+    ref_service.shutdown();
+    let ref_sent = ref_rec.sent_frames();
+    let ref_recv = ref_rec.received_frames();
+    // HELLO, JOB, one EXT per element, BYE / ACCEPT, READY, (CIPHER +
+    // COLS ROUNDs) per element, STATS.
+    let elements = xs.len() * ROWS;
+    assert_eq!(ref_sent.len(), 2 + elements + 1);
+    assert_eq!(ref_recv.len(), 2 + elements * (1 + COLS) + 1);
+
+    // Chaos run: the wire dies partway through element 2 of 6.
+    let service = demo_service(|_| {});
+    let fault = FaultTransport::new(
+        RecordingTransport::new(service.connect()),
+        FaultSpec::none(SEED).with_cut_after(cut_mid_element(2)),
+    );
+    let mut client = RemoteClient::connect(fault, WIDTH).expect("chaos handshake");
+    let mut progress = client.start_job(&xs).expect("job admitted");
+    client
+        .run_job(&mut progress)
+        .expect_err("the cut must kill the run");
+    assert_eq!(
+        progress.elements_done(),
+        2,
+        "two elements completed before the cut"
+    );
+    let (dead, state) = client.into_parts();
+    let rec1 = dead.into_inner();
+    let conn1_sent = rec1.sent_frames().to_vec();
+    let conn1_recv = rec1.received_frames().to_vec();
+    // Release the dead connection so the server session observes the
+    // disconnect and deposits its round checkpoint.
+    drop(rec1);
+    wait_until("checkpoint to be saved", || {
+        service.stats().checkpoints_saved >= 1
+    });
+    assert_eq!(service.resume_checkpoints(), 1);
+
+    // Reconnect, RESUME, and finish the job on a second connection.
+    let mut client = RemoteClient::reattach(RecordingTransport::new(service.connect()), state);
+    client.resume_job(&mut progress).expect("RESUME accepted");
+    client.run_job(&mut progress).expect("resumed run");
+    let (ys, transcript) = progress.into_result();
+    assert_eq!(ys, expected, "resumed job must be correct");
+    assert_eq!(ys, ref_ys, "resumed job must match the uninterrupted run");
+    assert_eq!(transcript.elements, elements);
+    let rec2 = client.goodbye();
+    let conn2_sent = rec2.sent_frames();
+    let conn2_recv = rec2.received_frames();
+
+    // Stitch the two connections' transcripts and compare bit-for-bit.
+    //
+    // Down direction (server → client): conn1 carries ACCEPT, READY, and
+    // the data of the two completed elements plus the CIPHER of the
+    // rolled-back partial element; conn2 carries READY and everything from
+    // the rollback point on.
+    assert_eq!(conn1_recv.len(), 2 + 2 * (1 + COLS) + 1);
+    assert_eq!(conn1_recv[0], ref_recv[0], "ACCEPT diverged");
+    assert_eq!(conn1_recv[1], ref_recv[1], "READY diverged");
+    let completed = &conn1_recv[2..2 + 2 * (1 + COLS)];
+    assert_eq!(
+        completed,
+        &ref_recv[2..2 + 2 * (1 + COLS)],
+        "pre-cut element data diverged"
+    );
+    assert_eq!(conn2_recv[0], ref_recv[1], "resumed READY diverged");
+    assert_eq!(
+        &conn2_recv[1..],
+        &ref_recv[2 + 2 * (1 + COLS)..],
+        "post-resume data (elements 2..6 + STATS) diverged"
+    );
+
+    // Up direction (client → server): HELLO and JOB match, the stitched
+    // EXT stream (elements 0,1 from conn1, 2..6 from conn2) matches, and
+    // the replayed EXT of the rolled-back element is bit-identical to the
+    // one that died on the wire.
+    assert_eq!(conn1_sent.len(), 2 + 3, "HELLO, JOB, EXT x3");
+    assert_eq!(conn1_sent[0].1, ref_sent[0].1, "HELLO diverged");
+    assert_eq!(conn1_sent[1].1, ref_sent[1].1, "JOB diverged");
+    assert_eq!(conn1_sent[2].1, ref_sent[2].1);
+    assert_eq!(conn1_sent[3].1, ref_sent[3].1);
+    assert_eq!(
+        conn2_sent[1].1, conn1_sent[4].1,
+        "rolled-back EXT must replay bit-identically"
+    );
+    for (i, frame) in conn2_sent[1..1 + 4].iter().enumerate() {
+        assert_eq!(frame.1, ref_sent[4 + i].1, "stitched EXT {i} diverged");
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_resumed, 1);
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.checkpoints_saved, 1);
+    assert_eq!(service.resume_checkpoints(), 0, "checkpoint cleaned up");
+}
+
+#[test]
+fn resilient_client_rides_through_a_mid_job_cut() {
+    let service = demo_service(|_| {});
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let x = demo_vector(COLS, WIDTH, SEED ^ 9);
+
+    let svc = service.clone();
+    let mut dials = 0u64;
+    let mut client = ResilientClient::new(
+        move || {
+            dials += 1;
+            let spec = if dials == 1 {
+                // First connection dies partway through element 1 of 3.
+                FaultSpec::none(SEED).with_cut_after(cut_mid_element(1))
+            } else {
+                FaultSpec::none(SEED)
+            };
+            Ok(FaultTransport::new(svc.connect(), spec))
+        },
+        WIDTH,
+        RetryPolicy {
+            // Generous first backoff: the server must notice the dead
+            // connection and checkpoint before the RESUME arrives.
+            base_backoff_ms: 80,
+            ..RetryPolicy::default()
+        },
+    );
+    let (y, _) = client.secure_matvec(&x).expect("job survives the cut");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    let stats = client.stats().clone();
+    assert_eq!(stats.resumes, 1, "recovery must go through RESUME");
+    assert_eq!(stats.restarts, 0);
+    assert_eq!(
+        stats.reconnects, 1,
+        "initial dial only; recovery reattached"
+    );
+    client.goodbye();
+
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_resumed, 1);
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+#[test]
+fn lost_checkpoint_falls_back_to_a_fresh_restart() {
+    // Resumption disabled server-side: the checkpoint is never kept, so
+    // RESUME gets a typed REJECT and the client restarts from scratch.
+    let service = demo_service(|cfg| cfg.resume_capacity = 0);
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let x = demo_vector(COLS, WIDTH, SEED ^ 3);
+
+    let svc = service.clone();
+    let mut dials = 0u64;
+    let mut client = ResilientClient::new(
+        move || {
+            dials += 1;
+            let spec = if dials == 1 {
+                FaultSpec::none(SEED).with_cut_after(cut_mid_element(1))
+            } else {
+                FaultSpec::none(SEED)
+            };
+            Ok(FaultTransport::new(svc.connect(), spec))
+        },
+        WIDTH,
+        RetryPolicy {
+            base_backoff_ms: 40,
+            ..RetryPolicy::default()
+        },
+    );
+    let (y, _) = client.secure_matvec(&x).expect("restart still delivers");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    let stats = client.stats().clone();
+    assert_eq!(stats.resumes, 0, "no checkpoint to resume from");
+    assert_eq!(stats.restarts, 1, "job restarted from scratch");
+    client.goodbye();
+
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_resumed, 0);
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+#[test]
+fn tripped_breaker_sheds_typed_and_the_resilient_client_rides_it_out() {
+    let service = demo_service(|cfg| {
+        cfg.breaker.open_for = Duration::from_millis(120);
+        cfg.breaker.retry_after_ms = 15;
+    });
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+
+    // A session admitted before the trip stays alive but gets BUSY with
+    // the breaker's retry hint while the window is open.
+    let mut admitted = RemoteClient::connect(service.connect(), WIDTH).expect("handshake");
+    service.trip_breaker();
+    assert!(service.breaker_open());
+    let x = demo_vector(COLS, WIDTH, SEED ^ 4);
+    match admitted.secure_matvec(&x) {
+        Err(AcceleratorError::Busy { retry_after_ms }) => assert_eq!(retry_after_ms, 15),
+        other => panic!("expected Busy from an open breaker, got {other:?}"),
+    }
+
+    // A brand-new handshake gets the typed overload rejection.
+    match RemoteClient::connect(service.connect(), WIDTH) {
+        Err(AcceleratorError::Rejected { reason }) => {
+            assert!(reason.contains("shedding"), "unexpected reason: {reason}")
+        }
+        other => panic!("expected Rejected, got {:?}", other.map(|_| "client")),
+    }
+
+    // The resilient client backs off until the window closes, then lands.
+    let svc = service.clone();
+    let mut resilient = ResilientClient::new(
+        move || Ok(svc.connect()),
+        WIDTH,
+        RetryPolicy {
+            max_attempts: 20,
+            base_backoff_ms: 20,
+            ..RetryPolicy::default()
+        },
+    );
+    let (y, _) = resilient.secure_matvec(&x).expect("rides out the breaker");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    assert!(resilient.stats().busy_backoffs >= 1);
+    resilient.goodbye();
+
+    // The pre-trip session also recovers once the breaker closes.
+    wait_until("breaker to close", || !service.breaker_open());
+    let (y, _) = admitted.secure_matvec(&x).expect("post-window retry");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    admitted.goodbye();
+
+    let stats = service.shutdown();
+    assert!(stats.breaker_trips >= 1);
+    assert!(stats.shed >= 2, "BUSY shed + handshake shed");
+    assert_eq!(stats.busy_rejections, 1);
+}
+
+#[test]
+fn rng_health_alarm_trips_the_breaker() {
+    let service = demo_service(|_| {});
+    let mut healthy = HealthMonitor::new();
+    // Alternating bits: no repetition or proportion alarm.
+    for i in 0..256 {
+        healthy.observe(i % 2 == 0);
+    }
+    assert!(!service.observe_health(&healthy));
+    assert!(!service.breaker_open());
+
+    // A stuck-at-one source fires the repetition-count alarm, and the
+    // service reacts by shedding load — the paper's RNG health checks
+    // gating the fabric, lifted to the serving layer.
+    let mut stuck = HealthMonitor::new();
+    stuck.observe_all(&[true; 256]);
+    assert!(stuck.alarmed());
+    assert!(service.observe_health(&stuck));
+    assert!(service.breaker_open());
+    service.reset_breaker();
+    assert!(!service.breaker_open());
+    service.shutdown();
+}
+
+#[test]
+fn heartbeats_keep_a_quiet_session_alive_past_the_idle_deadline() {
+    let service = demo_service(|cfg| {
+        cfg.idle_timeout = Some(Duration::from_millis(150));
+    });
+    let handle = listen_tcp(service, "127.0.0.1:0").expect("bind");
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+
+    let tcp = FramedTcp::connect(handle.addr()).expect("connect");
+    let mut client = RemoteClient::connect(tcp, WIDTH).expect("handshake");
+    // Stay quiet for 2.4x the idle deadline, but heartbeat through it.
+    for nonce in 0..6u64 {
+        std::thread::sleep(Duration::from_millis(60));
+        client.ping(nonce).expect("PONG");
+    }
+    let x = demo_vector(COLS, WIDTH, SEED ^ 6);
+    let (y, _) = client.secure_matvec(&x).expect("session still alive");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    client.goodbye();
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.sessions_errored, 0);
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+#[test]
+fn seeded_soak_over_tcp_under_sustained_faults() {
+    // Four concurrent sessions over real TCP, each behind a lossy wire:
+    // dropped, truncated, and bit-flipped client frames at fixed seeded
+    // rates. Drops and truncations surface as timeouts/disconnects and are
+    // healed transparently (reconnect + RESUME/restart). A bit flip in OT
+    // traffic is *silent* — GC guarantees garbage, not detection, for
+    // tampered inputs — so the soak verifies every result against
+    // plaintext end-to-end and re-runs the rare corrupted job, exactly
+    // like a deployment would.
+    const SESSIONS: u64 = 4;
+    const JOBS: u64 = 3;
+    let service = demo_service(|cfg| {
+        cfg.workers = 2;
+        cfg.idle_timeout = Some(Duration::from_secs(5));
+        // Shorter than the clients' step deadline, so a checkpoint exists
+        // by the time the reconnect's RESUME arrives.
+        cfg.step_timeout = Some(Duration::from_millis(100));
+    });
+    let handle = listen_tcp(service, "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+
+    let recoveries = std::thread::scope(|scope| {
+        let mut threads = Vec::new();
+        for s in 0..SESSIONS {
+            let weights = &weights;
+            threads.push(scope.spawn(move || {
+                let mut dials = 0u64;
+                let mut client = ResilientClient::new(
+                    move || {
+                        dials += 1;
+                        // Fresh deterministic schedule per connection.
+                        let spec = FaultSpec::none(SEED ^ (s << 32) ^ dials)
+                            .with_drops(15)
+                            .with_truncation(10)
+                            .with_corruption(10)
+                            .with_delays(20, 3);
+                        Ok(FaultTransport::new(
+                            FramedTcp::connect(addr).map_err(AcceleratorError::from)?,
+                            spec,
+                        ))
+                    },
+                    WIDTH,
+                    RetryPolicy {
+                        max_attempts: 25,
+                        base_backoff_ms: 10,
+                        max_backoff_ms: 200,
+                        step_timeout: Some(Duration::from_millis(400)),
+                        jitter_seed: SEED ^ s,
+                    },
+                );
+                let mut wrong_results = 0u64;
+                for job in 0..JOBS {
+                    let x = demo_vector(COLS, WIDTH, SEED ^ (s << 16) ^ job);
+                    let expected = plain_matvec(weights, &x);
+                    let mut verified = false;
+                    for _try in 0..5 {
+                        let (y, _) = client
+                            .secure_matvec(&x)
+                            .unwrap_or_else(|e| panic!("session {s} job {job}: {e}"));
+                        if y == expected {
+                            verified = true;
+                            break;
+                        }
+                        // Silent OT corruption: detected end-to-end only.
+                        wrong_results += 1;
+                    }
+                    assert!(verified, "session {s} job {job} never verified");
+                }
+                let stats = client.stats().clone();
+                client.goodbye();
+                (stats, wrong_results)
+            }));
+        }
+        let mut total = (0u64, 0u64, 0u64, 0u64);
+        for t in threads {
+            let (stats, wrong) = t.join().expect("soak session panicked");
+            total.0 += stats.resumes;
+            total.1 += stats.restarts;
+            total.2 += stats.reconnects.saturating_sub(1);
+            total.3 += wrong;
+        }
+        total
+    });
+
+    // The service survived the whole storm: a clean session still works.
+    let tcp = FramedTcp::connect(addr).expect("connect");
+    let mut client = RemoteClient::connect(tcp, WIDTH).expect("post-soak handshake");
+    let x = demo_vector(COLS, WIDTH, SEED ^ 0xFF);
+    let (y, _) = client.secure_matvec(&x).expect("post-soak job");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    client.goodbye();
+
+    let stats = handle.shutdown();
+    assert!(
+        stats.jobs_completed >= SESSIONS * JOBS,
+        "all soak jobs (plus retries) completed: {stats:?}"
+    );
+    // The chosen seeds do inject faults that force recovery; if this ever
+    // fails the schedule went soft and the rates should be raised.
+    assert!(
+        recoveries.0 + recoveries.1 + recoveries.2 + recoveries.3 > 0,
+        "soak exercised no recovery path at all: {recoveries:?}"
+    );
+}

@@ -3,10 +3,22 @@
 //! corrupted ciphertext material yields garbage labels (wrong results),
 //! never silent partial corruption of *other* wires, and honest-but-curious
 //! transcripts never contain plaintext bits.
+//!
+//! The second half drives faults through the *transport layer* against a
+//! live [`GcService`]: oversized, truncated, duplicated, and reordered
+//! frames, plus a seeded [`FaultTransport`] chaos session — the service
+//! must shrug every one of them off while honest sessions keep completing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
 
 use max_crypto::Block;
 use max_gc::protocol::{run_two_party, trusted_transfer};
-use maxelerator::{AcceleratorConfig, Maxelerator, ScheduledEvaluator};
+use max_gc::{FaultSpec, FaultTransport, FramedTcp, Transport};
+use max_serve::{demo_vector, demo_weights, listen_tcp, plain_matvec, GcService, ServeConfig};
+use maxelerator::remote::{send_control, ControlMsg, PROTOCOL_VERSION};
+use maxelerator::{AcceleratorConfig, Maxelerator, RemoteClient, ScheduledEvaluator};
 
 fn one_round(seed: u64) -> (AcceleratorConfig, Maxelerator, maxelerator::RoundMessage) {
     let config = AcceleratorConfig::new(8);
@@ -151,4 +163,133 @@ fn transcript_never_contains_plaintext_input_bytes() {
     );
     // The result is the only disclosed plaintext.
     assert_eq!(max_netlist::decode_unsigned(&outcome.outputs), 0xA5 + 0x5A);
+}
+
+const SERVE_WIDTH: usize = 8;
+const SERVE_ROWS: usize = 2;
+const SERVE_COLS: usize = 2;
+const SERVE_SEED: u64 = 0xFA17;
+
+fn live_service() -> GcService {
+    let weights = demo_weights(SERVE_ROWS, SERVE_COLS, SERVE_WIDTH, SERVE_SEED);
+    let mut cfg = ServeConfig::new(AcceleratorConfig::new(SERVE_WIDTH), weights, SERVE_SEED);
+    // Bound every hostile session: a wedged peer is reaped, not leaked.
+    cfg.idle_timeout = Some(Duration::from_millis(500));
+    GcService::start(cfg)
+}
+
+fn honest_session_completes(addr: std::net::SocketAddr, tag: u64) {
+    let weights = demo_weights(SERVE_ROWS, SERVE_COLS, SERVE_WIDTH, SERVE_SEED);
+    let tcp = FramedTcp::connect(addr).expect("honest connect");
+    let mut client = RemoteClient::connect(tcp, SERVE_WIDTH).expect("honest handshake");
+    let x = demo_vector(SERVE_COLS, SERVE_WIDTH, SERVE_SEED ^ tag);
+    let (y, _) = client.secure_matvec(&x).expect("honest job");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    client.goodbye();
+}
+
+#[test]
+fn oversized_and_truncated_frames_leave_the_service_standing() {
+    let handle = listen_tcp(live_service(), "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    // Oversized: the length prefix promises 4 GiB. The server must refuse
+    // before allocating and hang up on the peer.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&[0u8]).expect("kind");
+        stream.write_all(&u32::MAX.to_be_bytes()).expect("len");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(stream.read(&mut buf).expect("read"), 0, "expected EOF");
+    }
+
+    // Truncated: the header promises 64 bytes, 10 arrive, the peer closes.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&[0u8]).expect("kind");
+        stream.write_all(&64u32.to_be_bytes()).expect("len");
+        stream.write_all(&[0xAB; 10]).expect("partial payload");
+    }
+
+    honest_session_completes(addr, 1);
+    let stats = handle.shutdown();
+    assert!(stats.sessions_errored >= 1, "oversized frame is an error");
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+#[test]
+fn duplicated_and_reordered_control_frames_are_typed_protocol_errors() {
+    let handle = listen_tcp(live_service(), "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    // Duplicated HELLO: the copy arrives where a JOB/PING/BYE belongs.
+    {
+        let mut tcp = FramedTcp::connect(addr).expect("connect");
+        let hello = ControlMsg::Hello {
+            version: PROTOCOL_VERSION,
+            bit_width: SERVE_WIDTH as u32,
+        };
+        send_control(&mut tcp, &hello).expect("hello");
+        send_control(&mut tcp, &hello).expect("duplicate hello");
+        // ACCEPT still arrives; then the server kills the session.
+        tcp.set_idle_timeout(Some(Duration::from_secs(10)));
+        let _accept = tcp.recv_frame().expect("accept");
+        assert!(tcp.recv_frame().is_err(), "expected the session to die");
+    }
+
+    // Reordered opening: a JOB where the HELLO belongs.
+    {
+        let mut tcp = FramedTcp::connect(addr).expect("connect");
+        send_control(&mut tcp, &ControlMsg::JobRequest { columns: 1 }).expect("early job");
+        tcp.set_idle_timeout(Some(Duration::from_secs(10)));
+        assert!(tcp.recv_frame().is_err(), "expected the session to die");
+    }
+
+    honest_session_completes(addr, 2);
+    let stats = handle.shutdown();
+    assert_eq!(
+        stats.sessions_errored, 2,
+        "both malformed openings are typed errors"
+    );
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+#[test]
+fn seeded_chaos_transport_cannot_panic_the_service() {
+    let handle = listen_tcp(live_service(), "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    // A client behind a heavily faulted wire: duplicated and reordered
+    // frames at 30%, drops at 10%, bit flips at 10%. Any *outcome* is
+    // acceptable for this client — a typed error, a timeout, even a wrong
+    // (garbage) result, since GC promises garbage rather than detection
+    // for tampered OT traffic — but nothing may panic, and the service
+    // must keep serving everyone else.
+    for round in 0..3u64 {
+        let tcp = FramedTcp::connect(addr).expect("connect");
+        let spec = FaultSpec::none(SERVE_SEED ^ round)
+            .with_duplicates(300)
+            .with_reordering(300)
+            .with_drops(100)
+            .with_corruption(100);
+        let mut chaos = FaultTransport::new(tcp, spec);
+        // Never let a dropped/held frame wedge the client forever.
+        chaos.set_idle_timeout(Some(Duration::from_millis(300)));
+        if let Ok(mut client) = RemoteClient::connect(chaos, SERVE_WIDTH) {
+            let x = demo_vector(SERVE_COLS, SERVE_WIDTH, SERVE_SEED ^ round);
+            let _ = client.secure_matvec(&x);
+        }
+        // An honest session interleaved with every chaos round.
+        honest_session_completes(addr, 0x100 ^ round);
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(
+        stats.jobs_completed, 3,
+        "honest traffic was never disturbed"
+    );
+    assert_eq!(stats.breaker_trips, 0);
 }
