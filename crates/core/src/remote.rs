@@ -37,7 +37,12 @@
 //! transcript is bit-identical to an uninterrupted run (the property the
 //! chaos e2e tests pin down). `resume_token` is an unguessable per-session
 //! secret from ACCEPT — possession proves the resumer is the original
-//! client.
+//! client. Servers must mint it from fresh OS entropy, never from the
+//! seed chain: [`derive_seed`] is an invertible bijection and `ot_seed`
+//! (also seed-derived) is published on the wire, so a seed-derived token
+//! would be forgeable by any client. `max-serve` draws tokens from the OS;
+//! the in-crate test servers derive them for reproducibility and make no
+//! authentication claim.
 //!
 //! Control frames are tagged raw frames; OT ciphertexts ride a
 //! [`FrameKind::Blocks`] frame so the per-kind channel accounting matches
@@ -967,12 +972,17 @@ impl<T: Transport> RemoteClient<T> {
         for column in x_columns {
             assert_eq!(column.len(), self.state.cols, "vector length mismatch");
         }
-        send_control(
-            &mut self.transport,
-            &ControlMsg::JobRequest {
-                columns: x_columns.len() as u32,
-            },
-        )?;
+        // The wire format carries column and element counts as u32; reject
+        // oversized jobs here so RESUME can never silently truncate.
+        let columns = u32::try_from(x_columns.len()).map_err(|_| AcceleratorError::Protocol {
+            what: "column count exceeds the wire format's u32 range",
+        })?;
+        if u32::try_from(x_columns.len() * self.state.rows).is_err() {
+            return Err(AcceleratorError::Protocol {
+                what: "job element count exceeds the wire format's u32 range",
+            });
+        }
+        send_control(&mut self.transport, &ControlMsg::JobRequest { columns })?;
         match recv_control(&mut self.transport)? {
             ControlMsg::Ready { job_id } => Ok(JobProgress {
                 job_id,
@@ -1010,6 +1020,17 @@ impl<T: Transport> RemoteClient<T> {
     /// [`AcceleratorError::Busy`] if the queue cannot re-admit the job yet;
     /// transport/protocol errors otherwise.
     pub fn resume_job(&mut self, progress: &mut JobProgress) -> Result<(), AcceleratorError> {
+        // Both fit u32 — start_job refuses oversized jobs — but never
+        // truncate silently: a wrapped count would probe the wrong snapshot.
+        let columns = u32::try_from(progress.x_columns.len()).map_err(|_| {
+            AcceleratorError::Protocol {
+                what: "column count exceeds the wire format's u32 range",
+            }
+        })?;
+        let elements_done =
+            u32::try_from(progress.elements_done).map_err(|_| AcceleratorError::Protocol {
+                what: "job element count exceeds the wire format's u32 range",
+            })?;
         self.state.ot_receiver = progress.receiver_checkpoint.clone();
         progress.transcript = progress.transcript_checkpoint;
         send_control(
@@ -1018,8 +1039,8 @@ impl<T: Transport> RemoteClient<T> {
                 session_id: self.state.session_id,
                 resume_token: self.state.resume_token,
                 job_id: progress.job_id,
-                columns: progress.x_columns.len() as u32,
-                elements_done: progress.elements_done as u32,
+                columns,
+                elements_done,
             },
         )?;
         match recv_control(&mut self.transport)? {
@@ -1045,7 +1066,8 @@ impl<T: Transport> RemoteClient<T> {
     /// Drives a READY job to completion, element by element, from wherever
     /// its progress currently stands.
     ///
-    /// Before each element the OT receiver and transcript are checkpointed
+    /// Before each element — and once more after the last element, before
+    /// waiting for STATS — the OT receiver and transcript are checkpointed
     /// into `progress`, so on any error the caller can reconnect,
     /// [`resume_job`](RemoteClient::resume_job), and call `run_job` again
     /// without losing completed elements.
@@ -1097,6 +1119,13 @@ impl<T: Transport> RemoteClient<T> {
             progress.transcript.elements += 1;
             progress.elements_done += 1;
         }
+        // Refresh the checkpoints at the final element boundary before
+        // waiting for STATS: a cut here resumes with
+        // `elements_done == total_elements`, and a stale checkpoint would
+        // silently desync the session's OT state by one element (the
+        // server's snapshot window does include the final boundary).
+        progress.receiver_checkpoint = self.state.ot_receiver.clone();
+        progress.transcript_checkpoint = progress.transcript;
         match recv_control(&mut self.transport)? {
             ControlMsg::Stats { fabric_cycles } => {
                 progress.transcript.fabric_cycles = fabric_cycles;

@@ -22,6 +22,8 @@
 //! [`MAX_FRAME_BYTES`] *before* any allocation, so a hostile peer cannot make
 //! the receiver reserve gigabytes with a five-byte header.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;

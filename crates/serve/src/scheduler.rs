@@ -191,6 +191,11 @@ impl UnitPool {
     /// Spawns `workers` garbling units over a queue of `queue_capacity`
     /// jobs. With `start_paused`, units wait until [`UnitPool::resume`] —
     /// the deterministic way to observe backpressure in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no worker thread at all could be spawned — a zero-unit
+    /// pool would accept jobs that can never run.
     pub fn new(
         config: AcceleratorConfig,
         weights: Arc<Vec<Vec<i64>>>,
@@ -206,7 +211,8 @@ impl UnitPool {
                 let config = config.clone();
                 let weights = Arc::clone(&weights);
                 // A unit that fails to spawn (thread exhaustion) just
-                // shrinks the pool; the queue still drains through the rest.
+                // shrinks the pool; the queue still drains through the
+                // rest. Losing *every* unit is fatal — checked below.
                 std::thread::Builder::new()
                     .name(format!("gc-unit-{w}"))
                     .spawn(move || {
@@ -225,7 +231,15 @@ impl UnitPool {
                     .ok()
             })
             .collect();
-        let worker_count = handles.len().max(1);
+        // A pool with zero units would accept jobs that can never run:
+        // sessions would block forever on the reply channel. Fail loudly
+        // at construction instead (host resource exhaustion, not peer
+        // input), and report the *true* worker count.
+        assert!(
+            !handles.is_empty(),
+            "failed to spawn any garbling unit thread"
+        );
+        let worker_count = handles.len();
         UnitPool {
             queue,
             workers: Mutex::new(handles),

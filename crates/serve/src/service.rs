@@ -53,6 +53,15 @@ pub struct ServeConfig {
     pub breaker: BreakerConfig,
     /// Start with the unit pool paused (deterministic backpressure tests).
     pub start_paused: bool,
+    /// Derive resume tokens from the seed chain instead of OS entropy.
+    ///
+    /// **Test-only.** Deterministic tokens make ACCEPT reproducible across
+    /// service instances (what the transcript-parity tests compare), but
+    /// they are forgeable: `derive_seed` is an invertible bijection and
+    /// `ot_seed` (also seed-derived) is published in ACCEPT, so any client
+    /// could walk back to `base_seed` and mint every other session's
+    /// token. Production services must leave this off.
+    pub deterministic_resume_tokens: bool,
 }
 
 impl ServeConfig {
@@ -72,6 +81,7 @@ impl ServeConfig {
             resume_capacity: 64,
             breaker: BreakerConfig::default(),
             start_paused: false,
+            deterministic_resume_tokens: false,
         }
     }
 }
@@ -109,6 +119,7 @@ pub(crate) struct ServiceShared {
     pub(crate) step_timeout: Option<Duration>,
     pub(crate) resume: ResumeRegistry,
     pub(crate) breaker: Breaker,
+    pub(crate) deterministic_resume_tokens: bool,
     draining: AtomicBool,
     next_session: AtomicU64,
     sessions_started: AtomicU64,
@@ -175,6 +186,7 @@ impl GcService {
                 step_timeout: cfg.step_timeout,
                 resume: ResumeRegistry::new(cfg.resume_capacity),
                 breaker: Breaker::new(cfg.breaker),
+                deterministic_resume_tokens: cfg.deterministic_resume_tokens,
                 draining: AtomicBool::new(false),
                 next_session: AtomicU64::new(0),
                 sessions_started: AtomicU64::new(0),

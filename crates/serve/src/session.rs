@@ -32,6 +32,28 @@ use crate::service::ServiceShared;
 /// Largest matmul a single job request may ask for (columns).
 pub const MAX_JOB_COLUMNS: u32 = 64;
 
+/// Draws an unguessable per-session resume token from OS entropy.
+///
+/// Deliberately *not* derived from the seed chain: [`derive_seed`] is an
+/// invertible bijection and `ot_seed` (also seed-derived) is published in
+/// ACCEPT, so a seed-derived token would let any client invert its own
+/// `ot_seed` back to `base_seed` and forge every other session's token.
+fn fresh_resume_token() -> u64 {
+    use std::io::Read;
+    let mut buf = [0u8; 8];
+    match std::fs::File::open("/dev/urandom").and_then(|mut f| f.read_exact(&mut buf)) {
+        Ok(()) => u64::from_le_bytes(buf),
+        Err(_) => {
+            // Portable fallback: `RandomState`'s SipHash keys are seeded
+            // from OS entropy, and its output never appears on the wire.
+            use std::hash::{BuildHasher, Hasher};
+            let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+            hasher.write_u64(0x7e57);
+            hasher.finish()
+        }
+    }
+}
+
 /// How one session ended, with its tallies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionSummary {
@@ -204,7 +226,13 @@ fn session_loop<T: Transport>(
             }
             let session_seed = derive_seed(shared.base_seed, session_id);
             let ot_seed = derive_seed(session_seed, 0x07);
-            let resume_token = derive_seed(session_seed, 0x7e57);
+            let resume_token = if shared.deterministic_resume_tokens {
+                // Test-only reproducibility escape hatch — forgeable; see
+                // `ServeConfig::deterministic_resume_tokens`.
+                derive_seed(session_seed, 0x7e57)
+            } else {
+                fresh_resume_token()
+            };
             send_control(
                 transport,
                 &ControlMsg::Accept {

@@ -10,6 +10,7 @@
 
 use std::time::{Duration, Instant};
 
+use max_gc::channel::Duplex;
 use max_gc::{FaultSpec, FaultTransport, FramedTcp};
 use max_rng::HealthMonitor;
 use max_serve::{
@@ -63,8 +64,9 @@ fn killed_mid_job_resumes_bit_identical_to_uninterrupted_run() {
 
     // Reference: the same job, uninterrupted, on a fresh service with the
     // same base seed (both runs are session 0, so every derived seed —
-    // session, OT, resume token, job — is identical).
-    let ref_service = demo_service(|_| {});
+    // session, OT, job — is identical; resume tokens are deterministic
+    // here too so the ACCEPT frames stay bit-comparable).
+    let ref_service = demo_service(|cfg| cfg.deterministic_resume_tokens = true);
     let mut ref_client =
         RemoteClient::connect(RecordingTransport::new(ref_service.connect()), WIDTH)
             .expect("reference handshake");
@@ -81,7 +83,7 @@ fn killed_mid_job_resumes_bit_identical_to_uninterrupted_run() {
     assert_eq!(ref_recv.len(), 2 + elements * (1 + COLS) + 1);
 
     // Chaos run: the wire dies partway through element 2 of 6.
-    let service = demo_service(|_| {});
+    let service = demo_service(|cfg| cfg.deterministic_resume_tokens = true);
     let fault = FaultTransport::new(
         RecordingTransport::new(service.connect()),
         FaultSpec::none(SEED).with_cut_after(cut_mid_element(2)),
@@ -164,6 +166,77 @@ fn killed_mid_job_resumes_bit_identical_to_uninterrupted_run() {
     assert_eq!(stats.jobs_completed, 1);
     assert_eq!(stats.checkpoints_saved, 1);
     assert_eq!(service.resume_checkpoints(), 0, "checkpoint cleaned up");
+}
+
+/// Regression: a cut between the last element's data and STATS leaves
+/// `elements_done == total_elements` on the client while the server
+/// deposits a checkpoint whose snapshot window ends at the final boundary.
+/// The client's checkpoints must cover that boundary too — a stale
+/// checkpoint from the top of the last iteration would roll the OT
+/// receiver back one element while the server restores its sender at the
+/// end, silently desyncing every later job on the session.
+#[test]
+fn killed_before_stats_resumes_and_keeps_session_ot_synced() {
+    let xs = vec![
+        demo_vector(COLS, WIDTH, SEED ^ 1),
+        demo_vector(COLS, WIDTH, SEED ^ 2),
+    ];
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let expected: Vec<Vec<i64>> = xs.iter().map(|x| plain_matvec(&weights, x)).collect();
+    let elements = (xs.len() * ROWS) as u64;
+
+    // Fault the *server's* transport: its event sequence mirrors the
+    // client's (recv HELLO, send ACCEPT, recv JOB, send READY, then
+    // EXT/CIPHER/ROUNDs per element), so after the handshake plus every
+    // element's data the next event — the STATS send — hits the cut. The
+    // failed send makes the server checkpoint at the final boundary while
+    // the client, which already has all its data, errors waiting on STATS.
+    let service = demo_service(|_| {});
+    let (server_end, client_end) = Duplex::pair();
+    service.serve_transport(FaultTransport::new(
+        server_end,
+        FaultSpec::none(SEED).with_cut_after(HANDSHAKE_EVENTS + elements * EVENTS_PER_ELEMENT),
+    ));
+    let mut client = RemoteClient::connect(client_end, WIDTH).expect("handshake");
+    let mut progress = client.start_job(&xs).expect("job admitted");
+    client
+        .run_job(&mut progress)
+        .expect_err("the cut must kill the STATS wait");
+    assert_eq!(
+        progress.elements_done(),
+        elements as usize,
+        "every element completed before the cut"
+    );
+    let (dead, state) = client.into_parts();
+    drop(dead);
+    wait_until("checkpoint to be saved", || {
+        service.stats().checkpoints_saved >= 1
+    });
+
+    // Reconnect and resume: only READY + STATS remain to exchange.
+    let mut client = RemoteClient::reattach(service.connect(), state);
+    client.resume_job(&mut progress).expect("RESUME accepted");
+    client.run_job(&mut progress).expect("resumed run");
+    let (ys, transcript) = progress.into_result();
+    assert_eq!(ys, expected, "resumed job must be correct");
+    assert_eq!(transcript.elements, elements as usize);
+
+    // The actual regression check: a follow-up job on the same session
+    // only decodes correctly if both sides' OT state stayed aligned
+    // through the resume.
+    let x2 = demo_vector(COLS, WIDTH, SEED ^ 3);
+    let (y2, _) = client.secure_matvec(&x2).expect("follow-up job");
+    assert_eq!(
+        y2,
+        plain_matvec(&weights, &x2),
+        "post-resume session must stay OT-synced"
+    );
+    client.goodbye();
+
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_resumed, 1);
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.checkpoints_saved, 1);
 }
 
 #[test]

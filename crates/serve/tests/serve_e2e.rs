@@ -53,11 +53,13 @@ fn run_recorded_session<T: Transport>(transport: T) -> (RecordingTransport<T>, V
 fn tcp_and_duplex_transcripts_are_bit_identical() {
     // Two fresh services, same seed: each serves exactly one session, so
     // both sessions get id 0 and thus identical derived seeds.
-    let duplex_service = demo_service(|_| {});
+    // Deterministic resume tokens keep the ACCEPT frames comparable
+    // (production tokens are fresh OS entropy per session).
+    let duplex_service = demo_service(|cfg| cfg.deterministic_resume_tokens = true);
     let (duplex_rec, duplex_results) = run_recorded_session(duplex_service.connect());
     duplex_service.shutdown();
 
-    let tcp_service = demo_service(|_| {});
+    let tcp_service = demo_service(|cfg| cfg.deterministic_resume_tokens = true);
     let handle = listen_tcp(tcp_service, "127.0.0.1:0").expect("bind");
     let tcp = FramedTcp::connect(handle.addr()).expect("connect");
     let (tcp_rec, tcp_results) = run_recorded_session(tcp);
