@@ -16,9 +16,12 @@
 //! the span/counter sections will be empty and the binary says so.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use max_bench::{multi_unit_perf, multi_unit_perf_header, multi_unit_perf_row, row, rule, sci};
+use max_crypto::AesBackend;
 use max_gc::protocol::{run_two_party, trusted_transfer};
+use max_gc::{Garbler, PrgLabelSource};
 use max_telemetry::report::JsonValue;
 use max_telemetry::{Recorder, Snapshot};
 use maxelerator::{
@@ -27,9 +30,73 @@ use maxelerator::{
 
 const UNITS: usize = 4;
 
+/// Measures steady-state per-element garbling throughput under whatever
+/// AES backend is active in this process.
+///
+/// One output element of a `cols`-wide model is `cols` garbled MAC-round
+/// circuits; this drives the GC engine (`Garbler` over the MAC netlist)
+/// directly so the measurement isolates the crypto hot path the SIMD
+/// backend accelerates, not the cycle-accurate fabric model around it.
+fn garble_throughput(config: &AcceleratorConfig, cols: usize) -> f64 {
+    let netlist = config.mac_circuit().netlist().clone();
+    let mut labels = PrgLabelSource::new(max_crypto::Block::new(0x6a5b));
+    // Warm up the backend detection, key schedule, and allocator.
+    let _ = Garbler::new(&mut labels).garble(&netlist, 0);
+    let budget = Duration::from_millis(400);
+    let start = Instant::now();
+    let mut circuits = 0u64;
+    while circuits < 3 || start.elapsed() < budget {
+        let gc = Garbler::new(&mut labels).garble(&netlist, circuits << 32);
+        std::hint::black_box(gc.material().wire_bytes());
+        circuits += 1;
+    }
+    circuits as f64 / start.elapsed().as_secs_f64() / cols as f64
+}
+
+/// Re-runs this binary with `MAX_AES_BACKEND=software` to measure the
+/// software-scalar baseline: the backend choice is cached per process, so
+/// the comparison needs a child process.
+fn software_baseline(rows: usize, cols: usize) -> Option<f64> {
+    let exe = std::env::current_exe().ok()?;
+    let out = std::process::Command::new(exe)
+        .args(["--garble-baseline", &rows.to_string(), &cols.to_string()])
+        .env("MAX_AES_BACKEND", "software")
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let stdout = String::from_utf8(out.stdout).ok()?;
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("garble_elements_per_sec "))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn demo_weights(rows: usize, cols: usize) -> Vec<Vec<i64>> {
+    (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| ((r * 13 + c * 7) % 255) as i64 - 127)
+                .collect()
+        })
+        .collect()
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let rows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let first = args.next();
+    if first.as_deref() == Some("--garble-baseline") {
+        let rows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+        let cols: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+        let _ = rows;
+        let config = AcceleratorConfig::new(8);
+        let eps = garble_throughput(&config, cols);
+        println!("garble_backend {}", AesBackend::active().label());
+        println!("garble_elements_per_sec {eps}");
+        return;
+    }
+    let rows: usize = first.and_then(|s| s.parse().ok()).unwrap_or(16);
     let cols: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
     if rows == 0 || cols == 0 {
         eprintln!("perf_report needs a non-empty workload (got {rows}x{cols})");
@@ -46,13 +113,7 @@ fn main() {
         );
     }
 
-    let weights: Vec<Vec<i64>> = (0..rows)
-        .map(|r| {
-            (0..cols)
-                .map(|c| ((r * 13 + c * 7) % 255) as i64 - 127)
-                .collect()
-        })
-        .collect();
+    let weights = demo_weights(rows, cols);
     let x: Vec<i64> = (0..cols).map(|c| ((c * 5) % 251) as i64 - 125).collect();
     let expected: Vec<i64> = weights
         .iter()
@@ -97,13 +158,29 @@ fn main() {
     let snapshot = recorder.snapshot();
     max_telemetry::uninstall();
 
+    // Workload 4 — steady-state garbling throughput under the active AES
+    // backend, with the software-scalar baseline measured in a child
+    // process (backend choice is cached per process).
+    let backend = AesBackend::active().label();
+    let eps = garble_throughput(&config, cols);
+    let software_eps = software_baseline(rows, cols);
+
     print_spans(&snapshot);
     print_gates(&snapshot, &transcript);
     print_channel(&snapshot);
     print_ot(&snapshot, &transcript);
     print_units(&snapshot);
+    print_garbling(backend, eps, software_eps);
 
-    let json = build_json(rows, cols, &transcript, &snapshot);
+    let json = build_json(
+        rows,
+        cols,
+        &transcript,
+        &snapshot,
+        backend,
+        eps,
+        software_eps,
+    );
     let path = "BENCH_matvec.json";
     std::fs::write(path, json.render_pretty()).expect("write perf artifact");
     println!();
@@ -250,11 +327,27 @@ fn print_units(snapshot: &Snapshot) {
     }
 }
 
+fn print_garbling(backend: &str, eps: f64, software_eps: Option<f64>) {
+    println!();
+    println!("Per-element garbling throughput (elements/sec, GC engine):");
+    println!("  {backend:<10} {:>12.0}", eps);
+    match software_eps {
+        Some(sw) if sw > 0.0 => {
+            println!("  {:<10} {sw:>12.0}", "software");
+            println!("  speedup    {:>12.2}x", eps / sw);
+        }
+        _ => println!("  (software baseline unavailable)"),
+    }
+}
+
 fn build_json(
     rows: usize,
     cols: usize,
     transcript: &MatvecTranscript,
     snapshot: &Snapshot,
+    backend: &str,
+    eps: f64,
+    software_eps: Option<f64>,
 ) -> JsonValue {
     let mut workload = JsonValue::object();
     workload
@@ -280,6 +373,19 @@ fn build_json(
             JsonValue::Float(transcript.fabric_seconds),
         );
 
+    let mut garbling = JsonValue::object();
+    garbling
+        .push("backend", JsonValue::Str(backend.to_string()))
+        .push("elements_per_sec", JsonValue::Float(eps));
+    if let Some(sw) = software_eps {
+        garbling
+            .push("software_elements_per_sec", JsonValue::Float(sw))
+            .push(
+                "speedup_vs_software",
+                JsonValue::Float(if sw > 0.0 { eps / sw } else { 0.0 }),
+            );
+    }
+
     let mut root = JsonValue::object();
     root.push("schema", JsonValue::Str("maxelerator-perf-v1".to_string()))
         .push(
@@ -288,6 +394,7 @@ fn build_json(
         )
         .push("workload", workload)
         .push("transcript", t)
+        .push("garbling", garbling)
         .push("telemetry", snapshot.to_json());
     root
 }

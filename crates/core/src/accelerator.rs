@@ -8,7 +8,7 @@
 
 use max_crypto::{Block, FixedKeyHash, Tweak};
 use max_fpga::{Clock, MemorySystem, PcieLink};
-use max_gc::{evaluate_and, garble_and, Delta, GarbledTable};
+use max_gc::{evaluate_and_batch, garble_and_batch, Delta, GarbledTable};
 use max_netlist::{decode_signed, decode_unsigned, GateKind, MacCircuit};
 use max_rng::LabelGenerator;
 
@@ -20,6 +20,40 @@ use crate::timing::TimingModel;
 /// Per-gate tweak: unique across (element, round, gate).
 fn table_tweak(elem: u32, round: u32, gate_idx: u32) -> Tweak {
     Tweak::new(elem, round, 0, gate_idx, 0)
+}
+
+/// One AND slot awaiting its cycle's batched garble: resolved input labels
+/// plus the bookkeeping needed to write the result back.
+struct PendingSlot {
+    a0: Block,
+    b0: Block,
+    tweak: Tweak,
+    round: usize,
+    out_wire: usize,
+    gate: u32,
+    core: usize,
+}
+
+/// Decrypts every queued AND gate of the scheduled evaluator with one
+/// batched AES sweep.
+fn flush_eval_pending(
+    hash: &FixedKeyHash,
+    pending: &mut Vec<(GarbledTable, Block, Block, Tweak, usize)>,
+    wire_pending: &mut [bool],
+    active: &mut [Option<Block>],
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let gates: Vec<(GarbledTable, Block, Block, Tweak)> = pending
+        .iter()
+        .map(|&(t, a, b, tw, _)| (t, a, b, tw))
+        .collect();
+    for (&(_, _, _, _, out), label) in pending.iter().zip(evaluate_and_batch(hash, &gates)) {
+        active[out] = Some(label);
+        wire_pending[out] = false;
+    }
+    pending.clear();
 }
 
 /// Derives the label-stream seed of one output element from the server's
@@ -416,6 +450,13 @@ impl Maxelerator {
                 // Fully power-gated cycle.
                 self.labels.clock(0);
             }
+            // All slots of one cycle ran on distinct cores in the same clock
+            // tick, so their input labels are (almost always) independent of
+            // each other: garble the whole cycle with one batched AES sweep.
+            // If a slot's free cone does read a same-cycle AND output, the
+            // resolve-retry in `resolve_for_batch` flushes first, preserving
+            // the exact gate-at-a-time semantics.
+            let mut pending: Vec<PendingSlot> = Vec::new();
             while let Some(slot) = assignment_iter.peek() {
                 if slot.cycle != cycle {
                     break;
@@ -423,18 +464,34 @@ impl Maxelerator {
                 let slot = *assignment_iter.next().expect("peeked");
                 let r = slot.round as usize;
                 let gate = netlist.gates()[slot.gate as usize];
-                let a0 = self.resolve(&netlist, &mut zero, r, gate.a.index())?;
-                let b0 = self.resolve(&netlist, &mut zero, r, gate.b.index())?;
+                let a0 = self.resolve_for_batch(
+                    &netlist,
+                    &mut zero,
+                    &mut pending,
+                    &mut tables,
+                    r,
+                    gate.a.index(),
+                )?;
+                let b0 = self.resolve_for_batch(
+                    &netlist,
+                    &mut zero,
+                    &mut pending,
+                    &mut tables,
+                    r,
+                    gate.b.index(),
+                )?;
                 let tweak = table_tweak(self.elem, first_round_abs + slot.round, slot.gate);
-                let (c0, table) = garble_and(&self.hash, self.delta, a0, b0, tweak);
-                zero[r][gate.out.index()] = Some(c0);
-                let ordinal = self.and_ordinal[slot.gate as usize].expect("AND gate");
-                tables[r][ordinal as usize] = Some(table);
-                if !self.memory.write(slot.core, table.to_bytes().to_vec()) {
-                    self.report.bram_would_stall += 1;
-                }
-                self.report.tables += 1;
+                pending.push(PendingSlot {
+                    a0,
+                    b0,
+                    tweak,
+                    round: r,
+                    out_wire: gate.out.index(),
+                    gate: slot.gate,
+                    core: slot.core,
+                });
             }
+            self.flush_garbles(&mut pending, &mut zero, &mut tables);
             self.memory.end_cycle();
             self.clock.tick();
             self.tick_io();
@@ -500,6 +557,56 @@ impl Maxelerator {
             cycles: self.report.cycles,
         };
         Ok(messages)
+    }
+
+    /// [`Maxelerator::resolve`] with one retry: a same-cycle producer may
+    /// still sit in the pending batch, so flush it and resolve again before
+    /// reporting a real schedule violation.
+    fn resolve_for_batch(
+        &mut self,
+        netlist: &max_netlist::Netlist,
+        zero: &mut [Vec<Option<Block>>],
+        pending: &mut Vec<PendingSlot>,
+        tables: &mut [Vec<Option<GarbledTable>>],
+        round: usize,
+        wire: usize,
+    ) -> Result<Block, AcceleratorError> {
+        match self.resolve(netlist, zero, round, wire) {
+            Ok(label) => Ok(label),
+            Err(_) if !pending.is_empty() => {
+                self.flush_garbles(pending, zero, tables);
+                self.resolve(netlist, zero, round, wire)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Garbles every queued slot with one batched AES sweep, then writes the
+    /// tables into BRAM and the output labels back into the wire state.
+    fn flush_garbles(
+        &mut self,
+        pending: &mut Vec<PendingSlot>,
+        zero: &mut [Vec<Option<Block>>],
+        tables: &mut [Vec<Option<GarbledTable>>],
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let gates: Vec<(Block, Block, Tweak)> =
+            pending.iter().map(|p| (p.a0, p.b0, p.tweak)).collect();
+        for (slot, (c0, table)) in pending
+            .iter()
+            .zip(garble_and_batch(&self.hash, self.delta, &gates))
+        {
+            zero[slot.round][slot.out_wire] = Some(c0);
+            let ordinal = self.and_ordinal[slot.gate as usize].expect("AND gate");
+            tables[slot.round][ordinal as usize] = Some(table);
+            if !self.memory.write(slot.core, table.to_bytes().to_vec()) {
+                self.report.bram_would_stall += 1;
+            }
+            self.report.tables += 1;
+        }
+        pending.clear();
     }
 
     fn pool_label(&mut self) -> Block {
@@ -715,22 +822,31 @@ impl ScheduledEvaluator {
             active[wire.index()] = Some(label);
         }
 
+        // Pending-AND batch, mirroring the garbler: independent AND gates
+        // decrypt with one wide AES sweep, flushing whenever a gate reads an
+        // unflushed AND output.
         let mut and_ordinal = 0usize;
+        let mut pending: Vec<(GarbledTable, Block, Block, Tweak, usize)> = Vec::new();
+        let mut wire_pending = vec![false; self.netlist.wire_count()];
         for (gate_idx, gate) in self.netlist.gates().iter().enumerate() {
+            if wire_pending[gate.a.index()] || wire_pending[gate.b.index()] {
+                flush_eval_pending(&self.hash, &mut pending, &mut wire_pending, &mut active);
+            }
             let a = active[gate.a.index()].expect("topological order");
             let bb = active[gate.b.index()].expect("topological order");
-            let out = match gate.kind {
+            match gate.kind {
                 GateKind::And => {
                     let table = msg.tables[and_ordinal];
                     and_ordinal += 1;
                     let tweak = table_tweak(self.elem, msg.round, gate_idx as u32);
-                    evaluate_and(&self.hash, table, a, bb, tweak)
+                    pending.push((table, a, bb, tweak, gate.out.index()));
+                    wire_pending[gate.out.index()] = true;
                 }
-                GateKind::Xor => a ^ bb,
-                GateKind::Not => a,
-            };
-            active[gate.out.index()] = Some(out);
+                GateKind::Xor => active[gate.out.index()] = Some(a ^ bb),
+                GateKind::Not => active[gate.out.index()] = Some(a),
+            }
         }
+        flush_eval_pending(&self.hash, &mut pending, &mut wire_pending, &mut active);
 
         let outputs: Vec<Block> = self
             .netlist

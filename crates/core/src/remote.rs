@@ -20,7 +20,7 @@
 //!   |    per output element:               |
 //!   | -- EXT(OT corrections) -----------> |
 //!   | <-- CIPHER(OT ciphertext blocks) --- |
-//!   | <-- ROUND x cols (tables+labels) --- |
+//!   | <-- ROUNDS (all cols rounds, 1 frame)|
 //!   | <-- STATS(fabric cycles) ----------- |   job done
 //!   |            ... more jobs ...         |
 //!   | -- PING(nonce) --------------------> |   keep-alive between jobs
@@ -74,7 +74,10 @@ use crate::wire::{decode_round_message, encode_round_message};
 /// Version of the handshake + job protocol in this module.
 ///
 /// v2 added RESUME/PING/PONG and the `resume_token` field of ACCEPT.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// v3 coalesced the per-round ROUND frames of each output element into a
+/// single ROUNDS burst frame (count + length-prefixed round bodies), so an
+/// element's exchange is a fixed three frames regardless of model width.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Largest OT batch (choice bits) a single EXT frame may declare.
 ///
@@ -115,10 +118,11 @@ const TAG_READY: u8 = 6;
 const TAG_STATS: u8 = 7;
 const TAG_BYE: u8 = 8;
 const TAG_EXT: u8 = 9;
-const TAG_ROUND: u8 = 10;
+// TAG 10 was the v2 per-round ROUND frame; v3 replaced it with ROUNDS.
 const TAG_RESUME: u8 = 11;
 const TAG_PING: u8 = 12;
 const TAG_PONG: u8 = 13;
+const TAG_ROUNDS: u8 = 14;
 
 /// A control frame of the session protocol (everything except the
 /// lock-step EXT/CIPHER/ROUND data frames).
@@ -484,26 +488,65 @@ fn decode_ext(mut frame: Bytes) -> Result<ExtendMsg, AcceleratorError> {
     Ok(ExtendMsg { columns, count })
 }
 
-fn encode_round(msg: &RoundMessage) -> Bytes {
-    let body = encode_round_message(msg);
-    let mut buf = BytesMut::with_capacity(1 + body.len());
-    buf.put_u8(TAG_ROUND);
-    buf.put_slice(&body[..]);
+/// Encodes one output element's full round sequence as a single ROUNDS
+/// burst frame: tag, round count, then each round body length-prefixed.
+fn encode_round_burst(msgs: &[RoundMessage]) -> Bytes {
+    let bodies: Vec<Bytes> = msgs.iter().map(encode_round_message).collect();
+    let total: usize = bodies.iter().map(|b| 4 + b.len()).sum();
+    let mut buf = BytesMut::with_capacity(5 + total);
+    buf.put_u8(TAG_ROUNDS);
+    buf.put_u32(msgs.len() as u32);
+    for body in &bodies {
+        buf.put_u32(body.len() as u32);
+        buf.put_slice(&body[..]);
+    }
     buf.freeze()
 }
 
-fn decode_round(mut frame: Bytes) -> Result<RoundMessage, AcceleratorError> {
-    if frame.remaining() < 1 {
+/// Decodes a ROUNDS burst frame, insisting on exactly `expect` rounds (the
+/// client knows the model width from ACCEPT, so any other count is a
+/// protocol violation rather than an allocation hint to honor).
+fn decode_round_burst(
+    mut frame: Bytes,
+    expect: usize,
+) -> Result<Vec<RoundMessage>, AcceleratorError> {
+    if frame.remaining() < 5 {
         return Err(AcceleratorError::Protocol {
-            what: "ROUND header",
+            what: "ROUNDS header",
         });
     }
-    if frame.get_u8() != TAG_ROUND {
+    if frame.get_u8() != TAG_ROUNDS {
         return Err(AcceleratorError::Protocol {
-            what: "expected ROUND frame",
+            what: "expected ROUNDS frame",
         });
     }
-    decode_round_message(frame)
+    let count = frame.get_u32() as usize;
+    if count != expect {
+        return Err(AcceleratorError::Protocol {
+            what: "ROUNDS count does not match the model",
+        });
+    }
+    let mut msgs = Vec::with_capacity(count);
+    for _ in 0..count {
+        if frame.remaining() < 4 {
+            return Err(AcceleratorError::Protocol {
+                what: "ROUNDS body header",
+            });
+        }
+        let len = frame.get_u32() as usize;
+        if frame.remaining() < len {
+            return Err(AcceleratorError::Protocol {
+                what: "ROUNDS body length",
+            });
+        }
+        msgs.push(decode_round_message(frame.split_to(len))?);
+    }
+    if frame.remaining() != 0 {
+        return Err(AcceleratorError::Protocol {
+            what: "ROUNDS trailing bytes",
+        });
+    }
+    Ok(msgs)
 }
 
 /// One garbled output element: its round messages and the OT label pairs
@@ -642,8 +685,11 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
             transcript.material_bytes += msg.wire_bytes() as u64;
             transcript.tables += msg.tables.len() as u64;
             transcript.rounds += 1;
-            transport.send_frame(FrameKind::Raw, encode_round(msg))?;
         }
+        // One burst frame per element instead of one frame per round: the
+        // per-frame overhead (and per-frame fault-injection surface) no
+        // longer scales with model width.
+        transport.send_frame(FrameKind::Raw, encode_round_burst(&row.messages))?;
         on_element(idx + 1, ot_sender);
     }
     send_control(
@@ -1022,11 +1068,10 @@ impl<T: Transport> RemoteClient<T> {
     pub fn resume_job(&mut self, progress: &mut JobProgress) -> Result<(), AcceleratorError> {
         // Both fit u32 — start_job refuses oversized jobs — but never
         // truncate silently: a wrapped count would probe the wrong snapshot.
-        let columns = u32::try_from(progress.x_columns.len()).map_err(|_| {
-            AcceleratorError::Protocol {
+        let columns =
+            u32::try_from(progress.x_columns.len()).map_err(|_| AcceleratorError::Protocol {
                 what: "column count exceeds the wire format's u32 range",
-            }
-        })?;
+            })?;
         let elements_done =
             u32::try_from(progress.elements_done).map_err(|_| AcceleratorError::Protocol {
                 what: "job element count exceeds the wire format's u32 range",
@@ -1105,13 +1150,13 @@ impl<T: Transport> RemoteClient<T> {
                 pairs: flat.chunks_exact(2).map(|p| (p[0], p[1])).collect(),
             };
             let labels = self.state.ot_receiver.receive(&cipher, &keys, &choices);
+            let msgs = decode_round_burst(self.transport.recv_frame()?, column.len())?;
             let mut decoded = None;
-            for i in 0..column.len() {
-                let msg = decode_round(self.transport.recv_frame()?)?;
+            for (i, msg) in msgs.iter().enumerate() {
                 progress.transcript.material_bytes += msg.wire_bytes() as u64;
                 progress.transcript.tables += msg.tables.len() as u64;
                 progress.transcript.rounds += 1;
-                decoded = evaluator.evaluate_round(&msg, &labels[i * b..(i + 1) * b])?;
+                decoded = evaluator.evaluate_round(msg, &labels[i * b..(i + 1) * b])?;
             }
             progress.y[pass].push(decoded.ok_or(AcceleratorError::Protocol {
                 what: "final round carried no decode bits",

@@ -290,10 +290,14 @@ where
     fn recover(&mut self, err: &AcceleratorError, progress: &mut Option<JobProgress>) {
         match err {
             AcceleratorError::Busy { retry_after_ms } => {
-                // The server kept the session; honor its hint plus jitter.
-                let hint = u64::from(*retry_after_ms).max(1);
+                // The server kept the session; honor its hint plus jitter —
+                // but clamped to the policy's backoff cap. The hint is peer
+                // data: a hostile or buggy server can send u32::MAX (~49
+                // days) and would otherwise wedge this thread.
+                let cap = self.policy.max_backoff_ms.max(1);
+                let hint = u64::from(*retry_after_ms).clamp(1, cap);
                 let jitter = splitmix(&mut self.jitter_state) % (hint / 2 + 1);
-                self.sleep_ms(hint + jitter);
+                self.sleep_ms((hint + jitter).min(cap));
                 self.stats.busy_backoffs += 1;
                 max_telemetry::counter_add("resilient.busy_backoffs", 1);
             }
@@ -381,6 +385,7 @@ mod tests {
         weights: Vec<Vec<i64>>,
         base_seed: u64,
         mut busy_first: u32,
+        busy_hint_ms: u32,
     ) -> Result<(), AcceleratorError> {
         let (version, _width) = match recv_control(&mut transport)? {
             ControlMsg::Hello { version, bit_width } => (version, bit_width),
@@ -417,7 +422,7 @@ mod tests {
                         send_control(
                             &mut transport,
                             &ControlMsg::Busy {
-                                retry_after_ms: 1,
+                                retry_after_ms: busy_hint_ms,
                                 queue_depth: 1,
                             },
                         )?;
@@ -451,7 +456,7 @@ mod tests {
         let server = {
             let config = config.clone();
             let w = w.clone();
-            std::thread::spawn(move || serve_with_busy(server_end, config, w, 11, 2))
+            std::thread::spawn(move || serve_with_busy(server_end, config, w, 11, 2, 1))
         };
         let mut ends = vec![client_end];
         let mut client = ResilientClient::new(
@@ -471,6 +476,49 @@ mod tests {
         assert_eq!(stats.attempts, 3);
         assert!(stats.backoff_ms_total >= 2);
         assert_eq!(stats.recovery_ms.len(), 1);
+        client.goodbye();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn hostile_busy_hint_is_clamped_to_the_backoff_cap() {
+        // A malicious or buggy server can send retry_after_ms = u32::MAX
+        // (~49 days). Before the clamp this wedged the client thread; now
+        // the honored hint is capped by the policy's max_backoff_ms and the
+        // job still completes promptly.
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![2i64, -3], vec![4, 5]];
+        let (server_end, client_end) = Duplex::pair();
+        let server = {
+            let config = config.clone();
+            let w = w.clone();
+            std::thread::spawn(move || serve_with_busy(server_end, config, w, 11, 2, u32::MAX))
+        };
+        let policy = RetryPolicy {
+            base_backoff_ms: 1,
+            max_backoff_ms: 20,
+            ..RetryPolicy::default()
+        };
+        let mut ends = vec![client_end];
+        let mut client = ResilientClient::new(
+            move || {
+                ends.pop().ok_or(AcceleratorError::Protocol {
+                    what: "no more transports",
+                })
+            },
+            8,
+            policy,
+        );
+        let (y, _) = client.secure_matvec(&[7, -1]).unwrap();
+        assert_eq!(y, vec![2 * 7 + 3, 4 * 7 - 5]);
+        let stats = client.stats().clone();
+        assert_eq!(stats.busy_backoffs, 2);
+        // Two busy backoffs, each capped at max_backoff_ms — not 49 days.
+        assert!(
+            stats.backoff_ms_total <= 2 * 20,
+            "backoff {} ms exceeds the clamp",
+            stats.backoff_ms_total
+        );
         client.goodbye();
         server.join().unwrap().unwrap();
     }

@@ -7,7 +7,7 @@
 //! this mirrors the MAXelerator GC engine, whose fixed-key AES core never
 //! reschedules keys at runtime.
 
-use crate::Block;
+use crate::{AesBackend, Block};
 
 /// GF(2^8) multiplication with the AES polynomial `x^8 + x^4 + x^3 + x + 1`.
 const fn gf256_mul(mut a: u8, mut b: u8) -> u8 {
@@ -115,22 +115,92 @@ impl Aes128 {
         Aes128 { round_keys }
     }
 
-    /// Encrypts one block.
+    /// Encrypts one block, dispatching to the active backend.
     pub fn encrypt(&self, plaintext: Block) -> Block {
-        let mut state = plaintext.to_bytes();
-        add_round_key(&mut state, &self.round_keys[0]);
-        for round in 1..10 {
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
+        #[cfg(target_arch = "x86_64")]
+        if AesBackend::active() == AesBackend::AesNi {
+            // SAFETY: `AesBackend::AesNi` is only selected after
+            // `is_x86_feature_detected!("aes")` succeeded, so the required
+            // instructions exist on this CPU.
+            #[allow(unsafe_code)]
+            return unsafe { crate::aesni::encrypt_block(&self.round_keys, plaintext) };
         }
-        sub_bytes(&mut state);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[10]);
+        self.encrypt_software(plaintext)
+    }
+
+    /// Encrypts every block in `blocks` in place, dispatching to the active
+    /// backend. This is the hot-path entry point: the AES-NI backend keeps
+    /// eight blocks in flight per loop; the software backend pipelines eight
+    /// blocks in lockstep through the round functions.
+    pub fn encrypt_blocks(&self, blocks: &mut [Block]) {
+        #[cfg(target_arch = "x86_64")]
+        if AesBackend::active() == AesBackend::AesNi {
+            // SAFETY: see `encrypt` — runtime detection gates this path.
+            #[allow(unsafe_code)]
+            unsafe {
+                crate::aesni::encrypt_blocks(&self.round_keys, blocks)
+            };
+            return;
+        }
+        self.encrypt_blocks_software(blocks);
+    }
+
+    /// Encrypts a fixed-size batch, dispatching to the active backend.
+    pub fn encrypt_batch<const N: usize>(&self, blocks: &[Block; N]) -> [Block; N] {
+        let mut out = *blocks;
+        self.encrypt_blocks(&mut out);
+        out
+    }
+
+    /// Encrypts one block on the portable software core regardless of the
+    /// active backend. The parity tests pin `encrypt == encrypt_software`.
+    pub fn encrypt_software(&self, plaintext: Block) -> Block {
+        let mut state = plaintext.to_bytes();
+        self.rounds_software(std::slice::from_mut(&mut state));
         Block::from_bytes(state)
     }
+
+    /// Software batch path: pipelines [`SOFTWARE_PIPELINE`] blocks in
+    /// lockstep — each round function runs across the whole chunk before the
+    /// next round starts, which keeps the S-box lines hot and lets the
+    /// compiler interleave the independent per-block work.
+    pub fn encrypt_blocks_software(&self, blocks: &mut [Block]) {
+        let mut states = [[0u8; 16]; SOFTWARE_PIPELINE];
+        let mut chunks = blocks.chunks_mut(SOFTWARE_PIPELINE);
+        for chunk in &mut chunks {
+            for (state, block) in states.iter_mut().zip(chunk.iter()) {
+                *state = block.to_bytes();
+            }
+            self.rounds_software(&mut states[..chunk.len()]);
+            for (slot, state) in chunk.iter_mut().zip(states.iter()) {
+                *slot = Block::from_bytes(*state);
+            }
+        }
+    }
+
+    /// Runs the full ten-round schedule over every state in lockstep.
+    fn rounds_software(&self, states: &mut [[u8; 16]]) {
+        for state in states.iter_mut() {
+            add_round_key(state, &self.round_keys[0]);
+        }
+        for round in 1..10 {
+            for state in states.iter_mut() {
+                sub_bytes(state);
+                shift_rows(state);
+                mix_columns(state);
+                add_round_key(state, &self.round_keys[round]);
+            }
+        }
+        for state in states.iter_mut() {
+            sub_bytes(state);
+            shift_rows(state);
+            add_round_key(state, &self.round_keys[10]);
+        }
+    }
 }
+
+/// Blocks the software batch path keeps in lockstep per chunk.
+const SOFTWARE_PIPELINE: usize = 8;
 
 /// The state is stored in FIPS-197 byte order: `state[4*c + r]` is row `r`,
 /// column `c`.
@@ -240,6 +310,155 @@ mod tests {
         let aes = Aes128::new(block_from_hex("80000000000000000000000000000000"));
         let ct = aes.encrypt(Block::ZERO);
         assert_eq!(ct, block_from_hex("0edd33d3c621e546455bd8ba1418bec8"));
+    }
+
+    #[test]
+    fn nist_kat_ecb_gfsbox() {
+        // NIST AESAVS ECB GFSbox KATs, key = 0.
+        let aes = Aes128::new(Block::ZERO);
+        let vectors = [
+            (
+                "f34481ec3cc627bacd5dc3fb08f273e6",
+                "0336763e966d92595a567cc9ce537f5e",
+            ),
+            (
+                "9798c4640bad75c7c3227db910174e72",
+                "a9a1631bf4996954ebc093957b234589",
+            ),
+            (
+                "96ab5c2ff612d9dfaae8c31f30c42168",
+                "ff4f8391a6a40ca5b25d23bedd44a597",
+            ),
+            (
+                "6a118a874519e64e9963798a503f1d35",
+                "dc43be40be0e53712f7e2bf5ca707209",
+            ),
+            (
+                "cb9fceec81286ca3e989bd979b0cb284",
+                "92beedab1895a94faa69b632e5cc47ce",
+            ),
+        ];
+        for (pt, want) in vectors {
+            assert_eq!(aes.encrypt(block_from_hex(pt)), block_from_hex(want));
+            assert_eq!(
+                aes.encrypt_software(block_from_hex(pt)),
+                block_from_hex(want)
+            );
+        }
+    }
+
+    #[test]
+    fn nist_kat_ecb_keysbox() {
+        // NIST AESAVS ECB KeySbox KATs, plaintext = 0.
+        let vectors = [
+            (
+                "10a58869d74be5a374cf867cfb473859",
+                "6d251e6944b051e04eaa6fb4dbf78465",
+            ),
+            (
+                "caea65cdbb75e9169ecd22ebe6e54675",
+                "6e29201190152df4ee058139def610bb",
+            ),
+            (
+                "a2e2fa9baf7d20822ca9f0542f764a41",
+                "c3b44b95d9d2f25670eee9a0de099fa3",
+            ),
+        ];
+        for (key, want) in vectors {
+            let aes = Aes128::new(block_from_hex(key));
+            assert_eq!(aes.encrypt(Block::ZERO), block_from_hex(want));
+            assert_eq!(aes.encrypt_software(Block::ZERO), block_from_hex(want));
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_for_all_lengths() {
+        let aes = Aes128::new(Block::new(0xfeed_beef));
+        for n in 0..=19usize {
+            let blocks: Vec<Block> = (0..n).map(|i| Block::new(i as u128 * 77 + 5)).collect();
+            let mut batched = blocks.clone();
+            aes.encrypt_blocks(&mut batched);
+            for (ct, pt) in batched.iter().zip(&blocks) {
+                assert_eq!(*ct, aes.encrypt(*pt), "n={n}");
+                assert_eq!(*ct, aes.encrypt_software(*pt), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn encrypt_batch_array_form() {
+        let aes = Aes128::new(Block::new(9));
+        let pts = [Block::new(1), Block::new(2), Block::new(3), Block::new(4)];
+        let cts = aes.encrypt_batch(&pts);
+        for (ct, pt) in cts.iter().zip(&pts) {
+            assert_eq!(*ct, aes.encrypt(*pt));
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn aesni_matches_software_when_available() {
+        if !AesBackend::aesni_available() {
+            return;
+        }
+        let aes = Aes128::new(Block::new(0x5eed_cafe));
+        let mut blocks: Vec<Block> = (0..37).map(|i| Block::new(i * 31 + 7)).collect();
+        let reference: Vec<Block> = blocks.iter().map(|&b| aes.encrypt_software(b)).collect();
+        // SAFETY: guarded by the runtime feature check above.
+        #[allow(unsafe_code)]
+        unsafe {
+            crate::aesni::encrypt_blocks(&aes.round_keys, &mut blocks)
+        };
+        assert_eq!(blocks, reference);
+    }
+
+    mod parity_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The dispatched backend (whichever is active) and the portable
+            /// software core agree on every ciphertext.
+            #[test]
+            fn backends_produce_identical_ciphertexts(
+                key in any::<u128>(),
+                pts in prop::collection::vec(any::<u128>(), 0..40),
+            ) {
+                let aes = Aes128::new(Block::new(key));
+                let blocks: Vec<Block> = pts.iter().map(|&p| Block::new(p)).collect();
+                let mut batched = blocks.clone();
+                aes.encrypt_blocks(&mut batched);
+                for (ct, pt) in batched.iter().zip(&blocks) {
+                    prop_assert_eq!(*ct, aes.encrypt_software(*pt));
+                    prop_assert_eq!(*ct, aes.encrypt(*pt));
+                }
+            }
+
+            /// The AES-NI path itself (when the CPU has it) matches the
+            /// software pipeline bit for bit, regardless of which backend
+            /// the process selected.
+            #[test]
+            fn aesni_parity_under_random_keys(
+                key in any::<u128>(),
+                pts in prop::collection::vec(any::<u128>(), 1..40),
+            ) {
+                #[cfg(target_arch = "x86_64")]
+                if AesBackend::aesni_available() {
+                    let aes = Aes128::new(Block::new(key));
+                    let mut blocks: Vec<Block> =
+                        pts.iter().map(|&p| Block::new(p)).collect();
+                    let reference: Vec<Block> =
+                        blocks.iter().map(|&b| aes.encrypt_software(b)).collect();
+                    // SAFETY: guarded by the runtime feature check above.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        crate::aesni::encrypt_blocks(&aes.round_keys, &mut blocks)
+                    };
+                    prop_assert_eq!(blocks, reference);
+                }
+                let _ = (key, pts);
+            }
+        }
     }
 
     #[test]

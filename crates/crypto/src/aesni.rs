@@ -1,0 +1,107 @@
+//! AES-NI backend: hardware AES round instructions via `std::arch::x86_64`.
+//!
+//! The block layout needs no shuffling: [`Block::to_bytes`] produces the
+//! FIPS-197 state byte order, which is exactly what `AESENC` consumes, so
+//! loads and stores are plain `_mm_loadu_si128`/`_mm_storeu_si128`.
+//!
+//! Eight blocks are kept in flight per loop iteration. `AESENC` has a
+//! multi-cycle latency but single-cycle throughput on every AES-NI core, so
+//! interleaving eight independent chains hides the latency completely — the
+//! software analogue of MAXelerator's pipelined fixed-key AES MAC core.
+//!
+//! # Safety
+//!
+//! Every function here is `unsafe` because it requires the `aes` (and
+//! `sse2`) target features. The only caller is `Aes128`'s dispatch layer,
+//! which gates all calls behind `AesBackend::active()` — i.e. a successful
+//! `is_x86_feature_detected!("aes")` — so the instructions are never
+//! executed on a CPU that lacks them. All pointer accesses are unaligned
+//! loads/stores of caller-owned arrays.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_loadu_si128, _mm_storeu_si128,
+    _mm_xor_si128,
+};
+
+use crate::Block;
+
+/// How many independent blocks the NI loop keeps in flight.
+pub(crate) const PIPELINE_WIDTH: usize = 8;
+
+#[inline]
+#[target_feature(enable = "aes,sse2")]
+unsafe fn load_round_keys(round_keys: &[[u8; 16]; 11]) -> [__m128i; 11] {
+    let mut keys = [_mm_loadu_si128(round_keys[0].as_ptr().cast()); 11];
+    let mut i = 1;
+    while i < 11 {
+        keys[i] = _mm_loadu_si128(round_keys[i].as_ptr().cast());
+        i += 1;
+    }
+    keys
+}
+
+#[inline]
+#[target_feature(enable = "aes,sse2")]
+unsafe fn encrypt_one(keys: &[__m128i; 11], block: Block) -> Block {
+    let bytes = block.to_bytes();
+    let mut state = _mm_xor_si128(_mm_loadu_si128(bytes.as_ptr().cast()), keys[0]);
+    let mut round = 1;
+    while round < 10 {
+        state = _mm_aesenc_si128(state, keys[round]);
+        round += 1;
+    }
+    state = _mm_aesenclast_si128(state, keys[10]);
+    let mut out = [0u8; 16];
+    _mm_storeu_si128(out.as_mut_ptr().cast(), state);
+    Block::from_bytes(out)
+}
+
+/// Encrypts one block with the AES-NI round instructions.
+///
+/// # Safety
+///
+/// The CPU must support the `aes` and `sse2` target features (the dispatch
+/// layer verifies this via runtime detection before calling).
+#[target_feature(enable = "aes,sse2")]
+pub(crate) unsafe fn encrypt_block(round_keys: &[[u8; 16]; 11], block: Block) -> Block {
+    let keys = load_round_keys(round_keys);
+    encrypt_one(&keys, block)
+}
+
+/// Encrypts every block in `blocks` in place, eight blocks in flight.
+///
+/// # Safety
+///
+/// The CPU must support the `aes` and `sse2` target features (the dispatch
+/// layer verifies this via runtime detection before calling).
+#[target_feature(enable = "aes,sse2")]
+pub(crate) unsafe fn encrypt_blocks(round_keys: &[[u8; 16]; 11], blocks: &mut [Block]) {
+    let keys = load_round_keys(round_keys);
+    let mut chunks = blocks.chunks_exact_mut(PIPELINE_WIDTH);
+    for chunk in &mut chunks {
+        let mut states = [keys[0]; PIPELINE_WIDTH];
+        for (state, block) in states.iter_mut().zip(chunk.iter()) {
+            let bytes = block.to_bytes();
+            *state = _mm_xor_si128(_mm_loadu_si128(bytes.as_ptr().cast()), keys[0]);
+        }
+        let mut round = 1;
+        while round < 10 {
+            for state in &mut states {
+                *state = _mm_aesenc_si128(*state, keys[round]);
+            }
+            round += 1;
+        }
+        for state in &mut states {
+            *state = _mm_aesenclast_si128(*state, keys[10]);
+        }
+        for (state, slot) in states.iter().zip(chunk.iter_mut()) {
+            let mut out = [0u8; 16];
+            _mm_storeu_si128(out.as_mut_ptr().cast(), *state);
+            *slot = Block::from_bytes(out);
+        }
+    }
+    for slot in chunks.into_remainder() {
+        *slot = encrypt_one(&keys, *slot);
+    }
+}

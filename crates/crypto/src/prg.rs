@@ -50,23 +50,40 @@ impl AesPrg {
         output
     }
 
-    /// Fills `out` with pseudo-random blocks.
+    /// Fills `out` with pseudo-random blocks in one batched AES sweep.
+    ///
+    /// Consumes exactly `out.len()` counter values — bit-identical to
+    /// calling [`AesPrg::next_block`] `out.len()` times.
     pub fn fill_blocks(&mut self, out: &mut [Block]) {
-        for slot in out {
-            *slot = self.next_block();
+        for slot in out.iter_mut() {
+            *slot = Block::new(self.counter);
+            self.counter = self.counter.wrapping_add(1);
         }
+        self.cipher.encrypt_blocks(out);
     }
 
     /// Returns `n` pseudo-random blocks.
     pub fn blocks(&mut self, n: usize) -> Vec<Block> {
-        (0..n).map(|_| self.next_block()).collect()
+        let mut out = vec![Block::ZERO; n];
+        self.fill_blocks(&mut out);
+        out
     }
 
     /// Fills `out` with pseudo-random bytes.
+    ///
+    /// Consumes one counter value per 16-byte chunk (including a trailing
+    /// partial chunk), matching the block-at-a-time layout exactly.
     pub fn fill_bytes(&mut self, out: &mut [u8]) {
-        for chunk in out.chunks_mut(16) {
+        let mut blocks = vec![Block::ZERO; out.len() / 16];
+        let mut chunks = out.chunks_exact_mut(16);
+        self.fill_blocks(&mut blocks);
+        for (chunk, block) in (&mut chunks).zip(&blocks) {
+            chunk.copy_from_slice(&block.to_bytes());
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
             let block = self.next_block().to_bytes();
-            chunk.copy_from_slice(&block[..chunk.len()]);
+            tail.copy_from_slice(&block[..tail.len()]);
         }
     }
 
@@ -150,6 +167,39 @@ mod tests {
         // First 16 bytes must match the first block.
         let mut prg2 = AesPrg::new(Block::new(3));
         assert_eq!(&buf[..16], &prg2.next_block().to_bytes());
+    }
+
+    #[test]
+    fn fill_blocks_matches_next_block_stream() {
+        for n in [0usize, 1, 7, 8, 9, 40] {
+            let mut batched = AesPrg::new(Block::new(21));
+            let mut scalar = AesPrg::new(Block::new(21));
+            let mut out = vec![Block::ZERO; n];
+            batched.fill_blocks(&mut out);
+            for (i, block) in out.iter().enumerate() {
+                assert_eq!(*block, scalar.next_block(), "n={n} block {i}");
+            }
+            // Both streams must resume at the same counter.
+            assert_eq!(batched.next_block(), scalar.next_block());
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_block_stream_layout() {
+        for len in [0usize, 1, 15, 16, 17, 64, 65] {
+            let mut batched = AesPrg::new(Block::new(23));
+            let mut scalar = AesPrg::new(Block::new(23));
+            let mut buf = vec![0u8; len];
+            batched.fill_bytes(&mut buf);
+            let mut expected = Vec::with_capacity(len);
+            while expected.len() < len {
+                let block = scalar.next_block().to_bytes();
+                let take = (len - expected.len()).min(16);
+                expected.extend_from_slice(&block[..take]);
+            }
+            assert_eq!(buf, expected, "len={len}");
+            assert_eq!(batched.next_block(), scalar.next_block());
+        }
     }
 
     #[test]

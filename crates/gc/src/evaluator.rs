@@ -3,8 +3,30 @@
 use max_crypto::{Block, FixedKeyHash, Tweak};
 use max_netlist::{GateKind, Netlist};
 
-use crate::engine::evaluate_and;
+use crate::engine::{evaluate_and_batch, GarbledTable};
 use crate::garbler::Material;
+
+/// Decrypts every queued AND gate with one batched AES sweep and writes the
+/// active output labels back.
+fn flush_pending_ands(
+    hash: &FixedKeyHash,
+    pending: &mut Vec<(GarbledTable, Block, Block, Tweak, usize)>,
+    wire_pending: &mut [bool],
+    active: &mut [Block],
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let gates: Vec<(GarbledTable, Block, Block, Tweak)> = pending
+        .iter()
+        .map(|&(table, a, b, t, _)| (table, a, b, t))
+        .collect();
+    for (&(_, _, _, _, out), label) in pending.iter().zip(evaluate_and_batch(hash, &gates)) {
+        active[out] = label;
+        wire_pending[out] = false;
+    }
+    pending.clear();
+}
 
 /// Evaluates garbled netlists gate by gate.
 ///
@@ -76,22 +98,31 @@ impl Evaluator {
             active[wire.index()] = label;
         }
 
+        // Mirror of the garbler's pending-AND batch: independent AND gates
+        // decrypt with one wide AES sweep, flushing whenever a gate reads an
+        // unflushed AND output. Bit-identical to gate-at-a-time evaluation.
         let mut and_index = 0u64;
+        let mut pending: Vec<(GarbledTable, Block, Block, Tweak, usize)> = Vec::new();
+        let mut wire_pending = vec![false; netlist.wire_count()];
         for gate in netlist.gates() {
+            if wire_pending[gate.a.index()] || wire_pending[gate.b.index()] {
+                flush_pending_ands(&self.hash, &mut pending, &mut wire_pending, &mut active);
+            }
             let a = active[gate.a.index()];
             let b = active[gate.b.index()];
-            let out = match gate.kind {
+            match gate.kind {
                 GateKind::And => {
                     let table = material.tables[and_index as usize];
                     let tweak = Tweak::from_gate_index(tweak_base + and_index);
                     and_index += 1;
-                    evaluate_and(&self.hash, table, a, b, tweak)
+                    pending.push((table, a, b, tweak, gate.out.index()));
+                    wire_pending[gate.out.index()] = true;
                 }
-                GateKind::Xor => a ^ b,
-                GateKind::Not => a,
-            };
-            active[gate.out.index()] = out;
+                GateKind::Xor => active[gate.out.index()] = a ^ b,
+                GateKind::Not => active[gate.out.index()] = a,
+            }
         }
+        flush_pending_ands(&self.hash, &mut pending, &mut wire_pending, &mut active);
         assert_eq!(
             and_index as usize,
             material.tables.len(),

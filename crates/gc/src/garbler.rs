@@ -3,8 +3,32 @@
 use max_crypto::{Block, FixedKeyHash, Tweak};
 use max_netlist::{GateKind, Netlist};
 
-use crate::engine::{garble_and, GarbledTable};
+use crate::engine::{garble_and_batch, GarbledTable};
 use crate::label::{Delta, LabelSource};
+
+/// Garbles every gate queued in `pending` with one batched AES sweep, then
+/// writes the output labels back and clears the pending markers.
+fn flush_pending_ands(
+    hash: &FixedKeyHash,
+    delta: Delta,
+    pending: &mut Vec<(Block, Block, Tweak, usize)>,
+    wire_pending: &mut [bool],
+    zero_labels: &mut [Block],
+    tables: &mut Vec<GarbledTable>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let gates: Vec<(Block, Block, Tweak)> =
+        pending.iter().map(|&(a0, b0, t, _)| (a0, b0, t)).collect();
+    for (&(_, _, _, out), (c0, table)) in pending.iter().zip(garble_and_batch(hash, delta, &gates))
+    {
+        zero_labels[out] = c0;
+        wire_pending[out] = false;
+        tables.push(table);
+    }
+    pending.clear();
+}
 
 /// The public garbled material sent to the evaluator: tables plus output
 /// decoding bits. (Input labels travel separately — garbler labels directly,
@@ -105,28 +129,51 @@ impl<'a, S: LabelSource> Garbler<'a, S> {
             zero_labels[wire.index()] = label;
         }
 
+        // AND gates accumulate into a pending batch that is garbled with one
+        // wide AES sweep; the batch flushes whenever a gate reads a wire an
+        // unflushed AND produces, so results are bit-identical to gate-at-a-
+        // time garbling. Independent ANDs (e.g. a multiplier's partial
+        // products) coalesce into large batches.
         let mut tables = Vec::new();
         let mut and_index = 0u64;
+        let mut pending: Vec<(Block, Block, Tweak, usize)> = Vec::new();
+        let mut wire_pending = vec![false; netlist.wire_count()];
         for gate in netlist.gates() {
+            if wire_pending[gate.a.index()] || wire_pending[gate.b.index()] {
+                flush_pending_ands(
+                    &self.hash,
+                    self.delta,
+                    &mut pending,
+                    &mut wire_pending,
+                    &mut zero_labels,
+                    &mut tables,
+                );
+            }
             let a0 = zero_labels[gate.a.index()];
             let b0 = zero_labels[gate.b.index()];
-            let out = match gate.kind {
+            match gate.kind {
                 GateKind::And => {
                     let tweak = Tweak::from_gate_index(tweak_base + and_index);
                     and_index += 1;
-                    let (c0, table) = garble_and(&self.hash, self.delta, a0, b0, tweak);
-                    tables.push(table);
-                    c0
+                    pending.push((a0, b0, tweak, gate.out.index()));
+                    wire_pending[gate.out.index()] = true;
                 }
                 GateKind::Xor => {
                     max_telemetry::counter_add("gc.gates.xor", 1);
-                    a0 ^ b0
+                    zero_labels[gate.out.index()] = a0 ^ b0;
                 }
                 // NOT swaps label roles: zero-label of out = one-label of in.
-                GateKind::Not => a0 ^ self.delta.block(),
-            };
-            zero_labels[gate.out.index()] = out;
+                GateKind::Not => zero_labels[gate.out.index()] = a0 ^ self.delta.block(),
+            }
         }
+        flush_pending_ands(
+            &self.hash,
+            self.delta,
+            &mut pending,
+            &mut wire_pending,
+            &mut zero_labels,
+            &mut tables,
+        );
 
         let output_decode = netlist
             .outputs()

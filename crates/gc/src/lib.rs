@@ -65,7 +65,7 @@ mod sequential;
 pub mod transport;
 pub mod wire_format;
 
-pub use engine::{evaluate_and, garble_and, GarbledTable};
+pub use engine::{evaluate_and, evaluate_and_batch, garble_and, garble_and_batch, GarbledTable};
 pub use evaluator::Evaluator;
 pub use fault::{FaultSpec, FaultStats, FaultTransport};
 pub use garbler::{GarbledCircuit, Garbler, Material};

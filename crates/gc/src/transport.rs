@@ -233,13 +233,19 @@ impl Transport for FramedTcp {
     fn send_frame(&mut self, kind: FrameKind, frame: Bytes) -> Result<(), TransportError> {
         if frame.len() > MAX_FRAME_BYTES {
             return Err(TransportError::FrameTooLarge {
-                len: frame.len() as u64,
+                len: u64::try_from(frame.len()).unwrap_or(u64::MAX),
                 max: MAX_FRAME_BYTES as u64,
             });
         }
+        // Checked, not `as`: the length prefix is 32 bits and silently
+        // truncating an oversized frame would desynchronize the stream.
+        let wire_len = u32::try_from(frame.len()).map_err(|_| TransportError::FrameTooLarge {
+            len: u64::try_from(frame.len()).unwrap_or(u64::MAX),
+            max: MAX_FRAME_BYTES as u64,
+        })?;
         let mut header = [0u8; HEADER_BYTES];
         header[0] = kind.index() as u8;
-        header[1..].copy_from_slice(&(frame.len() as u32).to_be_bytes());
+        header[1..].copy_from_slice(&wire_len.to_be_bytes());
         self.stream.write_all(&header)?;
         self.stream.write_all(&frame)?;
         self.sent.record(kind, frame.len());
@@ -253,11 +259,17 @@ impl Transport for FramedTcp {
         let Some(kind) = FrameKind::from_index(header[0]) else {
             return Err(TransportError::Malformed("frame kind tag"));
         };
-        let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
+        let wire_len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]);
+        // Checked, not `as`: the length field is attacker data, and on a
+        // 16-bit-usize target a raw cast would silently wrap.
+        let len = usize::try_from(wire_len).map_err(|_| TransportError::FrameTooLarge {
+            len: u64::from(wire_len),
+            max: MAX_FRAME_BYTES as u64,
+        })?;
         if len > MAX_FRAME_BYTES {
             // Reject before allocating: the length field is attacker data.
             return Err(TransportError::FrameTooLarge {
-                len: len as u64,
+                len: u64::from(wire_len),
                 max: MAX_FRAME_BYTES as u64,
             });
         }

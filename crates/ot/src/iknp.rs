@@ -115,20 +115,72 @@ fn pack(bits: &[bool]) -> Vec<u64> {
 }
 
 fn prg_column(prg: &mut AesPrg, m: usize) -> Vec<u64> {
-    let mut words = Vec::with_capacity(m.div_ceil(64));
-    while words.len() * 64 < m {
-        let block = prg.next_block().bits();
-        words.push(block as u64);
-        if words.len() * 64 < m {
-            words.push((block >> 64) as u64);
+    // One batched PRG fill per column. Consumes exactly the same number of
+    // counter blocks as the former block-at-a-time loop (⌈⌈m/64⌉/2⌉), so
+    // transcripts and resume snapshots stay bit-identical.
+    let want = m.div_ceil(64);
+    let blocks = prg.blocks(want.div_ceil(2));
+    let mut words = Vec::with_capacity(want);
+    for block in blocks {
+        let bits = block.bits();
+        words.push(bits as u64);
+        if words.len() < want {
+            words.push((bits >> 64) as u64);
         }
     }
-    words.truncate(m.div_ceil(64));
     words
 }
 
-fn column_bit(words: &[u64], j: usize) -> bool {
-    (words[j / 64] >> (j % 64)) & 1 == 1
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight §7-3): afterwards
+/// `a[r]` bit `c` equals the original `a[c]` bit `r`.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut mask: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & mask;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Transposes the KAPPA packed bit-columns into `m` 128-bit rows.
+///
+/// Works 64×64 blocks at a time with word-wise swaps — one transpose per
+/// job — replacing the former per-row, per-column `column_bit` probing
+/// (O(m·128) shift-and-mask operations).
+fn columns_to_rows(columns: &[Vec<u64>], m: usize) -> Vec<Block> {
+    debug_assert_eq!(columns.len(), KAPPA);
+    let mut rows = Vec::with_capacity(m);
+    let mut lo = [0u64; 64];
+    let mut hi = [0u64; 64];
+    // `chunk` strides across all 128 column vectors at once; there is no
+    // single slice to iterate, so the index loop stays.
+    #[allow(clippy::needless_range_loop)]
+    for chunk in 0..m.div_ceil(64) {
+        for (i, (lo_slot, hi_slot)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            *lo_slot = columns[i][chunk];
+            *hi_slot = columns[i + 64][chunk];
+        }
+        transpose64(&mut lo);
+        transpose64(&mut hi);
+        let take = (m - chunk * 64).min(64);
+        for j in 0..take {
+            rows.push(Block::new(lo[j] as u128 | (hi[j] as u128) << 64));
+        }
+    }
+    rows
+}
+
+/// The OT-session hash tweak for transfer `j` (domain-separated from GC
+/// gate tweaks by bit 62).
+fn session_tweak(session: u64, j: usize) -> Tweak {
+    Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62)
 }
 
 impl OtExtReceiver {
@@ -155,16 +207,9 @@ impl OtExtReceiver {
             t_columns.push(t);
             u_columns.push(u);
         }
-        // Transpose T's columns into per-transfer rows.
-        let keys = (0..m)
-            .map(|j| {
-                let mut row = 0u128;
-                for (i, col) in t_columns.iter().enumerate() {
-                    row |= (column_bit(col, j) as u128) << i;
-                }
-                Block::new(row)
-            })
-            .collect();
+        // Transpose T's columns into per-transfer rows (one word-wise
+        // transpose for the whole batch).
+        let keys = columns_to_rows(&t_columns, m);
         (
             ExtendMsg {
                 columns: u_columns,
@@ -184,23 +229,18 @@ impl OtExtReceiver {
         assert_eq!(choices.len(), keys.len(), "choice count mismatch");
         let session = self.session;
         self.session += 1;
+        let inputs: Vec<(Block, Tweak)> = keys
+            .iter()
+            .enumerate()
+            .map(|(j, &t)| (t, session_tweak(session, j)))
+            .collect();
+        let masks = self.hash.hash_slice(&inputs);
         cipher
             .pairs
             .iter()
-            .zip(keys)
+            .zip(masks)
             .zip(choices)
-            .enumerate()
-            .map(|(j, ((&(y0, y1), &t), &c))| {
-                let mask = self.hash.hash(
-                    t,
-                    Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62),
-                );
-                if c {
-                    y1 ^ mask
-                } else {
-                    y0 ^ mask
-                }
-            })
+            .map(|((&(y0, y1), mask), &c)| if c { y1 ^ mask } else { y0 ^ mask })
             .collect()
     }
 }
@@ -241,18 +281,18 @@ impl OtExtSender {
         };
         let session = self.session;
         self.session += 1;
-        let out = (0..m)
-            .map(|j| {
-                let mut row = 0u128;
-                for (i, col) in q_columns.iter().enumerate() {
-                    row |= (column_bit(col, j) as u128) << i;
-                }
-                let q = Block::new(row);
-                let tweak = Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62);
-                let y0 = pairs[j].0 ^ self.hash.hash(q, tweak);
-                let y1 = pairs[j].1 ^ self.hash.hash(q ^ s_block, tweak);
-                (y0, y1)
-            })
+        let rows = columns_to_rows(&q_columns, m);
+        let mut inputs = Vec::with_capacity(2 * m);
+        for (j, &q) in rows.iter().enumerate() {
+            let tweak = session_tweak(session, j);
+            inputs.push((q, tweak));
+            inputs.push((q ^ s_block, tweak));
+        }
+        let hashes = self.hash.hash_slice(&inputs);
+        let out = pairs
+            .iter()
+            .enumerate()
+            .map(|(j, &(p0, p1))| (p0 ^ hashes[2 * j], p1 ^ hashes[2 * j + 1]))
             .collect();
         CipherMsg { pairs: out }
     }
@@ -309,17 +349,19 @@ impl OtExtSender {
         };
         let session = self.session;
         self.session += 1;
+        let rows = columns_to_rows(&q_columns, m);
+        let mut inputs = Vec::with_capacity(2 * m);
+        for (j, &q) in rows.iter().enumerate() {
+            let tweak = session_tweak(session, j);
+            inputs.push((q, tweak));
+            inputs.push((q ^ s_block, tweak));
+        }
+        let hashes = self.hash.hash_slice(&inputs);
         let mut zeros = Vec::with_capacity(m);
         let mut corrections = Vec::with_capacity(m);
         for j in 0..m {
-            let mut row = 0u128;
-            for (i, col) in q_columns.iter().enumerate() {
-                row |= (column_bit(col, j) as u128) << i;
-            }
-            let q = Block::new(row);
-            let tweak = Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62);
-            let m0 = self.hash.hash(q, tweak);
-            let m1_mask = self.hash.hash(q ^ s_block, tweak);
+            let m0 = hashes[2 * j];
+            let m1_mask = hashes[2 * j + 1];
             zeros.push(m0);
             corrections.push(m1_mask ^ m0 ^ delta);
         }
@@ -348,18 +390,17 @@ impl OtExtReceiver {
         assert_eq!(choices.len(), keys.len(), "choice count mismatch");
         let session = self.session;
         self.session += 1;
+        let inputs: Vec<(Block, Tweak)> = keys
+            .iter()
+            .enumerate()
+            .map(|(j, &t)| (t, session_tweak(session, j)))
+            .collect();
+        let masks = self.hash.hash_slice(&inputs);
         msg.corrections
             .iter()
-            .zip(keys)
+            .zip(masks)
             .zip(choices)
-            .enumerate()
-            .map(|(j, ((&y, &t), &c))| {
-                let mask = self.hash.hash(
-                    t,
-                    Tweak::from_gate_index((session << 40) | j as u64 | 1 << 62),
-                );
-                mask.xor_if(y, c)
-            })
+            .map(|((&y, mask), &c)| mask.xor_if(y, c))
             .collect()
     }
 }
@@ -377,6 +418,71 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// Bit-at-a-time column probe, the reference the word-wise transpose
+    /// replaced; kept to pin the transpose against first principles.
+    fn column_bit(words: &[u64], j: usize) -> bool {
+        (words[j / 64] >> (j % 64)) & 1 == 1
+    }
+
+    #[test]
+    fn transpose64_matches_bitwise_reference() {
+        let mut prg = AesPrg::new(Block::new(0x7a7a));
+        let original: Vec<u64> = (0..64).map(|_| prg.next_block().bits() as u64).collect();
+        let mut a = [0u64; 64];
+        a.copy_from_slice(&original);
+        transpose64(&mut a);
+        for (r, row) in a.iter().enumerate() {
+            for (c, col) in original.iter().enumerate() {
+                assert_eq!(
+                    (row >> c) & 1,
+                    (col >> r) & 1,
+                    "transpose mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columns_to_rows_matches_column_bit_reference() {
+        for m in [1usize, 63, 64, 65, 128, 200] {
+            let mut prg = AesPrg::new(Block::new(m as u128));
+            let columns: Vec<Vec<u64>> = (0..KAPPA).map(|_| prg_column(&mut prg, m)).collect();
+            let rows = columns_to_rows(&columns, m);
+            assert_eq!(rows.len(), m);
+            for (j, row) in rows.iter().enumerate() {
+                let mut want = 0u128;
+                for (i, col) in columns.iter().enumerate() {
+                    want |= (column_bit(col, j) as u128) << i;
+                }
+                assert_eq!(*row, Block::new(want), "m={m} row {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn prg_column_consumes_the_scalar_block_count() {
+        // The batched fill must draw exactly ⌈⌈m/64⌉/2⌉ blocks so PRG
+        // streams (and with them resume snapshots) stay aligned.
+        for m in [0usize, 1, 63, 64, 65, 127, 128, 129, 500] {
+            let mut batched = AesPrg::new(Block::new(0xc01));
+            let mut scalar = AesPrg::new(Block::new(0xc01));
+            let words = prg_column(&mut batched, m);
+            let want = m.div_ceil(64);
+            assert_eq!(words.len(), want);
+            let mut reference = Vec::with_capacity(want);
+            while reference.len() * 64 < m {
+                let block = scalar.next_block().bits();
+                reference.push(block as u64);
+                if reference.len() * 64 < m {
+                    reference.push((block >> 64) as u64);
+                }
+            }
+            reference.truncate(want);
+            assert_eq!(words, reference, "m={m}");
+            assert_eq!(batched.next_block(), scalar.next_block(), "m={m} counter");
+        }
     }
 
     #[test]

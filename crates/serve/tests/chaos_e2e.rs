@@ -26,8 +26,8 @@ const COLS: usize = 3;
 const SEED: u64 = 0xC4A0;
 
 /// Client-side frame events per streamed element: 1 EXT send, 1 CIPHER
-/// receive, `COLS` ROUND receives.
-const EVENTS_PER_ELEMENT: u64 = 2 + COLS as u64;
+/// receive, 1 ROUNDS-burst receive (v3 coalesces all rounds into it).
+const EVENTS_PER_ELEMENT: u64 = 3;
 /// Handshake + job admission: HELLO send, ACCEPT recv, JOB send, READY recv.
 const HANDSHAKE_EVENTS: u64 = 4;
 
@@ -48,7 +48,7 @@ fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
 
 /// A deterministic cut that dies partway through element `element`: the
 /// client survives the handshake, `element` full elements, and the EXT +
-/// CIPHER of the next one, then loses the connection on a ROUND receive.
+/// CIPHER of the next one, then loses the connection on the ROUNDS receive.
 fn cut_mid_element(element: u64) -> u64 {
     HANDSHAKE_EVENTS + element * EVENTS_PER_ELEMENT + 2
 }
@@ -77,10 +77,10 @@ fn killed_mid_job_resumes_bit_identical_to_uninterrupted_run() {
     let ref_sent = ref_rec.sent_frames();
     let ref_recv = ref_rec.received_frames();
     // HELLO, JOB, one EXT per element, BYE / ACCEPT, READY, (CIPHER +
-    // COLS ROUNDs) per element, STATS.
+    // ROUNDS burst) per element, STATS.
     let elements = xs.len() * ROWS;
     assert_eq!(ref_sent.len(), 2 + elements + 1);
-    assert_eq!(ref_recv.len(), 2 + elements * (1 + COLS) + 1);
+    assert_eq!(ref_recv.len(), 2 + elements * 2 + 1);
 
     // Chaos run: the wire dies partway through element 2 of 6.
     let service = demo_service(|cfg| cfg.deterministic_resume_tokens = true);
@@ -128,19 +128,19 @@ fn killed_mid_job_resumes_bit_identical_to_uninterrupted_run() {
     // the data of the two completed elements plus the CIPHER of the
     // rolled-back partial element; conn2 carries READY and everything from
     // the rollback point on.
-    assert_eq!(conn1_recv.len(), 2 + 2 * (1 + COLS) + 1);
+    assert_eq!(conn1_recv.len(), 2 + 2 * 2 + 1);
     assert_eq!(conn1_recv[0], ref_recv[0], "ACCEPT diverged");
     assert_eq!(conn1_recv[1], ref_recv[1], "READY diverged");
-    let completed = &conn1_recv[2..2 + 2 * (1 + COLS)];
+    let completed = &conn1_recv[2..2 + 2 * 2];
     assert_eq!(
         completed,
-        &ref_recv[2..2 + 2 * (1 + COLS)],
+        &ref_recv[2..2 + 2 * 2],
         "pre-cut element data diverged"
     );
     assert_eq!(conn2_recv[0], ref_recv[1], "resumed READY diverged");
     assert_eq!(
         &conn2_recv[1..],
-        &ref_recv[2 + 2 * (1 + COLS)..],
+        &ref_recv[2 + 2 * 2..],
         "post-resume data (elements 2..6 + STATS) diverged"
     );
 

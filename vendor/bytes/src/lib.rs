@@ -128,13 +128,14 @@ pub trait BufMut {
 pub struct Bytes {
     data: Arc<[u8]>,
     pos: usize,
+    end: usize,
 }
 
 impl Bytes {
     /// Unconsumed length.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.data.len() - self.pos
+        self.end - self.pos
     }
 
     /// Whether the buffer is fully consumed.
@@ -146,6 +147,23 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.chunk().to_vec()
     }
+
+    /// Splits off the first `n` unconsumed bytes as a new `Bytes` sharing
+    /// the same backing storage; `self` advances past them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to past end");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            pos: self.pos,
+            end: self.pos + n,
+        };
+        self.pos += n;
+        head
+    }
 }
 
 impl Buf for Bytes {
@@ -154,7 +172,7 @@ impl Buf for Bytes {
     }
 
     fn chunk(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.pos..self.end]
     }
 
     fn advance(&mut self, n: usize) {
@@ -173,18 +191,22 @@ impl std::ops::Deref for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
         Bytes {
             data: data.into(),
             pos: 0,
+            end,
         }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Self {
+        let end = data.len();
         Bytes {
             data: data.into(),
             pos: 0,
+            end,
         }
     }
 }
@@ -194,6 +216,7 @@ impl<const N: usize> From<&[u8; N]> for Bytes {
         Bytes {
             data: data.as_slice().into(),
             pos: 0,
+            end: N,
         }
     }
 }
@@ -275,6 +298,24 @@ mod tests {
         b.copy_to_slice(&mut out);
         assert_eq!(out, [1, 2]);
         assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn split_to_shares_storage_and_advances() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        b.advance(1);
+        let mut head = b.split_to(2);
+        assert_eq!(head.chunk(), &[2, 3]);
+        assert_eq!(b.chunk(), &[4, 5]);
+        assert_eq!(head.get_u8(), 2);
+        assert_eq!(head.remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to past end")]
+    fn split_to_past_end_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.split_to(2);
     }
 
     #[test]
