@@ -1,11 +1,14 @@
-//! Serving-layer throughput report: sessions/sec and per-round latency of
-//! the `max-serve` unit-pool scheduler at 1, 2, and 4 garbling workers.
+//! Serving-layer throughput report: sessions/sec, whole-job latency
+//! percentiles, and per-round latency of the `max-serve` unit-pool
+//! scheduler at 1, 2, and 4 garbling workers.
 //!
 //! Each sweep point boots a fresh [`GcService`] on a loopback TCP listener,
 //! drives it with 4 concurrent [`RemoteClient`] sessions of 3 jobs each
 //! (every result verified against plaintext), and reports the aggregate.
-//! The full sweep lands in `BENCH_serve.json` (schema
-//! `maxelerator-serve-v1`).
+//! Latencies aggregate into power-of-two [`Histogram`]s — the same
+//! structure the server's live `METRICS` frame summarizes — and are
+//! reported as p50/p95/p99. The full sweep lands in `BENCH_serve.json`
+//! (schema `maxelerator-serve-v1`).
 //!
 //! ```text
 //! cargo run --release -p max-bench --bin serve_report [rows cols]
@@ -17,6 +20,7 @@ use max_bench::{row, rule};
 use max_gc::FramedTcp;
 use max_serve::{demo_vector, demo_weights, listen_tcp, plain_matvec, GcService, ServeConfig};
 use max_telemetry::report::JsonValue;
+use max_telemetry::Histogram;
 use maxelerator::{AcceleratorConfig, AcceleratorError, RemoteClient};
 
 const SESSIONS: usize = 4;
@@ -29,6 +33,9 @@ struct SweepPoint {
     wall: Duration,
     sessions_per_sec: f64,
     jobs_per_sec: f64,
+    job_p50_ns: u64,
+    job_p95_ns: u64,
+    job_p99_ns: u64,
     round_p50_ns: u64,
     round_p95_ns: u64,
     busy_retries: u64,
@@ -56,7 +63,7 @@ fn main() {
         .map(|&workers| run_point(rows, cols, workers))
         .collect();
 
-    let widths = [9usize, 10, 12, 10, 14, 14, 8];
+    let widths = [9usize, 10, 12, 10, 12, 12, 12, 14, 8];
     println!(
         "  {}",
         row(
@@ -65,8 +72,10 @@ fn main() {
                 "wall (ms)",
                 "sessions/s",
                 "jobs/s",
+                "job p50 (us)",
+                "job p95 (us)",
+                "job p99 (us)",
                 "round p50 (us)",
-                "round p95 (us)",
                 "busy",
             ]
             .map(String::from),
@@ -83,8 +92,10 @@ fn main() {
                     format!("{:.1}", p.wall.as_secs_f64() * 1e3),
                     format!("{:.2}", p.sessions_per_sec),
                     format!("{:.2}", p.jobs_per_sec),
+                    format!("{:.1}", p.job_p50_ns as f64 / 1e3),
+                    format!("{:.1}", p.job_p95_ns as f64 / 1e3),
+                    format!("{:.1}", p.job_p99_ns as f64 / 1e3),
                     format!("{:.1}", p.round_p50_ns as f64 / 1e3),
-                    format!("{:.1}", p.round_p95_ns as f64 / 1e3),
                     format!("{}", p.busy_retries),
                 ],
                 &widths
@@ -99,6 +110,14 @@ fn main() {
     println!("wrote {path}");
 }
 
+struct SessionTally {
+    job_latencies_ns: Vec<u64>,
+    round_latencies_ns: Vec<u64>,
+    busy: u64,
+    bytes_down: u64,
+    bytes_up: u64,
+}
+
 fn run_point(rows: usize, cols: usize, workers: usize) -> SweepPoint {
     let weights = demo_weights(rows, cols, 8, SEED);
     let mut cfg = ServeConfig::new(AcceleratorConfig::new(8), weights.clone(), SEED);
@@ -108,14 +127,15 @@ fn run_point(rows: usize, cols: usize, workers: usize) -> SweepPoint {
     let addr = handle.addr();
 
     let started = Instant::now();
-    let per_session: Vec<(Vec<u64>, u64, u64, u64)> = std::thread::scope(|scope| {
+    let per_session: Vec<SessionTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..SESSIONS)
             .map(|s| {
                 let weights = &weights;
                 scope.spawn(move || {
                     let tcp = FramedTcp::connect(addr).expect("connect");
                     let mut client = RemoteClient::connect(tcp, 8).expect("handshake");
-                    let mut latencies = Vec::new();
+                    let mut job_latencies = Vec::new();
+                    let mut round_latencies = Vec::new();
                     let mut busy = 0u64;
                     for job in 0..JOBS_PER_SESSION {
                         let x = demo_vector(cols, 8, SEED ^ ((s as u64) << 24) ^ job as u64);
@@ -125,9 +145,9 @@ fn run_point(rows: usize, cols: usize, workers: usize) -> SweepPoint {
                             match client.secure_matvec(&x) {
                                 Ok((y, transcript)) => {
                                     assert_eq!(y, expected, "served result mismatch");
-                                    latencies.push(
-                                        t0.elapsed().as_nanos() as u64 / transcript.rounds.max(1),
-                                    );
+                                    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+                                    job_latencies.push(elapsed_ns);
+                                    round_latencies.push(elapsed_ns / transcript.rounds.max(1));
                                     break;
                                 }
                                 Err(AcceleratorError::Busy { retry_after_ms }) => {
@@ -141,12 +161,13 @@ fn run_point(rows: usize, cols: usize, workers: usize) -> SweepPoint {
                         }
                     }
                     let transport = client.goodbye();
-                    (
-                        latencies,
+                    SessionTally {
+                        job_latencies_ns: job_latencies,
+                        round_latencies_ns: round_latencies,
                         busy,
-                        transport.received().bytes(),
-                        transport.sent().bytes(),
-                    )
+                        bytes_down: transport.received().bytes(),
+                        bytes_up: transport.sent().bytes(),
+                    }
                 })
             })
             .collect();
@@ -164,29 +185,32 @@ fn run_point(rows: usize, cols: usize, workers: usize) -> SweepPoint {
         "every job must complete"
     );
 
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut job_hist = Histogram::default();
+    let mut round_hist = Histogram::default();
     let mut busy_retries = 0u64;
     let mut bytes_down = 0u64;
     let mut bytes_up = 0u64;
-    for (lats, busy, down, up) in per_session {
-        latencies.extend(lats);
-        busy_retries += busy;
-        bytes_down += down;
-        bytes_up += up;
+    for tally in per_session {
+        for ns in tally.job_latencies_ns {
+            job_hist.record(ns);
+        }
+        for ns in tally.round_latencies_ns {
+            round_hist.record(ns);
+        }
+        busy_retries += tally.busy;
+        bytes_down += tally.bytes_down;
+        bytes_up += tally.bytes_up;
     }
-    latencies.sort_unstable();
-    let round_p50_ns = latencies.get(latencies.len() / 2).copied().unwrap_or(0);
-    let round_p95_ns = latencies
-        .get(latencies.len().saturating_mul(95) / 100)
-        .copied()
-        .unwrap_or(0);
     SweepPoint {
         workers,
         wall,
         sessions_per_sec: SESSIONS as f64 / wall.as_secs_f64(),
         jobs_per_sec: (SESSIONS * JOBS_PER_SESSION) as f64 / wall.as_secs_f64(),
-        round_p50_ns,
-        round_p95_ns,
+        job_p50_ns: job_hist.percentile(50.0),
+        job_p95_ns: job_hist.percentile(95.0),
+        job_p99_ns: job_hist.percentile(99.0),
+        round_p50_ns: round_hist.percentile(50.0),
+        round_p95_ns: round_hist.percentile(95.0),
         busy_retries,
         bytes_down,
         bytes_up,
@@ -211,6 +235,18 @@ fn build_json(rows: usize, cols: usize, points: &[SweepPoint]) -> JsonValue {
             .push("wall_ms", JsonValue::Float(p.wall.as_secs_f64() * 1e3))
             .push("sessions_per_sec", JsonValue::Float(p.sessions_per_sec))
             .push("jobs_per_sec", JsonValue::Float(p.jobs_per_sec))
+            .push(
+                "job_latency_p50_us",
+                JsonValue::Float(p.job_p50_ns as f64 / 1e3),
+            )
+            .push(
+                "job_latency_p95_us",
+                JsonValue::Float(p.job_p95_ns as f64 / 1e3),
+            )
+            .push(
+                "job_latency_p99_us",
+                JsonValue::Float(p.job_p99_ns as f64 / 1e3),
+            )
             .push(
                 "round_latency_p50_us",
                 JsonValue::Float(p.round_p50_ns as f64 / 1e3),

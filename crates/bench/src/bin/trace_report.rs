@@ -1,0 +1,229 @@
+//! Distributed-trace demonstration: one chaos job, traced on both sides
+//! of the wire, stitched into a single per-job timeline.
+//!
+//! The run mints one [`TraceContext`] in the client, carries it to the
+//! server inside the protocol-v4 HELLO/RESUME frames, and records spans
+//! into two *independent* [`Recorder`]s — the client's (dial, backoff,
+//! redial, RESUME) and the server's (queue wait, garble, stream,
+//! checkpoint, resume restore). A deterministic mid-job connection cut
+//! forces the full recovery arc through the trace: redial, RESUME, and the
+//! server-side checkpoint restore all land under the same 128-bit trace
+//! id. The stitched timeline is printed annotated and written to
+//! `BENCH_trace.json` (schema `maxelerator-trace-v1`), together with the
+//! flight-recorder dump the killed first connection left behind.
+//!
+//! Client and server recorders have different epochs, so the report
+//! normalizes each side to its own earliest event for this trace; spans
+//! are ordered within a side, not across sides.
+//!
+//! ```text
+//! cargo run --release -p max-bench --bin trace_report
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use max_gc::{FaultSpec, FaultTransport};
+use max_serve::{demo_vector, demo_weights, plain_matvec, GcService, ServeConfig};
+use max_telemetry::report::JsonValue;
+use max_telemetry::{Recorder, TraceEvent};
+use maxelerator::{AcceleratorConfig, ResilientClient, RetryPolicy};
+
+const WIDTH: usize = 8;
+const ROWS: usize = 3;
+const COLS: usize = 3;
+const SEED: u64 = 0x7ACE;
+
+/// Client-side frame events per streamed element: 1 EXT send, 1 CIPHER
+/// receive, 1 ROUNDS-burst receive (v3+ coalesces all rounds into it).
+const EVENTS_PER_ELEMENT: u64 = 3;
+/// Handshake + job admission: HELLO send, ACCEPT recv, JOB send, READY recv.
+const HANDSHAKE_EVENTS: u64 = 4;
+
+fn main() {
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let x = demo_vector(COLS, WIDTH, SEED ^ 9);
+    let expected = plain_matvec(&weights, &x);
+
+    let server_rec = Arc::new(Recorder::new());
+    let client_rec = Arc::new(Recorder::new());
+
+    let mut cfg = ServeConfig::new(AcceleratorConfig::new(WIDTH), weights, SEED);
+    cfg.recorder = Some(Arc::clone(&server_rec));
+    let service = GcService::start(cfg);
+
+    // The first connection dies partway through element 1 of 3; recovery
+    // must redial and RESUME from the server's round checkpoint.
+    let cut_after = HANDSHAKE_EVENTS + EVENTS_PER_ELEMENT + 2;
+    let svc = service.clone();
+    let mut dials = 0u64;
+    let mut client = ResilientClient::new(
+        move || {
+            dials += 1;
+            let spec = if dials == 1 {
+                FaultSpec::none(SEED).with_cut_after(cut_after)
+            } else {
+                FaultSpec::none(SEED)
+            };
+            Ok(FaultTransport::new(svc.connect(), spec))
+        },
+        WIDTH,
+        RetryPolicy {
+            // The server must notice the dead connection and deposit its
+            // checkpoint before the RESUME arrives.
+            base_backoff_ms: 80,
+            ..RetryPolicy::default()
+        },
+    )
+    .with_recorder(Arc::clone(&client_rec));
+    let trace = client.trace();
+
+    let started = Instant::now();
+    let (y, _) = client.secure_matvec(&x).expect("job survives the cut");
+    let wall = started.elapsed();
+    assert_eq!(y, expected, "chaos job must still be correct");
+    let client_stats = client.stats().clone();
+    assert_eq!(client_stats.resumes, 1, "recovery must go through RESUME");
+    client.goodbye();
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_resumed, 1);
+    assert_eq!(stats.jobs_completed, 1);
+
+    // Stitch: both snapshots filtered to the one trace id, each side
+    // normalized to its own earliest start.
+    let client_snap = client_rec.snapshot();
+    let server_snap = server_rec.snapshot();
+    let client_events = normalized(client_snap.trace_events(trace.trace_id));
+    let server_events = normalized(server_snap.trace_events(trace.trace_id));
+    assert!(
+        client_events.iter().any(|e| e.name == "client/redial"),
+        "client side must record the redial"
+    );
+    assert!(
+        server_events
+            .iter()
+            .any(|e| e.name == "server/resume_restore"),
+        "server side must record the checkpoint restore"
+    );
+    let flight_dumps = service.flight_dumps();
+    assert!(
+        !flight_dumps.is_empty(),
+        "the killed first connection must leave a flight dump"
+    );
+
+    println!(
+        "trace_report: trace {} — {}x{} job, cut after wire event {}, \
+         wall {:.1} ms",
+        trace.trace_hex(),
+        ROWS,
+        COLS,
+        cut_after,
+        wall.as_secs_f64() * 1e3,
+    );
+    println!();
+    for (side, events) in [("client", &client_events), ("server", &server_events)] {
+        println!("  {side} spans (us, relative to the side's first event):");
+        for e in events {
+            println!(
+                "    {:10.1} .. {:10.1}  {}",
+                e.start_ns as f64 / 1e3,
+                e.end_ns as f64 / 1e3,
+                e.name
+            );
+        }
+        println!();
+    }
+    println!(
+        "  recoveries: resumes={} restarts={} server_checkpoints={}",
+        client_stats.resumes, client_stats.restarts, stats.checkpoints_saved,
+    );
+
+    let json = build_json(
+        trace.trace_hex(),
+        cut_after,
+        &client_events,
+        &server_events,
+        &flight_dumps,
+        stats.checkpoints_saved,
+        client_stats.resumes,
+    );
+    let path = "BENCH_trace.json";
+    std::fs::write(path, json.render_pretty()).expect("write trace artifact");
+    println!();
+    println!("wrote {path}");
+}
+
+/// Clones `events` with both timestamps rebased so the side's earliest
+/// start is 0.
+fn normalized(events: Vec<&TraceEvent>) -> Vec<TraceEvent> {
+    let base = events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+    events
+        .into_iter()
+        .map(|e| {
+            let mut e = e.clone();
+            e.start_ns -= base;
+            e.end_ns -= base;
+            e
+        })
+        .collect()
+}
+
+fn spans_json(events: &[TraceEvent]) -> JsonValue {
+    JsonValue::Array(
+        events
+            .iter()
+            .map(|e| {
+                let mut span = JsonValue::object();
+                span.push("name", JsonValue::Str(e.name.clone()))
+                    .push("start_us", JsonValue::Float(e.start_ns as f64 / 1e3))
+                    .push("end_us", JsonValue::Float(e.end_ns as f64 / 1e3))
+                    .push(
+                        "duration_us",
+                        JsonValue::Float(e.duration_ns() as f64 / 1e3),
+                    );
+                span
+            })
+            .collect(),
+    )
+}
+
+fn build_json(
+    trace_hex: String,
+    cut_after: u64,
+    client_events: &[TraceEvent],
+    server_events: &[TraceEvent],
+    flight_dumps: &[String],
+    checkpoints_saved: u64,
+    resumes: u64,
+) -> JsonValue {
+    let mut job = JsonValue::object();
+    job.push("rows", JsonValue::UInt(ROWS as u64))
+        .push("cols", JsonValue::UInt(COLS as u64))
+        .push("bit_width", JsonValue::UInt(WIDTH as u64))
+        .push("cut_after_events", JsonValue::UInt(cut_after));
+
+    let mut recoveries = JsonValue::object();
+    recoveries
+        .push("resumes", JsonValue::UInt(resumes))
+        .push("checkpoints_saved", JsonValue::UInt(checkpoints_saved));
+
+    let mut root = JsonValue::object();
+    root.push("schema", JsonValue::Str("maxelerator-trace-v1".to_string()))
+        .push("trace_id", JsonValue::Str(trace_hex))
+        .push("job", job)
+        .push("client_spans", spans_json(client_events))
+        .push("server_spans", spans_json(server_events))
+        .push("recoveries", recoveries)
+        // Flight dumps are themselves JSON documents; embedded as strings
+        // so this artifact stays one self-contained file.
+        .push(
+            "flight_dumps",
+            JsonValue::Array(
+                flight_dumps
+                    .iter()
+                    .map(|d| JsonValue::Str(d.clone()))
+                    .collect(),
+            ),
+        );
+    root
+}

@@ -44,6 +44,21 @@
 //! the in-crate test servers derive them for reproducibility and make no
 //! authentication claim.
 //!
+//! **Tracing.** Since v4 every HELLO/RESUME carries a [`TraceContext`]
+//! (128-bit trace id + root span id) minted by the client from OS entropy
+//! — the same provenance as resume tokens — and STATS echoes the trace id
+//! back. The ids are correlation handles for observability (stitching
+//! client-side and server-side span snapshots into one per-job timeline);
+//! they are sent in the clear, derive no key material, and never perturb
+//! the OT/garbling byte stream. Deterministic transcript tests connect
+//! with [`TraceContext::none`] so HELLO frames stay bit-comparable.
+//!
+//! **Metrics.** An admin `METRICS` frame (v4) may be sent instead of — or
+//! between — jobs; the server answers with a JSON snapshot of its live
+//! counters/percentiles without touching the job state machine, so
+//! operators can poll tail latency from a running server even while it is
+//! draining.
+//!
 //! Control frames are tagged raw frames; OT ciphertexts ride a
 //! [`FrameKind::Blocks`] frame so the per-kind channel accounting matches
 //! the in-process transcript split. The client's `x` never crosses the wire
@@ -64,6 +79,7 @@ use max_crypto::Block;
 use max_gc::channel::{decode_blocks, encode_blocks, FrameKind};
 use max_gc::Transport;
 use max_ot::iknp::{self, CipherMsg, ExtendMsg, OtExtReceiver, OtExtSender, KAPPA};
+use max_telemetry::TraceContext;
 
 use crate::accelerator::{Maxelerator, RoundMessage, ScheduledEvaluator};
 use crate::config::AcceleratorConfig;
@@ -77,7 +93,16 @@ use crate::wire::{decode_round_message, encode_round_message};
 /// v3 coalesced the per-round ROUND frames of each output element into a
 /// single ROUNDS burst frame (count + length-prefixed round bodies), so an
 /// element's exchange is a fixed three frames regardless of model width.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// v4 extended HELLO/RESUME with a client-minted [`TraceContext`] (echoed
+/// in STATS) and added the admin METRICS request/reply pair — frame
+/// *counts* are unchanged, only payloads grew, so resume offsets and
+/// fault-injection cut arithmetic carry over from v3.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Largest METRICS reply body the decoder will allocate (1 MiB of JSON is
+/// far beyond any honest snapshot; a hostile length dies here, not in the
+/// allocator).
+pub const MAX_METRICS_BYTES: usize = 1 << 20;
 
 /// Largest OT batch (choice bits) a single EXT frame may declare.
 ///
@@ -123,6 +148,8 @@ const TAG_RESUME: u8 = 11;
 const TAG_PING: u8 = 12;
 const TAG_PONG: u8 = 13;
 const TAG_ROUNDS: u8 = 14;
+const TAG_METRICS: u8 = 15;
+const TAG_METRICS_REPLY: u8 = 16;
 
 /// A control frame of the session protocol (everything except the
 /// lock-step EXT/CIPHER/ROUND data frames).
@@ -134,6 +161,10 @@ pub enum ControlMsg {
         version: u16,
         /// Requested operand bit-width.
         bit_width: u32,
+        /// Client-minted trace context ([`TraceContext::none`] when
+        /// untraced); the server tags its own spans with it and echoes the
+        /// trace id in STATS.
+        trace: TraceContext,
     },
     /// Server → client: session open, here is everything the evaluator
     /// needs (negotiated config is authoritative).
@@ -188,6 +219,10 @@ pub enum ControlMsg {
     Stats {
         /// Fabric cycles the garbling units spent on this job.
         fabric_cycles: u64,
+        /// Echo of the session's trace id (0 when the session is
+        /// untraced) — the client's proof that server-side spans tagged
+        /// with this id belong to its job.
+        trace_id: u128,
     },
     /// Client → server: reconnect into an interrupted session and continue
     /// the in-flight job from the first incomplete element.
@@ -202,6 +237,9 @@ pub enum ControlMsg {
         columns: u32,
         /// Output elements the client has fully evaluated.
         elements_done: u32,
+        /// The session's trace context, re-sent so the replacement
+        /// connection's server spans join the same trace.
+        trace: TraceContext,
     },
     /// Client → server: keep-alive between jobs; the server answers PONG
     /// without touching the job state machine.
@@ -214,8 +252,39 @@ pub enum ControlMsg {
         /// The PING's nonce.
         nonce: u64,
     },
+    /// Client → server (admin): request a live metrics snapshot. Valid as
+    /// the first frame of a connection (no handshake needed) or between
+    /// jobs; never touches the job state machine.
+    MetricsRequest,
+    /// Server → client: the metrics snapshot as a JSON document (schema
+    /// `maxelerator-metrics-v1`).
+    MetricsReply {
+        /// UTF-8 JSON body, at most [`MAX_METRICS_BYTES`].
+        body: String,
+    },
     /// Client → server: done, close the session gracefully.
     Bye,
+}
+
+fn put_trace_id(buf: &mut BytesMut, trace_id: u128) {
+    buf.put_u64((trace_id >> 64) as u64);
+    buf.put_u64(trace_id as u64);
+}
+
+fn get_trace_id(frame: &mut Bytes) -> u128 {
+    let hi = frame.get_u64();
+    let lo = frame.get_u64();
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+fn put_trace(buf: &mut BytesMut, trace: TraceContext) {
+    put_trace_id(buf, trace.trace_id);
+    buf.put_u64(trace.span_id);
+}
+
+fn get_trace(frame: &mut Bytes) -> TraceContext {
+    let trace_id = get_trace_id(frame);
+    TraceContext::from_ids(trace_id, frame.get_u64())
 }
 
 impl ControlMsg {
@@ -223,10 +292,15 @@ impl ControlMsg {
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(40);
         match *self {
-            ControlMsg::Hello { version, bit_width } => {
+            ControlMsg::Hello {
+                version,
+                bit_width,
+                trace,
+            } => {
                 buf.put_u8(TAG_HELLO);
                 buf.put_u16(version);
                 buf.put_u32(bit_width);
+                put_trace(&mut buf, trace);
             }
             ControlMsg::Accept {
                 session_id,
@@ -271,9 +345,13 @@ impl ControlMsg {
                 buf.put_u8(TAG_READY);
                 buf.put_u64(job_id);
             }
-            ControlMsg::Stats { fabric_cycles } => {
+            ControlMsg::Stats {
+                fabric_cycles,
+                trace_id,
+            } => {
                 buf.put_u8(TAG_STATS);
                 buf.put_u64(fabric_cycles);
+                put_trace_id(&mut buf, trace_id);
             }
             ControlMsg::Resume {
                 session_id,
@@ -281,6 +359,7 @@ impl ControlMsg {
                 job_id,
                 columns,
                 elements_done,
+                trace,
             } => {
                 buf.put_u8(TAG_RESUME);
                 buf.put_u64(session_id);
@@ -288,6 +367,7 @@ impl ControlMsg {
                 buf.put_u64(job_id);
                 buf.put_u32(columns);
                 buf.put_u32(elements_done);
+                put_trace(&mut buf, trace);
             }
             ControlMsg::Ping { nonce } => {
                 buf.put_u8(TAG_PING);
@@ -296,6 +376,12 @@ impl ControlMsg {
             ControlMsg::Pong { nonce } => {
                 buf.put_u8(TAG_PONG);
                 buf.put_u64(nonce);
+            }
+            ControlMsg::MetricsRequest => buf.put_u8(TAG_METRICS),
+            ControlMsg::MetricsReply { ref body } => {
+                buf.put_u8(TAG_METRICS_REPLY);
+                buf.put_u32(body.len() as u32);
+                buf.put_slice(body.as_bytes());
             }
             ControlMsg::Bye => buf.put_u8(TAG_BYE),
         }
@@ -319,10 +405,11 @@ impl ControlMsg {
         let tag = frame.get_u8();
         let msg = match tag {
             TAG_HELLO => {
-                need(&frame, 6, "HELLO payload")?;
+                need(&frame, 30, "HELLO payload")?;
                 ControlMsg::Hello {
                     version: frame.get_u16(),
                     bit_width: frame.get_u32(),
+                    trace: get_trace(&mut frame),
                 }
             }
             TAG_ACCEPT => {
@@ -366,19 +453,21 @@ impl ControlMsg {
                 }
             }
             TAG_STATS => {
-                need(&frame, 8, "STATS payload")?;
+                need(&frame, 24, "STATS payload")?;
                 ControlMsg::Stats {
                     fabric_cycles: frame.get_u64(),
+                    trace_id: get_trace_id(&mut frame),
                 }
             }
             TAG_RESUME => {
-                need(&frame, 32, "RESUME payload")?;
+                need(&frame, 56, "RESUME payload")?;
                 ControlMsg::Resume {
                     session_id: frame.get_u64(),
                     resume_token: frame.get_u64(),
                     job_id: frame.get_u64(),
                     columns: frame.get_u32(),
                     elements_done: frame.get_u32(),
+                    trace: get_trace(&mut frame),
                 }
             }
             TAG_PING => {
@@ -392,6 +481,23 @@ impl ControlMsg {
                 ControlMsg::Pong {
                     nonce: frame.get_u64(),
                 }
+            }
+            TAG_METRICS => ControlMsg::MetricsRequest,
+            TAG_METRICS_REPLY => {
+                need(&frame, 4, "METRICS reply header")?;
+                let len = frame.get_u32() as usize;
+                if len > MAX_METRICS_BYTES {
+                    return Err(AcceleratorError::Protocol {
+                        what: "METRICS reply too large",
+                    });
+                }
+                need(&frame, len, "METRICS reply body")?;
+                let body = String::from_utf8(frame.split_to(len).to_vec()).map_err(|_| {
+                    AcceleratorError::Protocol {
+                        what: "METRICS reply is not UTF-8",
+                    }
+                })?;
+                ControlMsg::MetricsReply { body }
             }
             TAG_BYE => ControlMsg::Bye,
             _ => {
@@ -633,8 +739,9 @@ pub fn stream_matvec_job<T: Transport + ?Sized>(
     job: &GarbledJob,
     ot_sender: &mut OtExtSender,
     job_id: u64,
+    trace: TraceContext,
 ) -> Result<MatvecTranscript, AcceleratorError> {
-    stream_matvec_job_from(transport, job, ot_sender, job_id, 0, |_, _| {})
+    stream_matvec_job_from(transport, job, ot_sender, job_id, trace, 0, |_, _| {})
 }
 
 /// [`stream_matvec_job`] generalized for resumption: starts the exchange
@@ -654,6 +761,7 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
     job: &GarbledJob,
     ot_sender: &mut OtExtSender,
     job_id: u64,
+    trace: TraceContext,
     start_element: usize,
     mut on_element: impl FnMut(usize, &OtExtSender),
 ) -> Result<MatvecTranscript, AcceleratorError> {
@@ -696,9 +804,28 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
         transport,
         &ControlMsg::Stats {
             fabric_cycles: job.fabric_cycles,
+            trace_id: trace.trace_id,
         },
     )?;
     Ok(transcript)
+}
+
+/// Fetches the server's live metrics snapshot over a bare transport — no
+/// handshake required, so it works even while the server is draining or
+/// shedding load.
+///
+/// # Errors
+///
+/// Transport failures, or [`AcceleratorError::Protocol`] if the peer
+/// answers with anything but a METRICS reply.
+pub fn fetch_metrics<T: Transport + ?Sized>(transport: &mut T) -> Result<String, AcceleratorError> {
+    send_control(transport, &ControlMsg::MetricsRequest)?;
+    match recv_control(transport)? {
+        ControlMsg::MetricsReply { body } => Ok(body),
+        _ => Err(AcceleratorError::Protocol {
+            what: "expected METRICS reply",
+        }),
+    }
 }
 
 /// Everything a client must keep to re-enter its session on a brand-new
@@ -712,6 +839,7 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
 pub struct SessionState {
     session_id: u64,
     resume_token: u64,
+    trace: TraceContext,
     config: AcceleratorConfig,
     rows: usize,
     cols: usize,
@@ -748,6 +876,11 @@ impl SessionState {
     /// Model columns (required length of the client vector).
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// The trace context this session put on the wire at HELLO.
+    pub fn trace(&self) -> TraceContext {
+        self.trace
     }
 }
 
@@ -841,15 +974,33 @@ impl<T: Transport> RemoteClient<T> {
     ///
     /// [`AcceleratorError::Rejected`] if the server refuses the handshake;
     /// transport/protocol errors otherwise.
-    pub fn connect(
+    pub fn connect(transport: T, bit_width: usize) -> Result<RemoteClient<T>, AcceleratorError> {
+        Self::connect_with_trace(transport, bit_width, TraceContext::mint())
+    }
+
+    /// [`connect`](RemoteClient::connect) with an explicit trace context
+    /// instead of a freshly minted one.
+    ///
+    /// Pass [`TraceContext::none`] (or any fixed context) when HELLO
+    /// frames must be bit-comparable across runs — the transcript-parity
+    /// and chaos bit-identity tests do; pass a shared minted context when
+    /// several dial attempts should join one trace — `ResilientClient`
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteClient::connect`].
+    pub fn connect_with_trace(
         mut transport: T,
         bit_width: usize,
+        trace: TraceContext,
     ) -> Result<RemoteClient<T>, AcceleratorError> {
         send_control(
             &mut transport,
             &ControlMsg::Hello {
                 version: PROTOCOL_VERSION,
                 bit_width: bit_width as u32,
+                trace,
             },
         )?;
         match recv_control(&mut transport)? {
@@ -892,6 +1043,7 @@ impl<T: Transport> RemoteClient<T> {
                     state: SessionState {
                         session_id,
                         resume_token,
+                        trace,
                         config,
                         rows: rows as usize,
                         cols: cols as usize,
@@ -946,6 +1098,22 @@ impl<T: Transport> RemoteClient<T> {
     /// Borrow of the underlying transport (e.g. for channel statistics).
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// The trace context this session carries (from HELLO).
+    pub fn trace(&self) -> TraceContext {
+        self.state.trace
+    }
+
+    /// Fetches the server's live metrics snapshot (admin METRICS frame).
+    ///
+    /// Valid between jobs only, like [`ping`](RemoteClient::ping).
+    ///
+    /// # Errors
+    ///
+    /// See [`fetch_metrics`].
+    pub fn metrics(&mut self) -> Result<String, AcceleratorError> {
+        fetch_metrics(&mut self.transport)
     }
 
     /// Runs one privacy-preserving matvec `y = W·x` against the server.
@@ -1086,6 +1254,7 @@ impl<T: Transport> RemoteClient<T> {
                 job_id: progress.job_id,
                 columns,
                 elements_done,
+                trace: self.state.trace,
             },
         )?;
         match recv_control(&mut self.transport)? {
@@ -1172,7 +1341,19 @@ impl<T: Transport> RemoteClient<T> {
         progress.receiver_checkpoint = self.state.ot_receiver.clone();
         progress.transcript_checkpoint = progress.transcript;
         match recv_control(&mut self.transport)? {
-            ControlMsg::Stats { fabric_cycles } => {
+            ControlMsg::Stats {
+                fabric_cycles,
+                trace_id,
+            } => {
+                // A traced session insists on its own id back: a nonzero
+                // mismatch means the server attributed this job's spans to
+                // some other trace, which would silently corrupt stitched
+                // timelines. An untraced echo (0) is always acceptable.
+                if trace_id != 0 && trace_id != self.state.trace.trace_id {
+                    return Err(AcceleratorError::Protocol {
+                        what: "STATS trace id does not match the session",
+                    });
+                }
                 progress.transcript.fabric_cycles = fabric_cycles;
                 progress.transcript.fabric_seconds =
                     fabric_cycles as f64 / (self.state.config.freq_mhz * 1e6);
@@ -1232,7 +1413,11 @@ mod tests {
         session_id: u64,
     ) -> Result<(), AcceleratorError> {
         let hello = match recv_control(&mut transport)? {
-            ControlMsg::Hello { version, bit_width } => (version, bit_width),
+            ControlMsg::Hello {
+                version,
+                bit_width,
+                trace,
+            } => (version, bit_width, trace),
             _ => {
                 return Err(AcceleratorError::Protocol {
                     what: "expected HELLO",
@@ -1286,7 +1471,7 @@ mod tests {
                         derive_seed(session_seed, 0x100 + job_id),
                         columns,
                     )?;
-                    stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id)?;
+                    stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id, hello.2)?;
                     job_id += 1;
                 }
                 Ok(ControlMsg::Ping { nonce }) => {
@@ -1378,6 +1563,7 @@ mod tests {
             &ControlMsg::Hello {
                 version: 999,
                 bit_width: 8,
+                trace: TraceContext::none(),
             },
         )
         .unwrap();
@@ -1439,6 +1625,7 @@ mod tests {
             ControlMsg::Hello {
                 version: PROTOCOL_VERSION,
                 bit_width: 16,
+                trace: TraceContext::from_ids(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210, 0x1dea),
             },
             ControlMsg::Accept {
                 session_id: 7,
@@ -1461,6 +1648,7 @@ mod tests {
                 job_id: 2,
                 columns: 4,
                 elements_done: 9,
+                trace: TraceContext::from_ids(u128::MAX, u64::MAX),
             },
             ControlMsg::Ping { nonce: 0xabad_1dea },
             ControlMsg::Pong { nonce: 0xabad_1dea },
@@ -1472,6 +1660,14 @@ mod tests {
             ControlMsg::Ready { job_id: 11 },
             ControlMsg::Stats {
                 fabric_cycles: 12345,
+                trace_id: 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210,
+            },
+            ControlMsg::MetricsRequest,
+            ControlMsg::MetricsReply {
+                body: "{\"schema\":\"maxelerator-metrics-v1\"}".to_string(),
+            },
+            ControlMsg::MetricsReply {
+                body: String::new(),
             },
             ControlMsg::Bye,
         ];
@@ -1506,6 +1702,82 @@ mod tests {
             ControlMsg::decode(Bytes::from(trailing)),
             Err(AcceleratorError::Protocol { .. })
         ));
+        // A v3-sized HELLO (6-byte payload, no trace) is truncated under v4.
+        let mut v3_hello = BytesMut::with_capacity(7);
+        v3_hello.put_u8(TAG_HELLO);
+        v3_hello.put_u16(3);
+        v3_hello.put_u32(8);
+        assert!(matches!(
+            ControlMsg::decode(v3_hello.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "HELLO payload"
+            })
+        ));
+    }
+
+    #[test]
+    fn hostile_metrics_replies_are_typed_errors() {
+        // Declared length beyond the cap dies before allocation.
+        let mut big = BytesMut::with_capacity(5);
+        big.put_u8(TAG_METRICS_REPLY);
+        big.put_u32((MAX_METRICS_BYTES + 1) as u32);
+        assert!(matches!(
+            ControlMsg::decode(big.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "METRICS reply too large"
+            })
+        ));
+        // Declared length longer than the frame.
+        let mut short = BytesMut::with_capacity(8);
+        short.put_u8(TAG_METRICS_REPLY);
+        short.put_u32(5);
+        short.put_slice(b"ab");
+        assert!(matches!(
+            ControlMsg::decode(short.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "METRICS reply body"
+            })
+        ));
+        // Body that is not UTF-8.
+        let mut bad = BytesMut::with_capacity(8);
+        bad.put_u8(TAG_METRICS_REPLY);
+        bad.put_u32(2);
+        bad.put_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            ControlMsg::decode(bad.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "METRICS reply is not UTF-8"
+            })
+        ));
+        // Trailing bytes after the declared body.
+        let mut trailing = BytesMut::with_capacity(8);
+        trailing.put_u8(TAG_METRICS_REPLY);
+        trailing.put_u32(1);
+        trailing.put_slice(b"xy");
+        assert!(matches!(
+            ControlMsg::decode(trailing.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "control frame trailing bytes"
+            })
+        ));
+    }
+
+    #[test]
+    fn hello_bytes_are_deterministic_only_for_fixed_traces() {
+        let hello = |trace: TraceContext| {
+            ControlMsg::Hello {
+                version: PROTOCOL_VERSION,
+                bit_width: 8,
+                trace,
+            }
+            .encode()
+        };
+        // Fixed contexts (the transcript-parity posture) are bit-stable.
+        assert_eq!(hello(TraceContext::none()), hello(TraceContext::none()));
+        let pinned = TraceContext::from_ids(42, 7);
+        assert_eq!(hello(pinned), hello(pinned));
+        // Minted contexts differ — each dial is its own trace.
+        assert_ne!(hello(TraceContext::mint()), hello(TraceContext::mint()));
     }
 
     #[test]

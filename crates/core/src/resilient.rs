@@ -20,12 +20,24 @@
 //! runs out the caller gets [`AcceleratorError::RetriesExhausted`] wrapping
 //! the terminal failure. All recovery events are counted in
 //! [`ResilienceStats`] and mirrored to `max-telemetry` counters.
+//!
+//! **Tracing.** Every `ResilientClient` mints one [`TraceContext`] at
+//! construction and puts it on the wire with *every* dial — so the first
+//! connect, each post-failure redial, and the RESUME all belong to one
+//! trace the server can echo back. Attach a [`Recorder`] via
+//! [`ResilientClient::with_recorder`] to capture the client-side spans
+//! (`client/connect`, `client/redial`, `client/backoff`, `client/resume`,
+//! `client/job`); override the context via
+//! [`ResilientClient::with_trace`] when a chaos test needs deterministic
+//! wire bytes.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use max_gc::Transport;
+use max_telemetry::{Recorder, TraceContext};
 
 use crate::error::AcceleratorError;
 use crate::remote::{
@@ -104,6 +116,8 @@ where
     stats: ResilienceStats,
     jitter_state: u64,
     prev_backoff_ms: u64,
+    trace: TraceContext,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl<T, F> std::fmt::Debug for ResilientClient<T, F>
@@ -136,7 +150,32 @@ where
             client: None,
             saved_state: None,
             stats: ResilienceStats::default(),
+            trace: TraceContext::mint(),
+            recorder: None,
         }
+    }
+
+    /// Replaces the minted [`TraceContext`] with an explicit one. Use
+    /// [`TraceContext::none`] (or any fixed context) in tests that compare
+    /// wire transcripts byte-for-byte across runs.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Attaches a [`Recorder`] that captures client-side trace spans
+    /// (`client/connect`, `client/redial`, `client/backoff`,
+    /// `client/resume`, `client/job`) under this client's trace id.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The trace context every dial of this client carries.
+    pub fn trace(&self) -> TraceContext {
+        self.trace
     }
 
     /// Recovery accounting so far.
@@ -188,6 +227,8 @@ where
         x_columns: &[Vec<i64>],
     ) -> Result<(Vec<Vec<i64>>, MatvecTranscript), AcceleratorError> {
         let _span = max_telemetry::span("resilient.job");
+        let rec = self.recorder.clone();
+        let _job_span = rec.as_ref().map(|r| r.trace_span(self.trace, "client/job"));
         let started = Instant::now();
         let mut progress: Option<JobProgress> = None;
         let mut attempts = 0u32;
@@ -235,12 +276,27 @@ where
         progress_slot: &mut Option<JobProgress>,
     ) -> Result<(Vec<Vec<i64>>, MatvecTranscript), AcceleratorError> {
         if self.client.is_none() {
+            let rec = self.recorder.clone();
+            let redial = self.stats.reconnects + self.stats.resumes > 0;
+            let _dial_span = rec.as_ref().map(|r| {
+                r.trace_span(
+                    self.trace,
+                    if redial {
+                        "client/redial"
+                    } else {
+                        "client/connect"
+                    },
+                )
+            });
             let mut transport = (self.connect)()?;
             if self.policy.step_timeout.is_some() {
                 transport.set_idle_timeout(self.policy.step_timeout);
             }
             match (self.saved_state.take(), progress_slot.as_mut()) {
                 (Some(state), Some(progress)) => {
+                    let _resume_span = rec
+                        .as_ref()
+                        .map(|r| r.trace_span(self.trace, "client/resume"));
                     let mut client = RemoteClient::reattach(transport, state);
                     match client.resume_job(progress) {
                         Ok(()) => {
@@ -260,7 +316,11 @@ where
                 }
                 _ => {
                     *progress_slot = None;
-                    self.client = Some(RemoteClient::connect(transport, self.bit_width)?);
+                    self.client = Some(RemoteClient::connect_with_trace(
+                        transport,
+                        self.bit_width,
+                        self.trace,
+                    )?);
                     self.stats.reconnects += 1;
                     max_telemetry::counter_add("resilient.reconnects", 1);
                 }
@@ -351,6 +411,10 @@ where
     fn sleep_ms(&mut self, ms: u64) {
         self.stats.backoff_ms_total += ms;
         max_telemetry::counter_add("resilient.backoff_ms", ms);
+        let rec = self.recorder.clone();
+        let _span = rec
+            .as_ref()
+            .map(|r| r.trace_span(self.trace, "client/backoff"));
         std::thread::sleep(Duration::from_millis(ms));
     }
 
@@ -387,8 +451,12 @@ mod tests {
         mut busy_first: u32,
         busy_hint_ms: u32,
     ) -> Result<(), AcceleratorError> {
-        let (version, _width) = match recv_control(&mut transport)? {
-            ControlMsg::Hello { version, bit_width } => (version, bit_width),
+        let (version, _width, trace) = match recv_control(&mut transport)? {
+            ControlMsg::Hello {
+                version,
+                bit_width,
+                trace,
+            } => (version, bit_width, trace),
             _ => {
                 return Err(AcceleratorError::Protocol {
                     what: "expected HELLO",
@@ -434,7 +502,7 @@ mod tests {
                         derive_seed(session_seed, 0x100 + job_id),
                         columns,
                     )?;
-                    stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id)?;
+                    stream_matvec_job(&mut transport, &job, &mut ot_sender, job_id, trace)?;
                     job_id += 1;
                 }
                 Ok(ControlMsg::Bye) | Err(AcceleratorError::Disconnected) => return Ok(()),
@@ -567,6 +635,46 @@ mod tests {
             }
         );
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn recorder_captures_client_spans_under_the_fixed_trace() {
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![2i64, -3], vec![4, 5]];
+        let (server_end, client_end) = Duplex::pair();
+        let server = {
+            let config = config.clone();
+            let w = w.clone();
+            std::thread::spawn(move || serve_with_busy(server_end, config, w, 11, 1, 1))
+        };
+        let recorder = std::sync::Arc::new(max_telemetry::Recorder::new());
+        let ctx = max_telemetry::TraceContext::from_ids(0xfeed_beef, 0x1dea);
+        let mut ends = vec![client_end];
+        let mut client = ResilientClient::new(
+            move || {
+                ends.pop().ok_or(AcceleratorError::Protocol {
+                    what: "no more transports",
+                })
+            },
+            8,
+            RetryPolicy::default(),
+        )
+        .with_trace(ctx)
+        .with_recorder(recorder.clone());
+        assert_eq!(client.trace(), ctx);
+        let (y, _) = client.secure_matvec(&[7, -1]).unwrap();
+        assert_eq!(y, vec![2 * 7 + 3, 4 * 7 - 5]);
+        client.goodbye();
+        server.join().unwrap().unwrap();
+
+        let snap = recorder.snapshot();
+        let events = snap.trace_events(ctx.trace_id);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"client/connect"), "names: {names:?}");
+        assert!(names.contains(&"client/backoff"), "names: {names:?}");
+        assert!(names.contains(&"client/job"), "names: {names:?}");
+        assert!(!names.contains(&"client/redial"), "no redial happened");
+        assert!(events.iter().all(|e| e.span_id == ctx.span_id));
     }
 
     fn never_connect() -> Result<Duplex, AcceleratorError> {

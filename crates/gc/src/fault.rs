@@ -15,9 +15,11 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use max_telemetry::FlightRecorder;
 
 use crate::channel::{ChannelStats, FrameKind, TransportError};
 use crate::transport::Transport;
@@ -184,6 +186,9 @@ pub struct FaultTransport<T: Transport> {
     /// send (or lost with the connection if no send follows).
     held: Option<(FrameKind, Bytes)>,
     cut: bool,
+    /// Optional flight recorder: every injected fault is logged here as a
+    /// `fault.*` event, so an error-session dump names what was injected.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl<T: Transport> FaultTransport<T> {
@@ -196,6 +201,23 @@ impl<T: Transport> FaultTransport<T> {
             events: 0,
             held: None,
             cut: false,
+            flight: None,
+        }
+    }
+
+    /// Mirrors every injected fault into `flight` as a `fault.*` event
+    /// (kind `fault.cut`, `fault.drop`, `fault.corrupt`, `fault.truncate`,
+    /// `fault.duplicate`, `fault.reorder`, `fault.delay`; detail names the
+    /// direction; value is the frame-event index or delay ms).
+    #[must_use]
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    fn flight_log(&self, kind: &'static str, detail: &'static str, value: u64) {
+        if let Some(flight) = &self.flight {
+            flight.log(kind, detail, value);
         }
     }
 
@@ -215,7 +237,7 @@ impl<T: Transport> FaultTransport<T> {
     }
 
     /// Checks the deterministic cut and counts one frame event.
-    fn gate_event(&mut self) -> Result<u64, TransportError> {
+    fn gate_event(&mut self, direction: &'static str) -> Result<u64, TransportError> {
         if self.cut {
             return Err(TransportError::Disconnected);
         }
@@ -223,6 +245,7 @@ impl<T: Transport> FaultTransport<T> {
             if self.events >= cut_after {
                 self.cut = true;
                 self.stats.cut = true;
+                self.flight_log("fault.cut", direction, self.events);
                 return Err(TransportError::Disconnected);
             }
         }
@@ -235,11 +258,12 @@ impl<T: Transport> FaultTransport<T> {
         per_mille > 0 && mix(self.spec.seed, salt, event) % 1000 < u64::from(per_mille)
     }
 
-    fn maybe_delay(&mut self, salt: u64, event: u64) {
+    fn maybe_delay(&mut self, salt: u64, event: u64, direction: &'static str) {
         if self.spec.max_delay_ms > 0 && self.roll(salt, event, self.spec.delay_per_mille) {
             let ms = 1 + mix(self.spec.seed, salt ^ 0x5EED, event) % self.spec.max_delay_ms;
             self.stats.delays += 1;
             self.stats.delay_ms += ms;
+            self.flight_log("fault.delay", direction, ms);
             std::thread::sleep(Duration::from_millis(ms));
         }
     }
@@ -247,12 +271,13 @@ impl<T: Transport> FaultTransport<T> {
 
 impl<T: Transport> Transport for FaultTransport<T> {
     fn send_frame(&mut self, kind: FrameKind, frame: Bytes) -> Result<(), TransportError> {
-        let event = self.gate_event()?;
+        let event = self.gate_event("send")?;
         self.stats.sends += 1;
-        self.maybe_delay(SALT_DELAY_SEND, event);
+        self.maybe_delay(SALT_DELAY_SEND, event, "send");
 
         if self.roll(SALT_DROP, event, self.spec.drop_per_mille) {
             self.stats.drops += 1;
+            self.flight_log("fault.drop", "send", event);
             return Ok(());
         }
 
@@ -264,17 +289,20 @@ impl<T: Transport> Transport for FaultTransport<T> {
             bytes[idx] ^= 1 << ((draw >> 32) % 8);
             frame = Bytes::from(bytes);
             self.stats.corruptions += 1;
+            self.flight_log("fault.corrupt", "send", event);
         }
         if !frame.is_empty() && self.roll(SALT_TRUNCATE, event, self.spec.truncate_per_mille) {
             let draw = mix(self.spec.seed, SALT_TRUNCATE ^ 0x5EED, event);
             let keep = (draw % frame.len() as u64) as usize;
             frame = Bytes::from(frame[..keep].to_vec());
             self.stats.truncations += 1;
+            self.flight_log("fault.truncate", "send", keep as u64);
         }
 
         if self.held.is_none() && self.roll(SALT_REORDER, event, self.spec.reorder_per_mille) {
             self.held = Some((kind, frame));
             self.stats.reorders += 1;
+            self.flight_log("fault.reorder", "send", event);
             return Ok(());
         }
 
@@ -284,15 +312,16 @@ impl<T: Transport> Transport for FaultTransport<T> {
         }
         if self.roll(SALT_DUP, event, self.spec.duplicate_per_mille) {
             self.stats.duplicates += 1;
+            self.flight_log("fault.duplicate", "send", event);
             self.inner.send_frame(kind, frame)?;
         }
         Ok(())
     }
 
     fn recv_frame(&mut self) -> Result<Bytes, TransportError> {
-        let event = self.gate_event()?;
+        let event = self.gate_event("recv")?;
         self.stats.recvs += 1;
-        self.maybe_delay(SALT_DELAY_RECV, event);
+        self.maybe_delay(SALT_DELAY_RECV, event, "recv");
         self.inner.recv_frame()
     }
 
@@ -401,6 +430,35 @@ mod tests {
         assert_eq!(&b.recv_bytes().unwrap()[..], b"second");
         assert_eq!(&b.recv_bytes().unwrap()[..], b"first");
         assert!(faulty.stats().reorders >= 1);
+    }
+
+    #[test]
+    fn flight_recorder_names_the_injected_faults() {
+        let flight = Arc::new(FlightRecorder::new(16));
+        let (a, mut b) = Duplex::pair();
+        let mut faulty = FaultTransport::new(
+            a,
+            FaultSpec::none(3).with_corruption(1000).with_cut_after(2),
+        )
+        .with_flight(Arc::clone(&flight));
+        faulty.send_frame(FrameKind::Raw, raw(&[0u8; 8])).unwrap();
+        b.send_bytes(raw(b"pong"));
+        faulty.recv_frame().unwrap();
+        assert_eq!(
+            faulty.send_frame(FrameKind::Raw, raw(b"x")),
+            Err(TransportError::Disconnected)
+        );
+        let kinds: Vec<&str> = flight.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"fault.corrupt"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"fault.cut"), "kinds: {kinds:?}");
+        let cut = flight
+            .events()
+            .into_iter()
+            .find(|e| e.kind == "fault.cut")
+            .unwrap();
+        assert_eq!(cut.detail, "send");
+        drop(faulty);
+        let _ = b.recv_bytes();
     }
 
     #[test]

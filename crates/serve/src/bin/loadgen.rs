@@ -4,7 +4,7 @@
 //! ```text
 //! loadgen [--addr 127.0.0.1:7700] [--width 8] [--rows 4] [--cols 4]
 //!         [--seed 42] [--sessions 4] [--jobs 3] [--attempts 8]
-//!         [--step-ms 0]
+//!         [--step-ms 0] [--metrics]
 //! ```
 //!
 //! `--width/--rows/--cols/--seed` must match the server so the demo model
@@ -14,12 +14,21 @@
 //! replies are honored with the server's `retry_after_ms` hint plus
 //! decorrelated jitter (never a fixed sleep), dropped connections redial
 //! and RESUME, and the summary line reports every recovery event.
+//!
+//! Latency is aggregated into power-of-two [`Histogram`]s and reported as
+//! p50/p95/p99 — whole-job latency plus the per-round breakdown. With
+//! `--metrics` the run ends by pulling the server's live `METRICS` frame
+//! over a fresh connection and printing the JSON body, so a load run and
+//! the server's own view of it land side by side.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::time::Instant;
 
 use max_gc::FramedTcp;
 use max_serve::{demo_vector, demo_weights, plain_matvec};
-use maxelerator::{AcceleratorError, ResilientClient, RetryPolicy};
+use max_telemetry::Histogram;
+use maxelerator::{remote, AcceleratorError, ResilientClient, RetryPolicy};
 
 struct Args {
     addr: String,
@@ -31,6 +40,17 @@ struct Args {
     jobs: usize,
     attempts: u32,
     step_ms: u64,
+    metrics: bool,
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(2)
+}
+
+fn parsed<T: std::str::FromStr>(what: &str, raw: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| fatal(&format!("{what} got an unparseable value: {raw}")))
 }
 
 fn parse_args() -> Args {
@@ -44,24 +64,26 @@ fn parse_args() -> Args {
         jobs: 3,
         attempts: 8,
         step_ms: 0,
+        metrics: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |what: &str| {
             iter.next()
-                .unwrap_or_else(|| panic!("{what} needs a value"))
+                .unwrap_or_else(|| fatal(&format!("{what} needs a value")))
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr"),
-            "--width" => args.width = value("--width").parse().expect("--width"),
-            "--rows" => args.rows = value("--rows").parse().expect("--rows"),
-            "--cols" => args.cols = value("--cols").parse().expect("--cols"),
-            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
-            "--sessions" => args.sessions = value("--sessions").parse().expect("--sessions"),
-            "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs"),
-            "--attempts" => args.attempts = value("--attempts").parse().expect("--attempts"),
-            "--step-ms" => args.step_ms = value("--step-ms").parse().expect("--step-ms"),
-            other => panic!("unknown flag: {other}"),
+            "--width" => args.width = parsed("--width", &value("--width")),
+            "--rows" => args.rows = parsed("--rows", &value("--rows")),
+            "--cols" => args.cols = parsed("--cols", &value("--cols")),
+            "--seed" => args.seed = parsed("--seed", &value("--seed")),
+            "--sessions" => args.sessions = parsed("--sessions", &value("--sessions")),
+            "--jobs" => args.jobs = parsed("--jobs", &value("--jobs")),
+            "--attempts" => args.attempts = parsed("--attempts", &value("--attempts")),
+            "--step-ms" => args.step_ms = parsed("--step-ms", &value("--step-ms")),
+            "--metrics" => args.metrics = true,
+            other => fatal(&format!("unknown flag: {other}")),
         }
     }
     args
@@ -74,6 +96,7 @@ struct SessionOutcome {
     resumes: u64,
     restarts: u64,
     backoff_ms: u64,
+    job_latencies_ns: Vec<u64>,
     round_latencies_ns: Vec<u64>,
     bytes_down: u64,
     bytes_up: u64,
@@ -102,6 +125,7 @@ fn run_session(args: &Args, session_idx: usize) -> Result<SessionOutcome, Accele
         resumes: 0,
         restarts: 0,
         backoff_ms: 0,
+        job_latencies_ns: Vec::new(),
         round_latencies_ns: Vec::new(),
         bytes_down: 0,
         bytes_up: 0,
@@ -123,8 +147,11 @@ fn run_session(args: &Args, session_idx: usize) -> Result<SessionOutcome, Accele
             }
         }
         outcome.jobs_ok += 1;
-        let per_round = started.elapsed().as_nanos() as u64 / transcript.rounds.max(1);
-        outcome.round_latencies_ns.push(per_round);
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        outcome.job_latencies_ns.push(elapsed_ns);
+        outcome
+            .round_latencies_ns
+            .push(elapsed_ns / transcript.rounds.max(1));
     }
     let stats = client.stats().clone();
     outcome.busy_retries = stats.busy_backoffs;
@@ -154,7 +181,10 @@ fn main() {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("session thread panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| fatal("session thread panicked"))
+            })
             .collect()
     });
     let wall = started.elapsed();
@@ -165,7 +195,8 @@ fn main() {
     let mut resumes = 0u64;
     let mut restarts = 0u64;
     let mut backoff_ms = 0u64;
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut job_hist = Histogram::default();
+    let mut round_hist = Histogram::default();
     let mut bytes_down = 0u64;
     let mut bytes_up = 0u64;
     let mut failures = 0usize;
@@ -178,7 +209,12 @@ fn main() {
                 resumes += o.resumes;
                 restarts += o.restarts;
                 backoff_ms += o.backoff_ms;
-                latencies.extend(o.round_latencies_ns);
+                for ns in o.job_latencies_ns {
+                    job_hist.record(ns);
+                }
+                for ns in o.round_latencies_ns {
+                    round_hist.record(ns);
+                }
                 bytes_down += o.bytes_down;
                 bytes_up += o.bytes_up;
             }
@@ -188,18 +224,14 @@ fn main() {
             }
         }
     }
-    latencies.sort_unstable();
-    let p50 = latencies.get(latencies.len() / 2).copied().unwrap_or(0);
-    let p95 = latencies
-        .get(latencies.len().saturating_mul(95) / 100)
-        .copied()
-        .unwrap_or(0);
     let sessions_per_sec = (args.sessions - failures) as f64 / wall.as_secs_f64();
     let jobs_per_sec = jobs_ok as f64 / wall.as_secs_f64();
     println!(
         "sessions={} ok_jobs={} busy_retries={} redials={} resumes={} restarts={} \
          backoff_ms={} wall_ms={:.1} sessions/s={:.2} jobs/s={:.2} \
-         round_p50_us={:.1} round_p95_us={:.1} down_bytes={} up_bytes={}",
+         job_p50_us={:.1} job_p95_us={:.1} job_p99_us={:.1} \
+         round_p50_us={:.1} round_p95_us={:.1} round_p99_us={:.1} \
+         down_bytes={} up_bytes={}",
         args.sessions - failures,
         jobs_ok,
         busy_retries,
@@ -210,10 +242,28 @@ fn main() {
         wall.as_secs_f64() * 1e3,
         sessions_per_sec,
         jobs_per_sec,
-        p50 as f64 / 1e3,
-        p95 as f64 / 1e3,
+        job_hist.percentile(50.0) as f64 / 1e3,
+        job_hist.percentile(95.0) as f64 / 1e3,
+        job_hist.percentile(99.0) as f64 / 1e3,
+        round_hist.percentile(50.0) as f64 / 1e3,
+        round_hist.percentile(95.0) as f64 / 1e3,
+        round_hist.percentile(99.0) as f64 / 1e3,
         bytes_down,
         bytes_up,
     );
+    if args.metrics {
+        match fetch_server_metrics(&args.addr) {
+            Ok(body) => println!("{body}"),
+            Err(e) => eprintln!("metrics fetch failed: {e}"),
+        }
+    }
     assert_eq!(failures, 0, "{failures} sessions failed");
+}
+
+/// Pulls the server's live `METRICS` JSON over a fresh connection; the
+/// control frame is answered before any handshake, so no session state is
+/// disturbed.
+fn fetch_server_metrics(addr: &str) -> Result<String, AcceleratorError> {
+    let mut tcp = FramedTcp::connect(addr)?;
+    remote::fetch_metrics(&mut tcp)
 }

@@ -5,6 +5,7 @@
 //!       [--seed 42] [--workers 2] [--queue 16] [--idle-ms 30000]
 //!       [--step-ms 0] [--resume-cap 64] [--breaker-fulls 0]
 //!       [--breaker-open-ms 100] [--breaker-retry-ms 50]
+//!       [--flight-cap 64] [--no-recorder]
 //! ```
 //!
 //! The model is the deterministic demo matrix; `loadgen` regenerates it
@@ -15,10 +16,22 @@
 //! `--resume-cap` sizes the checkpoint registry, and the `--breaker-*`
 //! flags tune the load-shedding breaker (`--breaker-fulls 0` disables
 //! pressure tripping).
+//!
+//! Observability: the daemon installs a [`Recorder`] by default, so the
+//! admin `METRICS` control frame (e.g. `loadgen --metrics`) answers with
+//! live counters, gauges, and p50/p95/p99 latency percentiles; pass
+//! `--no-recorder` to serve without one (the frame still answers, with
+//! `percentiles: null`). `--flight-cap` sizes the per-session flight
+//! recorder ring whose last events are dumped as JSON when a session dies
+//! (`0` disables it).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
 use std::time::Duration;
 
 use max_serve::{demo_weights, listen_tcp, GcService, ServeConfig};
+use max_telemetry::Recorder;
 use maxelerator::AcceleratorConfig;
 
 struct Args {
@@ -35,6 +48,18 @@ struct Args {
     breaker_fulls: u32,
     breaker_open_ms: u64,
     breaker_retry_ms: u32,
+    flight_cap: usize,
+    recorder: bool,
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(2)
+}
+
+fn parsed<T: std::str::FromStr>(what: &str, raw: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| fatal(&format!("{what} got an unparseable value: {raw}")))
 }
 
 fn parse_args() -> Args {
@@ -52,40 +77,38 @@ fn parse_args() -> Args {
         breaker_fulls: 0,
         breaker_open_ms: 100,
         breaker_retry_ms: 50,
+        flight_cap: 64,
+        recorder: true,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |what: &str| {
             iter.next()
-                .unwrap_or_else(|| panic!("{what} needs a value"))
+                .unwrap_or_else(|| fatal(&format!("{what} needs a value")))
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr"),
-            "--width" => args.width = value("--width").parse().expect("--width"),
-            "--rows" => args.rows = value("--rows").parse().expect("--rows"),
-            "--cols" => args.cols = value("--cols").parse().expect("--cols"),
-            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
-            "--workers" => args.workers = value("--workers").parse().expect("--workers"),
-            "--queue" => args.queue = value("--queue").parse().expect("--queue"),
-            "--idle-ms" => args.idle_ms = value("--idle-ms").parse().expect("--idle-ms"),
-            "--step-ms" => args.step_ms = value("--step-ms").parse().expect("--step-ms"),
-            "--resume-cap" => {
-                args.resume_cap = value("--resume-cap").parse().expect("--resume-cap")
-            }
+            "--width" => args.width = parsed("--width", &value("--width")),
+            "--rows" => args.rows = parsed("--rows", &value("--rows")),
+            "--cols" => args.cols = parsed("--cols", &value("--cols")),
+            "--seed" => args.seed = parsed("--seed", &value("--seed")),
+            "--workers" => args.workers = parsed("--workers", &value("--workers")),
+            "--queue" => args.queue = parsed("--queue", &value("--queue")),
+            "--idle-ms" => args.idle_ms = parsed("--idle-ms", &value("--idle-ms")),
+            "--step-ms" => args.step_ms = parsed("--step-ms", &value("--step-ms")),
+            "--resume-cap" => args.resume_cap = parsed("--resume-cap", &value("--resume-cap")),
             "--breaker-fulls" => {
-                args.breaker_fulls = value("--breaker-fulls").parse().expect("--breaker-fulls")
+                args.breaker_fulls = parsed("--breaker-fulls", &value("--breaker-fulls"))
             }
             "--breaker-open-ms" => {
-                args.breaker_open_ms = value("--breaker-open-ms")
-                    .parse()
-                    .expect("--breaker-open-ms")
+                args.breaker_open_ms = parsed("--breaker-open-ms", &value("--breaker-open-ms"))
             }
             "--breaker-retry-ms" => {
-                args.breaker_retry_ms = value("--breaker-retry-ms")
-                    .parse()
-                    .expect("--breaker-retry-ms")
+                args.breaker_retry_ms = parsed("--breaker-retry-ms", &value("--breaker-retry-ms"))
             }
-            other => panic!("unknown flag: {other}"),
+            "--flight-cap" => args.flight_cap = parsed("--flight-cap", &value("--flight-cap")),
+            "--no-recorder" => args.recorder = false,
+            other => fatal(&format!("unknown flag: {other}")),
         }
     }
     args
@@ -104,10 +127,18 @@ fn main() {
     serve_config.breaker.queue_full_trip = args.breaker_fulls;
     serve_config.breaker.open_for = Duration::from_millis(args.breaker_open_ms.max(1));
     serve_config.breaker.retry_after_ms = args.breaker_retry_ms;
+    serve_config.flight_capacity = args.flight_cap;
+    if args.recorder {
+        serve_config.recorder = Some(Arc::new(Recorder::new()));
+    }
     let service = GcService::start(serve_config);
-    let handle = listen_tcp(service, &args.addr).expect("bind listener");
+    let handle = match listen_tcp(service, &args.addr) {
+        Ok(handle) => handle,
+        Err(e) => fatal(&format!("cannot bind {}: {e}", args.addr)),
+    };
     println!(
-        "serving b={} model {}x{} seed={} on {} ({} workers, queue {})",
+        "serving b={} model {}x{} seed={} on {} ({} workers, queue {}, \
+         flight-cap {}, recorder {})",
         args.width,
         args.rows,
         args.cols,
@@ -115,6 +146,8 @@ fn main() {
         handle.addr(),
         args.workers,
         args.queue,
+        args.flight_cap,
+        if args.recorder { "on" } else { "off" },
     );
     loop {
         std::thread::sleep(Duration::from_secs(3600));

@@ -43,6 +43,70 @@ pub use scheduler::{JobRequest, JobResult, QueueFull, UnitPool};
 pub use service::{listen_tcp, GcService, ServeConfig, ServeHandle, ServeStats};
 pub use session::{SessionSummary, MAX_JOB_COLUMNS};
 
+use max_telemetry::FlightRecorder;
+use std::sync::Arc;
+
+/// A [`Transport`] that mirrors every frame crossing it into a
+/// [`FlightRecorder`] as `frame.send` / `frame.recv` events (detail = frame
+/// kind, value = payload bytes). The frames themselves pass through
+/// untouched, so wrapping a session in one changes nothing on the wire —
+/// the transcript-parity tests hold with or without it.
+#[derive(Debug)]
+pub struct FlightTransport<T: Transport> {
+    inner: T,
+    flight: Arc<FlightRecorder>,
+}
+
+impl<T: Transport> FlightTransport<T> {
+    /// Wraps a transport; every frame is logged to `flight`.
+    pub fn new(inner: T, flight: Arc<FlightRecorder>) -> FlightTransport<T> {
+        FlightTransport { inner, flight }
+    }
+
+    /// The attached recorder.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for FlightTransport<T> {
+    fn send_frame(&mut self, kind: FrameKind, frame: Bytes) -> Result<(), TransportError> {
+        self.flight
+            .log("frame.send", format!("{kind:?}"), frame.len() as u64);
+        self.inner.send_frame(kind, frame)
+    }
+
+    fn recv_frame(&mut self) -> Result<Bytes, TransportError> {
+        match self.inner.recv_frame() {
+            Ok(frame) => {
+                self.flight.log("frame.recv", "", frame.len() as u64);
+                Ok(frame)
+            }
+            Err(err) => {
+                self.flight.log("frame.recv.error", format!("{err:?}"), 0);
+                Err(err)
+            }
+        }
+    }
+
+    fn sent_stats(&self) -> ChannelStats {
+        self.inner.sent_stats()
+    }
+
+    fn received_stats(&self) -> ChannelStats {
+        self.inner.received_stats()
+    }
+
+    fn set_idle_timeout(&mut self, timeout: Option<std::time::Duration>) -> bool {
+        self.inner.set_idle_timeout(timeout)
+    }
+}
+
 /// A [`Transport`] wrapper that records every frame in both directions —
 /// the instrument behind the "TCP transcript == in-memory transcript"
 /// parity tests and wire-level debugging.

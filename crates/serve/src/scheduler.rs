@@ -16,7 +16,9 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use max_telemetry::{Recorder, TraceContext};
 use maxelerator::remote::{garble_matvec_job, GarbledJob};
 use maxelerator::{AcceleratorConfig, AcceleratorError};
 
@@ -31,6 +33,10 @@ pub struct JobRequest {
     pub columns: u32,
     /// Accelerator seed for this job.
     pub seed: u64,
+    /// Trace the submitting session carries; the worker records
+    /// `server/queue_wait` and `server/garble` spans under it when a
+    /// recorder is attached and the context is traced.
+    pub trace: TraceContext,
 }
 
 /// What a worker hands back for one job.
@@ -46,6 +52,7 @@ pub struct QueueFull {
 struct QueuedJob {
     request: JobRequest,
     reply: mpsc::Sender<JobResult>,
+    enqueued: Instant,
 }
 
 struct QueueState {
@@ -190,7 +197,9 @@ impl std::fmt::Debug for UnitPool {
 impl UnitPool {
     /// Spawns `workers` garbling units over a queue of `queue_capacity`
     /// jobs. With `start_paused`, units wait until [`UnitPool::resume`] —
-    /// the deterministic way to observe backpressure in tests.
+    /// the deterministic way to observe backpressure in tests. A
+    /// `recorder`, when given, receives per-job `server/queue_wait` and
+    /// `server/garble` trace spans for traced requests.
     ///
     /// # Panics
     ///
@@ -202,6 +211,7 @@ impl UnitPool {
         workers: usize,
         queue_capacity: usize,
         start_paused: bool,
+        recorder: Option<Arc<Recorder>>,
     ) -> UnitPool {
         let queue = Arc::new(FairQueue::new(queue_capacity, start_paused));
         let worker_count = workers.max(1);
@@ -210,6 +220,7 @@ impl UnitPool {
                 let queue = Arc::clone(&queue);
                 let config = config.clone();
                 let weights = Arc::clone(&weights);
+                let recorder = recorder.clone();
                 // A unit that fails to spawn (thread exhaustion) just
                 // shrinks the pool; the queue still drains through the
                 // rest. Losing *every* unit is fatal — checked below.
@@ -218,6 +229,20 @@ impl UnitPool {
                     .spawn(move || {
                         while let Some(job) = queue.pop() {
                             let _lane = max_telemetry::timeline("serve.units", w as u32);
+                            let traced =
+                                recorder.as_ref().filter(|_| job.request.trace.is_traced());
+                            if let Some(rec) = traced {
+                                let now = rec.now_ns();
+                                let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+                                rec.record_trace_event(
+                                    job.request.trace,
+                                    "server/queue_wait",
+                                    now.saturating_sub(wait_ns),
+                                    now,
+                                );
+                            }
+                            let _garble_span = traced
+                                .map(|rec| rec.trace_span(job.request.trace, "server/garble"));
                             let result = garble_matvec_job(
                                 &config,
                                 &weights,
@@ -255,7 +280,11 @@ impl UnitPool {
     /// caller should reply BUSY with a retry hint, never block or buffer.
     pub fn submit(&self, request: JobRequest) -> Result<mpsc::Receiver<JobResult>, QueueFull> {
         let (tx, rx) = mpsc::channel();
-        match self.queue.push(QueuedJob { request, reply: tx }) {
+        match self.queue.push(QueuedJob {
+            request,
+            reply: tx,
+            enqueued: Instant::now(),
+        }) {
             Ok(depth) => {
                 max_telemetry::counter_add("serve.jobs.accepted", 1);
                 max_telemetry::histogram_record("serve.queue_depth", depth as u64);
@@ -305,6 +334,7 @@ mod tests {
             job_id,
             columns: 1,
             seed: 1,
+            trace: TraceContext::none(),
         }
     }
 
@@ -315,6 +345,7 @@ mod tests {
         queue.push(QueuedJob {
             request: request(session_id, job_id),
             reply: tx,
+            enqueued: Instant::now(),
         })
     }
 
@@ -364,7 +395,7 @@ mod tests {
     fn pool_executes_real_jobs() {
         let config = AcceleratorConfig::new(8);
         let weights = Arc::new(vec![vec![2i64, -3], vec![4, 5]]);
-        let pool = UnitPool::new(config, weights, 2, 4, false);
+        let pool = UnitPool::new(config, weights, 2, 4, false, None);
         let rx_a = pool.submit(request(1, 0)).unwrap();
         let rx_b = pool.submit(request(2, 0)).unwrap();
         let job_a = rx_a.recv().unwrap().unwrap();
@@ -384,7 +415,7 @@ mod tests {
     fn paused_pool_holds_jobs_until_resume() {
         let config = AcceleratorConfig::new(8);
         let weights = Arc::new(vec![vec![1i64]]);
-        let pool = UnitPool::new(config, weights, 1, 2, true);
+        let pool = UnitPool::new(config, weights, 1, 2, true, None);
         let rx = pool.submit(request(1, 0)).unwrap();
         assert_eq!(pool.depth(), 1);
         assert!(rx

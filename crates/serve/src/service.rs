@@ -17,12 +17,18 @@ use std::time::Duration;
 use max_gc::channel::Duplex;
 use max_gc::{FramedTcp, Transport};
 use max_rng::HealthMonitor;
+use max_telemetry::report::JsonValue;
+use max_telemetry::{FlightRecorder, Recorder};
 use maxelerator::AcceleratorConfig;
 
 use crate::breaker::{Breaker, BreakerConfig};
 use crate::resume::ResumeRegistry;
 use crate::scheduler::UnitPool;
 use crate::session::run_session;
+use crate::FlightTransport;
+
+/// Error-session flight dumps retained by the service (oldest evicted).
+const MAX_FLIGHT_DUMPS: usize = 16;
 
 /// Everything needed to start a [`GcService`].
 #[derive(Clone, Debug)]
@@ -62,6 +68,14 @@ pub struct ServeConfig {
     /// could walk back to `base_seed` and mint every other session's
     /// token. Production services must leave this off.
     pub deterministic_resume_tokens: bool,
+    /// Server-side [`Recorder`] for trace spans (`server/queue_wait`,
+    /// `server/garble`, `server/stream`, checkpoint/handshake events) and
+    /// the histograms behind the METRICS percentiles. `None` records
+    /// nothing; the METRICS endpoint still serves counters.
+    pub recorder: Option<Arc<Recorder>>,
+    /// Events each per-session flight recorder retains (0 disables flight
+    /// recording entirely).
+    pub flight_capacity: usize,
 }
 
 impl ServeConfig {
@@ -82,6 +96,8 @@ impl ServeConfig {
             breaker: BreakerConfig::default(),
             start_paused: false,
             deterministic_resume_tokens: false,
+            recorder: None,
+            flight_capacity: 64,
         }
     }
 }
@@ -120,19 +136,108 @@ pub(crate) struct ServiceShared {
     pub(crate) resume: ResumeRegistry,
     pub(crate) breaker: Breaker,
     pub(crate) deterministic_resume_tokens: bool,
+    pub(crate) recorder: Option<Arc<Recorder>>,
+    flight_capacity: usize,
+    flight_dumps: Mutex<Vec<String>>,
     draining: AtomicBool,
     next_session: AtomicU64,
     sessions_started: AtomicU64,
     sessions_errored: AtomicU64,
-    jobs_completed: AtomicU64,
-    busy_rejections: AtomicU64,
-    jobs_resumed: AtomicU64,
-    checkpoints_saved: AtomicU64,
+    pub(crate) jobs_completed: AtomicU64,
+    pub(crate) busy_rejections: AtomicU64,
+    pub(crate) jobs_resumed: AtomicU64,
+    pub(crate) checkpoints_saved: AtomicU64,
 }
 
 impl ServiceShared {
     pub(crate) fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    /// Renders the live METRICS body: schema, serving counters, queue and
+    /// breaker gauges, and p50/p95/p99 over every recorder histogram.
+    /// Bounded by construction — traces and timelines are deliberately not
+    /// included, so the reply stays far under the protocol's 1 MiB cap.
+    pub(crate) fn metrics_json(&self) -> String {
+        let mut stats = JsonValue::object();
+        stats
+            .push(
+                "sessions_started",
+                JsonValue::UInt(self.sessions_started.load(Ordering::Relaxed)),
+            )
+            .push(
+                "sessions_errored",
+                JsonValue::UInt(self.sessions_errored.load(Ordering::Relaxed)),
+            )
+            .push(
+                "jobs_completed",
+                JsonValue::UInt(self.jobs_completed.load(Ordering::Relaxed)),
+            )
+            .push(
+                "busy_rejections",
+                JsonValue::UInt(self.busy_rejections.load(Ordering::Relaxed)),
+            )
+            .push(
+                "jobs_resumed",
+                JsonValue::UInt(self.jobs_resumed.load(Ordering::Relaxed)),
+            )
+            .push(
+                "checkpoints_saved",
+                JsonValue::UInt(self.checkpoints_saved.load(Ordering::Relaxed)),
+            )
+            .push("breaker_trips", JsonValue::UInt(self.breaker.trips()))
+            .push("shed", JsonValue::UInt(self.breaker.sheds()));
+
+        let mut gauges = JsonValue::object();
+        gauges
+            .push("queue_depth", JsonValue::UInt(self.pool.depth() as u64))
+            .push("workers", JsonValue::UInt(self.pool.workers() as u64))
+            .push(
+                "resume_checkpoints",
+                JsonValue::UInt(self.resume.len() as u64),
+            )
+            .push("breaker_open", JsonValue::Bool(self.breaker.is_open()))
+            .push("draining", JsonValue::Bool(self.is_draining()));
+
+        let percentiles = match &self.recorder {
+            Some(rec) => {
+                let snapshot = rec.snapshot();
+                let mut out = JsonValue::object();
+                for hist in &snapshot.histograms {
+                    let mut entry = JsonValue::object();
+                    entry
+                        .push("count", JsonValue::UInt(hist.count))
+                        .push("p50", JsonValue::UInt(hist.percentile(50.0)))
+                        .push("p95", JsonValue::UInt(hist.percentile(95.0)))
+                        .push("p99", JsonValue::UInt(hist.percentile(99.0)))
+                        .push("max", JsonValue::UInt(hist.max));
+                    out.push(&hist.name, entry);
+                }
+                out
+            }
+            None => JsonValue::Null,
+        };
+
+        let mut root = JsonValue::object();
+        root.push(
+            "schema",
+            JsonValue::Str("maxelerator-metrics-v1".to_string()),
+        )
+        .push("stats", stats)
+        .push("gauges", gauges)
+        .push("percentiles", percentiles);
+        root.render()
+    }
+
+    fn keep_flight_dump(&self, dump: String) {
+        let mut dumps = self
+            .flight_dumps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if dumps.len() >= MAX_FLIGHT_DUMPS {
+            dumps.remove(0);
+        }
+        dumps.push(dump);
     }
 }
 
@@ -174,6 +279,7 @@ impl GcService {
             cfg.workers,
             cfg.queue_capacity,
             cfg.start_paused,
+            cfg.recorder.clone(),
         );
         GcService {
             shared: Arc::new(ServiceShared {
@@ -187,6 +293,9 @@ impl GcService {
                 resume: ResumeRegistry::new(cfg.resume_capacity),
                 breaker: Breaker::new(cfg.breaker),
                 deterministic_resume_tokens: cfg.deterministic_resume_tokens,
+                recorder: cfg.recorder,
+                flight_capacity: cfg.flight_capacity,
+                flight_dumps: Mutex::new(Vec::new()),
                 draining: AtomicBool::new(false),
                 next_session: AtomicU64::new(0),
                 sessions_started: AtomicU64::new(0),
@@ -201,8 +310,33 @@ impl GcService {
     }
 
     /// Spawns a session over any transport (the generic core of
-    /// [`GcService::connect`] and the TCP accept loop).
+    /// [`GcService::connect`] and the TCP accept loop). When the config's
+    /// `flight_capacity` is nonzero the session gets a fresh per-session
+    /// [`FlightRecorder`] wrapped around its transport.
     pub fn serve_transport<T: Transport + 'static>(&self, transport: T) {
+        let flight = (self.shared.flight_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(self.shared.flight_capacity)));
+        self.spawn_session(transport, flight);
+    }
+
+    /// Like [`GcService::serve_transport`], but attaches the given
+    /// [`FlightRecorder`] instead of minting one — so a chaos harness can
+    /// share one recorder between a fault-injecting transport wrapper and
+    /// the session, and the error dump interleaves `fault.*` events with
+    /// the frames around them.
+    pub fn serve_transport_with_flight<T: Transport + 'static>(
+        &self,
+        transport: T,
+        flight: Arc<FlightRecorder>,
+    ) {
+        self.spawn_session(transport, Some(flight));
+    }
+
+    fn spawn_session<T: Transport + 'static>(
+        &self,
+        transport: T,
+        flight: Option<Arc<FlightRecorder>>,
+    ) {
         let shared = Arc::clone(&self.shared);
         let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
         shared.sessions_started.fetch_add(1, Ordering::Relaxed);
@@ -210,26 +344,31 @@ impl GcService {
         let spawned = std::thread::Builder::new()
             .name(format!("gc-session-{session_id}"))
             .spawn(move || {
-                let (summary, outcome) = run_session(&shared, transport, session_id);
-                // The tallies count either way — a session that died mid-job
-                // is exactly the one whose checkpoint counters matter.
-                shared
-                    .jobs_completed
-                    .fetch_add(summary.jobs_completed, Ordering::Relaxed);
-                shared
-                    .busy_rejections
-                    .fetch_add(summary.busy_rejections, Ordering::Relaxed);
-                shared
-                    .jobs_resumed
-                    .fetch_add(summary.jobs_resumed, Ordering::Relaxed);
-                shared
-                    .checkpoints_saved
-                    .fetch_add(summary.checkpoints_saved, Ordering::Relaxed);
-                if outcome.is_err() {
+                let (summary, outcome) = match &flight {
+                    Some(fl) => run_session(
+                        &shared,
+                        FlightTransport::new(transport, Arc::clone(fl)),
+                        session_id,
+                        Some(Arc::clone(fl)),
+                    ),
+                    None => run_session(&shared, transport, session_id, None),
+                };
+                // Job/checkpoint tallies land on the shared counters at
+                // event time inside the session loop, so the METRICS frame
+                // is live even for long-lived sessions; only the error
+                // accounting happens here at teardown.
+                if let Err(err) = &outcome {
                     // Hostile/broken peers are the session's problem, never
                     // the process's: account and move on.
                     shared.sessions_errored.fetch_add(1, Ordering::Relaxed);
                     max_telemetry::counter_add("serve.sessions.errored", 1);
+                    if let Some(fl) = &flight {
+                        // The dump's last events name what killed the
+                        // session — injected fault, reaped deadline, or the
+                        // protocol error itself.
+                        fl.log("session.error", format!("{err:?}"), 0);
+                        shared.keep_flight_dump(fl.dump_json(summary.trace_id).render());
+                    }
                 }
             });
         match spawned {
@@ -263,6 +402,27 @@ impl GcService {
     /// Jobs currently queued on the unit pool.
     pub fn queue_depth(&self) -> usize {
         self.shared.pool.depth()
+    }
+
+    /// Rendered flight-recorder dumps of sessions that ended in an error
+    /// (most recent last; at most 16 retained).
+    pub fn flight_dumps(&self) -> Vec<String> {
+        self.shared
+            .flight_dumps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The server-side recorder, when one was configured.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.shared.recorder.as_ref()
+    }
+
+    /// The live METRICS JSON body (same rendering the METRICS control
+    /// frame serves).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics_json()
     }
 
     /// Round checkpoints currently held for interrupted sessions.

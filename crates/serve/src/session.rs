@@ -16,9 +16,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use max_gc::Transport;
 use max_ot::iknp::{self, OtExtSender};
+use max_telemetry::{FlightRecorder, TraceContext};
 use maxelerator::remote::{
     derive_seed, recv_control, send_control, stream_matvec_job_from, ControlMsg, GarbledJob,
     PROTOCOL_VERSION, REJECT_DRAINING, REJECT_OVERLOAD, REJECT_RESUME, REJECT_VERSION,
@@ -72,15 +75,31 @@ pub struct SessionSummary {
     /// The handshake was refused (draining / version / width / overload /
     /// unknown resume).
     pub rejected: bool,
+    /// Trace id the client put in its HELLO/RESUME (0 = untraced); tags
+    /// the flight-recorder dump of an error-ending session.
+    pub trace_id: u128,
 }
 
 /// Identity and seed material of a live session, common to the fresh and
-/// resumed entry paths.
-struct SessionCtx {
+/// resumed entry paths, plus the session's flight ring (shared with the
+/// transport wrapper).
+struct SessionCtx<'a> {
     session_id: u64,
     session_seed: u64,
     resume_token: u64,
     next_job: u64,
+    trace: TraceContext,
+    flight: Option<&'a FlightRecorder>,
+}
+
+/// Records an instantaneous server-side trace event when the service has a
+/// recorder attached and the session is traced.
+fn trace_instant(shared: &ServiceShared, trace: TraceContext, name: &str) {
+    if trace.is_traced() {
+        if let Some(rec) = &shared.recorder {
+            rec.record_trace_instant(trace, name);
+        }
+    }
 }
 
 /// Identity of one streamed job: what a [`SessionCheckpoint`] must record
@@ -99,11 +118,16 @@ fn stream_job_checkpointed<T: Transport>(
     shared: &ServiceShared,
     summary: &mut SessionSummary,
     transport: &mut T,
-    ctx: &SessionCtx,
+    ctx: &SessionCtx<'_>,
     job: &GarbledJob,
     ot_sender: &mut OtExtSender,
     run: &JobRun,
 ) -> Result<(), AcceleratorError> {
+    let _stream_span = shared
+        .recorder
+        .as_ref()
+        .filter(|_| ctx.trace.is_traced())
+        .map(|rec| rec.trace_span(ctx.trace, "server/stream"));
     let mut snapshots: VecDeque<(usize, OtExtSender)> = VecDeque::with_capacity(3);
     snapshots.push_back((run.start_element, ot_sender.clone()));
     if shared.step_timeout.is_some() {
@@ -114,6 +138,7 @@ fn stream_job_checkpointed<T: Transport>(
         job,
         ot_sender,
         run.job_id,
+        ctx.trace,
         run.start_element,
         |next, sender| {
             snapshots.push_back((next, sender.clone()));
@@ -126,6 +151,7 @@ fn stream_job_checkpointed<T: Transport>(
     match result {
         Ok(_) => Ok(()),
         Err(err) => {
+            let elements_kept = snapshots.back().map_or(0, |(next, _)| *next as u64);
             shared.resume.save(SessionCheckpoint {
                 session_id: ctx.session_id,
                 resume_token: ctx.resume_token,
@@ -137,7 +163,16 @@ fn stream_job_checkpointed<T: Transport>(
                 snapshots: snapshots.into_iter().collect(),
             });
             summary.checkpoints_saved += 1;
+            shared.checkpoints_saved.fetch_add(1, Ordering::Relaxed);
             max_telemetry::counter_add("serve.resume.checkpoints", 1);
+            trace_instant(shared, ctx.trace, "server/checkpoint");
+            if let Some(flight) = ctx.flight {
+                flight.log(
+                    "checkpoint.saved",
+                    format!("job {}", run.job_id),
+                    elements_kept,
+                );
+            }
             Err(err)
         }
     }
@@ -154,12 +189,19 @@ pub(crate) fn run_session<T: Transport>(
     shared: &ServiceShared,
     mut transport: T,
     session_id: u64,
+    flight: Option<Arc<FlightRecorder>>,
 ) -> (SessionSummary, Result<(), AcceleratorError>) {
     let mut summary = SessionSummary {
         session_id,
         ..SessionSummary::default()
     };
-    let outcome = session_loop(shared, &mut transport, session_id, &mut summary);
+    let outcome = session_loop(
+        shared,
+        &mut transport,
+        session_id,
+        &mut summary,
+        flight.as_deref(),
+    );
     (summary, outcome)
 }
 
@@ -168,18 +210,34 @@ fn session_loop<T: Transport>(
     transport: &mut T,
     session_id: u64,
     summary: &mut SessionSummary,
+    flight: Option<&FlightRecorder>,
 ) -> Result<(), AcceleratorError> {
     transport.set_idle_timeout(shared.idle_timeout);
 
-    let first = match recv_control(transport) {
-        Ok(msg) => msg,
-        Err(AcceleratorError::Disconnected) => return Ok(()),
-        Err(AcceleratorError::Transport(max_gc::channel::TransportError::TimedOut)) => {
-            summary.idle_reaped = true;
-            max_telemetry::counter_add("serve.sessions.idle_reaped", 1);
-            return Ok(());
+    // METRICS is valid before the handshake (operators poll without
+    // becoming a session), so keep answering until a real first frame.
+    let first = loop {
+        match recv_control(transport) {
+            Ok(ControlMsg::MetricsRequest) => {
+                send_control(
+                    transport,
+                    &ControlMsg::MetricsReply {
+                        body: shared.metrics_json(),
+                    },
+                )?;
+            }
+            Ok(msg) => break msg,
+            Err(AcceleratorError::Disconnected) => return Ok(()),
+            Err(AcceleratorError::Transport(max_gc::channel::TransportError::TimedOut)) => {
+                summary.idle_reaped = true;
+                max_telemetry::counter_add("serve.sessions.idle_reaped", 1);
+                if let Some(flight) = flight {
+                    flight.log("deadline.reap", "handshake", 0);
+                }
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         }
-        Err(e) => return Err(e),
     };
 
     let reject = |transport: &mut T,
@@ -192,12 +250,24 @@ fn session_loop<T: Transport>(
     };
 
     let (mut ctx, mut ot_sender) = match first {
-        ControlMsg::Hello { version, bit_width } => {
+        ControlMsg::Hello {
+            version,
+            bit_width,
+            trace,
+        } => {
+            summary.trace_id = trace.trace_id;
             if shared.is_draining() {
                 reject(transport, summary, REJECT_DRAINING, 0)?;
                 return Ok(());
             }
             if shared.breaker.should_shed() {
+                if let Some(flight) = flight {
+                    flight.log(
+                        "breaker.shed",
+                        "handshake",
+                        u64::from(shared.breaker.config().retry_after_ms),
+                    );
+                }
                 reject(
                     transport,
                     summary,
@@ -248,12 +318,15 @@ fn session_loop<T: Transport>(
                 },
             )?;
             let (ot_sender, _client_half) = iknp::setup_pair(ot_seed);
+            trace_instant(shared, trace, "server/handshake");
             (
                 SessionCtx {
                     session_id,
                     session_seed,
                     resume_token,
                     next_job: 0,
+                    trace,
+                    flight,
                 },
                 ot_sender,
             )
@@ -264,7 +337,9 @@ fn session_loop<T: Transport>(
             job_id,
             columns,
             elements_done,
+            trace,
         } => {
+            summary.trace_id = trace.trace_id;
             // Resumes finish work already admitted: allowed while draining
             // and while the breaker sheds new load.
             let checkpoint = shared.resume.lookup(resumed_id);
@@ -284,6 +359,7 @@ fn session_loop<T: Transport>(
                 job_id,
                 columns,
                 seed: checkpoint.job_seed,
+                trace,
             };
             let result_rx = match shared.pool.submit(request) {
                 Ok(rx) => rx,
@@ -291,6 +367,7 @@ fn session_loop<T: Transport>(
                     // The checkpoint stays put; the client backs off and
                     // re-sends RESUME on its next connection.
                     summary.busy_rejections += 1;
+                    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
                     send_control(
                         transport,
                         &ControlMsg::Busy {
@@ -316,7 +393,17 @@ fn session_loop<T: Transport>(
                 session_seed: checkpoint.session_seed,
                 resume_token: checkpoint.resume_token,
                 next_job: checkpoint.next_job,
+                trace,
+                flight,
             };
+            trace_instant(shared, trace, "server/resume_restore");
+            if let Some(flight) = flight {
+                flight.log(
+                    "resume.restored",
+                    format!("job {job_id}"),
+                    u64::from(elements_done),
+                );
+            }
             stream_job_checkpointed(
                 shared,
                 summary,
@@ -334,6 +421,8 @@ fn session_loop<T: Transport>(
             shared.resume.remove(resumed_id);
             summary.jobs_completed += 1;
             summary.jobs_resumed += 1;
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            shared.jobs_resumed.fetch_add(1, Ordering::Relaxed);
             max_telemetry::counter_add("serve.jobs.resumed", 1);
             max_telemetry::counter_add("serve.jobs.completed", 1);
             (ctx, ot_sender)
@@ -355,6 +444,14 @@ fn session_loop<T: Transport>(
                 }
                 if shared.breaker.should_shed() {
                     summary.busy_rejections += 1;
+                    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    if let Some(flight) = flight {
+                        flight.log(
+                            "breaker.shed",
+                            "job",
+                            u64::from(shared.breaker.config().retry_after_ms),
+                        );
+                    }
                     send_control(
                         transport,
                         &ControlMsg::Busy {
@@ -371,6 +468,7 @@ fn session_loop<T: Transport>(
                     job_id,
                     columns,
                     seed: job_seed,
+                    trace: ctx.trace,
                 };
                 match shared.pool.submit(request) {
                     Ok(result_rx) => {
@@ -394,11 +492,13 @@ fn session_loop<T: Transport>(
                             },
                         )?;
                         summary.jobs_completed += 1;
+                        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
                         max_telemetry::counter_add("serve.jobs.completed", 1);
                     }
                     Err(full) => {
                         shared.breaker.note_queue_full();
                         summary.busy_rejections += 1;
+                        shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
                         send_control(
                             transport,
                             &ControlMsg::Busy {
@@ -413,6 +513,14 @@ fn session_loop<T: Transport>(
                 send_control(transport, &ControlMsg::Pong { nonce })?;
                 max_telemetry::counter_add("serve.heartbeats", 1);
             }
+            Ok(ControlMsg::MetricsRequest) => {
+                send_control(
+                    transport,
+                    &ControlMsg::MetricsReply {
+                        body: shared.metrics_json(),
+                    },
+                )?;
+            }
             Ok(ControlMsg::Bye) => {
                 // A clean goodbye retires any stale checkpoint this session
                 // id left behind on an earlier connection.
@@ -423,6 +531,9 @@ fn session_loop<T: Transport>(
             Err(AcceleratorError::Transport(max_gc::channel::TransportError::TimedOut)) => {
                 summary.idle_reaped = true;
                 max_telemetry::counter_add("serve.sessions.idle_reaped", 1);
+                if let Some(flight) = flight {
+                    flight.log("deadline.reap", "idle", 0);
+                }
                 break;
             }
             Ok(_) => {

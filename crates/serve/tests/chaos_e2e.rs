@@ -65,11 +65,17 @@ fn killed_mid_job_resumes_bit_identical_to_uninterrupted_run() {
     // Reference: the same job, uninterrupted, on a fresh service with the
     // same base seed (both runs are session 0, so every derived seed —
     // session, OT, job — is identical; resume tokens are deterministic
-    // here too so the ACCEPT frames stay bit-comparable).
+    // here too so the ACCEPT frames stay bit-comparable). Both runs pin
+    // the same trace context: HELLO carries it on the wire, so minted
+    // entropy would make the handshakes diverge byte-for-byte.
+    let trace = max_telemetry::TraceContext::from_ids(0xB17, 0x1D);
     let ref_service = demo_service(|cfg| cfg.deterministic_resume_tokens = true);
-    let mut ref_client =
-        RemoteClient::connect(RecordingTransport::new(ref_service.connect()), WIDTH)
-            .expect("reference handshake");
+    let mut ref_client = RemoteClient::connect_with_trace(
+        RecordingTransport::new(ref_service.connect()),
+        WIDTH,
+        trace,
+    )
+    .expect("reference handshake");
     let (ref_ys, _) = ref_client.secure_matmul(&xs).expect("reference job");
     assert_eq!(ref_ys, expected);
     let ref_rec = ref_client.goodbye();
@@ -88,7 +94,8 @@ fn killed_mid_job_resumes_bit_identical_to_uninterrupted_run() {
         RecordingTransport::new(service.connect()),
         FaultSpec::none(SEED).with_cut_after(cut_mid_element(2)),
     );
-    let mut client = RemoteClient::connect(fault, WIDTH).expect("chaos handshake");
+    let mut client =
+        RemoteClient::connect_with_trace(fault, WIDTH, trace).expect("chaos handshake");
     let mut progress = client.start_job(&xs).expect("job admitted");
     client
         .run_job(&mut progress)

@@ -35,10 +35,18 @@ fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
 
 /// Runs the same two jobs through a recording client and returns the full
 /// wire transcript (sent frames with kinds, received frames).
+///
+/// The trace context is pinned: `connect` mints fresh OS entropy into the
+/// HELLO frame, which would (correctly) diverge the transcripts this file
+/// compares byte-for-byte.
 fn run_recorded_session<T: Transport>(transport: T) -> (RecordingTransport<T>, Vec<Vec<i64>>) {
     let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
-    let mut client =
-        RemoteClient::connect(RecordingTransport::new(transport), WIDTH).expect("handshake");
+    let mut client = RemoteClient::connect_with_trace(
+        RecordingTransport::new(transport),
+        WIDTH,
+        max_telemetry::TraceContext::from_ids(0xE2E, 7),
+    )
+    .expect("handshake");
     let mut results = Vec::new();
     for job in 0..2u64 {
         let x = demo_vector(COLS, WIDTH, SEED ^ job);
@@ -229,6 +237,7 @@ fn hostile_frames_do_not_kill_the_service() {
             &ControlMsg::Hello {
                 version: PROTOCOL_VERSION,
                 bit_width: WIDTH as u32,
+                trace: max_telemetry::TraceContext::none(),
             },
         )
         .expect("hello");

@@ -43,8 +43,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod flight;
 pub mod report;
+pub mod trace;
+
+pub use flight::{FlightEvent, FlightRecorder};
+pub use trace::{TraceContext, TraceEvent};
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -105,6 +111,21 @@ impl Histogram {
         self.sum
     }
 
+    /// Estimated `p`-th percentile (0–100) of the recorded values.
+    ///
+    /// Power-of-two buckets only retain magnitudes, so the estimate is the
+    /// inclusive upper bound of the bucket holding the requested rank,
+    /// clamped to the exact observed `[min, max]`. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_from_buckets(
+            self.counts.iter().enumerate().map(|(i, &c)| (i as u32, c)),
+            self.count,
+            if self.count == 0 { 0 } else { self.min },
+            self.max,
+            p,
+        )
+    }
+
     fn snapshot(&self, name: &str) -> HistogramSnapshot {
         HistogramSnapshot {
             name: name.to_string(),
@@ -121,6 +142,39 @@ impl Histogram {
                 .collect(),
         }
     }
+}
+
+/// Inclusive upper bound of histogram bucket `i` (see [`bucket_index`]).
+fn bucket_upper_bound(i: u32) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+fn percentile_from_buckets(
+    buckets: impl IntoIterator<Item = (u32, u64)>,
+    count: u64,
+    min: u64,
+    max: u64,
+    p: f64,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    // Nearest-rank definition: the smallest value v such that at least
+    // ceil(p/100 * count) observations are <= v.
+    let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (i, c) in buckets {
+        cumulative = cumulative.saturating_add(c);
+        if cumulative >= rank {
+            return bucket_upper_bound(i).clamp(min, max);
+        }
+    }
+    max
 }
 
 /// Aggregated statistics of one span path.
@@ -156,6 +210,7 @@ struct Inner {
     histograms: BTreeMap<&'static str, Histogram>,
     spans: BTreeMap<String, SpanStat>,
     timelines: BTreeMap<&'static str, Vec<TimelineEntry>>,
+    traces: Vec<TraceEvent>,
 }
 
 /// The telemetry sink: thread-safe, append-only, snapshot-on-demand.
@@ -225,6 +280,35 @@ impl Recorder {
         self.lock().timelines.entry(name).or_default().push(entry);
     }
 
+    /// Appends one distributed-trace event (timestamps in this recorder's
+    /// `now_ns` timebase).
+    pub fn record_trace_event(&self, ctx: TraceContext, name: &str, start_ns: u64, end_ns: u64) {
+        self.lock().traces.push(TraceEvent {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            name: name.to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+    }
+
+    /// Appends a zero-duration trace event stamped `now_ns`.
+    pub fn record_trace_instant(&self, ctx: TraceContext, name: &str) {
+        let now = self.now_ns();
+        self.record_trace_event(ctx, name, now, now);
+    }
+
+    /// Opens a trace span under `ctx`; the event is recorded when the
+    /// returned guard drops.
+    pub fn trace_span(&self, ctx: TraceContext, name: &'static str) -> TraceSpanGuard<'_> {
+        TraceSpanGuard {
+            rec: self,
+            ctx,
+            name,
+            start_ns: self.now_ns(),
+        }
+    }
+
     /// Nanoseconds since this recorder was created (timeline timebase).
     pub fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
@@ -271,7 +355,31 @@ impl Recorder {
                     }
                 })
                 .collect(),
+            traces: {
+                let mut traces = inner.traces.clone();
+                traces.sort_by(|a, b| {
+                    (a.trace_id, a.start_ns, a.end_ns, &a.name)
+                        .cmp(&(b.trace_id, b.start_ns, b.end_ns, &b.name))
+                });
+                traces
+            },
         }
+    }
+}
+
+/// RAII guard recording a [`TraceEvent`] into a [`Recorder`] on drop.
+#[must_use = "a trace span records when dropped"]
+pub struct TraceSpanGuard<'r> {
+    rec: &'r Recorder,
+    ctx: TraceContext,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for TraceSpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec
+            .record_trace_event(self.ctx, self.name, self.start_ns, self.rec.now_ns());
     }
 }
 
@@ -299,6 +407,19 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Non-empty buckets as `(bucket index, count)`; see [`bucket_index`].
     pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `p`-th percentile (0–100); see [`Histogram::percentile`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_from_buckets(
+            self.buckets.iter().copied(),
+            self.count,
+            self.min,
+            self.max,
+            p,
+        )
+    }
 }
 
 /// One span path in a [`Snapshot`].
@@ -359,6 +480,9 @@ pub struct Snapshot {
     pub spans: Vec<SpanSnapshot>,
     /// All timelines, sorted by name.
     pub timelines: Vec<TimelineSnapshot>,
+    /// All distributed-trace events, sorted by `(trace id, start, end,
+    /// name)`.
+    pub traces: Vec<TraceEvent>,
 }
 
 impl Snapshot {
@@ -383,6 +507,14 @@ impl Snapshot {
     /// Timeline `name`, if recorded.
     pub fn timeline(&self, name: &str) -> Option<&TimelineSnapshot> {
         self.timelines.iter().find(|t| t.name == name)
+    }
+
+    /// All trace events belonging to `trace_id`, in start order.
+    pub fn trace_events(&self, trace_id: u128) -> Vec<&TraceEvent> {
+        self.traces
+            .iter()
+            .filter(|e| e.trace_id == trace_id)
+            .collect()
     }
 }
 
@@ -619,6 +751,85 @@ mod tests {
         assert_eq!(h.max, 100);
         // zeros → bucket 0; 1,1 → bucket 1; 7 → bucket 3; 100 → bucket 7.
         assert_eq!(h.buckets, vec![(0, 1), (1, 2), (3, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn percentiles_estimate_from_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Estimates are bucket upper bounds clamped to [min, max]: the
+        // p50 rank (50th of 100) lands in bucket [32, 64) -> 63; p95 and
+        // p99 land in the top bucket [64, 128) which clamps to max=100.
+        assert_eq!(h.percentile(50.0), 63);
+        assert_eq!(h.percentile(95.0), 100);
+        assert_eq!(h.percentile(99.0), 100);
+        assert_eq!(h.percentile(0.0), 1, "p0 clamps to min");
+        assert_eq!(h.percentile(100.0), 100);
+        // Estimate never undershoots the exact percentile's bucket.
+        assert!(h.percentile(50.0) >= 50);
+
+        // Snapshot agrees with the live histogram.
+        let snap = h.snapshot("lat");
+        for p in [0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            assert_eq!(snap.percentile(p), h.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_constant_distribution_is_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(42);
+        }
+        for p in [1.0, 50.0, 99.0] {
+            assert_eq!(h.percentile(p), 42);
+        }
+    }
+
+    #[test]
+    fn percentile_handles_out_of_range_p() {
+        let mut h = Histogram::default();
+        h.record(5);
+        h.record(500);
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(250.0), h.percentile(100.0));
+        assert_eq!(h.percentile(100.0), 500);
+    }
+
+    #[test]
+    fn trace_events_snapshot_sorted_and_filterable() {
+        let rec = Recorder::new();
+        let a = TraceContext::from_ids(7, 1);
+        let b = TraceContext::from_ids(3, 2);
+        rec.record_trace_event(a, "client/redial", 200, 300);
+        rec.record_trace_event(b, "other", 0, 1);
+        rec.record_trace_event(a, "client/connect", 0, 100);
+        {
+            let _g = rec.trace_span(a, "client/job");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.traces.len(), 4);
+        // Sorted by (trace_id, start): trace 3 first, then trace 7 events
+        // in start order.
+        assert_eq!(snap.traces[0].trace_id, 3);
+        assert_eq!(snap.traces[1].name, "client/connect");
+        assert_eq!(snap.traces[2].name, "client/redial");
+        let mine = snap.trace_events(7);
+        assert_eq!(mine.len(), 3);
+        assert!(mine.iter().all(|e| e.trace_id == 7 && e.span_id == 1));
+        assert_eq!(snap.trace_events(99).len(), 0);
+        // The guard-recorded span has end >= start.
+        assert!(mine[2].end_ns >= mine[2].start_ns);
+    }
+
+    #[test]
+    fn trace_event_end_is_clamped_to_start() {
+        let rec = Recorder::new();
+        rec.record_trace_event(TraceContext::from_ids(1, 1), "x", 50, 10);
+        assert_eq!(rec.snapshot().traces[0].end_ns, 50);
     }
 
     #[test]

@@ -134,7 +134,13 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            // RFC 8259 only *requires* escaping below 0x20, but span paths
+            // and flight-recorder payloads can carry arbitrary peer-derived
+            // bytes: DEL (a control character) and U+2028/U+2029 (legal in
+            // JSON, line terminators in JavaScript — they break naive
+            // embedding and some log pipelines) are escaped too, so every
+            // emitted string is plain one-line ASCII-safe-ish text.
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -144,8 +150,8 @@ fn write_escaped(out: &mut String, s: &str) {
 }
 
 impl Snapshot {
-    /// Renders this snapshot as a [`JsonValue`] tree with four top-level
-    /// sections: `counters`, `histograms`, `spans`, `timelines`.
+    /// Renders this snapshot as a [`JsonValue`] tree with five top-level
+    /// sections: `counters`, `histograms`, `spans`, `timelines`, `traces`.
     pub fn to_json(&self) -> JsonValue {
         let mut counters = JsonValue::object();
         for c in &self.counters {
@@ -217,11 +223,26 @@ impl Snapshot {
             timelines.push(&t.name, entry);
         }
 
+        let mut traces = JsonValue::Array(Vec::new());
+        if let JsonValue::Array(items) = &mut traces {
+            for e in &self.traces {
+                let mut entry = JsonValue::object();
+                entry
+                    .push("trace_id", JsonValue::Str(format!("{:032x}", e.trace_id)))
+                    .push("span_id", JsonValue::Str(format!("{:016x}", e.span_id)))
+                    .push("name", JsonValue::Str(e.name.clone()))
+                    .push("start_ns", JsonValue::UInt(e.start_ns))
+                    .push("end_ns", JsonValue::UInt(e.end_ns));
+                items.push(entry);
+            }
+        }
+
         let mut root = JsonValue::object();
         root.push("counters", counters)
             .push("histograms", histograms)
             .push("spans", spans)
-            .push("timelines", timelines);
+            .push("timelines", timelines)
+            .push("traces", traces);
         root
     }
 }
@@ -249,6 +270,49 @@ mod tests {
             JsonValue::Str("a\"b\\c\nd\u{1}".to_string()).render(),
             "\"a\\\"b\\\\c\\nd\\u0001\""
         );
+    }
+
+    #[test]
+    fn hostile_strings_escape_to_single_line_json() {
+        // Every C0 control character must come out escaped, never raw.
+        let all_controls: String = (0u8..0x20).map(|b| b as char).collect();
+        let rendered = JsonValue::Str(all_controls).render();
+        assert!(!rendered.chars().any(|c| (c as u32) < 0x20));
+        assert!(rendered.contains("\\u0000"));
+        assert!(rendered.contains("\\u0007"));
+        assert!(rendered.contains("\\u001f"));
+        assert!(rendered.contains("\\n") && rendered.contains("\\r") && rendered.contains("\\t"));
+
+        // DEL and the JavaScript line terminators are escaped too.
+        assert_eq!(
+            JsonValue::Str("a\u{7f}b\u{2028}c\u{2029}d".to_string()).render(),
+            "\"a\\u007fb\\u2028c\\u2029d\""
+        );
+
+        // Quote/backslash bombs stay balanced: unescaped-quote count must
+        // be exactly the two delimiters.
+        let bomb = r#""""\\\"\" end"#;
+        let rendered = JsonValue::Str(bomb.to_string()).render();
+        let bytes = rendered.as_bytes();
+        let unescaped_quotes = bytes
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| b == b'"' && (i == 0 || bytes[i - 1] != b'\\'))
+            .count();
+        assert_eq!(unescaped_quotes, 2, "rendered: {rendered}");
+
+        // Multi-byte text passes through untouched.
+        assert_eq!(
+            JsonValue::Str("héllo ✓ 日本".to_string()).render(),
+            "\"héllo ✓ 日本\""
+        );
+    }
+
+    #[test]
+    fn hostile_object_keys_escape_like_values() {
+        let mut obj = JsonValue::object();
+        obj.push("bad\"key\nwith\u{1}ctrl", JsonValue::UInt(1));
+        assert_eq!(obj.render(), "{\"bad\\\"key\\nwith\\u0001ctrl\":1}");
     }
 
     #[test]

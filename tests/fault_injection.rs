@@ -231,6 +231,7 @@ fn duplicated_and_reordered_control_frames_are_typed_protocol_errors() {
         let hello = ControlMsg::Hello {
             version: PROTOCOL_VERSION,
             bit_width: SERVE_WIDTH as u32,
+            trace: max_telemetry::TraceContext::none(),
         };
         send_control(&mut tcp, &hello).expect("hello");
         send_control(&mut tcp, &hello).expect("duplicate hello");

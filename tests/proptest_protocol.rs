@@ -3,9 +3,12 @@
 //! and the threaded multi-unit pipeline must be transcript-identical to the
 //! single-unit server.
 
+use max_serve::{GcService, RecordingTransport, ServeConfig};
+use max_telemetry::{Recorder, TraceContext};
 use maxelerator::{
-    connect, connect_multi, secure_matvec, secure_matvec_multi, AcceleratorConfig, Maxelerator,
-    MultiUnitServer, ScheduledEvaluator,
+    connect, connect_multi, secure_matvec, secure_matvec_multi, AcceleratorConfig,
+    AcceleratorError, Maxelerator, MultiUnitServer, ResilientClient, RetryPolicy,
+    ScheduledEvaluator,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -159,5 +162,106 @@ proptest! {
         } else {
             prop_assert_eq!(snapshot.counter("gc.gates.and"), 0);
         }
+    }
+}
+
+/// Runs one served job end-to-end under `trace`, recording every wire
+/// frame. With `observed` the full observability stack is live — a server
+/// recorder (queue-wait/garble/stream spans), a per-session flight
+/// recorder wrapping the transport, and a client recorder on the
+/// [`ResilientClient`]; without it, none of the three exist and the
+/// session flight ring is disabled outright.
+fn served_job_frames(
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    x: &[i64],
+    trace: TraceContext,
+    observed: bool,
+) -> (RecordingTransport<max_gc::channel::Duplex>, Vec<i64>) {
+    let weights = max_serve::demo_weights(rows, cols, 8, seed);
+    let mut cfg = ServeConfig::new(AcceleratorConfig::new(8), weights, seed);
+    // Resume tokens are minted from OS entropy by default; pin them so the
+    // ACCEPT frames of two independent runs stay bit-comparable.
+    cfg.deterministic_resume_tokens = true;
+    if observed {
+        cfg.recorder = Some(Arc::new(Recorder::new()));
+    } else {
+        cfg.flight_capacity = 0;
+    }
+    let service = GcService::start(cfg);
+    let svc = service.clone();
+    let mut client = ResilientClient::new(
+        move || Ok::<_, AcceleratorError>(RecordingTransport::new(svc.connect())),
+        8,
+        RetryPolicy::default(),
+    )
+    .with_trace(trace);
+    if observed {
+        client = client.with_recorder(Arc::new(Recorder::new()));
+    }
+    let (y, _) = client.secure_matvec(x).expect("served job");
+    let recording = client.goodbye().expect("live transport");
+    service.shutdown();
+    (recording, y)
+}
+
+proptest! {
+    // Each case boots two full services; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn tracing_leaves_served_transcripts_bit_identical(
+        rows in 1usize..3,
+        cols in 1usize..4,
+        seed in 0u64..1_000_000,
+        trace_hi in 0u64..u64::MAX,
+        trace_lo in 1u64..u64::MAX,
+        span_id in 0u64..u64::MAX,
+        values in prop::collection::vec(-100i64..100, 4),
+    ) {
+        // The trace layer must be observably side-effect-free on the wire:
+        // with the *same* trace context in the HELLO, a run with recorders
+        // and the flight ring attached produces byte-identical frames to a
+        // run with all of it absent. (The context itself is on the wire by
+        // design, which is why both runs pin the same one.) This holds in
+        // both feature states: recorders are always-compiled, and with
+        // `--features telemetry` the facade instrumentation is live too.
+        let x: Vec<i64> = (0..cols).map(|c| values[c % values.len()]).collect();
+        // `Range<u128>` is not a proptest strategy; assemble the 128-bit id
+        // from two independent u64 halves (the low half nonzero keeps the
+        // whole id nonzero, i.e. traced).
+        let trace =
+            TraceContext::from_ids((u128::from(trace_hi) << 64) | u128::from(trace_lo), span_id);
+        let (rec_a, y_a) = served_job_frames(rows, cols, seed, &x, trace, false);
+        let (rec_b, y_b) = served_job_frames(rows, cols, seed, &x, trace, true);
+        prop_assert_eq!(&y_a, &y_b);
+        prop_assert_eq!(rec_a.sent_frames(), rec_b.sent_frames());
+        prop_assert_eq!(rec_a.received_frames(), rec_b.received_frames());
+
+        // And untraced sessions really do put all-zeros on the wire: between
+        // a traced and an untraced run, exactly two frames differ — the HELLO
+        // that carries the context out, and the final STATS that echoes the
+        // trace id back. Everything in between is byte-identical.
+        let (rec_c, y_c) =
+            served_job_frames(rows, cols, seed, &x, TraceContext::none(), true);
+        prop_assert_eq!(y_c, y_b);
+        let n = rec_b.received_frames().len();
+        prop_assert_eq!(rec_c.received_frames().len(), n);
+        prop_assert_eq!(
+            &rec_c.received_frames()[..n - 1],
+            &rec_b.received_frames()[..n - 1]
+        );
+        prop_assert_ne!(
+            &rec_c.received_frames()[n - 1],
+            &rec_b.received_frames()[n - 1],
+            "STATS echoes the trace id"
+        );
+        prop_assert_ne!(
+            &rec_c.sent_frames()[0],
+            &rec_b.sent_frames()[0],
+            "HELLO carries the context"
+        );
+        prop_assert_eq!(&rec_c.sent_frames()[1..], &rec_b.sent_frames()[1..]);
     }
 }
