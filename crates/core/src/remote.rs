@@ -746,9 +746,12 @@ pub fn stream_matvec_job<T: Transport + ?Sized>(
 
 /// [`stream_matvec_job`] generalized for resumption: starts the exchange
 /// at `start_element` (elements before it were already streamed on an
-/// earlier connection) and calls `on_element(next_element, ot_sender)`
-/// after each completed element — the hook where a serving layer snapshots
-/// the OT sender for round checkpoints.
+/// earlier connection) and calls `on_element(next_element, ot_sender)` once
+/// per element, after the OT state advances but *before* the element's
+/// CIPHER/ROUNDS frames go out — the hook where a serving layer snapshots
+/// (and durably journals) the OT sender for round checkpoints. The
+/// write-before-send ordering guarantees a journal is never behind the
+/// client's observed progress, whatever instant the process dies.
 ///
 /// The caller must hand in an `ot_sender` whose state matches
 /// `start_element` (for a resume: the snapshot taken at that boundary).
@@ -782,6 +785,13 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
         }
         transcript.ot_upload_bytes += ext.columns.iter().map(|c| c.len() as u64 * 8).sum::<u64>();
         let cipher = ot_sender.send(&ext, &row.pairs);
+        // Checkpoint *before* delivering this element's CIPHER/ROUNDS frames:
+        // a durable journal hooked in here then always covers at least as much
+        // progress as the client has observed, so a crash between the journal
+        // write and the sends can only leave the server one element *ahead* —
+        // which the last-2 snapshot window resolves — never behind (which
+        // would force a REJECT on resume).
+        on_element(idx + 1, ot_sender);
         transcript.ot_bytes += (cipher.pairs.len() * 32) as u64;
         let mut flat = Vec::with_capacity(cipher.pairs.len() * 2);
         for &(y0, y1) in &cipher.pairs {
@@ -798,7 +808,6 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
         // per-frame overhead (and per-frame fault-injection surface) no
         // longer scales with model width.
         transport.send_frame(FrameKind::Raw, encode_round_burst(&row.messages))?;
-        on_element(idx + 1, ot_sender);
     }
     send_control(
         transport,

@@ -43,6 +43,24 @@ impl AesPrg {
         }
     }
 
+    /// The current CTR-mode counter (stream bits in the high half).
+    ///
+    /// Together with the seed this is the PRG's entire mutable state, so a
+    /// stream can be persisted as `(seed, counter)` and rebuilt later with
+    /// [`AesPrg::set_counter`] — the primitive behind durable OT-sender
+    /// checkpoints.
+    pub fn counter(&self) -> u128 {
+        self.counter
+    }
+
+    /// Repositions the stream at an absolute counter value (as returned by
+    /// [`AesPrg::counter`]). The cipher key is untouched: a fresh PRG from
+    /// the same seed plus `set_counter` reproduces the original stream
+    /// bit-identically from that point on.
+    pub fn set_counter(&mut self, counter: u128) {
+        self.counter = counter;
+    }
+
     /// Returns the next 128 pseudo-random bits.
     pub fn next_block(&mut self) -> Block {
         let output = self.cipher.encrypt(Block::new(self.counter));

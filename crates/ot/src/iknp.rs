@@ -45,6 +45,77 @@ pub struct OtExtSender {
     session: u64,
 }
 
+/// Portable snapshot of an [`OtExtSender`]'s mutable state, relative to the
+/// seed its [`setup_pair`] ran from.
+///
+/// Everything else in the sender — the secret `s` bits, the PRG keys, the
+/// fixed hash key — is a pure function of the setup seed, so
+/// `(setup seed, OtSenderState)` fully determines the sender: rebuild with
+/// [`setup_pair`] and [`OtExtSender::import_state`] and the wire output
+/// continues bit-identically. This is what lets a serving layer persist OT
+/// checkpoints to disk (a crash-recovery journal) instead of only cloning
+/// them in memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OtSenderState {
+    /// Extension rounds completed (feeds the per-round hash tweaks).
+    pub session: u64,
+    /// Absolute CTR counters of the `KAPPA` column PRGs, in column order.
+    pub counters: Vec<u128>,
+}
+
+/// Error restoring an [`OtSenderState`] whose counter vector does not have
+/// one entry per base-OT column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OtStateShapeError {
+    /// Columns the sender has (always [`KAPPA`]).
+    pub expected: usize,
+    /// Counters the snapshot carried.
+    pub got: usize,
+}
+
+impl std::fmt::Display for OtStateShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OT sender state has {} PRG counters, expected {}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for OtStateShapeError {}
+
+impl OtExtSender {
+    /// Exports the sender's mutable state; see [`OtSenderState`].
+    pub fn export_state(&self) -> OtSenderState {
+        OtSenderState {
+            session: self.session,
+            counters: self.prgs.iter().map(AesPrg::counter).collect(),
+        }
+    }
+
+    /// Restores a state exported from a sender with the same setup seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the sender untouched) if the snapshot does not carry
+    /// exactly one counter per column — the typed guard that keeps hostile
+    /// or truncated persisted state from panicking a replay.
+    pub fn import_state(&mut self, state: &OtSenderState) -> Result<(), OtStateShapeError> {
+        if state.counters.len() != self.prgs.len() {
+            return Err(OtStateShapeError {
+                expected: self.prgs.len(),
+                got: state.counters.len(),
+            });
+        }
+        for (prg, &counter) in self.prgs.iter_mut().zip(&state.counters) {
+            prg.set_counter(counter);
+        }
+        self.session = state.session;
+        Ok(())
+    }
+}
+
 /// Extension receiver (holds the choice bits).
 ///
 /// `Clone` snapshots the extension state; see [`OtExtSender`].
@@ -622,6 +693,54 @@ mod tests {
         for ((g, p), &c) in got.iter().zip(&pairs).zip(&choices) {
             assert_eq!(*g, if c { p.1 } else { p.0 });
         }
+    }
+
+    #[test]
+    fn exported_state_rebuilds_a_bit_identical_sender() {
+        // The durability contract: setup_pair(seed) + import_state must
+        // continue the wire stream exactly where the exported sender stood,
+        // even across "process death" (here: a brand-new sender value).
+        let (mut sender, mut receiver) = setup_pair(43);
+        for round in 0..3 {
+            let n = 80 + round * 11;
+            let choices: Vec<bool> = (0..n).map(|i| (i ^ round) % 3 == 0).collect();
+            let (msg, _keys) = receiver.prepare(&choices);
+            let _ = sender.send(&msg, &msg_pairs(n));
+        }
+        let state = sender.export_state();
+
+        let (mut rebuilt, _) = setup_pair(43);
+        assert_ne!(rebuilt.export_state(), state, "warmup must advance state");
+        rebuilt.import_state(&state).expect("shape matches");
+        assert_eq!(rebuilt.export_state(), state);
+
+        let choices: Vec<bool> = (0..120).map(|i| i % 2 == 0).collect();
+        let pairs = msg_pairs(120);
+        let (msg, _keys) = receiver.prepare(&choices);
+        let want = sender.send(&msg, &pairs);
+        let got = rebuilt.send(&msg, &pairs);
+        assert_eq!(want, got, "rebuilt sender diverged from the original");
+    }
+
+    #[test]
+    fn import_state_rejects_wrong_shapes_without_mutating() {
+        let (mut sender, _) = setup_pair(47);
+        let before = sender.export_state();
+        for bad_len in [0usize, 1, KAPPA - 1, KAPPA + 1] {
+            let err = sender
+                .import_state(&OtSenderState {
+                    session: 9,
+                    counters: vec![0; bad_len],
+                })
+                .expect_err("shape mismatch must be rejected");
+            assert_eq!(err.expected, KAPPA);
+            assert_eq!(err.got, bad_len);
+        }
+        assert_eq!(
+            sender.export_state(),
+            before,
+            "failed import must not mutate"
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!       [--step-ms 0] [--resume-cap 64] [--breaker-fulls 0]
 //!       [--breaker-open-ms 100] [--breaker-retry-ms 50]
 //!       [--flight-cap 64] [--no-recorder]
+//!       [--journal-dir DIR] [--no-fsync] [--deterministic-tokens]
+//!       [--crash-after-appends N]
 //! ```
 //!
 //! The model is the deterministic demo matrix; `loadgen` regenerates it
@@ -17,6 +19,17 @@
 //! flags tune the load-shedding breaker (`--breaker-fulls 0` disables
 //! pressure tripping).
 //!
+//! Durability: `--journal-dir` persists every round checkpoint to a
+//! CRC-checksummed write-ahead journal, replayed on the next start — a
+//! `kill -9` mid-job becomes a RESUME, not a restart. `--no-fsync` trades
+//! the last few appends' durability for latency. The daemon also handles
+//! SIGTERM/SIGINT with a graceful drain: stop accepting, flush the
+//! journal, let sessions wind down, exit 0. `--crash-after-appends N`
+//! (test/bench harnesses only) aborts the process after the Nth journal
+//! append, simulating kill -9 at a deterministic crash point;
+//! `--deterministic-tokens` (test-only, forgeable) derives resume tokens
+//! from the seed chain so restarted servers mint identical ACCEPT frames.
+//!
 //! Observability: the daemon installs a [`Recorder`] by default, so the
 //! admin `METRICS` control frame (e.g. `loadgen --metrics`) answers with
 //! live counters, gauges, and p50/p95/p99 latency percentiles; pass
@@ -27,10 +40,11 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use max_serve::{demo_weights, listen_tcp, GcService, ServeConfig};
+use max_serve::{demo_weights, listen_tcp, GcService, JournalConfig, ServeConfig};
 use max_telemetry::Recorder;
 use maxelerator::AcceleratorConfig;
 
@@ -50,6 +64,10 @@ struct Args {
     breaker_retry_ms: u32,
     flight_cap: usize,
     recorder: bool,
+    journal_dir: Option<String>,
+    fsync: bool,
+    deterministic_tokens: bool,
+    crash_after_appends: Option<u64>,
 }
 
 fn fatal(msg: &str) -> ! {
@@ -79,6 +97,10 @@ fn parse_args() -> Args {
         breaker_retry_ms: 50,
         flight_cap: 64,
         recorder: true,
+        journal_dir: None,
+        fsync: true,
+        deterministic_tokens: false,
+        crash_after_appends: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -108,10 +130,47 @@ fn parse_args() -> Args {
             }
             "--flight-cap" => args.flight_cap = parsed("--flight-cap", &value("--flight-cap")),
             "--no-recorder" => args.recorder = false,
+            "--journal-dir" => args.journal_dir = Some(value("--journal-dir")),
+            "--no-fsync" => args.fsync = false,
+            "--deterministic-tokens" => args.deterministic_tokens = true,
+            "--crash-after-appends" => {
+                args.crash_after_appends = Some(parsed(
+                    "--crash-after-appends",
+                    &value("--crash-after-appends"),
+                ))
+            }
             other => fatal(&format!("unknown flag: {other}")),
         }
     }
     args
+}
+
+/// SIGTERM/SIGINT flag, set by the (async-signal-safe) handler and polled
+/// by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: a relaxed store.
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs `on_signal` for SIGTERM and SIGINT via the raw libc `signal`
+/// symbol, so the daemon needs no signal-handling crate. The library stays
+/// `forbid(unsafe_code)`; this binary is its own crate root and confines
+/// the unsafety to this one registration.
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
 }
 
 fn main() {
@@ -128,10 +187,20 @@ fn main() {
     serve_config.breaker.open_for = Duration::from_millis(args.breaker_open_ms.max(1));
     serve_config.breaker.retry_after_ms = args.breaker_retry_ms;
     serve_config.flight_capacity = args.flight_cap;
+    serve_config.deterministic_resume_tokens = args.deterministic_tokens;
     if args.recorder {
         serve_config.recorder = Some(Arc::new(Recorder::new()));
     }
+    if let Some(dir) = &args.journal_dir {
+        let mut journal = JournalConfig::new(dir);
+        journal.fsync = args.fsync;
+        journal.max_live = args.resume_cap;
+        journal.abort_after_appends = args.crash_after_appends;
+        serve_config.journal = Some(journal);
+    }
+    install_signal_handlers();
     let service = GcService::start(serve_config);
+    let replay = service.journal_replay().clone();
     let handle = match listen_tcp(service, &args.addr) {
         Ok(handle) => handle,
         Err(e) => fatal(&format!("cannot bind {}: {e}", args.addr)),
@@ -149,7 +218,28 @@ fn main() {
         args.flight_cap,
         if args.recorder { "on" } else { "off" },
     );
+    if args.journal_dir.is_some() {
+        println!(
+            "journal replayed {} records into {} session checkpoints \
+             (quarantined {}, torn tail {})",
+            replay.records_applied,
+            replay.sessions,
+            replay.quarantined.len(),
+            replay.truncated_tail,
+        );
+    }
     loop {
-        std::thread::sleep(Duration::from_secs(3600));
+        if SHUTDOWN.load(Ordering::Relaxed) {
+            // Graceful drain: stop accepting, reject new handshakes, let
+            // in-flight sessions finish or checkpoint, flush the journal.
+            println!("signal received, draining");
+            let stats = handle.shutdown();
+            println!(
+                "drained: {} sessions served, {} jobs completed, {} checkpoints",
+                stats.sessions_started, stats.jobs_completed, stats.checkpoints_saved,
+            );
+            std::process::exit(0);
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
 }

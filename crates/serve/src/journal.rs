@@ -1,0 +1,790 @@
+//! Durable write-ahead journal for session checkpoints.
+//!
+//! The [`ResumeRegistry`](crate::resume::ResumeRegistry) survives dropped
+//! *connections*; this module makes checkpoints survive dropped
+//! *processes*. Every element boundary the session layer snapshots at is
+//! also appended here as a CRC-checksummed, length-prefixed record and
+//! (by default) fsync'd before the element's frames go out on the wire —
+//! so after a `kill -9` + restart, replaying the journal rebuilds exactly
+//! the registry a reconnecting client's RESUME validates against.
+//!
+//! # On-disk format
+//!
+//! A journal directory holds numbered segment files `journal-NNNNNNNNNNNN.maxj`:
+//!
+//! ```text
+//! segment  := magic (8 bytes, "MAXJRNL1") record*
+//! record   := len:u32le crc:u32le body[len]
+//! body     := kind:u8 payload
+//! kind 1   := checkpoint payload (resume::encode_checkpoint)
+//! kind 2   := remove payload (session_id:u64le)
+//! ```
+//!
+//! The CRC covers the body. Replay applies records in order with
+//! last-write-wins per session id, across two failure taxonomies:
+//!
+//! * **Torn tail** — the process died mid-append, so the *last* segment
+//!   ends inside a record. Replay keeps everything up to the last valid
+//!   record and drops the tail; this is expected crash debris, not
+//!   corruption.
+//! * **Corruption** — a CRC mismatch, an impossible length, a bad magic,
+//!   or a mid-file truncation in a *non-final* segment means the bytes
+//!   changed under us. The valid prefix is still applied, the segment file
+//!   is renamed to `*.quarantine` for forensics, and boot continues —
+//!   sessions whose only checkpoint lived in the damaged region get a
+//!   typed `REJECT(resume)` later instead of the server refusing to start.
+//!
+//! After replay the journal compacts: the surviving live set is rewritten
+//! into a fresh segment and old (non-quarantined) segments are deleted.
+//! Rotation does the same every `rotate_after` appends, so disk usage is
+//! bounded by the live sessions' last-2-snapshot window, not job length.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::resume::{
+    decode_checkpoint, encode_checkpoint, CheckpointCodecError, SessionCheckpoint,
+};
+
+/// Segment file magic; the trailing digit is the format version.
+const MAGIC: &[u8; 8] = b"MAXJRNL1";
+
+/// Segment filename prefix/suffix.
+const SEGMENT_PREFIX: &str = "journal-";
+const SEGMENT_SUFFIX: &str = ".maxj";
+
+/// Suffix a damaged segment is renamed under.
+const QUARANTINE_SUFFIX: &str = ".quarantine";
+
+/// Hard cap on one record body: a checkpoint is ~4 KiB (two snapshots of
+/// 128 16-byte counters); anything claiming more than this is corruption.
+const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// Record kinds.
+const KIND_CHECKPOINT: u8 = 1;
+const KIND_REMOVE: u8 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time so
+/// the journal needs no external checksum crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum guarding every journal record.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[usize::from((crc ^ u32::from(b)) as u8)];
+    }
+    !crc
+}
+
+/// How a [`Journal`] behaves on disk.
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// Directory holding the segment files (created if missing).
+    pub dir: PathBuf,
+    /// fsync every append (and every segment rotation). Turning this off
+    /// trades the durability of the last few appends for latency: after a
+    /// power loss the journal replays to the last page the kernel flushed.
+    pub fsync: bool,
+    /// Appends per segment before rotating into a fresh compacted segment.
+    pub rotate_after: u64,
+    /// Live checkpoints retained in the journal's working set (oldest
+    /// session id evicted beyond it; 0 = unbounded). Mirrors the resume
+    /// registry's capacity so replay can never resurrect more state than
+    /// the registry would hold.
+    pub max_live: usize,
+    /// **Test/bench-only** deterministic crash injection: abort the whole
+    /// process (as `kill -9` would) immediately after the Nth successful
+    /// append. `None` disables.
+    pub abort_after_appends: Option<u64>,
+}
+
+impl JournalConfig {
+    /// Durable defaults: fsync on, rotate every 64 appends, live set
+    /// bounded at 64 sessions.
+    pub fn new(dir: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig {
+            dir: dir.into(),
+            fsync: true,
+            rotate_after: 64,
+            max_live: 64,
+            abort_after_appends: None,
+        }
+    }
+}
+
+/// Why a journal operation failed. IO errors carry the failing step so an
+/// operator can tell a full disk from a permissions problem.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// Which journal step was executing.
+        what: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A record decoded structurally but its checkpoint payload is invalid.
+    Codec(CheckpointCodecError),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { what, source } => write!(f, "journal {what}: {source}"),
+            JournalError::Codec(err) => write!(f, "journal record: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            JournalError::Codec(err) => Some(err),
+        }
+    }
+}
+
+impl From<CheckpointCodecError> for JournalError {
+    fn from(err: CheckpointCodecError) -> Self {
+        JournalError::Codec(err)
+    }
+}
+
+fn io_err(what: &'static str) -> impl FnOnce(std::io::Error) -> JournalError {
+    move |source| JournalError::Io { what, source }
+}
+
+/// What [`Journal::open`] found and salvaged on disk.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayReport {
+    /// Segment files scanned (quarantined ones from earlier boots are
+    /// never re-read).
+    pub segments_scanned: usize,
+    /// Valid records applied across all segments.
+    pub records_applied: u64,
+    /// The final segment ended inside a record (torn write) and the tail
+    /// was dropped.
+    pub truncated_tail: bool,
+    /// Segments renamed to `*.quarantine` this boot (corruption).
+    pub quarantined: Vec<PathBuf>,
+    /// Live session checkpoints after replay — what the registry gets.
+    pub sessions: usize,
+}
+
+/// Outcome of scanning one segment's records.
+struct SegmentScan {
+    records: Vec<(u8, Vec<u8>)>,
+    /// `None` = clean; `Some(torn)` = scan stopped early, `torn` says
+    /// whether the damage is a clean end-of-file truncation (recoverable
+    /// tail) as opposed to a checksum/length violation (corruption).
+    damage: Option<bool>,
+}
+
+struct JournalInner {
+    file: File,
+    seq: u64,
+    appends_in_segment: u64,
+    appends_total: u64,
+    live: BTreeMap<u64, SessionCheckpoint>,
+}
+
+/// The durable checkpoint journal. All methods are `&self` (internally
+/// locked) so one handle can be shared across session threads.
+pub struct Journal {
+    dir: PathBuf,
+    fsync: bool,
+    rotate_after: u64,
+    max_live: usize,
+    abort_after_appends: Option<u64>,
+    inner: Mutex<JournalInner>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("dir", &self.dir)
+            .field("fsync", &self.fsync)
+            .field("live", &self.live_sessions())
+            .finish_non_exhaustive()
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{SEGMENT_PREFIX}{seq:012}{SEGMENT_SUFFIX}"))
+}
+
+fn parse_segment_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name
+        .strip_prefix(SEGMENT_PREFIX)?
+        .strip_suffix(SEGMENT_SUFFIX)?;
+    stem.parse().ok()
+}
+
+/// fsync the directory itself so segment creations/deletions are durable.
+fn sync_dir(dir: &Path) -> Result<(), JournalError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(io_err("dir sync"))
+}
+
+/// Splits a segment's bytes into records. Never errors: damage is reported
+/// in-band so the caller can apply the valid prefix either way.
+fn scan_segment(bytes: &[u8]) -> SegmentScan {
+    let mut records = Vec::new();
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        // A wrong or half-written magic: an empty file is a torn segment
+        // creation (recoverable); anything else is corruption.
+        return SegmentScan {
+            records,
+            damage: Some(bytes.is_empty()),
+        };
+    }
+    let mut rest = &bytes[MAGIC.len()..];
+    while !rest.is_empty() {
+        if rest.len() < 8 {
+            return SegmentScan {
+                records,
+                damage: Some(true),
+            };
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len == 0 || len > MAX_RECORD_LEN {
+            // An impossible length prefix is corruption, not truncation —
+            // trusting it could swallow the rest of the segment.
+            return SegmentScan {
+                records,
+                damage: Some(false),
+            };
+        }
+        let body_end = 8 + len as usize;
+        if rest.len() < body_end {
+            return SegmentScan {
+                records,
+                damage: Some(true),
+            };
+        }
+        let body = &rest[8..body_end];
+        if crc32(body) != crc {
+            return SegmentScan {
+                records,
+                damage: Some(false),
+            };
+        }
+        records.push((body[0], body[1..].to_vec()));
+        rest = &rest[body_end..];
+    }
+    SegmentScan {
+        records,
+        damage: None,
+    }
+}
+
+/// Applies one scanned record to the live map (last write wins).
+fn apply_record(
+    live: &mut BTreeMap<u64, SessionCheckpoint>,
+    kind: u8,
+    payload: &[u8],
+) -> Result<(), CheckpointCodecError> {
+    match kind {
+        KIND_CHECKPOINT => {
+            let checkpoint = decode_checkpoint(payload)?;
+            live.insert(checkpoint.session_id, checkpoint);
+            Ok(())
+        }
+        KIND_REMOVE => {
+            if payload.len() != 8 {
+                return Err(CheckpointCodecError::Truncated {
+                    what: "remove session id",
+                });
+            }
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(payload);
+            live.remove(&u64::from_le_bytes(buf));
+            Ok(())
+        }
+        _ => Err(CheckpointCodecError::Truncated {
+            what: "unknown record kind",
+        }),
+    }
+}
+
+fn encode_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + payload.len());
+    body.push(kind);
+    body.extend_from_slice(payload);
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+impl Journal {
+    /// Opens (or creates) the journal in `cfg.dir`, replays every segment
+    /// into the live set, quarantines damaged segments, and compacts the
+    /// survivors into a fresh segment.
+    ///
+    /// Corrupt *content* never fails this call — that is the whole point.
+    /// Only filesystem-level failures (unreadable directory, full disk) do.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the directory cannot be created, listed,
+    /// or written.
+    pub fn open(cfg: JournalConfig) -> Result<(Journal, ReplayReport), JournalError> {
+        fs::create_dir_all(&cfg.dir).map_err(io_err("create dir"))?;
+
+        let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(&cfg.dir)
+            .map_err(io_err("list dir"))?
+            .filter_map(|entry| {
+                let path = entry.ok()?.path();
+                parse_segment_seq(&path).map(|seq| (seq, path))
+            })
+            .collect();
+        segments.sort_by_key(|(seq, _)| *seq);
+
+        let mut report = ReplayReport::default();
+        let mut live: BTreeMap<u64, SessionCheckpoint> = BTreeMap::new();
+        let last_index = segments.len().saturating_sub(1);
+        for (index, (_, path)) in segments.iter().enumerate() {
+            report.segments_scanned += 1;
+            let bytes = fs::read(path).map_err(io_err("read segment"))?;
+            let scan = scan_segment(&bytes);
+            let mut poisoned = match scan.damage {
+                None => false,
+                // A torn tail is only benign on the *last* segment: earlier
+                // segments were sealed by a later rotation, so a short read
+                // there means the file changed after the fact.
+                Some(torn_eof) => !(torn_eof && index == last_index),
+            };
+            for (kind, payload) in &scan.records {
+                match apply_record(&mut live, *kind, payload) {
+                    Ok(()) => report.records_applied += 1,
+                    Err(_) => {
+                        // CRC passed but the payload is structurally bad:
+                        // that is corruption (or a format skew), not a torn
+                        // write. Quarantine; keep what applied so far.
+                        poisoned = true;
+                        break;
+                    }
+                }
+            }
+            if poisoned {
+                let mut quarantine = path.clone().into_os_string();
+                quarantine.push(QUARANTINE_SUFFIX);
+                let quarantine = PathBuf::from(quarantine);
+                fs::rename(path, &quarantine).map_err(io_err("quarantine segment"))?;
+                max_telemetry::counter_add("serve.journal.quarantined", 1);
+                report.quarantined.push(quarantine);
+            } else if scan.damage.is_some() {
+                report.truncated_tail = true;
+                max_telemetry::counter_add("serve.journal.tail_truncated", 1);
+            }
+        }
+        report.sessions = live.len();
+        max_telemetry::counter_add("serve.journal.replayed", report.records_applied);
+
+        // Compact: rewrite the live set into a fresh segment, then retire
+        // every older (non-quarantined) segment. A torn tail disappears
+        // here too — its valid prefix lives on in the new segment.
+        let next_seq = segments.last().map_or(0, |(seq, _)| seq + 1);
+        let mut file = Self::create_segment(&cfg.dir, next_seq)?;
+        for checkpoint in live.values() {
+            file.write_all(&encode_record(
+                KIND_CHECKPOINT,
+                &encode_checkpoint(checkpoint),
+            ))
+            .map_err(io_err("compact write"))?;
+        }
+        if cfg.fsync {
+            file.sync_all().map_err(io_err("compact sync"))?;
+            sync_dir(&cfg.dir)?;
+        }
+        for (_, path) in &segments {
+            // Quarantined segments were renamed away; whatever still parses
+            // as a segment path is superseded by the compacted one.
+            if path.exists() {
+                fs::remove_file(path).map_err(io_err("retire segment"))?;
+            }
+        }
+        if cfg.fsync {
+            sync_dir(&cfg.dir)?;
+        }
+
+        let journal = Journal {
+            dir: cfg.dir,
+            fsync: cfg.fsync,
+            rotate_after: cfg.rotate_after.max(1),
+            max_live: cfg.max_live,
+            abort_after_appends: cfg.abort_after_appends,
+            inner: Mutex::new(JournalInner {
+                file,
+                seq: next_seq,
+                appends_in_segment: 0,
+                appends_total: 0,
+                live,
+            }),
+        };
+        Ok((journal, report))
+    }
+
+    fn create_segment(dir: &Path, seq: u64) -> Result<File, JournalError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(segment_path(dir, seq))
+            .map_err(io_err("create segment"))?;
+        file.write_all(MAGIC).map_err(io_err("write magic"))?;
+        Ok(file)
+    }
+
+    /// Appends (and by default fsyncs) a checkpoint record, updating the
+    /// live set. Called at every element boundary *before* the element's
+    /// frames are sent, so the journal never trails the client's view.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write/sync failure; the in-memory live set
+    /// is updated regardless so serving can continue degraded.
+    pub fn append_checkpoint(&self, checkpoint: &SessionCheckpoint) -> Result<(), JournalError> {
+        let payload = encode_checkpoint(checkpoint);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.live.insert(checkpoint.session_id, checkpoint.clone());
+        if self.max_live > 0 {
+            while inner.live.len() > self.max_live {
+                // Session ids are allocated monotonically, so the smallest
+                // key is the oldest session — same victim the registry's
+                // insertion-order eviction would pick.
+                let Some((&oldest, _)) = inner.live.iter().next() else {
+                    break;
+                };
+                inner.live.remove(&oldest);
+            }
+        }
+        self.append_locked(&mut inner, KIND_CHECKPOINT, &payload)
+    }
+
+    /// Appends a tombstone for `session_id` (job completed, clean BYE, or
+    /// successful resume) so a restart does not resurrect finished work.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write/sync failure.
+    pub fn append_remove(&self, session_id: u64) -> Result<(), JournalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.live.remove(&session_id);
+        self.append_locked(&mut inner, KIND_REMOVE, &session_id.to_le_bytes())
+    }
+
+    fn append_locked(
+        &self,
+        inner: &mut JournalInner,
+        kind: u8,
+        payload: &[u8],
+    ) -> Result<(), JournalError> {
+        inner
+            .file
+            .write_all(&encode_record(kind, payload))
+            .map_err(io_err("append write"))?;
+        if self.fsync {
+            let started = Instant::now();
+            inner.file.sync_all().map_err(io_err("append sync"))?;
+            max_telemetry::histogram_record(
+                "serve.journal.fsync_us",
+                started.elapsed().as_micros() as u64,
+            );
+        }
+        inner.appends_total += 1;
+        inner.appends_in_segment += 1;
+        max_telemetry::counter_add("serve.journal.appends", 1);
+        if let Some(limit) = self.abort_after_appends {
+            if inner.appends_total >= limit {
+                // Deterministic crash injection: die exactly like kill -9
+                // would, with the journal in whatever state the appends
+                // left it. Test/bench harnesses only.
+                std::process::abort();
+            }
+        }
+        if inner.appends_in_segment >= self.rotate_after {
+            self.rotate_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the current segment into a fresh compacted one and deletes it.
+    fn rotate_locked(&self, inner: &mut JournalInner) -> Result<(), JournalError> {
+        let old_seq = inner.seq;
+        let new_seq = old_seq + 1;
+        let mut file = Self::create_segment(&self.dir, new_seq)?;
+        for checkpoint in inner.live.values() {
+            file.write_all(&encode_record(
+                KIND_CHECKPOINT,
+                &encode_checkpoint(checkpoint),
+            ))
+            .map_err(io_err("rotate write"))?;
+        }
+        if self.fsync {
+            file.sync_all().map_err(io_err("rotate sync"))?;
+            sync_dir(&self.dir)?;
+        }
+        inner.file = file;
+        inner.seq = new_seq;
+        inner.appends_in_segment = 0;
+        // Only after the compacted segment is durable may the old one go.
+        let old_path = segment_path(&self.dir, old_seq);
+        if old_path.exists() {
+            fs::remove_file(&old_path).map_err(io_err("rotate retire"))?;
+        }
+        if self.fsync {
+            sync_dir(&self.dir)?;
+        }
+        max_telemetry::counter_add("serve.journal.rotations", 1);
+        Ok(())
+    }
+
+    /// Forces the current segment to disk (graceful-shutdown flush; a
+    /// no-op in effect when per-append fsync is on).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on sync failure.
+    pub fn sync(&self) -> Result<(), JournalError> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.file.sync_all().map_err(io_err("flush sync"))
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total records appended through this handle.
+    pub fn appends(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .appends_total
+    }
+
+    /// Checkpoints currently live (restart would restore exactly these).
+    pub fn live_sessions(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .live
+            .len()
+    }
+
+    /// Clones the live checkpoints, oldest session first — what a restart
+    /// feeds into the resume registry.
+    pub fn live_checkpoints(&self) -> Vec<SessionCheckpoint> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .live
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resume::SessionCheckpoint;
+    use max_ot::iknp;
+    use maxelerator::remote::derive_seed;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "maxj-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn checkpoint(session_id: u64) -> SessionCheckpoint {
+        let session_seed = derive_seed(77, session_id);
+        let (sender, _) = iknp::setup_pair(derive_seed(session_seed, 0x07));
+        SessionCheckpoint {
+            session_id,
+            resume_token: session_id ^ 0xF00D,
+            session_seed,
+            next_job: 1,
+            job_id: 0,
+            columns: 3,
+            job_seed: 9,
+            snapshots: vec![(0, sender.clone()), (1, sender)],
+        }
+    }
+
+    fn config(dir: &Path) -> JournalConfig {
+        let mut cfg = JournalConfig::new(dir);
+        cfg.fsync = false; // tests don't need durability, just bytes
+        cfg
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn replay_restores_last_write_wins() {
+        let dir = temp_dir("replay");
+        {
+            let (journal, report) = Journal::open(config(&dir)).unwrap();
+            assert_eq!(report.sessions, 0);
+            journal.append_checkpoint(&checkpoint(1)).unwrap();
+            journal.append_checkpoint(&checkpoint(2)).unwrap();
+            let mut newer = checkpoint(1);
+            newer.job_id = 5;
+            newer.next_job = 6;
+            journal.append_checkpoint(&newer).unwrap();
+            journal.append_remove(2).unwrap();
+        }
+        let (journal, report) = Journal::open(config(&dir)).unwrap();
+        assert_eq!(report.sessions, 1);
+        assert!(report.quarantined.is_empty());
+        assert!(!report.truncated_tail);
+        let live = journal.live_checkpoints();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].session_id, 1);
+        assert_eq!(live[0].job_id, 5, "last write must win");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncates_but_keeps_valid_prefix() {
+        let dir = temp_dir("torn");
+        {
+            let (journal, _) = Journal::open(config(&dir)).unwrap();
+            journal.append_checkpoint(&checkpoint(1)).unwrap();
+            journal.append_checkpoint(&checkpoint(2)).unwrap();
+        }
+        // Chop bytes off the (single) segment's end: a torn final write.
+        let segment = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| parse_segment_seq(p).is_some())
+            .unwrap();
+        let bytes = fs::read(&segment).unwrap();
+        fs::write(&segment, &bytes[..bytes.len() - 9]).unwrap();
+
+        let (journal, report) = Journal::open(config(&dir)).unwrap();
+        assert!(report.truncated_tail);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(journal.live_sessions(), 1, "first record survives");
+        assert_eq!(journal.live_checkpoints()[0].session_id, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc_flip_quarantines_segment_and_still_boots() {
+        let dir = temp_dir("flip");
+        {
+            let (journal, _) = Journal::open(config(&dir)).unwrap();
+            journal.append_checkpoint(&checkpoint(1)).unwrap();
+            journal.append_checkpoint(&checkpoint(2)).unwrap();
+        }
+        let segment = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| parse_segment_seq(p).is_some())
+            .unwrap();
+        let mut bytes = fs::read(&segment).unwrap();
+        let near_end = bytes.len() - 20;
+        bytes[near_end] ^= 0x40; // flip one bit inside the second record
+        fs::write(&segment, &bytes).unwrap();
+
+        let (journal, report) = Journal::open(config(&dir)).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0]
+            .to_string_lossy()
+            .ends_with(QUARANTINE_SUFFIX));
+        assert!(report.quarantined[0].exists(), "evidence is preserved");
+        // The valid prefix (record 1) still replays.
+        assert_eq!(journal.live_sessions(), 1);
+        // A third boot no longer sees the quarantined file as a segment.
+        drop(journal);
+        let (_, report) = Journal::open(config(&dir)).unwrap();
+        assert!(report.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_bounds_disk_and_preserves_live_set() {
+        let dir = temp_dir("rotate");
+        let mut cfg = config(&dir);
+        cfg.rotate_after = 4;
+        let (journal, _) = Journal::open(cfg.clone()).unwrap();
+        for round in 0..25u64 {
+            let mut cp = checkpoint(round % 3);
+            cp.job_id = round;
+            journal.append_checkpoint(&cp).unwrap();
+        }
+        let segments: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| parse_segment_seq(p).is_some())
+            .collect();
+        assert_eq!(segments.len(), 1, "rotation retires old segments");
+        drop(journal);
+        let (journal, report) = Journal::open(cfg).unwrap();
+        assert_eq!(report.sessions, 3);
+        assert_eq!(journal.live_sessions(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_set_is_bounded_by_max_live() {
+        let dir = temp_dir("bound");
+        let mut cfg = config(&dir);
+        cfg.max_live = 2;
+        let (journal, _) = Journal::open(cfg).unwrap();
+        for id in 0..5u64 {
+            journal.append_checkpoint(&checkpoint(id)).unwrap();
+        }
+        let live = journal.live_checkpoints();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].session_id, 3, "oldest sessions evicted first");
+        assert_eq!(live[1].session_id, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod journal;
 pub mod resume;
 pub mod scheduler;
 mod service;
@@ -38,6 +39,7 @@ use max_gc::Transport;
 use maxelerator::remote::derive_seed;
 
 pub use breaker::{Breaker, BreakerConfig};
+pub use journal::{Journal, JournalConfig, JournalError, ReplayReport};
 pub use resume::{ResumeRegistry, SessionCheckpoint};
 pub use scheduler::{JobRequest, JobResult, QueueFull, UnitPool};
 pub use service::{listen_tcp, GcService, ServeConfig, ServeHandle, ServeStats};

@@ -22,6 +22,7 @@ use max_telemetry::{FlightRecorder, Recorder};
 use maxelerator::AcceleratorConfig;
 
 use crate::breaker::{Breaker, BreakerConfig};
+use crate::journal::{Journal, JournalConfig, ReplayReport};
 use crate::resume::ResumeRegistry;
 use crate::scheduler::UnitPool;
 use crate::session::run_session;
@@ -76,6 +77,11 @@ pub struct ServeConfig {
     /// Events each per-session flight recorder retains (0 disables flight
     /// recording entirely).
     pub flight_capacity: usize,
+    /// Durable checkpoint journal configuration. `None` (the default)
+    /// serves memory-only: checkpoints survive dropped connections but not
+    /// a dead process. With a journal, startup replays the directory into
+    /// the resume registry — see the [`crate::journal`] module docs.
+    pub journal: Option<JournalConfig>,
 }
 
 impl ServeConfig {
@@ -98,6 +104,7 @@ impl ServeConfig {
             deterministic_resume_tokens: false,
             recorder: None,
             flight_capacity: 64,
+            journal: None,
         }
     }
 }
@@ -134,6 +141,9 @@ pub(crate) struct ServiceShared {
     pub(crate) idle_timeout: Option<Duration>,
     pub(crate) step_timeout: Option<Duration>,
     pub(crate) resume: ResumeRegistry,
+    pub(crate) journal: Option<Arc<Journal>>,
+    /// What journal replay salvaged at boot (empty default when no journal).
+    replay: ReplayReport,
     pub(crate) breaker: Breaker,
     pub(crate) deterministic_resume_tokens: bool,
     pub(crate) recorder: Option<Arc<Recorder>>,
@@ -199,6 +209,26 @@ impl ServiceShared {
             .push("breaker_open", JsonValue::Bool(self.breaker.is_open()))
             .push("draining", JsonValue::Bool(self.is_draining()));
 
+        let journal = match &self.journal {
+            Some(journal) => {
+                let mut entry = JsonValue::object();
+                entry
+                    .push("appends", JsonValue::UInt(journal.appends()))
+                    .push("live", JsonValue::UInt(journal.live_sessions() as u64))
+                    .push("replayed", JsonValue::UInt(self.replay.records_applied))
+                    .push(
+                        "quarantined",
+                        JsonValue::UInt(self.replay.quarantined.len() as u64),
+                    )
+                    .push(
+                        "truncated_tail",
+                        JsonValue::Bool(self.replay.truncated_tail),
+                    );
+                entry
+            }
+            None => JsonValue::Null,
+        };
+
         let percentiles = match &self.recorder {
             Some(rec) => {
                 let snapshot = rec.snapshot();
@@ -225,6 +255,7 @@ impl ServiceShared {
         )
         .push("stats", stats)
         .push("gauges", gauges)
+        .push("journal", journal)
         .push("percentiles", percentiles);
         root.render()
     }
@@ -281,6 +312,34 @@ impl GcService {
             cfg.start_paused,
             cfg.recorder.clone(),
         );
+
+        // Replay the durable journal (if configured) into the registry
+        // before the first connection can race a RESUME against it. A
+        // journal that cannot be *opened* is a host configuration error
+        // (like a bad model) and fails loudly; damaged journal *content*
+        // never does — it is quarantined inside `Journal::open`.
+        let resume = ResumeRegistry::new(cfg.resume_capacity);
+        let mut replay = ReplayReport::default();
+        let mut first_session = 0u64;
+        let journal = match cfg.journal {
+            Some(journal_cfg) => {
+                let (journal, report) = match Journal::open(journal_cfg) {
+                    Ok(opened) => opened,
+                    Err(err) => panic!("journal unusable: {err}"),
+                };
+                for checkpoint in journal.live_checkpoints() {
+                    // Restart must hand out session ids above every
+                    // replayed one, or a fresh session could silently
+                    // displace a recovering session's checkpoint.
+                    first_session = first_session.max(checkpoint.session_id + 1);
+                    resume.save(checkpoint);
+                }
+                replay = report;
+                Some(Arc::new(journal))
+            }
+            None => None,
+        };
+
         GcService {
             shared: Arc::new(ServiceShared {
                 config: cfg.config,
@@ -290,14 +349,16 @@ impl GcService {
                 retry_after_ms: cfg.retry_after_ms,
                 idle_timeout: cfg.idle_timeout,
                 step_timeout: cfg.step_timeout,
-                resume: ResumeRegistry::new(cfg.resume_capacity),
+                resume,
+                journal,
+                replay,
                 breaker: Breaker::new(cfg.breaker),
                 deterministic_resume_tokens: cfg.deterministic_resume_tokens,
                 recorder: cfg.recorder,
                 flight_capacity: cfg.flight_capacity,
                 flight_dumps: Mutex::new(Vec::new()),
                 draining: AtomicBool::new(false),
-                next_session: AtomicU64::new(0),
+                next_session: AtomicU64::new(first_session),
                 sessions_started: AtomicU64::new(0),
                 sessions_errored: AtomicU64::new(0),
                 jobs_completed: AtomicU64::new(0),
@@ -430,6 +491,16 @@ impl GcService {
         self.shared.resume.len()
     }
 
+    /// The durable checkpoint journal, when one is configured.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.shared.journal.as_ref()
+    }
+
+    /// What journal replay found at boot (all-zero when no journal).
+    pub fn journal_replay(&self) -> &ReplayReport {
+        &self.shared.replay
+    }
+
     /// Releases a pool started with `start_paused`.
     pub fn resume_workers(&self) {
         self.shared.pool.resume();
@@ -501,6 +572,10 @@ impl GcService {
             let _ = handle.join();
         }
         self.shared.pool.shutdown();
+        if let Some(journal) = &self.shared.journal {
+            // Sessions are joined: no appends can race this final flush.
+            let _ = journal.sync();
+        }
         self.stats()
     }
 }

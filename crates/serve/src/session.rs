@@ -111,8 +111,59 @@ struct JobRun {
     start_element: usize,
 }
 
+/// Builds the checkpoint covering the current snapshot window — the value
+/// both the in-memory registry (on error) and the durable journal (every
+/// boundary) persist.
+fn window_checkpoint(
+    ctx: &SessionCtx<'_>,
+    run: &JobRun,
+    snapshots: &VecDeque<(usize, OtExtSender)>,
+) -> SessionCheckpoint {
+    SessionCheckpoint {
+        session_id: ctx.session_id,
+        resume_token: ctx.resume_token,
+        session_seed: ctx.session_seed,
+        next_job: run.job_id + 1,
+        job_id: run.job_id,
+        columns: run.columns,
+        job_seed: run.job_seed,
+        snapshots: snapshots.iter().cloned().collect(),
+    }
+}
+
+/// Journals the current window, if a journal is configured. A failed
+/// append degrades durability, not availability: it is counted and flight-
+/// logged, and the session keeps streaming from memory.
+fn journal_window(
+    shared: &ServiceShared,
+    ctx: &SessionCtx<'_>,
+    run: &JobRun,
+    snapshots: &VecDeque<(usize, OtExtSender)>,
+) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    if let Err(err) = journal.append_checkpoint(&window_checkpoint(ctx, run, snapshots)) {
+        max_telemetry::counter_add("serve.journal.append_errors", 1);
+        if let Some(flight) = ctx.flight {
+            flight.log("journal.error", format!("{err}"), 0);
+        }
+    }
+}
+
+/// Appends a journal tombstone for `session_id` after its in-flight work
+/// stopped needing recovery (job done, clean BYE, or checkpoint evicted).
+fn journal_remove(shared: &ServiceShared, session_id: u64) {
+    if let Some(journal) = &shared.journal {
+        if journal.append_remove(session_id).is_err() {
+            max_telemetry::counter_add("serve.journal.append_errors", 1);
+        }
+    }
+}
+
 /// Streams one job under the per-step deadline, snapshotting the OT sender
-/// at each element boundary; on failure deposits a [`SessionCheckpoint`]
+/// at each element boundary; every boundary is journaled (durable) and on
+/// failure the final window is deposited in the in-memory registry,
 /// covering the client's two possible rollback points.
 fn stream_job_checkpointed<T: Transport>(
     shared: &ServiceShared,
@@ -130,6 +181,9 @@ fn stream_job_checkpointed<T: Transport>(
         .map(|rec| rec.trace_span(ctx.trace, "server/stream"));
     let mut snapshots: VecDeque<(usize, OtExtSender)> = VecDeque::with_capacity(3);
     snapshots.push_back((run.start_element, ot_sender.clone()));
+    // The pre-job boundary goes to disk before READY: a crash anywhere in
+    // the exchange now has a durable floor to resume from.
+    journal_window(shared, ctx, run, &snapshots);
     if shared.step_timeout.is_some() {
         transport.set_idle_timeout(shared.step_timeout);
     }
@@ -145,23 +199,20 @@ fn stream_job_checkpointed<T: Transport>(
             if snapshots.len() > 2 {
                 snapshots.pop_front();
             }
+            journal_window(shared, ctx, run, &snapshots);
         },
     );
     transport.set_idle_timeout(shared.idle_timeout);
     match result {
-        Ok(_) => Ok(()),
+        Ok(_) => {
+            // The job finished on this connection: a restart must not
+            // resurrect (and a reconnect must not replay) it.
+            journal_remove(shared, ctx.session_id);
+            Ok(())
+        }
         Err(err) => {
             let elements_kept = snapshots.back().map_or(0, |(next, _)| *next as u64);
-            shared.resume.save(SessionCheckpoint {
-                session_id: ctx.session_id,
-                resume_token: ctx.resume_token,
-                session_seed: ctx.session_seed,
-                next_job: run.job_id + 1,
-                job_id: run.job_id,
-                columns: run.columns,
-                job_seed: run.job_seed,
-                snapshots: snapshots.into_iter().collect(),
-            });
+            let evicted = shared.resume.save(window_checkpoint(ctx, run, &snapshots));
             summary.checkpoints_saved += 1;
             shared.checkpoints_saved.fetch_add(1, Ordering::Relaxed);
             max_telemetry::counter_add("serve.resume.checkpoints", 1);
@@ -172,6 +223,14 @@ fn stream_job_checkpointed<T: Transport>(
                     format!("job {}", run.job_id),
                     elements_kept,
                 );
+                if let Some(victim) = evicted {
+                    flight.log("resume.evicted", format!("session {victim}"), victim);
+                }
+            }
+            if let Some(victim) = evicted {
+                // Keep disk and memory telling the same story: the evicted
+                // session can no longer resume, live or after a restart.
+                journal_remove(shared, victim);
             }
             Err(err)
         }
@@ -523,8 +582,10 @@ fn session_loop<T: Transport>(
             }
             Ok(ControlMsg::Bye) => {
                 // A clean goodbye retires any stale checkpoint this session
-                // id left behind on an earlier connection.
+                // id left behind on an earlier connection — in memory and
+                // on disk.
                 shared.resume.remove(ctx.session_id);
+                journal_remove(shared, ctx.session_id);
                 break;
             }
             Err(AcceleratorError::Disconnected) => break,

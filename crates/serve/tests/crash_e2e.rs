@@ -1,0 +1,638 @@
+//! Crash end-to-end tests: process death (not just connection death) with
+//! durable-journal recovery.
+//!
+//! The headline invariant extends chaos_e2e's by one failure class: a
+//! server that dies *as a process* — `kill -9`, no drop handlers, no
+//! flushes beyond what the write-ahead journal already fsync'd — and
+//! restarts on the same journal directory gives a reconnecting client
+//! RESUME, not REJECT, and the stitched transcript is **bit-identical
+//! frame-by-frame** to an uninterrupted run. Damaged journals degrade
+//! gracefully: torn tails replay to the last valid record, corrupt
+//! segments are quarantined and the affected session gets a typed
+//! `REJECT(resume)` while the server boots and serves everything else.
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use max_gc::{FaultSpec, FaultTransport, FramedTcp};
+use max_serve::{
+    demo_vector, demo_weights, plain_matvec, GcService, JournalConfig, RecordingTransport,
+    ServeConfig,
+};
+use maxelerator::{
+    AcceleratorConfig, AcceleratorError, RemoteClient, ResilientClient, RetryPolicy,
+};
+
+const WIDTH: usize = 8;
+const ROWS: usize = 3;
+const COLS: usize = 3;
+const SEED: u64 = 0xC4A0;
+
+/// Client-side frame events per streamed element (EXT, CIPHER, ROUNDS) and
+/// for the handshake (HELLO, ACCEPT, JOB, READY) — same accounting as
+/// chaos_e2e.
+const EVENTS_PER_ELEMENT: u64 = 3;
+const HANDSHAKE_EVENTS: u64 = 4;
+
+fn cut_mid_element(element: u64) -> u64 {
+    HANDSHAKE_EVENTS + element * EVENTS_PER_ELEMENT + 2
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "crash-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn journaled_service(dir: &Path, mutate: impl FnOnce(&mut ServeConfig)) -> GcService {
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let mut cfg = ServeConfig::new(AcceleratorConfig::new(WIDTH), weights, SEED);
+    cfg.deterministic_resume_tokens = true;
+    let mut journal = JournalConfig::new(dir);
+    journal.fsync = false; // in-process tests exercise bytes, not disks
+    cfg.journal = Some(journal);
+    mutate(&mut cfg);
+    GcService::start(cfg)
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The only journal segment file in `dir` (panics if there is not exactly
+/// one — the tests keep windows small enough to never rotate mid-job).
+fn only_segment(dir: &Path) -> PathBuf {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("journal dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "maxj"))
+        .collect();
+    assert_eq!(segments.len(), 1, "expected exactly one segment");
+    segments.remove(0)
+}
+
+/// Kill-9 equivalence, deterministically: run a job against a journaled
+/// service, cut the wire mid-element, then *abandon the service without
+/// any shutdown* — its in-memory registry and all its threads are dead to
+/// us, exactly as after `kill -9`. A brand-new service instance on the
+/// same journal directory must replay the checkpoints and serve RESUME,
+/// and the stitched transcript must be bit-identical to an uninterrupted
+/// reference run.
+#[test]
+fn journal_replay_after_process_loss_resumes_bit_identical() {
+    let xs = vec![
+        demo_vector(COLS, WIDTH, SEED ^ 1),
+        demo_vector(COLS, WIDTH, SEED ^ 2),
+    ];
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let expected: Vec<Vec<i64>> = xs.iter().map(|x| plain_matvec(&weights, x)).collect();
+    let elements = xs.len() * ROWS;
+
+    // Reference: uninterrupted run, fresh service, same seeds, same pinned
+    // trace — bit-comparable because resume tokens are deterministic.
+    let trace = max_telemetry::TraceContext::from_ids(0xB17, 0x1D);
+    let ref_dir = temp_dir("ref");
+    let ref_service = journaled_service(&ref_dir, |_| {});
+    let mut ref_client = RemoteClient::connect_with_trace(
+        RecordingTransport::new(ref_service.connect()),
+        WIDTH,
+        trace,
+    )
+    .expect("reference handshake");
+    let (ref_ys, _) = ref_client.secure_matmul(&xs).expect("reference job");
+    assert_eq!(ref_ys, expected);
+    let ref_rec = ref_client.goodbye();
+    ref_service.shutdown();
+    let ref_sent = ref_rec.sent_frames();
+    let ref_recv = ref_rec.received_frames();
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Crash run: wire dies partway through element 2 of 6, then the whole
+    // first service instance is abandoned cold.
+    let dir = temp_dir("replay");
+    let first_incarnation = journaled_service(&dir, |_| {});
+    let fault = FaultTransport::new(
+        RecordingTransport::new(first_incarnation.connect()),
+        FaultSpec::none(SEED).with_cut_after(cut_mid_element(2)),
+    );
+    let mut client =
+        RemoteClient::connect_with_trace(fault, WIDTH, trace).expect("crash handshake");
+    let mut progress = client.start_job(&xs).expect("job admitted");
+    client
+        .run_job(&mut progress)
+        .expect_err("the cut must kill the run");
+    assert_eq!(progress.elements_done(), 2);
+    let (dead, state) = client.into_parts();
+    let rec1 = dead.into_inner();
+    let conn1_sent = rec1.sent_frames().to_vec();
+    let conn1_recv = rec1.received_frames().to_vec();
+    drop(rec1);
+    // The journal already holds every element boundary — written *before*
+    // the boundary's frames went out — so there is nothing to wait for.
+    // The dead instance is never shut down: no flush, no drain, no BYE.
+    let journal = first_incarnation.journal().expect("journal configured");
+    assert!(journal.appends() >= 3, "boundaries 0..=2 journaled");
+    drop(first_incarnation);
+
+    // Second incarnation: same directory, fresh process state.
+    let second_incarnation = journaled_service(&dir, |_| {});
+    let replay = second_incarnation.journal_replay();
+    assert!(replay.records_applied >= 3, "replayed the crash run");
+    assert_eq!(replay.sessions, 1, "one interrupted session restored");
+    assert!(replay.quarantined.is_empty());
+    assert_eq!(second_incarnation.resume_checkpoints(), 1);
+
+    let mut client =
+        RemoteClient::reattach(RecordingTransport::new(second_incarnation.connect()), state);
+    client
+        .resume_job(&mut progress)
+        .expect("RESUME accepted after restart");
+    client.run_job(&mut progress).expect("resumed run");
+    let (ys, transcript) = progress.into_result();
+    assert_eq!(ys, expected, "resumed job must be correct");
+    assert_eq!(ys, ref_ys, "resumed job must match the uninterrupted run");
+    assert_eq!(transcript.elements, elements);
+    let rec2 = client.goodbye();
+    let conn2_sent = rec2.sent_frames();
+    let conn2_recv = rec2.received_frames();
+
+    // Stitch and diff, frame by frame, against the uninterrupted run.
+    // Down direction: ACCEPT + READY + two completed elements' data (+ the
+    // partial element's CIPHER) on conn1; READY + elements 2..6 + STATS on
+    // conn2.
+    assert_eq!(conn1_recv[0], ref_recv[0], "ACCEPT diverged across restart");
+    assert_eq!(conn1_recv[1], ref_recv[1], "READY diverged");
+    assert_eq!(
+        &conn1_recv[2..2 + 2 * 2],
+        &ref_recv[2..2 + 2 * 2],
+        "pre-crash element data diverged"
+    );
+    assert_eq!(conn2_recv[0], ref_recv[1], "resumed READY diverged");
+    assert_eq!(
+        &conn2_recv[1..],
+        &ref_recv[2 + 2 * 2..],
+        "post-restart data (elements 2..6 + STATS) diverged"
+    );
+
+    // Up direction: stitched EXT stream matches, and the rolled-back EXT
+    // replays bit-identically.
+    assert_eq!(conn1_sent[0].1, ref_sent[0].1, "HELLO diverged");
+    assert_eq!(conn1_sent[1].1, ref_sent[1].1, "JOB diverged");
+    assert_eq!(conn1_sent[2].1, ref_sent[2].1);
+    assert_eq!(conn1_sent[3].1, ref_sent[3].1);
+    assert_eq!(
+        conn2_sent[1].1, conn1_sent[4].1,
+        "rolled-back EXT must replay bit-identically"
+    );
+    for (i, frame) in conn2_sent[1..1 + 4].iter().enumerate() {
+        assert_eq!(frame.1, ref_sent[4 + i].1, "stitched EXT {i} diverged");
+    }
+
+    let stats = second_incarnation.shutdown();
+    assert_eq!(stats.jobs_resumed, 1);
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(
+        second_incarnation.resume_checkpoints(),
+        0,
+        "checkpoint retired after the resumed job"
+    );
+    assert_eq!(
+        second_incarnation
+            .journal()
+            .expect("journal configured")
+            .live_sessions(),
+        0,
+        "journal tombstoned after the resumed job"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn tail — the classic kill-9-mid-write artifact — replays to the
+/// last valid record. Because every append carries the full two-snapshot
+/// window, losing the *final* record still leaves a window covering the
+/// client's rollback point, and RESUME succeeds.
+#[test]
+fn torn_journal_tail_still_resumes() {
+    let xs = vec![
+        demo_vector(COLS, WIDTH, SEED ^ 1),
+        demo_vector(COLS, WIDTH, SEED ^ 2),
+    ];
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+    let expected: Vec<Vec<i64>> = xs.iter().map(|x| plain_matvec(&weights, x)).collect();
+
+    let dir = temp_dir("torn");
+    let first = journaled_service(&dir, |_| {});
+    let mut client = RemoteClient::connect(
+        FaultTransport::new(
+            first.connect(),
+            FaultSpec::none(SEED).with_cut_after(cut_mid_element(2)),
+        ),
+        WIDTH,
+    )
+    .expect("handshake");
+    let mut progress = client.start_job(&xs).expect("job admitted");
+    client
+        .run_job(&mut progress)
+        .expect_err("cut kills the run");
+    assert_eq!(progress.elements_done(), 2);
+    let (dead, state) = client.into_parts();
+    drop(dead);
+    wait_until("journal to cover the crash window", || {
+        first.journal().is_some_and(|j| j.appends() >= 4)
+    });
+    drop(first);
+
+    // Tear the last record: chop bytes off the segment's end, mid-record.
+    let segment = only_segment(&dir);
+    let bytes = std::fs::read(&segment).expect("read segment");
+    std::fs::write(&segment, &bytes[..bytes.len() - 33]).expect("tear tail");
+
+    let second = journaled_service(&dir, |_| {});
+    let replay = second.journal_replay();
+    assert!(replay.truncated_tail, "the tear must be detected");
+    assert!(
+        replay.quarantined.is_empty(),
+        "a torn tail is not corruption"
+    );
+    assert_eq!(replay.sessions, 1);
+
+    let mut client = RemoteClient::reattach(second.connect(), state);
+    client
+        .resume_job(&mut progress)
+        .expect("window in the second-to-last record still covers the rollback");
+    client.run_job(&mut progress).expect("resumed run");
+    let (ys, _) = progress.into_result();
+    assert_eq!(ys, expected);
+    client.goodbye();
+    let stats = second.shutdown();
+    assert_eq!(stats.jobs_resumed, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bit-flip corruption is caught by the CRC, the damaged segment is
+/// quarantined (renamed, preserved for forensics), and the server *boots
+/// anyway* — the session whose checkpoint was lost gets a typed
+/// `REJECT(resume)` and falls back to a fresh restart; new sessions are
+/// untouched. Refusing to boot is the one behavior this test forbids.
+#[test]
+fn corrupt_journal_quarantines_and_rejects_resume_typed() {
+    let xs = vec![
+        demo_vector(COLS, WIDTH, SEED ^ 1),
+        demo_vector(COLS, WIDTH, SEED ^ 2),
+    ];
+    let weights = demo_weights(ROWS, COLS, WIDTH, SEED);
+
+    let dir = temp_dir("corrupt");
+    let first = journaled_service(&dir, |_| {});
+    let mut client = RemoteClient::connect(
+        FaultTransport::new(
+            first.connect(),
+            FaultSpec::none(SEED).with_cut_after(cut_mid_element(2)),
+        ),
+        WIDTH,
+    )
+    .expect("handshake");
+    let mut progress = client.start_job(&xs).expect("job admitted");
+    client
+        .run_job(&mut progress)
+        .expect_err("cut kills the run");
+    let (dead, state) = client.into_parts();
+    drop(dead);
+    wait_until("journal to cover the crash window", || {
+        first.journal().is_some_and(|j| j.appends() >= 4)
+    });
+    drop(first);
+
+    // Flip a bit in the *first* record: every record after it is
+    // unreachable (the reader cannot re-synchronize), so the whole
+    // segment's state is gone — worst case for this session.
+    let segment = only_segment(&dir);
+    let mut bytes = std::fs::read(&segment).expect("read segment");
+    bytes[20] ^= 0x01;
+    std::fs::write(&segment, &bytes).expect("corrupt segment");
+
+    let second = journaled_service(&dir, |_| {});
+    let replay = second.journal_replay();
+    assert_eq!(replay.quarantined.len(), 1, "segment quarantined");
+    assert!(replay.quarantined[0].exists(), "evidence preserved");
+    assert_eq!(replay.sessions, 0, "no checkpoint survived");
+
+    // The interrupted session's RESUME is refused with the typed reason…
+    let mut client = RemoteClient::reattach(second.connect(), state);
+    match client.resume_job(&mut progress) {
+        Err(AcceleratorError::Rejected { reason }) => {
+            assert_eq!(reason, "resume state not found")
+        }
+        other => panic!("expected typed REJECT(resume), got {other:?}"),
+    }
+
+    // …while the server is fully alive: a fresh session serves jobs.
+    let mut fresh = RemoteClient::connect(second.connect(), WIDTH).expect("fresh handshake");
+    let x = demo_vector(COLS, WIDTH, SEED ^ 7);
+    let (y, _) = fresh.secure_matvec(&x).expect("fresh job");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    fresh.goodbye();
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Real child-process tests: the serve binary, killed for real.
+// ---------------------------------------------------------------------
+
+struct ServeChild {
+    child: Child,
+    addr: String,
+}
+
+impl ServeChild {
+    /// SIGKILLs the child and reaps it (idempotent).
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn wait(&mut self) -> std::process::ExitStatus {
+        self.child.wait().expect("wait on serve child")
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        // A panicking test must not leak a server process.
+        self.kill();
+    }
+}
+
+/// Spawns the serve binary and parses its bound address off stdout.
+fn spawn_serve(args: &[&str]) -> ServeChild {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("serve printed a line")
+        .expect("readable stdout");
+    let addr = first
+        .split(" on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unparseable serve banner: {first}"))
+        .to_string();
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _line in lines.map_while(Result::ok) {});
+    ServeChild { child, addr }
+}
+
+/// Spawns serve bound to `addr`, retrying while the previous incarnation's
+/// socket clears.
+fn respawn_serve(addr: &str, extra: &[&str]) -> ServeChild {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut args = vec!["--addr", addr];
+        args.extend_from_slice(extra);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(&args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        match lines.next() {
+            Some(Ok(first)) if first.contains(" on ") => {
+                std::thread::spawn(move || for _line in lines.map_while(Result::ok) {});
+                return ServeChild {
+                    child,
+                    addr: addr.to_string(),
+                };
+            }
+            _ => {
+                // Bind failed (address still in TIME_WAIT-ish limbo) and
+                // the child exited; reap it and retry.
+                let _ = child.wait();
+                assert!(Instant::now() < deadline, "could not rebind {addr}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// The full kill-9 story against the real binary: the server crashes (a
+/// deterministic `abort()` planted at the Nth journal append — the
+/// process dies with no cleanup, indistinguishable from SIGKILL at that
+/// instant), a fresh server process restarts on the same port and journal
+/// directory, and the resilient client's job rides through on RESUME —
+/// not restart — with a correct result.
+#[test]
+fn killed_server_process_restarts_and_client_resumes() {
+    let dir = temp_dir("child-abort");
+    let dir_str = dir.to_string_lossy().to_string();
+
+    // Crash right after journaling boundary 3: mid-job, two elements
+    // delivered to the client, the third's CIPHER never sent.
+    let mut first = spawn_serve(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--journal-dir",
+        &dir_str,
+        "--crash-after-appends",
+        "4",
+        "--seed",
+        "42",
+    ]);
+    let addr = first.addr.clone();
+
+    let weights = demo_weights(4, 4, 8, 42);
+    let xs: Vec<Vec<i64>> = (0..2).map(|i| demo_vector(4, 8, 42 ^ (i + 1))).collect();
+    let expected: Vec<Vec<i64>> = xs.iter().map(|x| plain_matvec(&weights, x)).collect();
+
+    // The client runs concurrently with the crash + restart. No step
+    // timeout: a killed server surfaces as a prompt transport error (RST /
+    // EOF), and job admission garbles the whole job before READY — slow in
+    // debug builds — so a deadline would only add spurious redials.
+    let client_addr = addr.clone();
+    let client_thread = std::thread::spawn(move || {
+        let mut client = ResilientClient::new(
+            move || FramedTcp::connect(&client_addr).map_err(AcceleratorError::from),
+            8,
+            RetryPolicy {
+                max_attempts: 60,
+                base_backoff_ms: 50,
+                max_backoff_ms: 400,
+                step_timeout: None,
+                jitter_seed: 7,
+            },
+        );
+        let ys = client.secure_matmul(&xs).expect("job survives the crash").0;
+        let stats = client.stats().clone();
+        client.goodbye();
+        (ys, stats)
+    });
+
+    // The crash is self-inflicted and deterministic; wait for the corpse.
+    let status = first.wait();
+    assert!(
+        !status.success(),
+        "the server must die by abort, not exit 0"
+    );
+
+    // Restart on the same port and journal directory, crash disarmed.
+    let second = respawn_serve(&addr, &["--journal-dir", &dir_str, "--seed", "42"]);
+
+    let (ys, stats) = client_thread.join().expect("client thread");
+    assert_eq!(ys, expected, "post-crash result must be correct");
+    assert!(
+        stats.resumes >= 1,
+        "recovery must go through RESUME, stats: {stats:?}"
+    );
+    assert_eq!(
+        stats.restarts, 0,
+        "a journaled server must never force a restart, stats: {stats:?}"
+    );
+
+    drop(second);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An actual `SIGKILL` delivered mid-job from outside, timed off the
+/// journal segment's growth rather than a sleep, then the same
+/// restart-and-resume contract.
+#[test]
+fn sigkill_mid_job_restarts_and_client_resumes() {
+    let dir = temp_dir("child-kill9");
+    let dir_str = dir.to_string_lossy().to_string();
+
+    let mut first = spawn_serve(&["--addr", "127.0.0.1:0", "--journal-dir", &dir_str]);
+    let addr = first.addr.clone();
+
+    let weights = demo_weights(4, 4, 8, 42);
+    // A long job — 32 columns × 4 rows = 128 elements, each fsync'd — so
+    // the kill window is wide.
+    let xs: Vec<Vec<i64>> = (0..32).map(|i| demo_vector(4, 8, 42 ^ (i + 1))).collect();
+    let expected: Vec<Vec<i64>> = xs.iter().map(|x| plain_matvec(&weights, x)).collect();
+
+    // No step timeout — see killed_server_process_restarts_and_client_resumes.
+    let client_addr = addr.clone();
+    let client_xs = xs.clone();
+    let client_thread = std::thread::spawn(move || {
+        let mut client = ResilientClient::new(
+            move || FramedTcp::connect(&client_addr).map_err(AcceleratorError::from),
+            8,
+            RetryPolicy {
+                max_attempts: 60,
+                base_backoff_ms: 50,
+                max_backoff_ms: 400,
+                step_timeout: None,
+                jitter_seed: 11,
+            },
+        );
+        let ys = client
+            .secure_matmul(&client_xs)
+            .expect("job survives SIGKILL")
+            .0;
+        let stats = client.stats().clone();
+        client.goodbye();
+        (ys, stats)
+    });
+
+    // Kill once the journal shows real mid-job progress: each checkpoint
+    // record is ~1.1 KiB, so 20 KiB ≈ element boundary 17 of 128 —
+    // comfortably mid-job, comfortably before the end (the first rotation
+    // is at append 64, long after the kill lands).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let grown = std::fs::read_dir(&dir).ok().and_then(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "maxj"))
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .max()
+        });
+        if grown.is_some_and(|len| len > 20_000) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "journal never grew mid-job");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    first.kill();
+
+    let second = respawn_serve(&addr, &["--journal-dir", &dir_str]);
+
+    let (ys, stats) = client_thread.join().expect("client thread");
+    assert_eq!(ys, expected, "post-SIGKILL result must be correct");
+    assert!(
+        stats.resumes >= 1,
+        "recovery must go through RESUME, stats: {stats:?}"
+    );
+    assert_eq!(stats.restarts, 0, "stats: {stats:?}");
+
+    drop(second);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM is the *graceful* sibling: the daemon drains (flushes the
+/// journal, lets sessions wind down) and exits 0 instead of dying
+/// mid-write.
+#[test]
+fn sigterm_drains_gracefully_and_exits_zero() {
+    let dir = temp_dir("child-term");
+    let dir_str = dir.to_string_lossy().to_string();
+
+    let mut server = spawn_serve(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--journal-dir",
+        &dir_str,
+        "--idle-ms",
+        "1000",
+    ]);
+
+    // A session completes a job cleanly, then disconnects.
+    let weights = demo_weights(4, 4, 8, 42);
+    let tcp = FramedTcp::connect(&server.addr).expect("connect");
+    let mut client = RemoteClient::connect(tcp, 8).expect("handshake");
+    let x = demo_vector(4, 8, 43);
+    let (y, _) = client.secure_matvec(&x).expect("job");
+    assert_eq!(y, plain_matvec(&weights, &x));
+    client.goodbye();
+
+    // SIGTERM → drain → exit 0. (std's Child::kill is SIGKILL, so shell
+    // out for the graceful signal.)
+    let pid = server.child.id().to_string();
+    let delivered = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill -TERM")
+        .success();
+    assert!(delivered, "SIGTERM not delivered");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        match server.child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None => {
+                assert!(Instant::now() < deadline, "drain never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    assert_eq!(status.code(), Some(0), "graceful drain must exit 0");
+    let _ = std::fs::remove_dir_all(&dir);
+}
