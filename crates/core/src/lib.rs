@@ -56,7 +56,6 @@ mod accelerator;
 mod config;
 mod error;
 mod multi_unit;
-mod precompute;
 pub mod remote;
 pub mod resilient;
 mod resources;
@@ -70,8 +69,10 @@ pub use accelerator::{AcceleratorReport, Maxelerator, RoundMessage, ScheduledEva
 pub use config::AcceleratorConfig;
 pub use error::AcceleratorError;
 pub use multi_unit::{connect_multi, secure_matvec_multi, MultiUnitServer, MultiUnitTiming};
-pub use precompute::{PrecomputeStore, PrecomputedJob};
-pub use remote::{JobProgress, RemoteClient, SessionState, PROTOCOL_VERSION};
+pub use remote::{
+    JobProgress, MaterializedJob, ModelHandle, ModelStatus, RemoteClient, SessionState,
+    PROTOCOL_VERSION,
+};
 pub use resilient::{ResilienceStats, ResilientClient, RetryPolicy};
 pub use resources::{mac_unit_resources, resource_breakdown, ComponentUsage};
 pub use scaling::{client_capacity_ratio, pack_device, xcvu095_scaling, DeviceScaling};

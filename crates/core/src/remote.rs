@@ -59,6 +59,19 @@
 //! operators can poll tail latency from a running server even while it is
 //! draining.
 //!
+//! **Prepared models (v5).** A client may register a weight matrix under a
+//! caller-chosen id (`MODEL_PUT`), inspect its precompute stock
+//! (`MODEL_INFO`), or drop it (`MODEL_EVICT`); the server answers each with
+//! a `MODEL_STAT` snapshot (or `REJECT(MODEL)`). A `JOB` may then name a
+//! model id, and the server serves it from pre-garbled streams built during
+//! idle time — the paper's §3 offline/online split: the online exchange
+//! shrinks to OT plus replay of already-materialized frames. These frames
+//! are garbler-side only: weights travel from the *model owner* to the
+//! server in the clear (the garbler knows the matrix in this model, exactly
+//! as in the in-process API), while evaluator inputs still enter solely as
+//! OT choice bits. Every serve consumes a distinct generation of the
+//! model's seed schedule, so labels are never reused across serves.
+//!
 //! Control frames are tagged raw frames; OT ciphertexts ride a
 //! [`FrameKind::Blocks`] frame so the per-kind channel accounting matches
 //! the in-process transcript split. The client's `x` never crosses the wire
@@ -76,7 +89,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use max_crypto::Block;
-use max_gc::channel::{decode_blocks, encode_blocks, FrameKind};
+use max_gc::channel::{decode_blocks, encode_block_pairs, FrameKind};
 use max_gc::Transport;
 use max_ot::iknp::{self, CipherMsg, ExtendMsg, OtExtReceiver, OtExtSender, KAPPA};
 use max_telemetry::TraceContext;
@@ -97,7 +110,12 @@ use crate::wire::{decode_round_message, encode_round_message};
 /// in STATS) and added the admin METRICS request/reply pair — frame
 /// *counts* are unchanged, only payloads grew, so resume offsets and
 /// fault-injection cut arithmetic carry over from v3.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// v5 added the prepared-model frames (MODEL_PUT / MODEL_STAT /
+/// MODEL_INFO / MODEL_EVICT), a `REJECT(MODEL)` code, and an optional
+/// model id on JOB. Job/element frame *counts* are again unchanged — a
+/// model-backed job streams the same EXT → CIPHER → ROUNDS exchange — so
+/// resume offsets and fault-injection cut arithmetic still carry over.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Largest METRICS reply body the decoder will allocate (1 MiB of JSON is
 /// far beyond any honest snapshot; a hostile length dies here, not in the
@@ -121,6 +139,16 @@ pub const REJECT_DRAINING: u8 = 3;
 pub const REJECT_RESUME: u8 = 4;
 /// REJECT code: the load-shedding breaker is open; try again later.
 pub const REJECT_OVERLOAD: u8 = 5;
+/// REJECT code: the named prepared model is unknown (never registered,
+/// already evicted, or refused at registration).
+pub const REJECT_MODEL: u8 = 6;
+
+/// Largest element count (`rows * cols`) a MODEL_PUT frame may declare.
+///
+/// 2^16 i64 weights is a 512 KiB payload — far above the paper's largest
+/// tile-decomposed layers, far below [`max_gc::channel::MAX_FRAME_BYTES`];
+/// a hostile count dies here, not in the allocator.
+pub const MAX_MODEL_ELEMENTS: usize = 1 << 16;
 
 /// Human-readable reason for a REJECT code.
 pub fn reject_reason(code: u8) -> &'static str {
@@ -130,6 +158,7 @@ pub fn reject_reason(code: u8) -> &'static str {
         REJECT_DRAINING => "server draining",
         REJECT_RESUME => "resume state not found",
         REJECT_OVERLOAD => "server shedding load",
+        REJECT_MODEL => "unknown prepared model",
         _ => "unknown reason",
     }
 }
@@ -150,6 +179,57 @@ const TAG_PONG: u8 = 13;
 const TAG_ROUNDS: u8 = 14;
 const TAG_METRICS: u8 = 15;
 const TAG_METRICS_REPLY: u8 = 16;
+const TAG_MODEL_PUT: u8 = 17;
+const TAG_MODEL_STAT: u8 = 18;
+const TAG_MODEL_INFO: u8 = 19;
+const TAG_MODEL_EVICT: u8 = 20;
+
+/// A prepared model's registry snapshot, as carried by `MODEL_STAT` (the
+/// server's answer to every model frame).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModelStatus {
+    /// The model's caller-chosen id.
+    pub model_id: u64,
+    /// Matrix rows (output elements per matvec).
+    pub rows: u32,
+    /// Matrix columns (client vector length).
+    pub cols: u32,
+    /// Pre-garbled single-use streams currently in stock.
+    pub stock: u32,
+    /// Bytes the stocked streams occupy in the registry cache.
+    pub stock_bytes: u64,
+    /// Jobs served from a warm prepared stream so far.
+    pub served_prepared: u64,
+    /// Jobs that fell back to inline garbling (stock empty).
+    pub served_fallback: u64,
+    /// Next unused generation of the model's seed schedule (each stream
+    /// production or fallback consumes one — never reused).
+    pub generation: u64,
+}
+
+impl ModelStatus {
+    /// The shape handle a client needs to drive jobs against this model.
+    pub fn handle(&self) -> ModelHandle {
+        ModelHandle {
+            model_id: self.model_id,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+/// Everything a client must know to run a job against a prepared model:
+/// its id and its shape (the session's default model shape from ACCEPT
+/// does not apply to model-backed jobs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelHandle {
+    /// The model's registry id.
+    pub model_id: u64,
+    /// Matrix rows (output elements per matvec).
+    pub rows: u32,
+    /// Matrix columns (required client vector length).
+    pub cols: u32,
+}
 
 /// A control frame of the session protocol (everything except the
 /// lock-step EXT/CIPHER/ROUND data frames).
@@ -200,6 +280,12 @@ pub enum ControlMsg {
     JobRequest {
         /// Number of client vectors (1 = matvec, n = matmul of n columns).
         columns: u32,
+        /// Prepared model to run against (v5). `None` targets the
+        /// session's default model from ACCEPT; `Some(id)` asks for the
+        /// registered model — served from warm pre-garbled stock when
+        /// available, inline-garbled otherwise, rejected with
+        /// [`REJECT_MODEL`] when unknown.
+        model_id: Option<u64>,
     },
     /// Server → client: queue full, try again after the hinted backoff.
     Busy {
@@ -261,6 +347,37 @@ pub enum ControlMsg {
     MetricsReply {
         /// UTF-8 JSON body, at most [`MAX_METRICS_BYTES`].
         body: String,
+    },
+    /// Client → server (v5): register `weights` (row-major, `rows * cols`
+    /// elements) as a prepared model under `model_id`. Re-registering an
+    /// existing id replaces it and rotates the model's seed epoch, so
+    /// streams prepared for the old matrix can never serve the new one.
+    ModelPut {
+        /// Caller-chosen model id.
+        model_id: u64,
+        /// Matrix rows.
+        rows: u32,
+        /// Matrix columns.
+        cols: u32,
+        /// Row-major weights, `rows * cols` elements
+        /// (≤ [`MAX_MODEL_ELEMENTS`]).
+        weights: Vec<i64>,
+    },
+    /// Server → client (v5): registry snapshot for one model — the answer
+    /// to MODEL_PUT, MODEL_INFO, and MODEL_EVICT (final stats).
+    ModelStat {
+        /// The snapshot.
+        status: ModelStatus,
+    },
+    /// Client → server (v5): query a prepared model's stock and counters.
+    ModelInfo {
+        /// The model to query.
+        model_id: u64,
+    },
+    /// Client → server (v5): drop a prepared model and its stock.
+    ModelEvict {
+        /// The model to evict.
+        model_id: u64,
     },
     /// Client → server: done, close the session gracefully.
     Bye,
@@ -329,9 +446,16 @@ impl ControlMsg {
                 buf.put_u8(code);
                 buf.put_u32(detail);
             }
-            ControlMsg::JobRequest { columns } => {
+            ControlMsg::JobRequest { columns, model_id } => {
                 buf.put_u8(TAG_JOB);
                 buf.put_u32(columns);
+                match model_id {
+                    Some(id) => {
+                        buf.put_u8(1);
+                        buf.put_u64(id);
+                    }
+                    None => buf.put_u8(0),
+                }
             }
             ControlMsg::Busy {
                 retry_after_ms,
@@ -382,6 +506,40 @@ impl ControlMsg {
                 buf.put_u8(TAG_METRICS_REPLY);
                 buf.put_u32(body.len() as u32);
                 buf.put_slice(body.as_bytes());
+            }
+            ControlMsg::ModelPut {
+                model_id,
+                rows,
+                cols,
+                ref weights,
+            } => {
+                buf.put_u8(TAG_MODEL_PUT);
+                buf.put_u64(model_id);
+                buf.put_u32(rows);
+                buf.put_u32(cols);
+                for &w in weights {
+                    // i64 in two's complement; the decoder mirrors the cast.
+                    buf.put_u64(w as u64);
+                }
+            }
+            ControlMsg::ModelStat { status } => {
+                buf.put_u8(TAG_MODEL_STAT);
+                buf.put_u64(status.model_id);
+                buf.put_u32(status.rows);
+                buf.put_u32(status.cols);
+                buf.put_u32(status.stock);
+                buf.put_u64(status.stock_bytes);
+                buf.put_u64(status.served_prepared);
+                buf.put_u64(status.served_fallback);
+                buf.put_u64(status.generation);
+            }
+            ControlMsg::ModelInfo { model_id } => {
+                buf.put_u8(TAG_MODEL_INFO);
+                buf.put_u64(model_id);
+            }
+            ControlMsg::ModelEvict { model_id } => {
+                buf.put_u8(TAG_MODEL_EVICT);
+                buf.put_u64(model_id);
             }
             ControlMsg::Bye => buf.put_u8(TAG_BYE),
         }
@@ -434,10 +592,21 @@ impl ControlMsg {
                 }
             }
             TAG_JOB => {
-                need(&frame, 4, "JOB payload")?;
-                ControlMsg::JobRequest {
-                    columns: frame.get_u32(),
-                }
+                need(&frame, 5, "JOB payload")?;
+                let columns = frame.get_u32();
+                let model_id = match frame.get_u8() {
+                    0 => None,
+                    1 => {
+                        need(&frame, 8, "JOB model id")?;
+                        Some(frame.get_u64())
+                    }
+                    _ => {
+                        return Err(AcceleratorError::Protocol {
+                            what: "JOB model flag",
+                        })
+                    }
+                };
+                ControlMsg::JobRequest { columns, model_id }
             }
             TAG_BUSY => {
                 need(&frame, 8, "BUSY payload")?;
@@ -498,6 +667,53 @@ impl ControlMsg {
                     }
                 })?;
                 ControlMsg::MetricsReply { body }
+            }
+            TAG_MODEL_PUT => {
+                need(&frame, 16, "MODEL_PUT header")?;
+                let model_id = frame.get_u64();
+                let rows = frame.get_u32();
+                let cols = frame.get_u32();
+                let elements = (rows as usize).saturating_mul(cols as usize);
+                if rows == 0 || cols == 0 || elements > MAX_MODEL_ELEMENTS {
+                    return Err(AcceleratorError::Protocol {
+                        what: "MODEL_PUT shape",
+                    });
+                }
+                need(&frame, elements * 8, "MODEL_PUT weights")?;
+                let weights = (0..elements).map(|_| frame.get_u64() as i64).collect();
+                ControlMsg::ModelPut {
+                    model_id,
+                    rows,
+                    cols,
+                    weights,
+                }
+            }
+            TAG_MODEL_STAT => {
+                need(&frame, 52, "MODEL_STAT payload")?;
+                ControlMsg::ModelStat {
+                    status: ModelStatus {
+                        model_id: frame.get_u64(),
+                        rows: frame.get_u32(),
+                        cols: frame.get_u32(),
+                        stock: frame.get_u32(),
+                        stock_bytes: frame.get_u64(),
+                        served_prepared: frame.get_u64(),
+                        served_fallback: frame.get_u64(),
+                        generation: frame.get_u64(),
+                    },
+                }
+            }
+            TAG_MODEL_INFO => {
+                need(&frame, 8, "MODEL_INFO payload")?;
+                ControlMsg::ModelInfo {
+                    model_id: frame.get_u64(),
+                }
+            }
+            TAG_MODEL_EVICT => {
+                need(&frame, 8, "MODEL_EVICT payload")?;
+                ControlMsg::ModelEvict {
+                    model_id: frame.get_u64(),
+                }
             }
             TAG_BYE => ControlMsg::Bye,
             _ => {
@@ -596,7 +812,10 @@ fn decode_ext(mut frame: Bytes) -> Result<ExtendMsg, AcceleratorError> {
 
 /// Encodes one output element's full round sequence as a single ROUNDS
 /// burst frame: tag, round count, then each round body length-prefixed.
-fn encode_round_burst(msgs: &[RoundMessage]) -> Bytes {
+///
+/// Public since v5: the prepared-model registry materializes these frames
+/// once at garble time and replays the identical bytes on every serve.
+pub fn encode_round_burst(msgs: &[RoundMessage]) -> Bytes {
     let bodies: Vec<Bytes> = msgs.iter().map(encode_round_message).collect();
     let total: usize = bodies.iter().map(|b| 4 + b.len()).sum();
     let mut buf = BytesMut::with_capacity(5 + total);
@@ -612,7 +831,11 @@ fn encode_round_burst(msgs: &[RoundMessage]) -> Bytes {
 /// Decodes a ROUNDS burst frame, insisting on exactly `expect` rounds (the
 /// client knows the model width from ACCEPT, so any other count is a
 /// protocol violation rather than an allocation hint to honor).
-fn decode_round_burst(
+///
+/// # Errors
+///
+/// [`AcceleratorError::Protocol`] on any malformed or mismatched frame.
+pub fn decode_round_burst(
     mut frame: Bytes,
     expect: usize,
 ) -> Result<Vec<RoundMessage>, AcceleratorError> {
@@ -725,6 +948,75 @@ pub fn garble_matvec_job(
     })
 }
 
+/// One output element of a [`MaterializedJob`]: the OT label pairs the
+/// sender still needs at serve time (the CIPHER frame depends on the
+/// client's live EXT corrections, so it cannot be pre-encoded) plus the
+/// element's ROUNDS burst frame, already rendered to wire bytes.
+#[derive(Clone, Debug)]
+pub struct MaterializedElement {
+    /// OT pairs matching the client's choice bits for this element.
+    pub pairs: Vec<(Block, Block)>,
+    /// The element's pre-encoded ROUNDS burst frame.
+    pub rounds_frame: Bytes,
+    /// Sum of the element's round-message wire bytes (transcript stat).
+    pub material_bytes: u64,
+    /// Garbled tables across the element's rounds (transcript stat).
+    pub tables: u64,
+    /// Rounds in the element (the model's column count).
+    pub rounds: u64,
+}
+
+/// A garbled job rendered to its wire form ahead of the exchange: what a
+/// prepared-model stock stores and what every serve streams. Frames are
+/// [`Bytes`] (cheap to clone, shared storage), so replaying a stream costs
+/// OT plus memcpy — the paper's §3 online phase.
+#[derive(Clone, Debug)]
+pub struct MaterializedJob {
+    /// `columns * rows` materialized elements, pass-major.
+    pub elements: Vec<MaterializedElement>,
+    /// Model rows per pass (output elements of one matvec).
+    pub rows_per_pass: usize,
+    /// Fabric cycles the offline garbling cost.
+    pub fabric_cycles: u64,
+    /// Wall-clock the fabric would need at the configured frequency.
+    pub fabric_seconds: f64,
+}
+
+impl MaterializedJob {
+    /// Bytes this job occupies at rest (pre-encoded frames + label pairs),
+    /// the quantity a byte-budgeted cache accounts for.
+    pub fn stored_bytes(&self) -> u64 {
+        self.elements
+            .iter()
+            .map(|e| e.rounds_frame.len() as u64 + (e.pairs.len() * 32) as u64)
+            .sum()
+    }
+}
+
+/// Renders a garbled job to its wire form: encodes each element's ROUNDS
+/// burst once and keeps the OT pairs. Byte-for-byte, streaming the result
+/// is identical to streaming the [`GarbledJob`] directly —
+/// [`stream_matvec_job_from`] is implemented on top of this.
+pub fn materialize_job(job: &GarbledJob) -> MaterializedJob {
+    let elements = job
+        .rows
+        .iter()
+        .map(|row| MaterializedElement {
+            pairs: row.pairs.clone(),
+            rounds_frame: encode_round_burst(&row.messages),
+            material_bytes: row.messages.iter().map(|m| m.wire_bytes() as u64).sum(),
+            tables: row.messages.iter().map(|m| m.tables.len() as u64).sum(),
+            rounds: row.messages.len() as u64,
+        })
+        .collect();
+    MaterializedJob {
+        elements,
+        rows_per_pass: job.rows_per_pass,
+        fabric_cycles: job.fabric_cycles,
+        fabric_seconds: job.fabric_seconds,
+    }
+}
+
 /// Streams a garbled job to the client: READY, then per element the
 /// EXT → CIPHER → ROUND... exchange, then STATS. Runs on the session
 /// thread (the server side of [`RemoteClient::secure_matvec`]).
@@ -766,25 +1058,54 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
     job_id: u64,
     trace: TraceContext,
     start_element: usize,
+    on_element: impl FnMut(usize, &OtExtSender),
+) -> Result<MatvecTranscript, AcceleratorError> {
+    stream_materialized_job_from(
+        transport,
+        &materialize_job(job),
+        ot_sender,
+        job_id,
+        trace,
+        start_element,
+        on_element,
+    )
+}
+
+/// The wire exchange of [`stream_matvec_job_from`], driven from an
+/// already-[`materialize_job`]d stream — the prepared-model online path.
+/// The bytes on the wire are identical whichever entry point is used; only
+/// the moment the ROUNDS frames were rendered differs (offline precompute
+/// vs just-in-time).
+///
+/// # Errors
+///
+/// See [`stream_matvec_job`].
+pub fn stream_materialized_job_from<T: Transport + ?Sized>(
+    transport: &mut T,
+    job: &MaterializedJob,
+    ot_sender: &mut OtExtSender,
+    job_id: u64,
+    trace: TraceContext,
+    start_element: usize,
     mut on_element: impl FnMut(usize, &OtExtSender),
 ) -> Result<MatvecTranscript, AcceleratorError> {
     let _span = max_telemetry::span("remote.stream_job");
     send_control(transport, &ControlMsg::Ready { job_id })?;
     let mut transcript = MatvecTranscript {
-        elements: job.rows.len().saturating_sub(start_element),
+        elements: job.elements.len().saturating_sub(start_element),
         fabric_cycles: job.fabric_cycles,
         fabric_seconds: job.fabric_seconds,
         ..MatvecTranscript::default()
     };
-    for (idx, row) in job.rows.iter().enumerate().skip(start_element) {
+    for (idx, elem) in job.elements.iter().enumerate().skip(start_element) {
         let ext = decode_ext(transport.recv_frame()?)?;
-        if ext.count != row.pairs.len() {
+        if ext.count != elem.pairs.len() {
             return Err(AcceleratorError::Protocol {
                 what: "EXT count does not match the job's OT pairs",
             });
         }
         transcript.ot_upload_bytes += ext.columns.iter().map(|c| c.len() as u64 * 8).sum::<u64>();
-        let cipher = ot_sender.send(&ext, &row.pairs);
+        let cipher = ot_sender.send(&ext, &elem.pairs);
         // Checkpoint *before* delivering this element's CIPHER/ROUNDS frames:
         // a durable journal hooked in here then always covers at least as much
         // progress as the client has observed, so a crash between the journal
@@ -793,21 +1114,14 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
         // would force a REJECT on resume).
         on_element(idx + 1, ot_sender);
         transcript.ot_bytes += (cipher.pairs.len() * 32) as u64;
-        let mut flat = Vec::with_capacity(cipher.pairs.len() * 2);
-        for &(y0, y1) in &cipher.pairs {
-            flat.push(y0);
-            flat.push(y1);
-        }
-        transport.send_frame(FrameKind::Blocks, encode_blocks(&flat))?;
-        for msg in &row.messages {
-            transcript.material_bytes += msg.wire_bytes() as u64;
-            transcript.tables += msg.tables.len() as u64;
-            transcript.rounds += 1;
-        }
+        transport.send_frame(FrameKind::Blocks, encode_block_pairs(&cipher.pairs))?;
+        transcript.material_bytes += elem.material_bytes;
+        transcript.tables += elem.tables;
+        transcript.rounds += elem.rounds;
         // One burst frame per element instead of one frame per round: the
         // per-frame overhead (and per-frame fault-injection surface) no
         // longer scales with model width.
-        transport.send_frame(FrameKind::Raw, encode_round_burst(&row.messages))?;
+        transport.send_frame(FrameKind::Raw, elem.rounds_frame.clone())?;
     }
     send_control(
         transport,
@@ -904,6 +1218,9 @@ pub struct JobProgress {
     job_id: u64,
     x_columns: Vec<Vec<i64>>,
     y: Vec<Vec<i64>>,
+    /// Output rows per pass — the session default's rows, or the prepared
+    /// model's for a model-backed job (their shapes are independent).
+    rows: usize,
     total_elements: usize,
     elements_done: usize,
     receiver_checkpoint: OtExtReceiver,
@@ -1125,6 +1442,111 @@ impl<T: Transport> RemoteClient<T> {
         fetch_metrics(&mut self.transport)
     }
 
+    /// Registers `weights` as a prepared model under `model_id` (v5): the
+    /// server decomposes it into tiles and pre-garbles single-use streams
+    /// for it during idle time, so later
+    /// [`start_model_job`](RemoteClient::start_model_job)s serve from warm
+    /// stock. Re-registering an id replaces the matrix and rotates its
+    /// seed epoch. Valid between jobs only.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::Rejected`] if the server refuses the matrix
+    /// (e.g. weights outside the negotiated bit-width) — the session
+    /// stays usable; transport/protocol errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, ragged, or larger than
+    /// [`MAX_MODEL_ELEMENTS`] (caller errors, mirroring
+    /// [`crate::secure_matvec`]'s input contract).
+    pub fn put_model(
+        &mut self,
+        model_id: u64,
+        weights: &[Vec<i64>],
+    ) -> Result<ModelStatus, AcceleratorError> {
+        assert!(!weights.is_empty(), "model needs at least one row");
+        let cols = weights[0].len();
+        assert!(cols > 0, "model needs at least one column");
+        for row in weights {
+            assert_eq!(row.len(), cols, "model rows must be rectangular");
+        }
+        assert!(
+            weights.len() * cols <= MAX_MODEL_ELEMENTS,
+            "model exceeds MAX_MODEL_ELEMENTS"
+        );
+        let flat: Vec<i64> = weights.iter().flatten().copied().collect();
+        send_control(
+            &mut self.transport,
+            &ControlMsg::ModelPut {
+                model_id,
+                rows: weights.len() as u32,
+                cols: cols as u32,
+                weights: flat,
+            },
+        )?;
+        self.recv_model_stat()
+    }
+
+    /// Queries a prepared model's stock and serve counters (v5). Valid
+    /// between jobs only.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::Rejected`] (`unknown prepared model`) if the id
+    /// is not registered; transport/protocol errors otherwise.
+    pub fn model_info(&mut self, model_id: u64) -> Result<ModelStatus, AcceleratorError> {
+        send_control(&mut self.transport, &ControlMsg::ModelInfo { model_id })?;
+        self.recv_model_stat()
+    }
+
+    /// Drops a prepared model and its stock (v5), returning its final
+    /// counters. Valid between jobs only.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::Rejected`] (`unknown prepared model`) if the id
+    /// is not registered; transport/protocol errors otherwise.
+    pub fn evict_model(&mut self, model_id: u64) -> Result<ModelStatus, AcceleratorError> {
+        send_control(&mut self.transport, &ControlMsg::ModelEvict { model_id })?;
+        self.recv_model_stat()
+    }
+
+    fn recv_model_stat(&mut self) -> Result<ModelStatus, AcceleratorError> {
+        match recv_control(&mut self.transport)? {
+            ControlMsg::ModelStat { status } => Ok(status),
+            ControlMsg::Reject { code, .. } => Err(AcceleratorError::Rejected {
+                reason: reject_reason(code),
+            }),
+            _ => Err(AcceleratorError::Protocol {
+                what: "expected MODEL_STAT or REJECT",
+            }),
+        }
+    }
+
+    /// Runs a matmul `Y = W·X` against a prepared model, like
+    /// [`secure_matmul`](RemoteClient::secure_matmul) but shaped by the
+    /// model's handle instead of the session default.
+    ///
+    /// # Errors
+    ///
+    /// See [`start_model_job`](RemoteClient::start_model_job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_columns` is empty or any column length differs from
+    /// the handle's `cols`.
+    pub fn secure_matmul_model(
+        &mut self,
+        model: ModelHandle,
+        x_columns: &[Vec<i64>],
+    ) -> Result<(Vec<Vec<i64>>, MatvecTranscript), AcceleratorError> {
+        let _span = max_telemetry::span("remote.client_job");
+        let mut progress = self.start_model_job(model, x_columns)?;
+        self.run_job(&mut progress)?;
+        Ok(progress.into_result())
+    }
+
     /// Runs one privacy-preserving matvec `y = W·x` against the server.
     ///
     /// # Errors
@@ -1191,27 +1613,71 @@ impl<T: Transport> RemoteClient<T> {
     /// Panics if `x_columns` is empty or any column length differs from
     /// [`RemoteClient::cols`].
     pub fn start_job(&mut self, x_columns: &[Vec<i64>]) -> Result<JobProgress, AcceleratorError> {
+        let rows = self.state.rows;
+        let cols = self.state.cols;
+        self.start_job_inner(x_columns, rows, cols, None)
+    }
+
+    /// [`start_job`](RemoteClient::start_job) against a prepared model
+    /// (v5): the job's shape comes from the model's [`ModelHandle`] (from
+    /// [`put_model`](RemoteClient::put_model) or
+    /// [`model_info`](RemoteClient::model_info)), not the session default.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::Rejected`] (`unknown prepared model`) if the
+    /// server no longer holds the model — the session stays usable;
+    /// otherwise see [`start_job`](RemoteClient::start_job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_columns` is empty or any column length differs from
+    /// the handle's `cols`.
+    pub fn start_model_job(
+        &mut self,
+        model: ModelHandle,
+        x_columns: &[Vec<i64>],
+    ) -> Result<JobProgress, AcceleratorError> {
+        self.start_job_inner(
+            x_columns,
+            model.rows as usize,
+            model.cols as usize,
+            Some(model.model_id),
+        )
+    }
+
+    fn start_job_inner(
+        &mut self,
+        x_columns: &[Vec<i64>],
+        rows: usize,
+        cols: usize,
+        model_id: Option<u64>,
+    ) -> Result<JobProgress, AcceleratorError> {
         assert!(!x_columns.is_empty(), "need at least one column");
         for column in x_columns {
-            assert_eq!(column.len(), self.state.cols, "vector length mismatch");
+            assert_eq!(column.len(), cols, "vector length mismatch");
         }
         // The wire format carries column and element counts as u32; reject
         // oversized jobs here so RESUME can never silently truncate.
         let columns = u32::try_from(x_columns.len()).map_err(|_| AcceleratorError::Protocol {
             what: "column count exceeds the wire format's u32 range",
         })?;
-        if u32::try_from(x_columns.len() * self.state.rows).is_err() {
+        if u32::try_from(x_columns.len() * rows).is_err() {
             return Err(AcceleratorError::Protocol {
                 what: "job element count exceeds the wire format's u32 range",
             });
         }
-        send_control(&mut self.transport, &ControlMsg::JobRequest { columns })?;
+        send_control(
+            &mut self.transport,
+            &ControlMsg::JobRequest { columns, model_id },
+        )?;
         match recv_control(&mut self.transport)? {
             ControlMsg::Ready { job_id } => Ok(JobProgress {
                 job_id,
                 x_columns: x_columns.to_vec(),
-                y: vec![Vec::with_capacity(self.state.rows); x_columns.len()],
-                total_elements: x_columns.len() * self.state.rows,
+                y: vec![Vec::with_capacity(rows); x_columns.len()],
+                rows,
+                total_elements: x_columns.len() * rows,
                 elements_done: 0,
                 receiver_checkpoint: self.state.ot_receiver.clone(),
                 transcript: MatvecTranscript::default(),
@@ -1221,6 +1687,9 @@ impl<T: Transport> RemoteClient<T> {
             ControlMsg::Busy { retry_after_ms, .. } => {
                 Err(AcceleratorError::Busy { retry_after_ms })
             }
+            ControlMsg::Reject { code, .. } => Err(AcceleratorError::Rejected {
+                reason: reject_reason(code),
+            }),
             _ => Err(AcceleratorError::Protocol {
                 what: "expected READY or BUSY",
             }),
@@ -1300,7 +1769,7 @@ impl<T: Transport> RemoteClient<T> {
     /// Transport/protocol errors; `progress` stays consistent for a resume.
     pub fn run_job(&mut self, progress: &mut JobProgress) -> Result<(), AcceleratorError> {
         let b = self.state.config.bit_width;
-        let rows = self.state.rows;
+        let rows = progress.rows;
         let mut evaluator = ScheduledEvaluator::new(&self.state.config);
         for e in progress.elements_done..progress.total_elements {
             progress.receiver_checkpoint = self.state.ot_receiver.clone();
@@ -1473,7 +1942,10 @@ mod tests {
         let mut job_id = 0u64;
         loop {
             match recv_control(&mut transport) {
-                Ok(ControlMsg::JobRequest { columns }) => {
+                Ok(ControlMsg::JobRequest {
+                    columns,
+                    model_id: None,
+                }) => {
                     let job = garble_matvec_job(
                         config,
                         weights,
@@ -1617,7 +2089,10 @@ mod tests {
         // Request a job, then vanish before sending EXT.
         send_control(
             &mut client.transport,
-            &ControlMsg::JobRequest { columns: 1 },
+            &ControlMsg::JobRequest {
+                columns: 1,
+                model_id: None,
+            },
         )
         .unwrap();
         match recv_control(&mut client.transport).unwrap() {
@@ -1661,7 +2136,34 @@ mod tests {
             },
             ControlMsg::Ping { nonce: 0xabad_1dea },
             ControlMsg::Pong { nonce: 0xabad_1dea },
-            ControlMsg::JobRequest { columns: 2 },
+            ControlMsg::JobRequest {
+                columns: 2,
+                model_id: None,
+            },
+            ControlMsg::JobRequest {
+                columns: 1,
+                model_id: Some(0x0de1),
+            },
+            ControlMsg::ModelPut {
+                model_id: 3,
+                rows: 2,
+                cols: 3,
+                weights: vec![1, -2, 3, -4, 5, -6],
+            },
+            ControlMsg::ModelStat {
+                status: ModelStatus {
+                    model_id: 3,
+                    rows: 2,
+                    cols: 3,
+                    stock: 4,
+                    stock_bytes: 8192,
+                    served_prepared: 7,
+                    served_fallback: 1,
+                    generation: 12,
+                },
+            },
+            ControlMsg::ModelInfo { model_id: 3 },
+            ControlMsg::ModelEvict { model_id: u64::MAX },
             ControlMsg::Busy {
                 retry_after_ms: 15,
                 queue_depth: 9,
@@ -1769,6 +2271,90 @@ mod tests {
                 what: "control frame trailing bytes"
             })
         ));
+    }
+
+    #[test]
+    fn hostile_model_frames_are_typed_errors() {
+        // Declared shape beyond the element cap dies before allocation.
+        let mut big = BytesMut::with_capacity(17);
+        big.put_u8(TAG_MODEL_PUT);
+        big.put_u64(1);
+        big.put_u32(u32::MAX);
+        big.put_u32(u32::MAX);
+        assert!(matches!(
+            ControlMsg::decode(big.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "MODEL_PUT shape"
+            })
+        ));
+        // Zero-row and zero-column matrices are refused outright.
+        for (rows, cols) in [(0u32, 3u32), (3, 0)] {
+            let mut empty = BytesMut::with_capacity(17);
+            empty.put_u8(TAG_MODEL_PUT);
+            empty.put_u64(1);
+            empty.put_u32(rows);
+            empty.put_u32(cols);
+            assert!(matches!(
+                ControlMsg::decode(empty.freeze()),
+                Err(AcceleratorError::Protocol {
+                    what: "MODEL_PUT shape"
+                })
+            ));
+        }
+        // Declared shape longer than the payload.
+        let mut short = BytesMut::with_capacity(25);
+        short.put_u8(TAG_MODEL_PUT);
+        short.put_u64(1);
+        short.put_u32(2);
+        short.put_u32(2);
+        short.put_u64(5);
+        assert!(matches!(
+            ControlMsg::decode(short.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "MODEL_PUT weights"
+            })
+        ));
+        // A JOB with an undefined model flag is refused.
+        let mut bad_flag = BytesMut::with_capacity(6);
+        bad_flag.put_u8(TAG_JOB);
+        bad_flag.put_u32(1);
+        bad_flag.put_u8(2);
+        assert!(matches!(
+            ControlMsg::decode(bad_flag.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "JOB model flag"
+            })
+        ));
+        // A JOB claiming a model id but truncating it.
+        let mut cut = BytesMut::with_capacity(6);
+        cut.put_u8(TAG_JOB);
+        cut.put_u32(1);
+        cut.put_u8(1);
+        assert!(matches!(
+            ControlMsg::decode(cut.freeze()),
+            Err(AcceleratorError::Protocol {
+                what: "JOB model id"
+            })
+        ));
+    }
+
+    #[test]
+    fn materialized_stream_is_byte_identical_to_direct_garbling() {
+        // The prepared-model online path replays pre-rendered frames; they
+        // must match what just-in-time encoding would put on the wire.
+        let config = AcceleratorConfig::new(8);
+        let w = vec![vec![3i64, -1, 4], vec![1, 5, -9]];
+        let job = garble_matvec_job(&config, &w, 0xf00d, 2).unwrap();
+        let mat = materialize_job(&job);
+        assert_eq!(mat.elements.len(), job.rows.len());
+        assert_eq!(mat.rows_per_pass, job.rows_per_pass);
+        assert_eq!(mat.fabric_cycles, job.fabric_cycles);
+        assert!(mat.stored_bytes() > 0);
+        for (row, elem) in job.rows.iter().zip(&mat.elements) {
+            assert_eq!(elem.rounds_frame, encode_round_burst(&row.messages));
+            assert_eq!(elem.pairs, row.pairs);
+            assert_eq!(elem.rounds, row.messages.len() as u64);
+        }
     }
 
     #[test]

@@ -41,7 +41,8 @@ use max_telemetry::{Recorder, TraceContext};
 
 use crate::error::AcceleratorError;
 use crate::remote::{
-    reject_reason, JobProgress, RemoteClient, SessionState, REJECT_OVERLOAD, REJECT_RESUME,
+    reject_reason, JobProgress, ModelHandle, RemoteClient, SessionState, REJECT_OVERLOAD,
+    REJECT_RESUME,
 };
 use crate::server::MatvecTranscript;
 
@@ -113,6 +114,7 @@ where
     policy: RetryPolicy,
     client: Option<RemoteClient<T>>,
     saved_state: Option<SessionState>,
+    model: Option<ModelHandle>,
     stats: ResilienceStats,
     jitter_state: u64,
     prev_backoff_ms: u64,
@@ -149,6 +151,7 @@ where
             policy,
             client: None,
             saved_state: None,
+            model: None,
             stats: ResilienceStats::default(),
             trace: TraceContext::mint(),
             recorder: None,
@@ -170,6 +173,16 @@ where
     #[must_use]
     pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Targets every subsequent job at a prepared model (v5) instead of
+    /// the session default: jobs are submitted via
+    /// [`RemoteClient::start_model_job`] with this handle, including
+    /// restart-from-scratch after a lost server checkpoint.
+    #[must_use]
+    pub fn with_model(mut self, model: ModelHandle) -> Self {
+        self.model = Some(model);
         self
     }
 
@@ -333,7 +346,10 @@ where
         };
         let mut progress = match progress_slot.take() {
             Some(progress) => progress,
-            None => client.start_job(x_columns)?,
+            None => match self.model {
+                Some(model) => client.start_model_job(model, x_columns)?,
+                None => client.start_job(x_columns)?,
+            },
         };
         match client.run_job(&mut progress) {
             Ok(()) => Ok(progress.into_result()),
@@ -484,7 +500,7 @@ mod tests {
         let mut job_id = 0u64;
         loop {
             match recv_control(&mut transport) {
-                Ok(ControlMsg::JobRequest { columns }) => {
+                Ok(ControlMsg::JobRequest { columns, .. }) => {
                     if busy_first > 0 {
                         busy_first -= 1;
                         send_control(

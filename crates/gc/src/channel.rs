@@ -335,6 +335,23 @@ pub fn encode_blocks(blocks: &[Block]) -> Bytes {
     buf.freeze()
 }
 
+/// Encodes a vector of block *pairs* as one [`encode_blocks`]-compatible
+/// frame, interleaved `(lo, hi)` — the layout the OT label exchange streams.
+///
+/// Materialized prepared streams use this to render a cipher-pair frame
+/// once at garble time and replay the bytes on every serve, so the helper
+/// must stay byte-identical to flattening the pairs and calling
+/// [`encode_blocks`].
+pub fn encode_block_pairs(pairs: &[(Block, Block)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + pairs.len() * 32);
+    buf.put_u32((pairs.len() * 2) as u32);
+    for (lo, hi) in pairs {
+        buf.put_slice(&lo.to_bytes());
+        buf.put_slice(&hi.to_bytes());
+    }
+    buf.freeze()
+}
+
 /// Decodes a block-vector frame.
 ///
 /// # Errors
@@ -548,6 +565,19 @@ mod tests {
         let blocks = vec![Block::new(1), Block::new(u128::MAX), Block::ZERO];
         a.send_blocks(&blocks);
         assert_eq!(b.recv_blocks().unwrap(), blocks);
+    }
+
+    #[test]
+    fn block_pairs_encode_like_flattened_blocks() {
+        let pairs = vec![
+            (Block::new(1), Block::new(2)),
+            (Block::new(u128::MAX), Block::ZERO),
+            (Block::new(0xdead_beef), Block::new(17)),
+        ];
+        let flat: Vec<Block> = pairs.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
+        assert_eq!(encode_block_pairs(&pairs), encode_blocks(&flat));
+        assert_eq!(decode_blocks(encode_block_pairs(&pairs)).unwrap(), flat);
+        assert_eq!(encode_block_pairs(&[]), encode_blocks(&[]));
     }
 
     #[test]

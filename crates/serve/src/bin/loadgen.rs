@@ -4,11 +4,18 @@
 //! ```text
 //! loadgen [--addr 127.0.0.1:7700] [--width 8] [--rows 4] [--cols 4]
 //!         [--seed 42] [--sessions 4] [--jobs 3] [--attempts 8]
-//!         [--step-ms 0] [--metrics]
+//!         [--step-ms 0] [--metrics] [--model ID]
 //! ```
 //!
 //! `--width/--rows/--cols/--seed` must match the server so the demo model
 //! can be regenerated locally for verification.
+//!
+//! `--model ID` exercises the prepared-model path (protocol v5): the demo
+//! matrix is registered under that id over `MODEL_PUT` before the sessions
+//! start, every job targets the model instead of the session default, and
+//! the run ends with the model's registry counters (stock, prepared vs
+//! fallback serves) pulled over `MODEL_INFO`. Verification is unchanged —
+//! the model is the same demo matrix.
 //!
 //! Each session drives its jobs through a [`ResilientClient`]: BUSY
 //! replies are honored with the server's `retry_after_ms` hint plus
@@ -28,7 +35,9 @@ use std::time::Instant;
 use max_gc::FramedTcp;
 use max_serve::{demo_vector, demo_weights, plain_matvec};
 use max_telemetry::Histogram;
-use maxelerator::{remote, AcceleratorError, ResilientClient, RetryPolicy};
+use maxelerator::{
+    remote, AcceleratorError, ModelHandle, RemoteClient, ResilientClient, RetryPolicy,
+};
 
 struct Args {
     addr: String,
@@ -41,6 +50,7 @@ struct Args {
     attempts: u32,
     step_ms: u64,
     metrics: bool,
+    model: Option<u64>,
 }
 
 fn fatal(msg: &str) -> ! {
@@ -65,6 +75,7 @@ fn parse_args() -> Args {
         attempts: 8,
         step_ms: 0,
         metrics: false,
+        model: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -83,6 +94,7 @@ fn parse_args() -> Args {
             "--attempts" => args.attempts = parsed("--attempts", &value("--attempts")),
             "--step-ms" => args.step_ms = parsed("--step-ms", &value("--step-ms")),
             "--metrics" => args.metrics = true,
+            "--model" => args.model = Some(parsed("--model", &value("--model"))),
             other => fatal(&format!("unknown flag: {other}")),
         }
     }
@@ -102,7 +114,11 @@ struct SessionOutcome {
     bytes_up: u64,
 }
 
-fn run_session(args: &Args, session_idx: usize) -> Result<SessionOutcome, AcceleratorError> {
+fn run_session(
+    args: &Args,
+    session_idx: usize,
+    model: Option<ModelHandle>,
+) -> Result<SessionOutcome, AcceleratorError> {
     let weights = demo_weights(args.rows, args.cols, args.width, args.seed);
     let addr = args.addr.clone();
     let policy = RetryPolicy {
@@ -118,6 +134,9 @@ fn run_session(args: &Args, session_idx: usize) -> Result<SessionOutcome, Accele
         args.width,
         policy,
     );
+    if let Some(handle) = model {
+        client = client.with_model(handle);
+    }
     let mut outcome = SessionOutcome {
         jobs_ok: 0,
         busy_retries: 0,
@@ -169,13 +188,17 @@ fn run_session(args: &Args, session_idx: usize) -> Result<SessionOutcome, Accele
 
 fn main() {
     let args = parse_args();
+    let model = args.model.map(|model_id| {
+        put_demo_model(&args, model_id)
+            .unwrap_or_else(|e| fatal(&format!("MODEL_PUT for model {model_id} failed: {e}")))
+    });
     let started = Instant::now();
     let outcomes: Vec<Result<SessionOutcome, AcceleratorError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.sessions)
             .map(|s| {
                 scope.spawn({
                     let args = &args;
-                    move || run_session(args, s)
+                    move || run_session(args, s, model)
                 })
             })
             .collect();
@@ -251,6 +274,23 @@ fn main() {
         bytes_down,
         bytes_up,
     );
+    if let Some(handle) = model {
+        match fetch_model_status(&args, handle.model_id) {
+            Ok(status) => println!(
+                "model {} ({}x{}): stock={} stock_bytes={} served_prepared={} \
+                 served_fallback={} generation={}",
+                status.model_id,
+                status.rows,
+                status.cols,
+                status.stock,
+                status.stock_bytes,
+                status.served_prepared,
+                status.served_fallback,
+                status.generation,
+            ),
+            Err(e) => eprintln!("MODEL_INFO fetch failed: {e}"),
+        }
+    }
     if args.metrics {
         match fetch_server_metrics(&args.addr) {
             Ok(body) => println!("{body}"),
@@ -258,6 +298,24 @@ fn main() {
         }
     }
     assert_eq!(failures, 0, "{failures} sessions failed");
+}
+
+/// Registers the demo matrix under `model_id` over a dedicated session and
+/// returns the handle every load session will target.
+fn put_demo_model(args: &Args, model_id: u64) -> Result<ModelHandle, AcceleratorError> {
+    let weights = demo_weights(args.rows, args.cols, args.width, args.seed);
+    let mut client = RemoteClient::connect(FramedTcp::connect(&args.addr)?, args.width)?;
+    let status = client.put_model(model_id, &weights)?;
+    client.goodbye();
+    Ok(status.handle())
+}
+
+/// Pulls the model's final registry counters over a fresh session.
+fn fetch_model_status(args: &Args, model_id: u64) -> Result<remote::ModelStatus, AcceleratorError> {
+    let mut client = RemoteClient::connect(FramedTcp::connect(&args.addr)?, args.width)?;
+    let status = client.model_info(model_id)?;
+    client.goodbye();
+    Ok(status)
 }
 
 /// Pulls the server's live `METRICS` JSON over a fresh connection; the

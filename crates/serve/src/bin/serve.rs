@@ -8,6 +8,8 @@
 //!       [--flight-cap 64] [--no-recorder]
 //!       [--journal-dir DIR] [--no-fsync] [--deterministic-tokens]
 //!       [--crash-after-appends N]
+//!       [--registry-budget-bytes N] [--target-stock N] [--tile-rows N]
+//!       [--prefill]
 //! ```
 //!
 //! The model is the deterministic demo matrix; `loadgen` regenerates it
@@ -37,6 +39,13 @@
 //! `percentiles: null`). `--flight-cap` sizes the per-session flight
 //! recorder ring whose last events are dumped as JSON when a session dies
 //! (`0` disables it).
+//!
+//! Prepared models: clients register matrices over `MODEL_PUT` and the
+//! daemon pre-garbles single-use streams for them during pool idle time.
+//! `--registry-budget-bytes` caps the stream cache (0 = unbounded; LRU
+//! whole-model eviction beyond it), `--target-stock` sets the warm streams
+//! kept per model, `--tile-rows` the precompute tile granularity, and
+//! `--prefill` fills every stock synchronously at startup.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
@@ -68,6 +77,10 @@ struct Args {
     fsync: bool,
     deterministic_tokens: bool,
     crash_after_appends: Option<u64>,
+    registry_budget_bytes: u64,
+    target_stock: usize,
+    tile_rows: usize,
+    prefill: bool,
 }
 
 fn fatal(msg: &str) -> ! {
@@ -101,6 +114,10 @@ fn parse_args() -> Args {
         fsync: true,
         deterministic_tokens: false,
         crash_after_appends: None,
+        registry_budget_bytes: 0,
+        target_stock: 2,
+        tile_rows: 16,
+        prefill: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -139,6 +156,15 @@ fn parse_args() -> Args {
                     &value("--crash-after-appends"),
                 ))
             }
+            "--registry-budget-bytes" => {
+                args.registry_budget_bytes =
+                    parsed("--registry-budget-bytes", &value("--registry-budget-bytes"))
+            }
+            "--target-stock" => {
+                args.target_stock = parsed("--target-stock", &value("--target-stock"))
+            }
+            "--tile-rows" => args.tile_rows = parsed("--tile-rows", &value("--tile-rows")),
+            "--prefill" => args.prefill = true,
             other => fatal(&format!("unknown flag: {other}")),
         }
     }
@@ -188,6 +214,11 @@ fn main() {
     serve_config.breaker.retry_after_ms = args.breaker_retry_ms;
     serve_config.flight_capacity = args.flight_cap;
     serve_config.deterministic_resume_tokens = args.deterministic_tokens;
+    serve_config.registry_budget_bytes =
+        (args.registry_budget_bytes > 0).then_some(args.registry_budget_bytes);
+    serve_config.registry_target_stock = args.target_stock;
+    serve_config.registry_tile_rows = args.tile_rows.max(1);
+    serve_config.prefill = args.prefill;
     if args.recorder {
         serve_config.recorder = Some(Arc::new(Recorder::new()));
     }
@@ -220,14 +251,26 @@ fn main() {
     );
     if args.journal_dir.is_some() {
         println!(
-            "journal replayed {} records into {} session checkpoints \
-             (quarantined {}, torn tail {})",
+            "journal replayed {} records into {} session checkpoints and \
+             {} prepared models (quarantined {}, torn tail {})",
             replay.records_applied,
             replay.sessions,
+            replay.models,
             replay.quarantined.len(),
             replay.truncated_tail,
         );
     }
+    println!(
+        "registry: budget {} target-stock {} tile-rows {} prefill {}",
+        if args.registry_budget_bytes > 0 {
+            format!("{} bytes", args.registry_budget_bytes)
+        } else {
+            "unbounded".to_string()
+        },
+        args.target_stock,
+        args.tile_rows.max(1),
+        if args.prefill { "on" } else { "off" },
+    );
     loop {
         if SHUTDOWN.load(Ordering::Relaxed) {
             // Graceful drain: stop accepting, reject new handshakes, let

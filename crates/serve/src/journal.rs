@@ -18,6 +18,8 @@
 //! body     := kind:u8 payload
 //! kind 1   := checkpoint payload (resume::encode_checkpoint)
 //! kind 2   := remove payload (session_id:u64le)
+//! kind 3   := model put (model_id:u64le rows:u32le cols:u32le weight:i64le*)
+//! kind 4   := model remove (model_id:u64le)
 //! ```
 //!
 //! The CRC covers the body. Replay applies records in order with
@@ -69,6 +71,69 @@ const MAX_RECORD_LEN: u32 = 1 << 20;
 /// Record kinds.
 const KIND_CHECKPOINT: u8 = 1;
 const KIND_REMOVE: u8 = 2;
+const KIND_MODEL_PUT: u8 = 3;
+const KIND_MODEL_REMOVE: u8 = 4;
+
+/// Shape cap shared with the wire's `MODEL_PUT` validation — a replayed
+/// model record claiming more elements than the protocol admits is
+/// corruption. (64 Ki elements × 8 bytes = 512 KiB, under
+/// [`MAX_RECORD_LEN`].)
+const MAX_MODEL_ELEMENTS: u64 = 1 << 16;
+
+/// Serializes a registered model for its journal record.
+fn encode_model_payload(model_id: u64, weights: &[Vec<i64>]) -> Vec<u8> {
+    let rows = weights.len();
+    let cols = weights.first().map_or(0, Vec::len);
+    let mut out = Vec::with_capacity(16 + rows * cols * 8);
+    out.extend_from_slice(&model_id.to_le_bytes());
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(cols as u32).to_le_bytes());
+    for row in weights {
+        for &w in row {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a model record payload; structural defects are typed
+/// refusals (the replay path quarantines on them, never panics).
+fn decode_model_payload(bytes: &[u8]) -> Result<(u64, Vec<Vec<i64>>), CheckpointCodecError> {
+    if bytes.len() < 16 {
+        return Err(CheckpointCodecError::Truncated {
+            what: "model header",
+        });
+    }
+    let mut id = [0u8; 8];
+    id.copy_from_slice(&bytes[..8]);
+    let model_id = u64::from_le_bytes(id);
+    let rows = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as u64;
+    let cols = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as u64;
+    if rows == 0 || cols == 0 || rows * cols > MAX_MODEL_ELEMENTS {
+        return Err(CheckpointCodecError::Truncated {
+            what: "model shape",
+        });
+    }
+    let body = &bytes[16..];
+    if body.len() as u64 != rows * cols * 8 {
+        return Err(CheckpointCodecError::Truncated {
+            what: "model weights",
+        });
+    }
+    let weights = (0..rows as usize)
+        .map(|r| {
+            (0..cols as usize)
+                .map(|c| {
+                    let at = (r * cols as usize + c) * 8;
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&body[at..at + 8]);
+                    i64::from_le_bytes(buf)
+                })
+                .collect()
+        })
+        .collect();
+    Ok((model_id, weights))
+}
 
 /// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time so
 /// the journal needs no external checksum crate.
@@ -195,6 +260,9 @@ pub struct ReplayReport {
     pub quarantined: Vec<PathBuf>,
     /// Live session checkpoints after replay — what the registry gets.
     pub sessions: usize,
+    /// Live prepared models after replay — re-registered into the model
+    /// registry at boot.
+    pub models: usize,
 }
 
 /// Outcome of scanning one segment's records.
@@ -212,6 +280,10 @@ struct JournalInner {
     appends_in_segment: u64,
     appends_total: u64,
     live: BTreeMap<u64, SessionCheckpoint>,
+    /// Live prepared models, stored as their encoded record payloads
+    /// (bounded by the registry's byte budget upstream; a model is ~8
+    /// bytes per element, far smaller than its garbled streams).
+    live_models: BTreeMap<u64, Vec<u8>>,
 }
 
 /// The durable checkpoint journal. All methods are `&self` (internally
@@ -307,9 +379,10 @@ fn scan_segment(bytes: &[u8]) -> SegmentScan {
     }
 }
 
-/// Applies one scanned record to the live map (last write wins).
+/// Applies one scanned record to the live maps (last write wins).
 fn apply_record(
     live: &mut BTreeMap<u64, SessionCheckpoint>,
+    live_models: &mut BTreeMap<u64, Vec<u8>>,
     kind: u8,
     payload: &[u8],
 ) -> Result<(), CheckpointCodecError> {
@@ -328,6 +401,25 @@ fn apply_record(
             let mut buf = [0u8; 8];
             buf.copy_from_slice(payload);
             live.remove(&u64::from_le_bytes(buf));
+            Ok(())
+        }
+        KIND_MODEL_PUT => {
+            // Decode up front so corruption quarantines at replay time,
+            // not at registry boot; the raw payload is what gets rewritten
+            // on compaction.
+            let (model_id, _weights) = decode_model_payload(payload)?;
+            live_models.insert(model_id, payload.to_vec());
+            Ok(())
+        }
+        KIND_MODEL_REMOVE => {
+            if payload.len() != 8 {
+                return Err(CheckpointCodecError::Truncated {
+                    what: "model remove id",
+                });
+            }
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(payload);
+            live_models.remove(&u64::from_le_bytes(buf));
             Ok(())
         }
         _ => Err(CheckpointCodecError::Truncated {
@@ -373,6 +465,7 @@ impl Journal {
 
         let mut report = ReplayReport::default();
         let mut live: BTreeMap<u64, SessionCheckpoint> = BTreeMap::new();
+        let mut live_models: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         let last_index = segments.len().saturating_sub(1);
         for (index, (_, path)) in segments.iter().enumerate() {
             report.segments_scanned += 1;
@@ -386,7 +479,7 @@ impl Journal {
                 Some(torn_eof) => !(torn_eof && index == last_index),
             };
             for (kind, payload) in &scan.records {
-                match apply_record(&mut live, *kind, payload) {
+                match apply_record(&mut live, &mut live_models, *kind, payload) {
                     Ok(()) => report.records_applied += 1,
                     Err(_) => {
                         // CRC passed but the payload is structurally bad:
@@ -410,6 +503,7 @@ impl Journal {
             }
         }
         report.sessions = live.len();
+        report.models = live_models.len();
         max_telemetry::counter_add("serve.journal.replayed", report.records_applied);
 
         // Compact: rewrite the live set into a fresh segment, then retire
@@ -417,6 +511,10 @@ impl Journal {
         // here too — its valid prefix lives on in the new segment.
         let next_seq = segments.last().map_or(0, |(seq, _)| seq + 1);
         let mut file = Self::create_segment(&cfg.dir, next_seq)?;
+        for payload in live_models.values() {
+            file.write_all(&encode_record(KIND_MODEL_PUT, payload))
+                .map_err(io_err("compact write"))?;
+        }
         for checkpoint in live.values() {
             file.write_all(&encode_record(
                 KIND_CHECKPOINT,
@@ -451,6 +549,7 @@ impl Journal {
                 appends_in_segment: 0,
                 appends_total: 0,
                 live,
+                live_models,
             }),
         };
         Ok((journal, report))
@@ -505,6 +604,39 @@ impl Journal {
         self.append_locked(&mut inner, KIND_REMOVE, &session_id.to_le_bytes())
     }
 
+    /// Appends (and by default fsyncs) a prepared-model record so a restart
+    /// can re-register the model before any client reconnects. Called by
+    /// the service layer on every successful `MODEL_PUT` (a re-PUT of the
+    /// same id overwrites — last write wins on replay, matching the
+    /// registry's epoch rotation).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write/sync failure; the in-memory model set
+    /// is updated regardless so serving can continue degraded.
+    pub fn append_model_put(
+        &self,
+        model_id: u64,
+        weights: &[Vec<i64>],
+    ) -> Result<(), JournalError> {
+        let payload = encode_model_payload(model_id, weights);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.live_models.insert(model_id, payload.clone());
+        self.append_locked(&mut inner, KIND_MODEL_PUT, &payload)
+    }
+
+    /// Appends a tombstone for an evicted model (explicit `MODEL_EVICT` or
+    /// byte-budget eviction) so a restart does not resurrect it.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write/sync failure.
+    pub fn append_model_remove(&self, model_id: u64) -> Result<(), JournalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.live_models.remove(&model_id);
+        self.append_locked(&mut inner, KIND_MODEL_REMOVE, &model_id.to_le_bytes())
+    }
+
     fn append_locked(
         &self,
         inner: &mut JournalInner,
@@ -545,6 +677,10 @@ impl Journal {
         let old_seq = inner.seq;
         let new_seq = old_seq + 1;
         let mut file = Self::create_segment(&self.dir, new_seq)?;
+        for payload in inner.live_models.values() {
+            file.write_all(&encode_record(KIND_MODEL_PUT, payload))
+                .map_err(io_err("rotate write"))?;
+        }
         for checkpoint in inner.live.values() {
             file.write_all(&encode_record(
                 KIND_CHECKPOINT,
@@ -615,6 +751,20 @@ impl Journal {
             .cloned()
             .collect()
     }
+
+    /// Decodes the live prepared models, lowest id first — what a restart
+    /// feeds into the model registry. Payloads were validated at replay
+    /// (or append) time, so a decode failure here means in-memory
+    /// corruption; such an entry is silently skipped rather than panicking.
+    pub fn live_models(&self) -> Vec<(u64, Vec<Vec<i64>>)> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .live_models
+            .values()
+            .filter_map(|payload| decode_model_payload(payload).ok())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -645,8 +795,15 @@ mod tests {
             job_id: 0,
             columns: 3,
             job_seed: 9,
+            model_id: None,
             snapshots: vec![(0, sender.clone()), (1, sender)],
         }
+    }
+
+    fn model(rows: usize, cols: usize, tweak: i64) -> Vec<Vec<i64>> {
+        (0..rows)
+            .map(|r| (0..cols).map(|c| (r * cols + c) as i64 + tweak).collect())
+            .collect()
     }
 
     fn config(dir: &Path) -> JournalConfig {
@@ -770,6 +927,94 @@ mod tests {
         assert_eq!(report.sessions, 3);
         assert_eq!(journal.live_sessions(), 3);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_records_replay_last_write_wins() {
+        let dir = temp_dir("models");
+        {
+            let (journal, report) = Journal::open(config(&dir)).unwrap();
+            assert_eq!(report.models, 0);
+            journal.append_model_put(7, &model(2, 3, 0)).unwrap();
+            journal.append_model_put(9, &model(1, 4, 10)).unwrap();
+            journal.append_model_put(7, &model(2, 3, 100)).unwrap();
+            journal.append_model_remove(9).unwrap();
+            // Models and checkpoints share the journal without interfering.
+            journal.append_checkpoint(&checkpoint(1)).unwrap();
+        }
+        let (journal, report) = Journal::open(config(&dir)).unwrap();
+        assert_eq!(report.models, 1);
+        assert_eq!(report.sessions, 1);
+        let models = journal.live_models();
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].0, 7);
+        assert_eq!(models[0].1, model(2, 3, 100), "re-PUT must win");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_records_survive_compaction_and_rotation() {
+        let dir = temp_dir("modelrot");
+        let mut cfg = config(&dir);
+        cfg.rotate_after = 3;
+        {
+            let (journal, _) = Journal::open(cfg.clone()).unwrap();
+            journal.append_model_put(5, &model(3, 2, 1)).unwrap();
+            // Enough appends to force several rotations past the model put.
+            for round in 0..10u64 {
+                let mut cp = checkpoint(round % 2);
+                cp.job_id = round;
+                journal.append_checkpoint(&cp).unwrap();
+            }
+        }
+        let (journal, report) = Journal::open(cfg).unwrap();
+        assert_eq!(report.models, 1, "model persists across rotations");
+        assert_eq!(journal.live_models()[0].1, model(3, 2, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_model_record_quarantines_segment() {
+        let dir = temp_dir("modelbad");
+        {
+            let (journal, _) = Journal::open(config(&dir)).unwrap();
+            journal.append_checkpoint(&checkpoint(1)).unwrap();
+        }
+        // Hand-append a CRC-valid record whose model payload claims an
+        // impossible shape: structural corruption, not a torn write.
+        let segment = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| parse_segment_seq(p).is_some())
+            .unwrap();
+        let mut bytes = fs::read(&segment).unwrap();
+        let mut payload = 7u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&0u32.to_le_bytes()); // rows = 0: invalid
+        payload.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&encode_record(KIND_MODEL_PUT, &payload));
+        fs::write(&segment, &bytes).unwrap();
+
+        let (journal, report) = Journal::open(config(&dir)).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.models, 0);
+        assert_eq!(journal.live_sessions(), 1, "valid prefix still applies");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_payload_codec_round_trips() {
+        let weights = model(4, 5, -7);
+        let payload = encode_model_payload(42, &weights);
+        let (id, decoded) = decode_model_payload(&payload).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(decoded, weights);
+        // Truncations and shape lies are typed refusals.
+        assert!(decode_model_payload(&payload[..12]).is_err());
+        assert!(decode_model_payload(&payload[..payload.len() - 1]).is_err());
+        let mut huge = payload.clone();
+        huge[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_model_payload(&huge).is_err());
     }
 
     #[test]

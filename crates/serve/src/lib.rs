@@ -41,9 +41,16 @@ use maxelerator::remote::derive_seed;
 pub use breaker::{Breaker, BreakerConfig};
 pub use journal::{Journal, JournalConfig, JournalError, ReplayReport};
 pub use resume::{ResumeRegistry, SessionCheckpoint};
-pub use scheduler::{JobRequest, JobResult, QueueFull, UnitPool};
+pub use scheduler::{IdleFill, JobRequest, JobResult, QueueFull, UnitPool};
 pub use service::{listen_tcp, GcService, ServeConfig, ServeHandle, ServeStats};
 pub use session::{SessionSummary, MAX_JOB_COLUMNS};
+
+// The prepared-model registry the service embeds; re-exported so binaries
+// and tests reach its types without naming the crate twice.
+pub use max_registry::{
+    Acquired, Eviction, EvictionKind, FallbackTicket, ModelRegistry, PreparedStream, RegisterError,
+    RegistryConfig, RegistryStats,
+};
 
 use max_telemetry::FlightRecorder;
 use std::sync::Arc;

@@ -52,6 +52,11 @@ pub struct SessionCheckpoint {
     pub columns: u32,
     /// The job's original accelerator seed (deterministic re-garble).
     pub job_seed: u64,
+    /// Prepared model the job ran against, if any. A resume re-garbles
+    /// from the *registry's* weights for this id (same `job_seed`, so the
+    /// material is bit-identical); if the model was evicted in the
+    /// meantime the resume is refused with `REJECT(resume)`.
+    pub model_id: Option<u64>,
     /// `(elements_streamed, sender_state)` snapshots at the most recent
     /// element boundaries, oldest first (at most two).
     pub snapshots: Vec<(usize, OtExtSender)>,
@@ -91,6 +96,11 @@ pub enum CheckpointCodecError {
         /// The declared count.
         got: u8,
     },
+    /// The model-id presence flag is neither 0 nor 1.
+    BadModelFlag {
+        /// The flag byte found.
+        got: u8,
+    },
     /// A persisted OT cursor does not fit the sender it rebuilds.
     OtShape(OtStateShapeError),
 }
@@ -109,6 +119,9 @@ impl std::fmt::Display for CheckpointCodecError {
                     f,
                     "checkpoint snapshot count {got} exceeds the window cap {MAX_CODEC_SNAPSHOTS}"
                 )
+            }
+            CheckpointCodecError::BadModelFlag { got } => {
+                write!(f, "checkpoint model-id flag {got} is not 0 or 1")
             }
             CheckpointCodecError::OtShape(err) => write!(f, "checkpoint OT cursor: {err}"),
         }
@@ -181,6 +194,10 @@ pub fn encode_checkpoint(checkpoint: &SessionCheckpoint) -> Vec<u8> {
     out.extend_from_slice(&checkpoint.job_id.to_le_bytes());
     out.extend_from_slice(&checkpoint.columns.to_le_bytes());
     out.extend_from_slice(&checkpoint.job_seed.to_le_bytes());
+    // Fixed-width model-id slot (flag + id) so the record layout does not
+    // shift with the option's state.
+    out.push(u8::from(checkpoint.model_id.is_some()));
+    out.extend_from_slice(&checkpoint.model_id.unwrap_or(0).to_le_bytes());
     out.push(checkpoint.snapshots.len().min(usize::from(u8::MAX)) as u8);
     for (elements, sender) in &checkpoint.snapshots {
         let state = sender.export_state();
@@ -213,6 +230,13 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<SessionCheckpoint, CheckpointCo
     let job_id = reader.u64("job_id")?;
     let columns = reader.u32("columns")?;
     let job_seed = reader.u64("job_seed")?;
+    let model_flag = reader.u8("model flag")?;
+    let model_raw = reader.u64("model id")?;
+    let model_id = match model_flag {
+        0 => None,
+        1 => Some(model_raw),
+        got => return Err(CheckpointCodecError::BadModelFlag { got }),
+    };
     let count = reader.u8("snapshot count")?;
     if count > MAX_CODEC_SNAPSHOTS {
         return Err(CheckpointCodecError::SnapshotCount { got: count });
@@ -249,6 +273,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<SessionCheckpoint, CheckpointCo
         job_id,
         columns,
         job_seed,
+        model_id,
         snapshots,
     })
 }
@@ -357,6 +382,7 @@ mod tests {
             job_id: 0,
             columns: 1,
             job_seed: 2,
+            model_id: None,
             snapshots: vec![(0, sender.clone()), (1, sender)],
         }
     }
@@ -426,6 +452,7 @@ mod tests {
             job_id: 2,
             columns: 5,
             job_seed: derive_seed(session_seed, 0x102),
+            model_id: Some(derive_seed(session_seed, 0x4d0d)),
             snapshots,
         }
     }
@@ -442,6 +469,7 @@ mod tests {
         assert_eq!(decoded.job_id, original.job_id);
         assert_eq!(decoded.columns, original.columns);
         assert_eq!(decoded.job_seed, original.job_seed);
+        assert_eq!(decoded.model_id, original.model_id);
         assert_eq!(decoded.snapshots.len(), original.snapshots.len());
         for ((at_a, sender_a), (at_b, sender_b)) in
             decoded.snapshots.iter().zip(&original.snapshots)
@@ -480,9 +508,17 @@ mod tests {
             Err(CheckpointCodecError::TrailingBytes { extra: 7 })
         ));
 
+        // A model-id flag outside {0, 1} is refused.
+        let mut bad_flag = bytes.clone();
+        bad_flag[52] = 2; // model flag (7 u64/u32 header fields = 52 bytes).
+        assert!(matches!(
+            decode_checkpoint(&bad_flag),
+            Err(CheckpointCodecError::BadModelFlag { got: 2 })
+        ));
+
         // An absurd snapshot count is refused before any allocation work.
         let mut hostile = bytes.clone();
-        hostile[52] = 0xFF; // snapshot-count byte (7 u64/u32 header fields).
+        hostile[61] = 0xFF; // snapshot-count byte (after the 9-byte model slot).
         assert!(matches!(
             decode_checkpoint(&hostile),
             Err(CheckpointCodecError::SnapshotCount { got: 0xFF })
@@ -490,8 +526,8 @@ mod tests {
 
         // A wrong-width counter vector is a typed OT-shape refusal.
         let mut short_counters = bytes.clone();
-        short_counters[53 + 16] = 3; // counter-count u16 of the 1st snapshot.
-        short_counters[53 + 17] = 0;
+        short_counters[62 + 16] = 3; // counter-count u16 of the 1st snapshot.
+        short_counters[62 + 17] = 0;
         assert!(matches!(
             decode_checkpoint(&short_counters),
             Err(CheckpointCodecError::OtShape(_)

@@ -9,6 +9,12 @@
 //! typed [`QueueFull`] that the session layer turns into a BUSY
 //! (reject-with-retry-hint) frame — backpressure instead of unbounded
 //! memory growth.
+//!
+//! When the queue is *empty*, units do not just sleep: an optional
+//! [`IdleFill`] hook lets the service layer spend the idle capacity on
+//! registry precompute (pre-garbling model streams), turning the paper's
+//! offline phase into background work that automatically yields the moment
+//! a real job arrives.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -16,7 +22,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use max_telemetry::{Recorder, TraceContext};
 use maxelerator::remote::{garble_matvec_job, GarbledJob};
@@ -33,6 +39,10 @@ pub struct JobRequest {
     pub columns: u32,
     /// Accelerator seed for this job.
     pub seed: u64,
+    /// Weights override: `Some` garbles against these (a registry model's
+    /// matrix, e.g. on a stock-exhausted fallback or a model RESUME);
+    /// `None` uses the pool's default matrix.
+    pub weights: Option<Arc<Vec<Vec<i64>>>>,
     /// Trace the submitting session carries; the worker records
     /// `server/queue_wait` and `server/garble` spans under it when a
     /// recorder is attached and the context is traced.
@@ -47,6 +57,20 @@ pub type JobResult = Result<GarbledJob, AcceleratorError>;
 pub struct QueueFull {
     /// Depth observed at rejection time (== capacity).
     pub queue_depth: usize,
+}
+
+/// Background work a unit runs when the queue is empty. Returns `true` if
+/// it made progress (the unit re-checks the queue immediately), `false` if
+/// there is nothing to precompute (the unit parks until woken or a short
+/// poll interval elapses). Implementations must keep each step short — a
+/// real job enqueued mid-step waits for the step to finish.
+pub type IdleFill = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// Outcome of a non-blocking queue poll.
+enum Polled {
+    Job(Box<QueuedJob>),
+    Empty,
+    Closed,
 }
 
 struct QueuedJob {
@@ -110,33 +134,43 @@ impl FairQueue {
         Ok(depth)
     }
 
+    /// Pops the next job in round-robin session order if one is available
+    /// right now (queue non-empty and not paused).
+    fn pop_locked(state: &mut QueueState) -> Option<QueuedJob> {
+        loop {
+            if state.len == 0 || state.paused {
+                return None;
+            }
+            let mut popped = None;
+            if let Some(session) = state.rotation.pop_front() {
+                if let Some(queue) = state.per_session.get_mut(&session) {
+                    popped = queue.pop_front();
+                    if queue.is_empty() {
+                        state.per_session.remove(&session);
+                    } else {
+                        state.rotation.push_back(session);
+                    }
+                }
+            }
+            if let Some(job) = popped {
+                state.len -= 1;
+                return Some(job);
+            }
+            // Bookkeeping skew is impossible by construction, but a
+            // worker must never panic while holding the queue: rebuild
+            // the rotation/len from the ground truth and retry.
+            state.len = state.per_session.values().map(VecDeque::len).sum();
+            state.rotation = state.per_session.keys().copied().collect();
+        }
+    }
+
     /// Takes the next job in round-robin session order; blocks while the
     /// queue is empty or paused. Returns `None` once closed and drained.
     fn pop(&self) -> Option<QueuedJob> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
-            if state.len > 0 && !state.paused {
-                let mut popped = None;
-                if let Some(session) = state.rotation.pop_front() {
-                    if let Some(queue) = state.per_session.get_mut(&session) {
-                        popped = queue.pop_front();
-                        if queue.is_empty() {
-                            state.per_session.remove(&session);
-                        } else {
-                            state.rotation.push_back(session);
-                        }
-                    }
-                }
-                if let Some(job) = popped {
-                    state.len -= 1;
-                    return Some(job);
-                }
-                // Bookkeeping skew is impossible by construction, but a
-                // worker must never panic while holding the queue: rebuild
-                // the rotation/len from the ground truth and retry.
-                state.len = state.per_session.values().map(VecDeque::len).sum();
-                state.rotation = state.per_session.keys().copied().collect();
-                continue;
+            if let Some(job) = Self::pop_locked(&mut state) {
+                return Some(job);
             }
             if state.closed {
                 return None;
@@ -146,6 +180,31 @@ impl FairQueue {
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Non-blocking variant of [`FairQueue::pop`] for units that have idle
+    /// work to fall back to.
+    fn try_pop(&self) -> Polled {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match Self::pop_locked(&mut state) {
+            Some(job) => Polled::Job(Box::new(job)),
+            None if state.closed => Polled::Closed,
+            None => Polled::Empty,
+        }
+    }
+
+    /// Parks until a push/resume/close notification or `timeout` elapses.
+    /// The timeout bounds how stale an idle unit's "nothing to precompute"
+    /// view can get (new models can arrive without a queue notification).
+    fn wait_for_work(&self, timeout: Duration) {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if (state.len > 0 && !state.paused) || state.closed {
+            return;
+        }
+        let _ = self
+            .ready
+            .wait_timeout(state, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
     }
 
     fn resume(&self) {
@@ -199,7 +258,9 @@ impl UnitPool {
     /// jobs. With `start_paused`, units wait until [`UnitPool::resume`] —
     /// the deterministic way to observe backpressure in tests. A
     /// `recorder`, when given, receives per-job `server/queue_wait` and
-    /// `server/garble` trace spans for traced requests.
+    /// `server/garble` trace spans for traced requests. An `idle_fill`
+    /// hook, when given, is run whenever a unit finds the queue empty —
+    /// registry precompute during pool idle time.
     ///
     /// # Panics
     ///
@@ -212,6 +273,7 @@ impl UnitPool {
         queue_capacity: usize,
         start_paused: bool,
         recorder: Option<Arc<Recorder>>,
+        idle_fill: Option<IdleFill>,
     ) -> UnitPool {
         let queue = Arc::new(FairQueue::new(queue_capacity, start_paused));
         let worker_count = workers.max(1);
@@ -221,37 +283,58 @@ impl UnitPool {
                 let config = config.clone();
                 let weights = Arc::clone(&weights);
                 let recorder = recorder.clone();
+                let idle_fill = idle_fill.clone();
                 // A unit that fails to spawn (thread exhaustion) just
                 // shrinks the pool; the queue still drains through the
                 // rest. Losing *every* unit is fatal — checked below.
                 std::thread::Builder::new()
                     .name(format!("gc-unit-{w}"))
-                    .spawn(move || {
-                        while let Some(job) = queue.pop() {
-                            let _lane = max_telemetry::timeline("serve.units", w as u32);
-                            let traced =
-                                recorder.as_ref().filter(|_| job.request.trace.is_traced());
-                            if let Some(rec) = traced {
-                                let now = rec.now_ns();
-                                let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
-                                rec.record_trace_event(
-                                    job.request.trace,
-                                    "server/queue_wait",
-                                    now.saturating_sub(wait_ns),
-                                    now,
-                                );
-                            }
-                            let _garble_span = traced
-                                .map(|rec| rec.trace_span(job.request.trace, "server/garble"));
-                            let result = garble_matvec_job(
-                                &config,
-                                &weights,
-                                job.request.seed,
-                                job.request.columns,
+                    .spawn(move || loop {
+                        // Real jobs always preempt precompute: the hook only
+                        // runs when the queue is observed empty, one short
+                        // step at a time.
+                        let job = match idle_fill {
+                            None => queue.pop(),
+                            Some(ref fill) => loop {
+                                match queue.try_pop() {
+                                    Polled::Job(job) => break Some(*job),
+                                    Polled::Closed => break None,
+                                    Polled::Empty => {
+                                        if !fill() {
+                                            queue.wait_for_work(Duration::from_millis(25));
+                                        }
+                                    }
+                                }
+                            },
+                        };
+                        let Some(job) = job else { break };
+                        let _lane = max_telemetry::timeline("serve.units", w as u32);
+                        let traced = recorder.as_ref().filter(|_| job.request.trace.is_traced());
+                        if let Some(rec) = traced {
+                            let now = rec.now_ns();
+                            let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+                            rec.record_trace_event(
+                                job.request.trace,
+                                "server/queue_wait",
+                                now.saturating_sub(wait_ns),
+                                now,
                             );
-                            // A session that died while queued is fine.
-                            let _ = job.reply.send(result);
                         }
+                        let _garble_span =
+                            traced.map(|rec| rec.trace_span(job.request.trace, "server/garble"));
+                        let matrix = job
+                            .request
+                            .weights
+                            .as_ref()
+                            .map_or(&weights[..], |m| &m[..]);
+                        let result = garble_matvec_job(
+                            &config,
+                            matrix,
+                            job.request.seed,
+                            job.request.columns,
+                        );
+                        // A session that died while queued is fine.
+                        let _ = job.reply.send(result);
                     })
                     .ok()
             })
@@ -334,6 +417,7 @@ mod tests {
             job_id,
             columns: 1,
             seed: 1,
+            weights: None,
             trace: TraceContext::none(),
         }
     }
@@ -395,7 +479,7 @@ mod tests {
     fn pool_executes_real_jobs() {
         let config = AcceleratorConfig::new(8);
         let weights = Arc::new(vec![vec![2i64, -3], vec![4, 5]]);
-        let pool = UnitPool::new(config, weights, 2, 4, false, None);
+        let pool = UnitPool::new(config, weights, 2, 4, false, None, None);
         let rx_a = pool.submit(request(1, 0)).unwrap();
         let rx_b = pool.submit(request(2, 0)).unwrap();
         let job_a = rx_a.recv().unwrap().unwrap();
@@ -412,10 +496,54 @@ mod tests {
     }
 
     #[test]
+    fn weights_override_garbles_against_request_matrix() {
+        let config = AcceleratorConfig::new(8);
+        let default_weights = Arc::new(vec![vec![1i64]]);
+        let pool = UnitPool::new(config.clone(), default_weights, 1, 4, false, None, None);
+        let model = Arc::new(vec![vec![7i64, -2], vec![3, 4]]);
+        let mut req = request(1, 0);
+        req.weights = Some(Arc::clone(&model));
+        let got = pool.submit(req).unwrap().recv().unwrap().unwrap();
+        let want = garble_matvec_job(&config, &model, 1, 1).unwrap();
+        assert_eq!(got.rows.len(), 2, "model shape, not the pool default");
+        assert_eq!(
+            got.rows[0].messages[0].tables,
+            want.rows[0].messages[0].tables
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn idle_fill_runs_only_while_queue_is_empty() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let config = AcceleratorConfig::new(8);
+        let weights = Arc::new(vec![vec![1i64]]);
+        let fills = Arc::new(AtomicU64::new(0));
+        let hook_fills = Arc::clone(&fills);
+        let hook: IdleFill = Arc::new(move || {
+            hook_fills.fetch_add(1, Ordering::SeqCst);
+            // Claim saturation every other step so the unit also exercises
+            // its timed-wait path.
+            hook_fills.load(Ordering::SeqCst).is_multiple_of(2)
+        });
+        let pool = UnitPool::new(config, weights, 1, 2, false, None, Some(hook));
+        // Idle pool precomputes...
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fills.load(Ordering::SeqCst) < 3 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(fills.load(Ordering::SeqCst) >= 3, "idle hook never ran");
+        // ...and still serves real jobs promptly.
+        let rx = pool.submit(request(1, 0)).unwrap();
+        assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        pool.shutdown();
+    }
+
+    #[test]
     fn paused_pool_holds_jobs_until_resume() {
         let config = AcceleratorConfig::new(8);
         let weights = Arc::new(vec![vec![1i64]]);
-        let pool = UnitPool::new(config, weights, 1, 2, true, None);
+        let pool = UnitPool::new(config, weights, 1, 2, true, None, None);
         let rx = pool.submit(request(1, 0)).unwrap();
         assert_eq!(pool.depth(), 1);
         assert!(rx

@@ -16,15 +16,17 @@ use std::time::Duration;
 
 use max_gc::channel::Duplex;
 use max_gc::{FramedTcp, Transport};
+use max_registry::{ModelRegistry, RegisterError, RegistryConfig, RegistryStats};
 use max_rng::HealthMonitor;
 use max_telemetry::report::JsonValue;
 use max_telemetry::{FlightRecorder, Recorder};
+use maxelerator::remote::ModelStatus;
 use maxelerator::AcceleratorConfig;
 
 use crate::breaker::{Breaker, BreakerConfig};
 use crate::journal::{Journal, JournalConfig, ReplayReport};
 use crate::resume::ResumeRegistry;
-use crate::scheduler::UnitPool;
+use crate::scheduler::{IdleFill, UnitPool};
 use crate::session::run_session;
 use crate::FlightTransport;
 
@@ -82,6 +84,16 @@ pub struct ServeConfig {
     /// a dead process. With a journal, startup replays the directory into
     /// the resume registry — see the [`crate::journal`] module docs.
     pub journal: Option<JournalConfig>,
+    /// Byte budget for the prepared-model registry's stocked streams
+    /// (`None` = unbounded). Enforced with LRU whole-model eviction.
+    pub registry_budget_bytes: Option<u64>,
+    /// Warm single-use streams to keep per registered model.
+    pub registry_target_stock: usize,
+    /// Rows per tile during background stream generation.
+    pub registry_tile_rows: usize,
+    /// Synchronously fill every model's stock to target at startup (and
+    /// after journal replay) instead of waiting for pool idle time.
+    pub prefill: bool,
 }
 
 impl ServeConfig {
@@ -105,6 +117,10 @@ impl ServeConfig {
             recorder: None,
             flight_capacity: 64,
             journal: None,
+            registry_budget_bytes: None,
+            registry_target_stock: RegistryConfig::default().target_stock,
+            registry_tile_rows: RegistryConfig::default().tile_rows,
+            prefill: false,
         }
     }
 }
@@ -122,6 +138,9 @@ pub struct ServeStats {
     pub busy_rejections: u64,
     /// Jobs continued from a round checkpoint after a reconnect.
     pub jobs_resumed: u64,
+    /// Model jobs served from a warm pre-garbled stream (OT-only online
+    /// path — no garbling on the critical path).
+    pub jobs_prepared: u64,
     /// Round checkpoints deposited by dying sessions.
     pub checkpoints_saved: u64,
     /// Times the load-shedding breaker tripped open.
@@ -141,6 +160,7 @@ pub(crate) struct ServiceShared {
     pub(crate) idle_timeout: Option<Duration>,
     pub(crate) step_timeout: Option<Duration>,
     pub(crate) resume: ResumeRegistry,
+    pub(crate) registry: Arc<ModelRegistry>,
     pub(crate) journal: Option<Arc<Journal>>,
     /// What journal replay salvaged at boot (empty default when no journal).
     replay: ReplayReport,
@@ -156,12 +176,40 @@ pub(crate) struct ServiceShared {
     pub(crate) jobs_completed: AtomicU64,
     pub(crate) busy_rejections: AtomicU64,
     pub(crate) jobs_resumed: AtomicU64,
+    pub(crate) jobs_prepared: AtomicU64,
     pub(crate) checkpoints_saved: AtomicU64,
 }
 
 impl ServiceShared {
     pub(crate) fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    /// Registers (or replaces) a prepared model and journals it so a
+    /// restart re-registers it before any client reconnects. Journal IO
+    /// failures degrade durability, not serving.
+    pub(crate) fn put_model(
+        &self,
+        model_id: u64,
+        weights: Vec<Vec<i64>>,
+    ) -> Result<ModelStatus, RegisterError> {
+        let (status, _replaced) = self.registry.register(model_id, weights)?;
+        if let Some(journal) = &self.journal {
+            if let Some(weights) = self.registry.weights(model_id) {
+                let _ = journal.append_model_put(model_id, &weights);
+            }
+        }
+        Ok(status)
+    }
+
+    /// Explicitly evicts a model, journaling the tombstone. `None` if the
+    /// id is unknown.
+    pub(crate) fn evict_model(&self, model_id: u64) -> Option<ModelStatus> {
+        let (status, _eviction) = self.registry.evict(model_id)?;
+        if let Some(journal) = &self.journal {
+            let _ = journal.append_model_remove(model_id);
+        }
+        Some(status)
     }
 
     /// Renders the live METRICS body: schema, serving counters, queue and
@@ -190,6 +238,10 @@ impl ServiceShared {
             .push(
                 "jobs_resumed",
                 JsonValue::UInt(self.jobs_resumed.load(Ordering::Relaxed)),
+            )
+            .push(
+                "jobs_prepared",
+                JsonValue::UInt(self.jobs_prepared.load(Ordering::Relaxed)),
             )
             .push(
                 "checkpoints_saved",
@@ -229,6 +281,38 @@ impl ServiceShared {
             None => JsonValue::Null,
         };
 
+        let registry = {
+            let snap: RegistryStats = self.registry.stats();
+            let mut entry = JsonValue::object();
+            entry
+                .push("models", JsonValue::UInt(snap.models as u64))
+                .push("streams_ready", JsonValue::UInt(snap.streams_ready as u64))
+                .push("stock_bytes", JsonValue::UInt(snap.stock_bytes))
+                .push(
+                    "budget_bytes",
+                    snap.budget_bytes.map_or(JsonValue::Null, JsonValue::UInt),
+                )
+                .push("served_prepared", JsonValue::UInt(snap.served_prepared))
+                .push("served_fallback", JsonValue::UInt(snap.served_fallback))
+                .push("streams_produced", JsonValue::UInt(snap.streams_produced))
+                .push("streams_discarded", JsonValue::UInt(snap.streams_discarded))
+                .push("streams_trimmed", JsonValue::UInt(snap.streams_trimmed))
+                .push(
+                    "evicted_budget",
+                    JsonValue::UInt(snap.models_evicted_budget),
+                )
+                .push(
+                    "evicted_explicit",
+                    JsonValue::UInt(snap.models_evicted_explicit),
+                )
+                .push("replaced", JsonValue::UInt(snap.models_replaced))
+                .push(
+                    "fabric_cycles_offline",
+                    JsonValue::UInt(snap.fabric_cycles_spent),
+                );
+            entry
+        };
+
         let percentiles = match &self.recorder {
             Some(rec) => {
                 let snapshot = rec.snapshot();
@@ -256,6 +340,7 @@ impl ServiceShared {
         .push("stats", stats)
         .push("gauges", gauges)
         .push("journal", journal)
+        .push("registry", registry)
         .push("percentiles", percentiles);
         root.render()
     }
@@ -269,6 +354,34 @@ impl ServiceShared {
             dumps.remove(0);
         }
         dumps.push(dump);
+    }
+}
+
+/// One idle-time precompute step: advance the registry's most starved
+/// model by one stream, journaling any budget-eviction tombstones it
+/// caused. Returns whether the unit should immediately poll again (`false`
+/// = nothing to do, or the cache is saturated at its budget and more
+/// production would just ping-pong evictions).
+fn fill_once(registry: &ModelRegistry, journal: Option<&Journal>) -> bool {
+    match registry.fill_step() {
+        None => false,
+        Some(Ok(report)) => {
+            for eviction in &report.evicted {
+                if let Some(journal) = journal {
+                    let _ = journal.append_model_remove(eviction.model_id);
+                }
+            }
+            // A deposit that evicted or trimmed means the budget is the
+            // binding constraint: stop producing until demand frees space.
+            report.deposited && report.evicted.is_empty() && report.streams_trimmed == 0
+        }
+        Some(Err(_)) => {
+            // Garbling failed (host-level accelerator misconfiguration for
+            // this model). Back off rather than spin; the counter makes
+            // the stall observable.
+            max_telemetry::counter_add("serve.registry.fill_failed", 1);
+            false
+        }
     }
 }
 
@@ -304,16 +417,8 @@ impl GcService {
             assert_eq!(row.len(), cols, "ragged model matrix");
         }
         let weights = Arc::new(cfg.weights);
-        let pool = UnitPool::new(
-            cfg.config.clone(),
-            Arc::clone(&weights),
-            cfg.workers,
-            cfg.queue_capacity,
-            cfg.start_paused,
-            cfg.recorder.clone(),
-        );
 
-        // Replay the durable journal (if configured) into the registry
+        // Replay the durable journal (if configured) into the registries
         // before the first connection can race a RESUME against it. A
         // journal that cannot be *opened* is a host configuration error
         // (like a bad model) and fails loudly; damaged journal *content*
@@ -340,6 +445,48 @@ impl GcService {
             None => None,
         };
 
+        let registry = Arc::new(ModelRegistry::new(
+            cfg.config.clone(),
+            RegistryConfig {
+                budget_bytes: cfg.registry_budget_bytes,
+                target_stock: cfg.registry_target_stock,
+                tile_rows: cfg.registry_tile_rows,
+            },
+            cfg.base_seed,
+        ));
+        if let Some(journal) = &journal {
+            for (model_id, model_weights) in journal.live_models() {
+                // A replayed model that no longer validates (operand width
+                // shrank across restarts) is dropped with a tombstone
+                // rather than wedging boot.
+                if registry.register(model_id, model_weights).is_err() {
+                    let _ = journal.append_model_remove(model_id);
+                    max_telemetry::counter_add("serve.registry.replay_rejected", 1);
+                }
+            }
+        }
+
+        let idle_fill: IdleFill = {
+            let registry = Arc::clone(&registry);
+            let journal = journal.clone();
+            Arc::new(move || fill_once(&registry, journal.as_deref()))
+        };
+        let pool = UnitPool::new(
+            cfg.config.clone(),
+            Arc::clone(&weights),
+            cfg.workers,
+            cfg.queue_capacity,
+            cfg.start_paused,
+            cfg.recorder.clone(),
+            Some(idle_fill),
+        );
+        if cfg.prefill {
+            // Run the offline phase eagerly so the very first model job is
+            // a warm serve. Stops at saturation or on garbling failure —
+            // either way the idle-fill hook keeps the stocks topped up.
+            while fill_once(&registry, journal.as_deref()) {}
+        }
+
         GcService {
             shared: Arc::new(ServiceShared {
                 config: cfg.config,
@@ -350,6 +497,7 @@ impl GcService {
                 idle_timeout: cfg.idle_timeout,
                 step_timeout: cfg.step_timeout,
                 resume,
+                registry,
                 journal,
                 replay,
                 breaker: Breaker::new(cfg.breaker),
@@ -364,6 +512,7 @@ impl GcService {
                 jobs_completed: AtomicU64::new(0),
                 busy_rejections: AtomicU64::new(0),
                 jobs_resumed: AtomicU64::new(0),
+                jobs_prepared: AtomicU64::new(0),
                 checkpoints_saved: AtomicU64::new(0),
             }),
             session_threads: Arc::new(Mutex::new(Vec::new())),
@@ -496,6 +645,44 @@ impl GcService {
         self.shared.journal.as_ref()
     }
 
+    /// The prepared-model registry behind `MODEL_PUT`/`MODEL_INFO` frames.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Registers (or replaces) a prepared model locally — same path the
+    /// wire's `MODEL_PUT` takes, including the journal record.
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError`] when the matrix is empty, ragged, oversized, or a
+    /// weight exceeds the operand width.
+    pub fn put_model(
+        &self,
+        model_id: u64,
+        weights: Vec<Vec<i64>>,
+    ) -> Result<ModelStatus, RegisterError> {
+        self.shared.put_model(model_id, weights)
+    }
+
+    /// Evicts a prepared model (journaling the tombstone); `None` if the
+    /// id is unknown.
+    pub fn evict_model(&self, model_id: u64) -> Option<ModelStatus> {
+        self.shared.evict_model(model_id)
+    }
+
+    /// Synchronously fills every model's stock to target (the offline
+    /// phase run eagerly), journaling tombstones for any budget evictions.
+    /// Returns the number of clean fill steps taken; stops at saturation
+    /// or on a garbling failure (both observable via counters/stats).
+    pub fn prefill_models(&self) -> usize {
+        let mut steps = 0usize;
+        while fill_once(&self.shared.registry, self.shared.journal.as_deref()) {
+            steps += 1;
+        }
+        steps
+    }
+
     /// What journal replay found at boot (all-zero when no journal).
     pub fn journal_replay(&self) -> &ReplayReport {
         &self.shared.replay
@@ -552,6 +739,7 @@ impl GcService {
             jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
             busy_rejections: self.shared.busy_rejections.load(Ordering::Relaxed),
             jobs_resumed: self.shared.jobs_resumed.load(Ordering::Relaxed),
+            jobs_prepared: self.shared.jobs_prepared.load(Ordering::Relaxed),
             checkpoints_saved: self.shared.checkpoints_saved.load(Ordering::Relaxed),
             breaker_trips: self.shared.breaker.trips(),
             shed: self.shared.breaker.sheds(),

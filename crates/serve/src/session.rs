@@ -21,11 +21,12 @@ use std::sync::Arc;
 
 use max_gc::Transport;
 use max_ot::iknp::{self, OtExtSender};
+use max_registry::{Acquired, PreparedStream, RegisterError};
 use max_telemetry::{FlightRecorder, TraceContext};
 use maxelerator::remote::{
-    derive_seed, recv_control, send_control, stream_matvec_job_from, ControlMsg, GarbledJob,
-    PROTOCOL_VERSION, REJECT_DRAINING, REJECT_OVERLOAD, REJECT_RESUME, REJECT_VERSION,
-    REJECT_WIDTH,
+    derive_seed, materialize_job, recv_control, send_control, stream_materialized_job_from,
+    ControlMsg, MaterializedJob, PROTOCOL_VERSION, REJECT_DRAINING, REJECT_MODEL, REJECT_OVERLOAD,
+    REJECT_RESUME, REJECT_VERSION, REJECT_WIDTH,
 };
 use maxelerator::AcceleratorError;
 
@@ -68,6 +69,9 @@ pub struct SessionSummary {
     pub busy_rejections: u64,
     /// Jobs continued from a round checkpoint on this connection.
     pub jobs_resumed: u64,
+    /// Model jobs served from a warm pre-garbled stream on this connection
+    /// (no garbling on the online path).
+    pub jobs_prepared: u64,
     /// Round checkpoints deposited when this connection died mid-job.
     pub checkpoints_saved: u64,
     /// The session ended because the idle timeout fired.
@@ -108,6 +112,10 @@ struct JobRun {
     job_id: u64,
     columns: u32,
     job_seed: u64,
+    /// Prepared model the job ran against (`None` = session default
+    /// matrix); recorded in checkpoints so a RESUME re-garbles from the
+    /// registry's weights.
+    model_id: Option<u64>,
     start_element: usize,
 }
 
@@ -127,6 +135,7 @@ fn window_checkpoint(
         job_id: run.job_id,
         columns: run.columns,
         job_seed: run.job_seed,
+        model_id: run.model_id,
         snapshots: snapshots.iter().cloned().collect(),
     }
 }
@@ -170,7 +179,7 @@ fn stream_job_checkpointed<T: Transport>(
     summary: &mut SessionSummary,
     transport: &mut T,
     ctx: &SessionCtx<'_>,
-    job: &GarbledJob,
+    job: &MaterializedJob,
     ot_sender: &mut OtExtSender,
     run: &JobRun,
 ) -> Result<(), AcceleratorError> {
@@ -187,7 +196,7 @@ fn stream_job_checkpointed<T: Transport>(
     if shared.step_timeout.is_some() {
         transport.set_idle_timeout(shared.step_timeout);
     }
-    let result = stream_matvec_job_from(
+    let result = stream_materialized_job_from(
         transport,
         job,
         ot_sender,
@@ -413,11 +422,27 @@ fn session_loop<T: Transport>(
                 return Ok(());
             };
             summary.session_id = resumed_id;
+            // A model job resumes by re-garbling from the registry's
+            // weights with the checkpoint's seed (bit-identical to the
+            // consumed stream). If the model was evicted since, the
+            // checkpoint is unservable — same refusal as unknown state.
+            let model_weights = match checkpoint.model_id {
+                None => None,
+                Some(model_id) => match shared.registry.weights(model_id) {
+                    Some(weights) => Some(weights),
+                    None => {
+                        max_telemetry::counter_add("serve.resume.model_evicted", 1);
+                        reject(transport, summary, REJECT_RESUME, 0)?;
+                        return Ok(());
+                    }
+                },
+            };
             let request = crate::scheduler::JobRequest {
                 session_id: resumed_id,
                 job_id,
                 columns,
                 seed: checkpoint.job_seed,
+                weights: model_weights,
                 trace,
             };
             let result_rx = match shared.pool.submit(request) {
@@ -444,9 +469,10 @@ fn session_loop<T: Transport>(
                 return Ok(());
             };
             let mut ot_sender = sender;
-            let job = result_rx.recv().map_err(|_| AcceleratorError::Protocol {
-                what: "unit pool shut down mid-job",
-            })??;
+            let job =
+                materialize_job(&result_rx.recv().map_err(|_| AcceleratorError::Protocol {
+                    what: "unit pool shut down mid-job",
+                })??);
             let ctx = SessionCtx {
                 session_id: resumed_id,
                 session_seed: checkpoint.session_seed,
@@ -474,6 +500,7 @@ fn session_loop<T: Transport>(
                     job_id,
                     columns,
                     job_seed: checkpoint.job_seed,
+                    model_id: checkpoint.model_id,
                     start_element,
                 },
             )?;
@@ -495,58 +522,93 @@ fn session_loop<T: Transport>(
 
     loop {
         match recv_control(transport) {
-            Ok(ControlMsg::JobRequest { columns }) => {
+            Ok(ControlMsg::JobRequest { columns, model_id }) => {
                 if columns == 0 || columns > MAX_JOB_COLUMNS {
                     return Err(AcceleratorError::Protocol {
                         what: "JOB column count out of range",
                     });
                 }
-                if shared.breaker.should_shed() {
-                    summary.busy_rejections += 1;
-                    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                    if let Some(flight) = flight {
-                        flight.log(
-                            "breaker.shed",
-                            "job",
-                            u64::from(shared.breaker.config().retry_after_ms),
-                        );
-                    }
-                    send_control(
-                        transport,
-                        &ControlMsg::Busy {
-                            retry_after_ms: shared.breaker.config().retry_after_ms,
-                            queue_depth: shared.pool.depth() as u32,
-                        },
-                    )?;
-                    continue;
+                /// How this job will be served: a warm pre-garbled stream
+                /// replayed on the session thread, or a unit-pool garble.
+                enum Plan {
+                    Prepared(Box<PreparedStream>),
+                    Pool {
+                        weights: Option<Arc<Vec<Vec<i64>>>>,
+                        seed_override: Option<u64>,
+                    },
                 }
-                let job_id = ctx.next_job;
-                let job_seed = derive_seed(ctx.session_seed, 0x100 + job_id);
-                let request = crate::scheduler::JobRequest {
-                    session_id: ctx.session_id,
-                    job_id,
-                    columns,
-                    seed: job_seed,
-                    trace: ctx.trace,
+                let plan = match model_id {
+                    None => Plan::Pool {
+                        weights: None,
+                        seed_override: None,
+                    },
+                    Some(id) => match shared.registry.acquire(id, columns) {
+                        None => {
+                            // Unknown model is a per-job refusal, not a
+                            // session error: the client may PUT and retry.
+                            max_telemetry::counter_add("serve.jobs.model_unknown", 1);
+                            if let Some(flight) = flight {
+                                flight.log("model.unknown", format!("model {id}"), id);
+                            }
+                            send_control(
+                                transport,
+                                &ControlMsg::Reject {
+                                    code: REJECT_MODEL,
+                                    detail: 0,
+                                },
+                            )?;
+                            continue;
+                        }
+                        Some(Acquired::Prepared(stream)) => Plan::Prepared(stream),
+                        Some(Acquired::Starved(ticket)) => {
+                            // Stock exhausted (or a shape with no prepared
+                            // form): garble inline from the ticket's fresh
+                            // generation. Counted, never an error.
+                            if let Some(flight) = flight {
+                                flight.log(
+                                    "model.starved",
+                                    format!("model {id}"),
+                                    ticket.generation,
+                                );
+                            }
+                            Plan::Pool {
+                                weights: Some(ticket.weights),
+                                seed_override: Some(ticket.seed),
+                            }
+                        }
+                    },
                 };
-                match shared.pool.submit(request) {
-                    Ok(result_rx) => {
-                        shared.breaker.note_ok();
+                match plan {
+                    Plan::Prepared(stream) => {
+                        // The warm path never touches the breaker or the
+                        // pool: the online phase is OT plus frame replay,
+                        // which is exactly the capacity the breaker is NOT
+                        // guarding.
+                        let job_id = ctx.next_job;
                         ctx.next_job += 1;
-                        let job = result_rx.recv().map_err(|_| AcceleratorError::Protocol {
-                            what: "unit pool shut down mid-job",
-                        })??;
+                        summary.jobs_prepared += 1;
+                        shared.jobs_prepared.fetch_add(1, Ordering::Relaxed);
+                        max_telemetry::counter_add("serve.jobs.prepared", 1);
+                        trace_instant(shared, ctx.trace, "server/prepared_serve");
+                        if let Some(flight) = flight {
+                            flight.log(
+                                "model.prepared",
+                                format!("model {}", stream.model_id),
+                                stream.generation,
+                            );
+                        }
                         stream_job_checkpointed(
                             shared,
                             summary,
                             transport,
                             &ctx,
-                            &job,
+                            &stream.job,
                             &mut ot_sender,
                             &JobRun {
                                 job_id,
                                 columns,
-                                job_seed,
+                                job_seed: stream.seed,
+                                model_id: Some(stream.model_id),
                                 start_element: 0,
                             },
                         )?;
@@ -554,20 +616,154 @@ fn session_loop<T: Transport>(
                         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
                         max_telemetry::counter_add("serve.jobs.completed", 1);
                     }
-                    Err(full) => {
-                        shared.breaker.note_queue_full();
-                        summary.busy_rejections += 1;
-                        shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    Plan::Pool {
+                        weights,
+                        seed_override,
+                    } => {
+                        if shared.breaker.should_shed() {
+                            summary.busy_rejections += 1;
+                            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                            if let Some(flight) = flight {
+                                flight.log(
+                                    "breaker.shed",
+                                    "job",
+                                    u64::from(shared.breaker.config().retry_after_ms),
+                                );
+                            }
+                            send_control(
+                                transport,
+                                &ControlMsg::Busy {
+                                    retry_after_ms: shared.breaker.config().retry_after_ms,
+                                    queue_depth: shared.pool.depth() as u32,
+                                },
+                            )?;
+                            continue;
+                        }
+                        let job_id = ctx.next_job;
+                        let job_seed = seed_override
+                            .unwrap_or_else(|| derive_seed(ctx.session_seed, 0x100 + job_id));
+                        let request = crate::scheduler::JobRequest {
+                            session_id: ctx.session_id,
+                            job_id,
+                            columns,
+                            seed: job_seed,
+                            weights,
+                            trace: ctx.trace,
+                        };
+                        match shared.pool.submit(request) {
+                            Ok(result_rx) => {
+                                shared.breaker.note_ok();
+                                ctx.next_job += 1;
+                                let job = materialize_job(&result_rx.recv().map_err(|_| {
+                                    AcceleratorError::Protocol {
+                                        what: "unit pool shut down mid-job",
+                                    }
+                                })??);
+                                stream_job_checkpointed(
+                                    shared,
+                                    summary,
+                                    transport,
+                                    &ctx,
+                                    &job,
+                                    &mut ot_sender,
+                                    &JobRun {
+                                        job_id,
+                                        columns,
+                                        job_seed,
+                                        model_id,
+                                        start_element: 0,
+                                    },
+                                )?;
+                                summary.jobs_completed += 1;
+                                shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                                max_telemetry::counter_add("serve.jobs.completed", 1);
+                            }
+                            Err(full) => {
+                                shared.breaker.note_queue_full();
+                                summary.busy_rejections += 1;
+                                shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                                send_control(
+                                    transport,
+                                    &ControlMsg::Busy {
+                                        retry_after_ms: shared.retry_after_ms,
+                                        queue_depth: full.queue_depth as u32,
+                                    },
+                                )?;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(ControlMsg::ModelPut {
+                model_id,
+                rows: _,
+                cols,
+                weights,
+            }) => {
+                // Reshape row-major; the decoder already enforced
+                // `weights.len() == rows * cols` and the element cap.
+                let matrix: Vec<Vec<i64>> = if cols == 0 {
+                    Vec::new()
+                } else {
+                    weights.chunks(cols as usize).map(<[i64]>::to_vec).collect()
+                };
+                match shared.put_model(model_id, matrix) {
+                    Ok(status) => {
+                        max_telemetry::counter_add("serve.models.put", 1);
+                        if let Some(flight) = flight {
+                            flight.log("model.put", format!("model {model_id}"), model_id);
+                        }
+                        send_control(transport, &ControlMsg::ModelStat { status })?;
+                    }
+                    Err(err) => {
+                        // A refused registration keeps the session alive:
+                        // the detail tells the client what to fix.
+                        let detail: u8 = match err {
+                            RegisterError::EmptyModel => 1,
+                            RegisterError::RaggedRow { .. } => 2,
+                            RegisterError::TooLarge { .. } => 3,
+                            RegisterError::ValueOutOfRange { .. } => 4,
+                        };
+                        max_telemetry::counter_add("serve.models.put_rejected", 1);
+                        if let Some(flight) = flight {
+                            flight.log("model.put_rejected", format!("{err}"), u64::from(detail));
+                        }
                         send_control(
                             transport,
-                            &ControlMsg::Busy {
-                                retry_after_ms: shared.retry_after_ms,
-                                queue_depth: full.queue_depth as u32,
+                            &ControlMsg::Reject {
+                                code: REJECT_MODEL,
+                                detail: u32::from(detail),
                             },
                         )?;
                     }
                 }
             }
+            Ok(ControlMsg::ModelInfo { model_id }) => match shared.registry.status(model_id) {
+                Some(status) => send_control(transport, &ControlMsg::ModelStat { status })?,
+                None => send_control(
+                    transport,
+                    &ControlMsg::Reject {
+                        code: REJECT_MODEL,
+                        detail: 0,
+                    },
+                )?,
+            },
+            Ok(ControlMsg::ModelEvict { model_id }) => match shared.evict_model(model_id) {
+                Some(status) => {
+                    max_telemetry::counter_add("serve.models.evicted", 1);
+                    if let Some(flight) = flight {
+                        flight.log("model.evicted", format!("model {model_id}"), model_id);
+                    }
+                    send_control(transport, &ControlMsg::ModelStat { status })?;
+                }
+                None => send_control(
+                    transport,
+                    &ControlMsg::Reject {
+                        code: REJECT_MODEL,
+                        detail: 0,
+                    },
+                )?,
+            },
             Ok(ControlMsg::Ping { nonce }) => {
                 send_control(transport, &ControlMsg::Pong { nonce })?;
                 max_telemetry::counter_add("serve.heartbeats", 1);
@@ -599,7 +795,7 @@ fn session_loop<T: Transport>(
             }
             Ok(_) => {
                 return Err(AcceleratorError::Protocol {
-                    what: "expected JOB, PING, or BYE",
+                    what: "expected JOB, MODEL, PING, or BYE",
                 })
             }
             Err(e) => return Err(e),

@@ -69,6 +69,9 @@ fn live_checkpoint(session_id: u64, session_seed: u64, warmup: usize) -> Session
         job_id: session_id ^ 2,
         columns: 1 + (session_id % 64) as u32,
         job_seed: derive_seed(session_seed, 0x102),
+        model_id: session_id
+            .is_multiple_of(2)
+            .then(|| derive_seed(session_seed, 0x4d0d)),
         snapshots,
     }
 }

@@ -245,7 +245,14 @@ fn hostile_frames_do_not_kill_the_service() {
             ControlMsg::Accept { .. } => {}
             other => panic!("expected ACCEPT, got {other:?}"),
         }
-        send_control(&mut tcp, &ControlMsg::JobRequest { columns: 1 }).expect("job");
+        send_control(
+            &mut tcp,
+            &ControlMsg::JobRequest {
+                columns: 1,
+                model_id: None,
+            },
+        )
+        .expect("job");
         match recv_control(&mut tcp).expect("ready") {
             ControlMsg::Ready { .. } => {}
             other => panic!("expected READY, got {other:?}"),

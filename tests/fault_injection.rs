@@ -244,7 +244,14 @@ fn duplicated_and_reordered_control_frames_are_typed_protocol_errors() {
     // Reordered opening: a JOB where the HELLO belongs.
     {
         let mut tcp = FramedTcp::connect(addr).expect("connect");
-        send_control(&mut tcp, &ControlMsg::JobRequest { columns: 1 }).expect("early job");
+        send_control(
+            &mut tcp,
+            &ControlMsg::JobRequest {
+                columns: 1,
+                model_id: None,
+            },
+        )
+        .expect("early job");
         tcp.set_idle_timeout(Some(Duration::from_secs(10)));
         assert!(tcp.recv_frame().is_err(), "expected the session to die");
     }
