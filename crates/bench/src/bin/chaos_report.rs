@@ -6,12 +6,14 @@
 //! [`ResilientClient`] whose every dial is wrapped in a deterministic
 //! [`FaultTransport`]. Detectable faults — drops, truncation, cuts — are
 //! recovered transparently by the client (backoff, redial, RESUME).
-//! *Silent* faults — bit flips, duplicates, reorders of OT traffic — yield
-//! garbage results by design (GC promises garbage, not detection), so every
-//! job is verified against the plaintext `W·x` and wrong results are
-//! re-run with a bounded budget; both counts land in the report.
-//! The full sweep lands in `BENCH_chaos.json` (schema
-//! `maxelerator-chaos-v1`).
+//! Bit flips, duplicates, and reorders used to be *silent* faults that
+//! yielded garbage results; since protocol v6 every frame is CRC-sealed
+//! and both sides keep rolling transcript digests, so they surface as
+//! typed checksum/integrity errors and are healed under the client's
+//! integrity budget. Every job is still verified against the plaintext
+//! `W·x` as the final arbiter, and the report *asserts* that no mix
+//! produces a silently wrong result. The full sweep lands in
+//! `BENCH_chaos.json` (schema `maxelerator-chaos-v1`).
 //!
 //! ```text
 //! cargo run --release -p max-bench --bin chaos_report [jobs_per_mix]
@@ -31,8 +33,10 @@ const ROWS: usize = 4;
 const COLS: usize = 4;
 const WIDTH: usize = 8;
 const SEED: u64 = 0xC405;
-/// Re-run budget for jobs whose result fails plaintext verification
-/// (silent OT corruption cannot be detected in-protocol).
+/// Re-run budget for jobs whose result fails plaintext verification. With
+/// v6 seals and digests this loop should never need a second try — the
+/// report asserts `wrong_results == 0` — but the budget stays as the
+/// harness's own belt-and-braces.
 const VERIFY_TRIES: u32 = 6;
 
 /// One entry of the fault sweep: a named mix of per-mille fault rates.
@@ -90,10 +94,15 @@ struct MixPoint {
     recovery_p50_ms: u64,
     recovery_p95_ms: u64,
     faults_injected: u64,
+    corrupt_detected: u64,
+    corrupt_delivered: u64,
+    integrity_detected: u64,
+    integrity_healed: u64,
     wall: Duration,
     goodput_jobs_per_sec: f64,
     server_checkpoints: u64,
     server_resumed: u64,
+    server_integrity_rejects: u64,
 }
 
 fn main() {
@@ -116,7 +125,7 @@ fn main() {
         .map(|(i, mix)| run_mix(mix, SEED ^ ((i as u64) << 40), jobs_per_mix))
         .collect();
 
-    let widths = [12usize, 6, 6, 6, 9, 8, 8, 9, 12, 12, 10];
+    let widths = [12usize, 6, 6, 6, 9, 8, 8, 9, 7, 12, 12, 10];
     println!(
         "  {}",
         row(
@@ -129,6 +138,7 @@ fn main() {
                 "redials",
                 "resumes",
                 "restarts",
+                "integ",
                 "rec p50 (ms)",
                 "rec p95 (ms)",
                 "goodput/s",
@@ -151,6 +161,7 @@ fn main() {
                     format!("{}", p.reconnects.saturating_sub(1)),
                     format!("{}", p.resumes),
                     format!("{}", p.restarts),
+                    format!("{}", p.integrity_detected),
                     format!("{}", p.recovery_p50_ms),
                     format!("{}", p.recovery_p95_ms),
                     format!("{:.2}", p.goodput_jobs_per_sec),
@@ -190,6 +201,11 @@ fn run_mix(mix: &FaultMix, mix_seed: u64, jobs: u64) -> MixPoint {
         max_backoff_ms: 120,
         step_timeout: Some(Duration::from_millis(400)),
         jitter_seed: mix_seed,
+        // Generous: at the sweep's corruption rates a job can eat several
+        // detected flips back to back without the run counting as a
+        // failure — what matters is that every heal lands on a verified
+        // plaintext.
+        integrity_retries: 12,
     };
     let started = Instant::now();
     let mut client = ResilientClient::new(
@@ -228,6 +244,14 @@ fn run_mix(mix: &FaultMix, mix_seed: u64, jobs: u64) -> MixPoint {
         );
         verified_ok += 1;
     }
+    // The tentpole claim, asserted where the goodput is measured: with
+    // every frame sealed and both transcripts digested, injected corruption
+    // ends in a *detected* retry, never a silently wrong plaintext.
+    assert_eq!(
+        wrong_results, 0,
+        "mix {}: {wrong_results} silently wrong results slipped past the integrity ladder",
+        mix.name
+    );
     let stats = client.stats().clone();
     if let Some(transport) = client.goodbye() {
         fault_totals.push(transport.stats());
@@ -249,6 +273,16 @@ fn run_mix(mix: &FaultMix, mix_seed: u64, jobs: u64) -> MixPoint {
         .iter()
         .map(|f| f.drops + f.corruptions + f.duplicates + f.reorders + f.truncations + f.cut as u64)
         .sum();
+    let corrupt_detected = fault_totals.iter().map(|f| f.corrupt_detected).sum();
+    let corrupt_delivered: u64 = fault_totals.iter().map(|f| f.corrupt_delivered).sum();
+    // Every protocol frame is sealed, so corruption of protocol traffic is
+    // always in the detected bucket; a delivered flip would mean an
+    // unsealed frame leaked onto the wire.
+    assert_eq!(
+        corrupt_delivered, 0,
+        "mix {}: {corrupt_delivered} flips landed on unsealed frames",
+        mix.name
+    );
 
     MixPoint {
         name: mix.name,
@@ -264,10 +298,15 @@ fn run_mix(mix: &FaultMix, mix_seed: u64, jobs: u64) -> MixPoint {
         recovery_p50_ms,
         recovery_p95_ms,
         faults_injected,
+        corrupt_detected,
+        corrupt_delivered,
+        integrity_detected: stats.integrity_detected,
+        integrity_healed: stats.integrity_healed,
         wall,
         goodput_jobs_per_sec: verified_ok as f64 / wall.as_secs_f64(),
         server_checkpoints: server.checkpoints_saved,
         server_resumed: server.jobs_resumed,
+        server_integrity_rejects: server.integrity_rejects,
     }
 }
 
@@ -302,13 +341,24 @@ fn build_json(jobs_per_mix: u64, points: &[MixPoint]) -> JsonValue {
                 "faults_injected_low_bound",
                 JsonValue::UInt(p.faults_injected),
             )
+            .push(
+                "corrupt_detected_low_bound",
+                JsonValue::UInt(p.corrupt_detected),
+            )
+            .push("corrupt_delivered", JsonValue::UInt(p.corrupt_delivered))
+            .push("integrity_detected", JsonValue::UInt(p.integrity_detected))
+            .push("integrity_healed", JsonValue::UInt(p.integrity_healed))
             .push("wall_ms", JsonValue::Float(p.wall.as_secs_f64() * 1e3))
             .push(
                 "goodput_jobs_per_sec",
                 JsonValue::Float(p.goodput_jobs_per_sec),
             )
             .push("server_checkpoints", JsonValue::UInt(p.server_checkpoints))
-            .push("server_jobs_resumed", JsonValue::UInt(p.server_resumed));
+            .push("server_jobs_resumed", JsonValue::UInt(p.server_resumed))
+            .push(
+                "server_integrity_rejects",
+                JsonValue::UInt(p.server_integrity_rejects),
+            );
         sweep.push(point);
     }
 

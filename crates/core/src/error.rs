@@ -90,6 +90,15 @@ pub enum AcceleratorError {
         /// Why (version mismatch, unsupported width, draining, ...).
         reason: &'static str,
     },
+    /// The rolling transcript digests of the two sides diverged — some
+    /// GC-critical byte was corrupted after framing (bit rot, a buggy
+    /// middlebox, a stale cache entry). The job must be restarted; the
+    /// session's OT state can no longer be trusted past the last verified
+    /// boundary.
+    Integrity {
+        /// Which digest comparison failed.
+        what: &'static str,
+    },
     /// A resilient client exhausted its retry budget; `last` is the error
     /// that ended the final attempt.
     RetriesExhausted {
@@ -149,6 +158,9 @@ impl std::fmt::Display for AcceleratorError {
             }
             AcceleratorError::Rejected { reason } => {
                 write!(f, "session rejected: {reason}")
+            }
+            AcceleratorError::Integrity { what } => {
+                write!(f, "transcript integrity violation: {what}")
             }
             AcceleratorError::RetriesExhausted { attempts, last } => {
                 write!(

@@ -82,14 +82,28 @@
 //! [`iknp::setup_pair`]`(ot_seed)` and keep their half. This mirrors the
 //! repository's in-process trusted-dealer base-OT shortcut — the base phase
 //! is modeled, the extension is real.
+//!
+//! **Integrity (v6).** Every protocol frame is sealed with a CRC32 prefix
+//! ([`max_gc::channel::seal_frame`]), so a bit flipped in transit dies at
+//! framing as a typed [`TransportError::Checksum`](max_gc::channel::TransportError)
+//! instead of reaching GC state. Above the per-frame check, both sides fold
+//! each job's GC-critical bytes — EXT bodies, CIPHER frames, ROUNDS frames
+//! — into a rolling [`TranscriptDigest`]; the client piggy-backs its
+//! running value as a 16-byte EXT trailer and the server echoes its own in
+//! STATS, so any divergence (a corrupted cache entry, journal bit rot, a
+//! frame the CRC happened to miss) surfaces as `REJECT(INTEGRITY)` /
+//! [`AcceleratorError::Integrity`] within one element. Both checks detect
+//! **accidental** corruption only: the digest key is fixed and public, so
+//! an active adversary can tamper and re-seal — the honest-but-curious
+//! boundary of the stack is unchanged.
 
 // Protocol paths must never panic on peer input; unwraps are confined to
 // tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use max_crypto::Block;
-use max_gc::channel::{decode_blocks, encode_block_pairs, FrameKind};
+use max_crypto::{Block, TranscriptDigest};
+use max_gc::channel::{decode_blocks, encode_block_pairs, open_frame, seal_frame, FrameKind};
 use max_gc::Transport;
 use max_ot::iknp::{self, CipherMsg, ExtendMsg, OtExtReceiver, OtExtSender, KAPPA};
 use max_telemetry::TraceContext;
@@ -115,7 +129,15 @@ use crate::wire::{decode_round_message, encode_round_message};
 /// model id on JOB. Job/element frame *counts* are again unchanged — a
 /// model-backed job streams the same EXT → CIPHER → ROUNDS exchange — so
 /// resume offsets and fault-injection cut arithmetic still carry over.
-pub const PROTOCOL_VERSION: u16 = 5;
+/// v6 added end-to-end integrity: every frame is sealed with a CRC32
+/// prefix ([`max_gc::channel::seal_frame`]), both sides fold the GC-critical
+/// bytes (EXT bodies, CIPHER frames, ROUNDS frames) into a rolling
+/// [`TranscriptDigest`], each EXT carries the client's running digest as a
+/// 16-byte trailer, STATS carries the server's, and a mismatch is answered
+/// with `REJECT(INTEGRITY)`. Frame *counts* are once more unchanged (the
+/// seal and the trailer ride inside existing frames), so resume offsets and
+/// fault-injection cut arithmetic carry over from v3.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Largest METRICS reply body the decoder will allocate (1 MiB of JSON is
 /// far beyond any honest snapshot; a hostile length dies here, not in the
@@ -142,6 +164,10 @@ pub const REJECT_OVERLOAD: u8 = 5;
 /// REJECT code: the named prepared model is unknown (never registered,
 /// already evicted, or refused at registration).
 pub const REJECT_MODEL: u8 = 6;
+/// REJECT code: the peers' rolling transcript digests diverged (v6) — a
+/// GC-critical byte was corrupted after framing. The job's checkpoints
+/// past the last verified boundary are invalid.
+pub const REJECT_INTEGRITY: u8 = 7;
 
 /// Largest element count (`rows * cols`) a MODEL_PUT frame may declare.
 ///
@@ -159,6 +185,7 @@ pub fn reject_reason(code: u8) -> &'static str {
         REJECT_RESUME => "resume state not found",
         REJECT_OVERLOAD => "server shedding load",
         REJECT_MODEL => "unknown prepared model",
+        REJECT_INTEGRITY => "transcript integrity mismatch",
         _ => "unknown reason",
     }
 }
@@ -309,6 +336,10 @@ pub enum ControlMsg {
         /// untraced) — the client's proof that server-side spans tagged
         /// with this id belong to its job.
         trace_id: u128,
+        /// The server's rolling [`TranscriptDigest`] value over the job's
+        /// GC-critical bytes (v6); the client compares it against its own
+        /// before accepting the results.
+        digest: [u8; 16],
     },
     /// Client → server: reconnect into an interrupted session and continue
     /// the in-flight job from the first incomplete element.
@@ -472,10 +503,12 @@ impl ControlMsg {
             ControlMsg::Stats {
                 fabric_cycles,
                 trace_id,
+                digest,
             } => {
                 buf.put_u8(TAG_STATS);
                 buf.put_u64(fabric_cycles);
                 put_trace_id(&mut buf, trace_id);
+                buf.put_slice(&digest);
             }
             ControlMsg::Resume {
                 session_id,
@@ -622,10 +655,15 @@ impl ControlMsg {
                 }
             }
             TAG_STATS => {
-                need(&frame, 24, "STATS payload")?;
+                need(&frame, 40, "STATS payload")?;
+                let fabric_cycles = frame.get_u64();
+                let trace_id = get_trace_id(&mut frame);
+                let mut digest = [0u8; 16];
+                frame.copy_to_slice(&mut digest);
                 ControlMsg::Stats {
-                    fabric_cycles: frame.get_u64(),
-                    trace_id: get_trace_id(&mut frame),
+                    fabric_cycles,
+                    trace_id,
+                    digest,
                 }
             }
             TAG_RESUME => {
@@ -731,7 +769,7 @@ impl ControlMsg {
     }
 }
 
-/// Sends one control message.
+/// Sends one control message, sealed with the v6 CRC32 frame prefix.
 ///
 /// # Errors
 ///
@@ -740,19 +778,20 @@ pub fn send_control<T: Transport + ?Sized>(
     transport: &mut T,
     msg: &ControlMsg,
 ) -> Result<(), AcceleratorError> {
-    transport.send_frame(FrameKind::Raw, msg.encode())?;
+    transport.send_frame(FrameKind::Raw, seal_frame(msg.encode()))?;
     Ok(())
 }
 
-/// Receives and decodes one control message.
+/// Receives, checksum-verifies, and decodes one control message.
 ///
 /// # Errors
 ///
-/// Propagates transport failures and malformed frames.
+/// Propagates transport failures and malformed frames; a flipped bit
+/// surfaces as [`max_gc::channel::TransportError::Checksum`].
 pub fn recv_control<T: Transport + ?Sized>(
     transport: &mut T,
 ) -> Result<ControlMsg, AcceleratorError> {
-    ControlMsg::decode(transport.recv_frame()?)
+    ControlMsg::decode(open_frame(transport.recv_frame()?)?)
 }
 
 /// Splitmix-style seed derivation: one base seed, many independent
@@ -778,13 +817,21 @@ fn encode_ext(msg: &ExtendMsg) -> Bytes {
     buf.freeze()
 }
 
-fn decode_ext(mut frame: Bytes) -> Result<ExtendMsg, AcceleratorError> {
+/// Decodes an EXT frame into the extension message and the client's
+/// 16-byte transcript-digest trailer (v6).
+fn decode_ext(mut frame: Bytes) -> Result<(ExtendMsg, [u8; 16]), AcceleratorError> {
+    if frame.remaining() < 1 {
+        return Err(AcceleratorError::Protocol { what: "EXT header" });
+    }
+    if frame[0] == TAG_BYE && frame.remaining() == 1 {
+        // A well-behaved client may close instead of sending a job's data.
+        return Err(AcceleratorError::Disconnected);
+    }
     if frame.remaining() < 9 {
         return Err(AcceleratorError::Protocol { what: "EXT header" });
     }
     let tag = frame.get_u8();
     if tag == TAG_BYE {
-        // A well-behaved client may close instead of sending a job's data.
         return Err(AcceleratorError::Disconnected);
     }
     if tag != TAG_EXT {
@@ -799,7 +846,7 @@ fn decode_ext(mut frame: Bytes) -> Result<ExtendMsg, AcceleratorError> {
             what: "EXT batch size",
         });
     }
-    if frame.remaining() != KAPPA * words * 8 {
+    if frame.remaining() != KAPPA * words * 8 + 16 {
         return Err(AcceleratorError::Protocol {
             what: "EXT payload length",
         });
@@ -807,7 +854,9 @@ fn decode_ext(mut frame: Bytes) -> Result<ExtendMsg, AcceleratorError> {
     let columns = (0..KAPPA)
         .map(|_| (0..words).map(|_| frame.get_u64()).collect())
         .collect();
-    Ok(ExtendMsg { columns, count })
+    let mut mark = [0u8; 16];
+    frame.copy_to_slice(&mut mark);
+    Ok((ExtendMsg { columns, count }, mark))
 }
 
 /// Encodes one output element's full round sequence as a single ROUNDS
@@ -993,6 +1042,35 @@ impl MaterializedJob {
     }
 }
 
+/// The [`AcceleratorError::Integrity`] detail for a prepared stream whose
+/// at-rest bytes no longer match the digest recorded when it was garbled —
+/// the serving layer matches on this to route the failure into the
+/// registry's rot accounting.
+pub const STREAM_DIGEST_MISMATCH: &str = "prepared stream digest mismatch";
+
+/// Digest of a materialized stream's GC-critical bytes — every element's
+/// pre-encoded ROUNDS frame and OT label pairs, folded in serve order.
+/// Computed once when the stream is garbled and re-verified before the
+/// stream is served, so material that rots while cached (DRAM fault, disk
+/// rot) is detected before it reaches a wire. Accidental-corruption
+/// detection only: anything that can rewrite the cache can rewrite the
+/// digest beside it.
+pub fn stream_digest(job: &MaterializedJob) -> [u8; 16] {
+    let mut digest = TranscriptDigest::new();
+    let mut pair_bytes = Vec::new();
+    for elem in &job.elements {
+        digest.fold(&elem.rounds_frame);
+        pair_bytes.clear();
+        pair_bytes.reserve(elem.pairs.len() * 32);
+        for (zero, one) in &elem.pairs {
+            pair_bytes.extend_from_slice(&zero.to_bytes());
+            pair_bytes.extend_from_slice(&one.to_bytes());
+        }
+        digest.fold(&pair_bytes);
+    }
+    digest.value()
+}
+
 /// Renders a garbled job to its wire form: encodes each element's ROUNDS
 /// burst once and keeps the OT pairs. Byte-for-byte, streaming the result
 /// is identical to streaming the [`GarbledJob`] directly —
@@ -1033,40 +1111,56 @@ pub fn stream_matvec_job<T: Transport + ?Sized>(
     job_id: u64,
     trace: TraceContext,
 ) -> Result<MatvecTranscript, AcceleratorError> {
-    stream_matvec_job_from(transport, job, ot_sender, job_id, trace, 0, |_, _| {})
+    let mut digest = TranscriptDigest::new();
+    stream_matvec_job_from(
+        transport,
+        job,
+        ot_sender,
+        &mut digest,
+        job_id,
+        trace,
+        0,
+        |_, _, _| {},
+    )
 }
 
 /// [`stream_matvec_job`] generalized for resumption: starts the exchange
 /// at `start_element` (elements before it were already streamed on an
-/// earlier connection) and calls `on_element(next_element, ot_sender)` once
-/// per element, after the OT state advances but *before* the element's
-/// CIPHER/ROUNDS frames go out — the hook where a serving layer snapshots
-/// (and durably journals) the OT sender for round checkpoints. The
-/// write-before-send ordering guarantees a journal is never behind the
-/// client's observed progress, whatever instant the process dies.
+/// earlier connection) and calls `on_element(next_element, ot_sender,
+/// digest)` once per element, after the OT and digest state advance but
+/// *before* the element's CIPHER/ROUNDS frames go out — the hook where a
+/// serving layer snapshots (and durably journals) the OT sender and the
+/// transcript digest for round checkpoints. The write-before-send ordering
+/// guarantees a journal is never behind the client's observed progress,
+/// whatever instant the process dies.
 ///
-/// The caller must hand in an `ot_sender` whose state matches
-/// `start_element` (for a resume: the snapshot taken at that boundary).
+/// The caller must hand in an `ot_sender` and `digest` whose states match
+/// `start_element` (for a resume: the snapshots taken at that boundary —
+/// a fresh [`TranscriptDigest`] when starting at element zero).
 ///
 /// # Errors
 ///
 /// See [`stream_matvec_job`].
+#[allow(clippy::too_many_arguments)]
 pub fn stream_matvec_job_from<T: Transport + ?Sized>(
     transport: &mut T,
     job: &GarbledJob,
     ot_sender: &mut OtExtSender,
+    digest: &mut TranscriptDigest,
     job_id: u64,
     trace: TraceContext,
     start_element: usize,
-    on_element: impl FnMut(usize, &OtExtSender),
+    on_element: impl FnMut(usize, &OtExtSender, &TranscriptDigest),
 ) -> Result<MatvecTranscript, AcceleratorError> {
     stream_materialized_job_from(
         transport,
         &materialize_job(job),
         ot_sender,
+        digest,
         job_id,
         trace,
         start_element,
+        None,
         on_element,
     )
 }
@@ -1077,20 +1171,46 @@ pub fn stream_matvec_job_from<T: Transport + ?Sized>(
 /// the moment the ROUNDS frames were rendered differs (offline precompute
 /// vs just-in-time).
 ///
+/// `expected_digest` carries the [`stream_digest`] recorded when a cached
+/// stream was garbled. It is re-verified here, *after* READY goes out but
+/// *before* any material frame does: the rehash scales with the stream
+/// while the admission window must not, so it is pipelined past READY
+/// (overlapping the client's first OT extension) — yet a rotted stream
+/// still never puts a byte of material on the wire. A mismatch answers the
+/// client's first EXT with `REJECT(integrity)` and fails typed with
+/// [`STREAM_DIGEST_MISMATCH`].
+///
 /// # Errors
 ///
 /// See [`stream_matvec_job`].
+#[allow(clippy::too_many_arguments)]
 pub fn stream_materialized_job_from<T: Transport + ?Sized>(
     transport: &mut T,
     job: &MaterializedJob,
     ot_sender: &mut OtExtSender,
+    digest: &mut TranscriptDigest,
     job_id: u64,
     trace: TraceContext,
     start_element: usize,
-    mut on_element: impl FnMut(usize, &OtExtSender),
+    expected_digest: Option<[u8; 16]>,
+    mut on_element: impl FnMut(usize, &OtExtSender, &TranscriptDigest),
 ) -> Result<MatvecTranscript, AcceleratorError> {
     let _span = max_telemetry::span("remote.stream_job");
     send_control(transport, &ControlMsg::Ready { job_id })?;
+    if let Some(expected) = expected_digest {
+        if stream_digest(job) != expected {
+            send_control(
+                transport,
+                &ControlMsg::Reject {
+                    code: REJECT_INTEGRITY,
+                    detail: u32::MAX,
+                },
+            )?;
+            return Err(AcceleratorError::Integrity {
+                what: STREAM_DIGEST_MISMATCH,
+            });
+        }
+    }
     let mut transcript = MatvecTranscript {
         elements: job.elements.len().saturating_sub(start_element),
         fabric_cycles: job.fabric_cycles,
@@ -1098,36 +1218,61 @@ pub fn stream_materialized_job_from<T: Transport + ?Sized>(
         ..MatvecTranscript::default()
     };
     for (idx, elem) in job.elements.iter().enumerate().skip(start_element) {
-        let ext = decode_ext(transport.recv_frame()?)?;
+        let ext_frame = open_frame(transport.recv_frame()?)?;
+        let (ext, client_mark) = decode_ext(ext_frame.clone())?;
         if ext.count != elem.pairs.len() {
             return Err(AcceleratorError::Protocol {
                 what: "EXT count does not match the job's OT pairs",
             });
         }
+        // Fold the EXT body (sans its 16-byte trailer) and insist the
+        // client's running digest matches ours before the OT state
+        // advances: a divergence detected here leaves every snapshot at or
+        // before this boundary verified, so RESUME stays sound.
+        digest.fold(&ext_frame[..ext_frame.len() - 16]);
+        if client_mark != digest.value() {
+            send_control(
+                transport,
+                &ControlMsg::Reject {
+                    code: REJECT_INTEGRITY,
+                    detail: idx as u32,
+                },
+            )?;
+            return Err(AcceleratorError::Integrity {
+                what: "client transcript digest mismatch at EXT",
+            });
+        }
         transcript.ot_upload_bytes += ext.columns.iter().map(|c| c.len() as u64 * 8).sum::<u64>();
         let cipher = ot_sender.send(&ext, &elem.pairs);
+        let cipher_frame = encode_block_pairs(&cipher.pairs);
+        // The digest covers this element's CIPHER/ROUNDS bytes *before*
+        // the checkpoint hook fires, so a snapshot at boundary `idx + 1`
+        // matches the client's digest checkpoint at the same boundary.
+        digest.fold(&cipher_frame);
+        digest.fold(&elem.rounds_frame);
         // Checkpoint *before* delivering this element's CIPHER/ROUNDS frames:
         // a durable journal hooked in here then always covers at least as much
         // progress as the client has observed, so a crash between the journal
         // write and the sends can only leave the server one element *ahead* —
         // which the last-2 snapshot window resolves — never behind (which
         // would force a REJECT on resume).
-        on_element(idx + 1, ot_sender);
+        on_element(idx + 1, ot_sender, digest);
         transcript.ot_bytes += (cipher.pairs.len() * 32) as u64;
-        transport.send_frame(FrameKind::Blocks, encode_block_pairs(&cipher.pairs))?;
+        transport.send_frame(FrameKind::Blocks, seal_frame(cipher_frame))?;
         transcript.material_bytes += elem.material_bytes;
         transcript.tables += elem.tables;
         transcript.rounds += elem.rounds;
         // One burst frame per element instead of one frame per round: the
         // per-frame overhead (and per-frame fault-injection surface) no
         // longer scales with model width.
-        transport.send_frame(FrameKind::Raw, elem.rounds_frame.clone())?;
+        transport.send_frame(FrameKind::Raw, seal_frame(elem.rounds_frame.clone()))?;
     }
     send_control(
         transport,
         &ControlMsg::Stats {
             fabric_cycles: job.fabric_cycles,
             trace_id: trace.trace_id,
+            digest: digest.value(),
         },
     )?;
     Ok(transcript)
@@ -1226,6 +1371,8 @@ pub struct JobProgress {
     receiver_checkpoint: OtExtReceiver,
     transcript: MatvecTranscript,
     transcript_checkpoint: MatvecTranscript,
+    digest: TranscriptDigest,
+    digest_checkpoint: TranscriptDigest,
     done: bool,
 }
 
@@ -1682,6 +1829,8 @@ impl<T: Transport> RemoteClient<T> {
                 receiver_checkpoint: self.state.ot_receiver.clone(),
                 transcript: MatvecTranscript::default(),
                 transcript_checkpoint: MatvecTranscript::default(),
+                digest: TranscriptDigest::new(),
+                digest_checkpoint: TranscriptDigest::new(),
                 done: false,
             }),
             ControlMsg::Busy { retry_after_ms, .. } => {
@@ -1724,6 +1873,7 @@ impl<T: Transport> RemoteClient<T> {
             })?;
         self.state.ot_receiver = progress.receiver_checkpoint.clone();
         progress.transcript = progress.transcript_checkpoint;
+        progress.digest = progress.digest_checkpoint.clone();
         send_control(
             &mut self.transport,
             &ControlMsg::Resume {
@@ -1774,6 +1924,7 @@ impl<T: Transport> RemoteClient<T> {
         for e in progress.elements_done..progress.total_elements {
             progress.receiver_checkpoint = self.state.ot_receiver.clone();
             progress.transcript_checkpoint = progress.transcript;
+            progress.digest_checkpoint = progress.digest.clone();
             let pass = e / rows;
             let column = &progress.x_columns[pass];
             evaluator.begin_element(e as u32);
@@ -1784,9 +1935,38 @@ impl<T: Transport> RemoteClient<T> {
             let (ext, keys) = self.state.ot_receiver.prepare(&choices);
             progress.transcript.ot_upload_bytes +=
                 ext.columns.iter().map(|c| c.len() as u64 * 8).sum::<u64>();
+            // Fold the EXT body into the running digest and append its
+            // value as the frame's trailer — the server verifies it before
+            // advancing its OT state (v6).
+            let ext_body = encode_ext(&ext);
+            progress.digest.fold(&ext_body);
+            let mut ext_frame = BytesMut::with_capacity(ext_body.len() + 16);
+            ext_frame.put_slice(&ext_body);
+            ext_frame.put_slice(&progress.digest.value());
             self.transport
-                .send_frame(FrameKind::Bits, encode_ext(&ext))?;
-            let flat = decode_blocks(self.transport.recv_frame()?)?;
+                .send_frame(FrameKind::Bits, seal_frame(ext_frame.freeze()))?;
+            let cipher_frame = open_frame(self.transport.recv_frame()?)?;
+            // A server that spotted a digest divergence answers the EXT
+            // with a sealed REJECT instead of CIPHER blocks. The shapes
+            // cannot collide: an honest CIPHER frame is 4 + 32·pairs bytes
+            // and starts with the count's zero high byte, never with
+            // TAG_REJECT at 6 bytes total.
+            if cipher_frame.len() == 6 && cipher_frame[0] == TAG_REJECT {
+                if let Ok(ControlMsg::Reject { code, .. }) =
+                    ControlMsg::decode(cipher_frame.clone())
+                {
+                    if code == REJECT_INTEGRITY {
+                        return Err(AcceleratorError::Integrity {
+                            what: "server rejected the client transcript digest",
+                        });
+                    }
+                    return Err(AcceleratorError::Rejected {
+                        reason: reject_reason(code),
+                    });
+                }
+            }
+            progress.digest.fold(&cipher_frame);
+            let flat = decode_blocks(cipher_frame)?;
             if flat.len() != choices.len() * 2 {
                 return Err(AcceleratorError::Protocol {
                     what: "CIPHER pair count",
@@ -1797,7 +1977,9 @@ impl<T: Transport> RemoteClient<T> {
                 pairs: flat.chunks_exact(2).map(|p| (p[0], p[1])).collect(),
             };
             let labels = self.state.ot_receiver.receive(&cipher, &keys, &choices);
-            let msgs = decode_round_burst(self.transport.recv_frame()?, column.len())?;
+            let rounds_frame = open_frame(self.transport.recv_frame()?)?;
+            progress.digest.fold(&rounds_frame);
+            let msgs = decode_round_burst(rounds_frame, column.len())?;
             let mut decoded = None;
             for (i, msg) in msgs.iter().enumerate() {
                 progress.transcript.material_bytes += msg.wire_bytes() as u64;
@@ -1818,10 +2000,12 @@ impl<T: Transport> RemoteClient<T> {
         // server's snapshot window does include the final boundary).
         progress.receiver_checkpoint = self.state.ot_receiver.clone();
         progress.transcript_checkpoint = progress.transcript;
+        progress.digest_checkpoint = progress.digest.clone();
         match recv_control(&mut self.transport)? {
             ControlMsg::Stats {
                 fabric_cycles,
                 trace_id,
+                digest,
             } => {
                 // A traced session insists on its own id back: a nonzero
                 // mismatch means the server attributed this job's spans to
@@ -1830,6 +2014,15 @@ impl<T: Transport> RemoteClient<T> {
                 if trace_id != 0 && trace_id != self.state.trace.trace_id {
                     return Err(AcceleratorError::Protocol {
                         what: "STATS trace id does not match the session",
+                    });
+                }
+                // The server's digest over the whole job must equal ours:
+                // this is the client's end-to-end proof that every
+                // GC-critical byte it evaluated is the byte the server
+                // garbled (against accidental corruption — see module docs).
+                if digest != progress.digest.value() {
+                    return Err(AcceleratorError::Integrity {
+                        what: "server transcript digest mismatch at STATS",
                     });
                 }
                 progress.transcript.fabric_cycles = fabric_cycles;
@@ -2172,6 +2365,7 @@ mod tests {
             ControlMsg::Stats {
                 fabric_cycles: 12345,
                 trace_id: 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210,
+                digest: *b"0123456789abcdef",
             },
             ControlMsg::MetricsRequest,
             ControlMsg::MetricsReply {

@@ -13,6 +13,15 @@
 //!   from scratch on a fresh session rather than failing the caller.
 //! * `REJECT(overload)` — the load-shedding breaker is open — → backoff
 //!   and retry like Busy.
+//! * Integrity failures (v6) → detect-and-heal under a separate bounded
+//!   `integrity_retries` budget: a per-frame CRC failure
+//!   (`TransportError::Checksum`) keeps the session state and heals via
+//!   reconnect + RESUME from the last verified element boundary; a
+//!   transcript-digest divergence ([`AcceleratorError::Integrity`] or
+//!   `REJECT(integrity)`) invalidates the job's checkpoints and restarts it
+//!   from scratch on a fresh session. Both are counted in
+//!   [`ResilienceStats`] (`integrity_detected` / `integrity_healed`), so a
+//!   corrupt link shows up in telemetry instead of in wrong plaintexts.
 //!
 //! Backoff is exponential with decorrelated jitter (`sleep = base +
 //! rand(0, prev*3 - base)`, capped), seeded deterministically so chaos
@@ -36,13 +45,14 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use max_gc::channel::TransportError;
 use max_gc::Transport;
 use max_telemetry::{Recorder, TraceContext};
 
 use crate::error::AcceleratorError;
 use crate::remote::{
-    reject_reason, JobProgress, ModelHandle, RemoteClient, SessionState, REJECT_OVERLOAD,
-    REJECT_RESUME,
+    reject_reason, JobProgress, ModelHandle, RemoteClient, SessionState, REJECT_INTEGRITY,
+    REJECT_OVERLOAD, REJECT_RESUME,
 };
 use crate::server::MatvecTranscript;
 
@@ -61,6 +71,13 @@ pub struct RetryPolicy {
     pub step_timeout: Option<Duration>,
     /// Seed of the jitter PRNG — fix it to make a chaos run replayable.
     pub jitter_seed: u64,
+    /// Separate budget for integrity failures (CRC or transcript-digest
+    /// mismatches, v6) within one operation. A corrupt link heals by
+    /// retrying; a *persistently* corrupting link should fail loudly
+    /// instead of looping — once more than this many integrity faults hit
+    /// one operation, it fails with
+    /// [`AcceleratorError::RetriesExhausted`].
+    pub integrity_retries: u32,
 }
 
 impl Default for RetryPolicy {
@@ -71,6 +88,7 @@ impl Default for RetryPolicy {
             max_backoff_ms: 1_000,
             step_timeout: None,
             jitter_seed: 0x5eed,
+            integrity_retries: 4,
         }
     }
 }
@@ -90,6 +108,12 @@ pub struct ResilienceStats {
     pub restarts: u64,
     /// Milliseconds slept across all backoffs.
     pub backoff_ms_total: u64,
+    /// Integrity faults detected (frame CRC failures and transcript-digest
+    /// divergences, v6) instead of reaching a plaintext.
+    pub integrity_detected: u64,
+    /// Operations that hit at least one integrity fault and still
+    /// completed with a verified transcript.
+    pub integrity_healed: u64,
     /// Wall-clock of each operation that needed at least one retry, ms.
     pub recovery_ms: Vec<u64>,
 }
@@ -245,6 +269,7 @@ where
         let started = Instant::now();
         let mut progress: Option<JobProgress> = None;
         let mut attempts = 0u32;
+        let mut integrity_hits = 0u32;
         loop {
             attempts += 1;
             self.stats.attempts += 1;
@@ -256,11 +281,25 @@ where
                             .recovery_ms
                             .push(started.elapsed().as_millis() as u64);
                     }
+                    if integrity_hits > 0 {
+                        self.stats.integrity_healed += 1;
+                        max_telemetry::counter_add("resilient.integrity_healed", 1);
+                    }
                     return Ok(result);
                 }
                 Err(err) => {
                     if Self::is_fatal(&err) {
                         return Err(err);
+                    }
+                    if Self::is_integrity(&err) {
+                        integrity_hits += 1;
+                        if integrity_hits > self.policy.integrity_retries {
+                            max_telemetry::counter_add("resilient.integrity_gave_up", 1);
+                            return Err(AcceleratorError::RetriesExhausted {
+                                attempts,
+                                last: Box::new(err),
+                            });
+                        }
                     }
                     if attempts >= self.policy.max_attempts {
                         max_telemetry::counter_add("resilient.gave_up", 1);
@@ -395,6 +434,44 @@ where
                 self.stats.restarts += 1;
                 max_telemetry::counter_add("resilient.restarts", 1);
             }
+            AcceleratorError::Integrity { .. } => {
+                // Transcript digests diverged: every checkpoint past the
+                // last verified boundary is suspect, so heal by restarting
+                // the job from scratch on a fresh session.
+                self.stats.integrity_detected += 1;
+                max_telemetry::counter_add("resilient.integrity_detected", 1);
+                self.drop_session();
+                self.saved_state = None;
+                *progress = None;
+                self.stats.restarts += 1;
+                max_telemetry::counter_add("resilient.restarts", 1);
+            }
+            AcceleratorError::Rejected { reason } if *reason == reject_reason(REJECT_INTEGRITY) => {
+                // The server's view of an integrity divergence (delivered
+                // as a REJECT, e.g. on a RESUME attempt): same healing as a
+                // locally detected digest mismatch.
+                self.stats.integrity_detected += 1;
+                max_telemetry::counter_add("resilient.integrity_detected", 1);
+                self.drop_session();
+                self.saved_state = None;
+                *progress = None;
+                self.stats.restarts += 1;
+                max_telemetry::counter_add("resilient.restarts", 1);
+            }
+            AcceleratorError::Transport(TransportError::Checksum { .. }) => {
+                // A single frame died at the CRC — the transcript digests
+                // still agree at the last element boundary, so keep the
+                // session state and heal via reconnect + RESUME, exactly
+                // like a disconnect.
+                self.stats.integrity_detected += 1;
+                max_telemetry::counter_add("resilient.integrity_detected", 1);
+                if let Some(client) = self.client.take() {
+                    let (_, state) = client.into_parts();
+                    self.saved_state = Some(state);
+                }
+                let backoff = self.next_backoff_ms();
+                self.sleep_ms(backoff);
+            }
             _ => {
                 // Connection-level failure: keep the portable session state
                 // for a RESUME, drop the dead transport, back off, redial.
@@ -438,9 +515,22 @@ where
     fn is_fatal(err: &AcceleratorError) -> bool {
         match err {
             AcceleratorError::Rejected { reason } => {
-                *reason != reject_reason(REJECT_RESUME) && *reason != reject_reason(REJECT_OVERLOAD)
+                *reason != reject_reason(REJECT_RESUME)
+                    && *reason != reject_reason(REJECT_OVERLOAD)
+                    && *reason != reject_reason(REJECT_INTEGRITY)
             }
             AcceleratorError::RetriesExhausted { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Detected-corruption errors, budgeted by
+    /// [`RetryPolicy::integrity_retries`].
+    fn is_integrity(err: &AcceleratorError) -> bool {
+        match err {
+            AcceleratorError::Integrity { .. }
+            | AcceleratorError::Transport(TransportError::Checksum { .. }) => true,
+            AcceleratorError::Rejected { reason } => *reason == reject_reason(REJECT_INTEGRITY),
             _ => false,
         }
     }

@@ -1,0 +1,259 @@
+//! Rolling transcript digest built on the fixed-key AES permutation.
+//!
+//! [`TranscriptDigest`] lets both ends of a garbled-circuit session fold
+//! every GC-critical byte they send or receive (garbled tables, label
+//! blocks, OT extension rounds) into a compact 128-bit running value. The
+//! two sides exchange the value at element boundaries and at the end of a
+//! job; a mismatch proves the transcripts diverged — a flipped bit in
+//! transit, a stale cache entry, bit rot in a journal — and the session can
+//! be rewound to the last boundary where the digests agreed.
+//!
+//! # Construction
+//!
+//! The compression function is Matyas–Meyer–Oseas over AES-128 with a fixed
+//! key: for each 16-byte chunk `m`,
+//!
+//! ```text
+//! state = E(state ⊕ m) ⊕ state ⊕ m
+//! ```
+//!
+//! Each [`TranscriptDigest::fold`] call is treated as a framed message: the
+//! final partial chunk is zero-padded, then a length block
+//! (`[0x4C; 8] ‖ byte-length`) is folded so `fold(a); fold(b)` and
+//! `fold(a ‖ b)` yield different states. [`TranscriptDigest::value`]
+//! finalises with a second, domain-separated length block without mutating
+//! the rolling state, so a digest can be sampled at every element boundary
+//! and continue accumulating.
+//!
+//! # Security
+//!
+//! This is an *integrity* check against **accidental** corruption, not an
+//! authenticator. The key is fixed and public, so an active adversary who
+//! tampers with a frame can recompute the matching digest; the protocol's
+//! honest-but-curious boundary is unchanged. What the digest buys is that
+//! lossy networks, buggy middleboxes, and storage bit rot become detected,
+//! retryable faults instead of silently wrong plaintexts.
+
+use crate::{Aes128, Block};
+
+/// Fixed, public digest key (no secrecy is claimed — see the module docs).
+const DIGEST_KEY: Block = Block::new(0x4D41_5845_4C44_4947_4553_5431_2E30_2E30);
+
+/// Domain tag folded after every `fold` call, alongside its byte length.
+const TAG_FRAME: u64 = 0x4C4C_4C4C_4C4C_4C4C;
+/// Domain tag for the finalisation block sampled by [`TranscriptDigest::value`].
+const TAG_FINAL: u64 = 0x4646_4646_4646_4646;
+
+/// A rolling Matyas–Meyer–Oseas digest over a protocol transcript.
+///
+/// Clone is cheap (one AES key schedule plus 24 bytes of state) and is how
+/// checkpoints capture the digest at a boundary.
+///
+/// # Example
+///
+/// ```
+/// use max_crypto::TranscriptDigest;
+///
+/// let mut client = TranscriptDigest::new();
+/// let mut server = TranscriptDigest::new();
+/// client.fold(b"garbled tables");
+/// server.fold(b"garbled tables");
+/// assert_eq!(client.value(), server.value());
+/// server.fold(b"one more frame");
+/// assert_ne!(client.value(), server.value());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TranscriptDigest {
+    cipher: Aes128,
+    state: Block,
+    len: u64,
+}
+
+impl TranscriptDigest {
+    /// A fresh digest over the empty transcript.
+    pub fn new() -> TranscriptDigest {
+        TranscriptDigest {
+            cipher: Aes128::new(DIGEST_KEY),
+            state: Block::ZERO,
+            len: 0,
+        }
+    }
+
+    /// One Matyas–Meyer–Oseas step: `state = E(state ⊕ m) ⊕ state ⊕ m`.
+    fn compress(&mut self, chunk: Block) {
+        let input = self.state ^ chunk;
+        self.state = self.cipher.encrypt(input) ^ input;
+    }
+
+    /// Folds `bytes` into the digest as one framed message.
+    ///
+    /// The bytes are consumed in 16-byte chunks (final chunk zero-padded),
+    /// then a length block records the call's byte count, so the digest
+    /// distinguishes `fold(a); fold(b)` from `fold(a ‖ b)`.
+    pub fn fold(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(16) {
+            let mut padded = [0u8; 16];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            self.compress(Block::from_bytes(padded));
+        }
+        self.compress(length_block(TAG_FRAME, bytes.len() as u64));
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+    }
+
+    /// Total bytes folded so far, across all `fold` calls.
+    pub fn folded_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The current digest value, finalised without disturbing the rolling
+    /// state: the same digest can be sampled at every boundary and keep
+    /// accumulating.
+    pub fn value(&self) -> [u8; 16] {
+        let input = self.state ^ length_block(TAG_FINAL, self.len);
+        let out = self.cipher.encrypt(input) ^ input;
+        out.to_bytes()
+    }
+
+    /// Exports the rolling state for checkpoint persistence.
+    ///
+    /// The pair round-trips through [`TranscriptDigest::import`]; the AES
+    /// key schedule is rebuilt from the fixed key on import.
+    pub fn export(&self) -> ([u8; 16], u64) {
+        (self.state.to_bytes(), self.len)
+    }
+
+    /// Rebuilds a digest from an exported `(state, len)` pair.
+    pub fn import(state: [u8; 16], len: u64) -> TranscriptDigest {
+        TranscriptDigest {
+            cipher: Aes128::new(DIGEST_KEY),
+            state: Block::from_bytes(state),
+            len,
+        }
+    }
+}
+
+impl Default for TranscriptDigest {
+    fn default() -> Self {
+        TranscriptDigest::new()
+    }
+}
+
+impl PartialEq for TranscriptDigest {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state && self.len == other.len
+    }
+}
+
+impl Eq for TranscriptDigest {}
+
+/// A 16-byte block encoding `(tag, count)` for domain separation.
+fn length_block(tag: u64, count: u64) -> Block {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&tag.to_be_bytes());
+    bytes[8..].copy_from_slice(&count.to_be_bytes());
+    Block::from_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_transcripts_agree() {
+        let mut a = TranscriptDigest::new();
+        let mut b = TranscriptDigest::new();
+        for frame in [&b"tables"[..], &[0u8; 48], &b"rounds"[..]] {
+            a.fold(frame);
+            b.fold(frame);
+        }
+        assert_eq!(a.value(), b.value());
+        assert_eq!(a, b);
+        assert_eq!(a.folded_bytes(), 6 + 48 + 6);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_value() {
+        let frame: Vec<u8> = (0..37u8).collect();
+        let mut clean = TranscriptDigest::new();
+        clean.fold(&frame);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.clone();
+                flipped[byte] ^= 1 << bit;
+                let mut dirty = TranscriptDigest::new();
+                dirty.fold(&flipped);
+                assert_ne!(
+                    clean.value(),
+                    dirty.value(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_is_framed_not_concatenative() {
+        let mut split = TranscriptDigest::new();
+        split.fold(b"ab");
+        split.fold(b"cd");
+        let mut joined = TranscriptDigest::new();
+        joined.fold(b"abcd");
+        assert_ne!(split.value(), joined.value());
+        // Zero-padding is not confusable with explicit zeros.
+        let mut short = TranscriptDigest::new();
+        short.fold(&[7u8; 15]);
+        let mut padded = TranscriptDigest::new();
+        padded.fold(&{
+            let mut v = [0u8; 16];
+            v[..15].copy_from_slice(&[7u8; 15]);
+            v
+        });
+        assert_ne!(short.value(), padded.value());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut ab = TranscriptDigest::new();
+        ab.fold(b"first");
+        ab.fold(b"second");
+        let mut ba = TranscriptDigest::new();
+        ba.fold(b"second");
+        ba.fold(b"first");
+        assert_ne!(ab.value(), ba.value());
+    }
+
+    #[test]
+    fn value_does_not_disturb_the_rolling_state() {
+        let mut sampled = TranscriptDigest::new();
+        sampled.fold(b"one");
+        let mid = sampled.value();
+        let _ = sampled.value();
+        sampled.fold(b"two");
+        let mut straight = TranscriptDigest::new();
+        straight.fold(b"one");
+        straight.fold(b"two");
+        assert_eq!(sampled.value(), straight.value());
+        assert_ne!(mid, sampled.value());
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut original = TranscriptDigest::new();
+        original.fold(b"checkpointed bytes");
+        let (state, len) = original.export();
+        let mut restored = TranscriptDigest::import(state, len);
+        assert_eq!(original, restored);
+        original.fold(b"tail");
+        restored.fold(b"tail");
+        assert_eq!(original.value(), restored.value());
+    }
+
+    #[test]
+    fn empty_digest_is_deterministic() {
+        assert_eq!(
+            TranscriptDigest::new().value(),
+            TranscriptDigest::default().value()
+        );
+        assert_eq!(TranscriptDigest::new().folded_bytes(), 0);
+    }
+}

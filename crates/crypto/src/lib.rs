@@ -15,6 +15,9 @@
 //!   and MAXelerator's GC engine.
 //! * [`AesPrg`] — an AES-CTR pseudo-random generator used wherever the
 //!   protocol needs expanded randomness (e.g. IKNP OT extension).
+//! * [`TranscriptDigest`] — a rolling Matyas–Meyer–Oseas digest over the
+//!   fixed-key AES permutation, used by protocol v6 to detect accidental
+//!   transcript corruption end to end.
 //!
 //! # Security
 //!
@@ -48,11 +51,13 @@ mod aes;
 mod aesni;
 mod backend;
 mod block;
+mod digest;
 mod hash;
 mod prg;
 
 pub use aes::Aes128;
 pub use backend::AesBackend;
 pub use block::Block;
+pub use digest::TranscriptDigest;
 pub use hash::{FixedKeyHash, Tweak};
 pub use prg::AesPrg;

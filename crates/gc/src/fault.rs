@@ -21,7 +21,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use max_telemetry::FlightRecorder;
 
-use crate::channel::{ChannelStats, FrameKind, TransportError};
+use crate::channel::{is_sealed, ChannelStats, FrameKind, TransportError, SEAL_BYTES};
 use crate::transport::Transport;
 
 /// Per-mille fault rates plus the seed they derive from.
@@ -138,6 +138,13 @@ pub struct FaultStats {
     pub drops: u64,
     /// Frames with a bit flipped.
     pub corruptions: u64,
+    /// Corrupted frames that were *sealed* (checksum-framed), so the flip
+    /// lands inside the checksummed payload and the receiver reports a
+    /// typed [`TransportError::Checksum`] instead of acting on garbage.
+    pub corrupt_detected: u64,
+    /// Corrupted frames that were *not* sealed: the flip is delivered as-is
+    /// and whatever the receiver does with it is the protocol's problem.
+    pub corrupt_delivered: u64,
     /// Frames delivered twice.
     pub duplicates: u64,
     /// Frames held back and delivered out of order.
@@ -285,10 +292,25 @@ impl<T: Transport> Transport for FaultTransport<T> {
         if !frame.is_empty() && self.roll(SALT_CORRUPT, event, self.spec.corrupt_per_mille) {
             let draw = mix(self.spec.seed, SALT_CORRUPT ^ 0x5EED, event);
             let mut bytes = frame.to_vec();
-            let idx = (draw % bytes.len() as u64) as usize;
+            // A sealed frame carries its CRC in the first `SEAL_BYTES`
+            // bytes; bias the flip into the checksummed *payload* so the
+            // chaos suite exercises detection of real data damage, not just
+            // damage to the checksum itself. Either way the receiver's
+            // `open_frame` reports the mismatch.
+            let sealed = is_sealed(&bytes);
+            let idx = if sealed && bytes.len() > SEAL_BYTES {
+                SEAL_BYTES + (draw % (bytes.len() - SEAL_BYTES) as u64) as usize
+            } else {
+                (draw % bytes.len() as u64) as usize
+            };
             bytes[idx] ^= 1 << ((draw >> 32) % 8);
             frame = Bytes::from(bytes);
             self.stats.corruptions += 1;
+            if sealed {
+                self.stats.corrupt_detected += 1;
+            } else {
+                self.stats.corrupt_delivered += 1;
+            }
             self.flight_log("fault.corrupt", "send", event);
         }
         if !frame.is_empty() && self.roll(SALT_TRUNCATE, event, self.spec.truncate_per_mille) {
@@ -398,6 +420,34 @@ mod tests {
         let flipped: u32 = got.iter().map(|byte| byte.count_ones()).sum();
         assert_eq!(flipped, 1, "exactly one bit flipped");
         assert_eq!(faulty.stats().corruptions, 1);
+        // An unsealed frame has no checksum to catch the flip: it counts as
+        // delivered corruption.
+        assert_eq!(faulty.stats().corrupt_delivered, 1);
+        assert_eq!(faulty.stats().corrupt_detected, 0);
+    }
+
+    #[test]
+    fn sealed_frame_corruption_lands_in_the_payload_and_is_detected() {
+        use crate::channel::{open_frame, seal_frame};
+        for seed in 0..32u64 {
+            let (a, mut b) = Duplex::pair();
+            let mut faulty = FaultTransport::new(a, FaultSpec::none(seed).with_corruption(1000));
+            let payload = Bytes::from(vec![0x5Au8; 24]);
+            faulty
+                .send_frame(FrameKind::Raw, seal_frame(payload.clone()))
+                .unwrap();
+            assert_eq!(faulty.stats().corrupt_detected, 1, "seed {seed}");
+            assert_eq!(faulty.stats().corrupt_delivered, 0, "seed {seed}");
+            let got = b.recv_bytes().unwrap();
+            // The CRC prefix is untouched (the flip was biased into the
+            // payload), and opening the frame reports the damage as a typed
+            // checksum error — never silently different bytes.
+            assert_eq!(&got[..SEAL_BYTES], &seal_frame(payload)[..SEAL_BYTES]);
+            assert!(
+                matches!(open_frame(got), Err(TransportError::Checksum { .. })),
+                "seed {seed}: flip went undetected"
+            );
+        }
     }
 
     #[test]

@@ -59,6 +59,11 @@ use maxelerator::remote::{
 };
 use maxelerator::{AcceleratorConfig, AcceleratorError, Maxelerator};
 
+// The digest the stocks are verified against lives beside
+// `MaterializedJob` in the core crate; re-exported so registry users keep
+// one import surface.
+pub use maxelerator::remote::stream_digest;
+
 /// Knobs of the registry's precompute and cache behavior.
 #[derive(Clone, Copy, Debug)]
 pub struct RegistryConfig {
@@ -177,6 +182,9 @@ pub struct PreparedStream {
     pub seed: u64,
     /// The materialized frames.
     pub job: MaterializedJob,
+    /// The stream's [`stream_digest`], verified at acquire — the material
+    /// handed out matches what the fill step garbled, bit for bit.
+    pub digest: [u8; 16],
 }
 
 /// Typed fallback when no warm stream can serve the request: the caller
@@ -245,6 +253,11 @@ pub struct RegistryStats {
     /// Produced streams discarded (model vanished mid-fill, or a single
     /// stream exceeded the whole budget).
     pub streams_discarded: u64,
+    /// Stocked streams dropped at acquire because their material no
+    /// longer matched the digest recorded at fill (cache bit rot). Each
+    /// drop fell through to the inline-garble fallback — counted, never
+    /// served wrong.
+    pub streams_integrity_dropped: u64,
     /// Own-stock streams trimmed by the budget.
     pub streams_trimmed: u64,
     /// Whole models evicted by the budget.
@@ -263,6 +276,8 @@ struct StockedStream {
     seed: u64,
     bytes: u64,
     job: MaterializedJob,
+    /// [`stream_digest`] of `job` at deposit time, re-checked at acquire.
+    digest: [u8; 16],
 }
 
 struct ModelEntry {
@@ -301,6 +316,7 @@ struct Counters {
     served_fallback: u64,
     streams_produced: u64,
     streams_discarded: u64,
+    streams_integrity_dropped: u64,
     streams_trimmed: u64,
     models_evicted_budget: u64,
     models_evicted_explicit: u64,
@@ -532,11 +548,18 @@ impl ModelRegistry {
                 entry.served_prepared += 1;
                 counters.served_prepared += 1;
                 max_telemetry::counter_add("registry.served_prepared", 1);
+                // The fill-time digest rides along for the serving layer
+                // to re-verify before the first material frame leaves —
+                // the rehash scales with the stream, so it is pipelined
+                // past the admission window rather than paid under the
+                // registry lock. A mismatch is routed back through
+                // [`ModelRegistry::note_integrity_drop`].
                 return Some(Acquired::Prepared(Box::new(PreparedStream {
                     model_id,
                     generation: stream.generation,
                     seed: stream.seed,
                     job: stream.job,
+                    digest: stream.digest,
                 })));
             }
         }
@@ -602,6 +625,12 @@ impl ModelRegistry {
         ticket: FillTicket,
         garbled: Result<(MaterializedJob, u64), AcceleratorError>,
     ) -> Result<FillReport, AcceleratorError> {
+        // Digest the fresh material before taking the lock: it is the
+        // reference the acquire-time check verifies against.
+        let digest = match &garbled {
+            Ok((job, _)) => stream_digest(job),
+            Err(_) => [0u8; 16],
+        };
         let mut inner = self.lock();
         if let Some(entry) = inner.models.get_mut(&ticket.model_id) {
             entry.filling = entry.filling.saturating_sub(1);
@@ -639,6 +668,7 @@ impl ModelRegistry {
                 seed: ticket.seed,
                 bytes,
                 job,
+                digest,
             });
             entry.stock_bytes += bytes;
         }
@@ -714,6 +744,39 @@ impl ModelRegistry {
         Ok(deposited)
     }
 
+    /// Records that an acquired prepared stream failed its at-serve digest
+    /// re-verification and was dropped (the serving layer detected cache
+    /// bit rot before any material frame left the wire). The caller falls
+    /// through to inline garbling on retry; this keeps the rot visible in
+    /// [`RegistryStats::streams_integrity_dropped`] and telemetry.
+    pub fn note_integrity_drop(&self) {
+        let mut inner = self.lock();
+        inner.counters.streams_integrity_dropped += 1;
+        max_telemetry::counter_add("registry.streams_integrity_dropped", 1);
+    }
+
+    /// Test hook: flips one bit in the first stocked stream of `model_id`
+    /// *without* touching its recorded digest, simulating at-rest bit rot.
+    /// Returns `false` if the model has no stock.
+    #[doc(hidden)]
+    pub fn rot_first_stream_for_tests(&self, model_id: u64) -> bool {
+        let mut inner = self.lock();
+        let Some(entry) = inner.models.get_mut(&model_id) else {
+            return false;
+        };
+        let Some(stream) = entry.stock.front_mut() else {
+            return false;
+        };
+        let Some(elem) = stream.job.elements.first_mut() else {
+            return false;
+        };
+        let Some(pair) = elem.pairs.first_mut() else {
+            return false;
+        };
+        pair.0 = max_crypto::Block::new(pair.0.bits() ^ (1 << 40));
+        true
+    }
+
     /// Aggregated counters and gauges.
     pub fn stats(&self) -> RegistryStats {
         let inner = self.lock();
@@ -726,6 +789,7 @@ impl ModelRegistry {
             served_fallback: inner.counters.served_fallback,
             streams_produced: inner.counters.streams_produced,
             streams_discarded: inner.counters.streams_discarded,
+            streams_integrity_dropped: inner.counters.streams_integrity_dropped,
             streams_trimmed: inner.counters.streams_trimmed,
             models_evicted_budget: inner.counters.models_evicted_budget,
             models_evicted_explicit: inner.counters.models_evicted_explicit,
@@ -950,6 +1014,55 @@ mod tests {
         // Generations never repeat across fallback and fill.
         let status = reg.status(3).unwrap();
         assert!(status.generation >= stats.streams_produced + 2);
+    }
+
+    #[test]
+    fn stream_digest_is_stable_and_sensitive() {
+        let config = AcceleratorConfig::new(8);
+        let (job, _) = garble_stream(&config, &demo_weights(), 7, 2).unwrap();
+        let d = stream_digest(&job);
+        assert_eq!(d, stream_digest(&job), "digest must be deterministic");
+        let mut rotted = job.clone();
+        let pair = &mut rotted.elements[1].pairs[3];
+        pair.1 = Block::new(pair.1.bits() ^ 1);
+        assert_ne!(stream_digest(&rotted), d, "one flipped label bit must show");
+    }
+
+    #[test]
+    fn rotted_stock_fails_its_digest_and_is_counted() {
+        let config = AcceleratorConfig::new(8);
+        let reg = ModelRegistry::new(config.clone(), RegistryConfig::default(), 42);
+        reg.register(5, demo_weights()).unwrap();
+        reg.prefill().unwrap();
+        assert_eq!(reg.stats().streams_ready, 2);
+        // Rot the first stocked stream in place: one flipped label bit,
+        // the kind of damage a DRAM fault or disk rot would inflict.
+        assert!(reg.rot_first_stream_for_tests(5));
+        // Acquire hands the stream out with its fill-time digest; the
+        // serving layer's re-verification (mirrored here) catches the rot
+        // before any material frame leaves, and routes it back into the
+        // registry's counters.
+        let rotted = match reg.acquire(5, 1).unwrap() {
+            Acquired::Prepared(s) => s,
+            Acquired::Starved(_) => panic!("stock was prefilled"),
+        };
+        assert_ne!(
+            stream_digest(&rotted.job),
+            rotted.digest,
+            "rot must break the fill-time digest"
+        );
+        reg.note_integrity_drop();
+        let stats = reg.stats();
+        assert_eq!(stats.streams_integrity_dropped, 1);
+        // The second (healthy) stream still verifies and serves.
+        let healthy = match reg.acquire(5, 1).unwrap() {
+            Acquired::Prepared(s) => s,
+            Acquired::Starved(_) => panic!("target_stock is 2"),
+        };
+        assert_eq!(stream_digest(&healthy.job), healthy.digest);
+        // Stock drained: the next job falls back to inline garbling.
+        assert!(matches!(reg.acquire(5, 1).unwrap(), Acquired::Starved(_)));
+        assert_eq!(reg.stats().served_fallback, 1);
     }
 
     #[test]

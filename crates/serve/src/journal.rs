@@ -18,7 +18,7 @@
 //! body     := kind:u8 payload
 //! kind 1   := checkpoint payload (resume::encode_checkpoint)
 //! kind 2   := remove payload (session_id:u64le)
-//! kind 3   := model put (model_id:u64le rows:u32le cols:u32le weight:i64le*)
+//! kind 3   := model put (model_id:u64le rows:u32le cols:u32le weight:i64le* digest:16)
 //! kind 4   := model remove (model_id:u64le)
 //! ```
 //!
@@ -80,11 +80,16 @@ const KIND_MODEL_REMOVE: u8 = 4;
 /// [`MAX_RECORD_LEN`].)
 const MAX_MODEL_ELEMENTS: u64 = 1 << 16;
 
-/// Serializes a registered model for its journal record.
+/// Serializes a registered model for its journal record: the header and
+/// weights, followed by a 16-byte [`TranscriptDigest`] trailer over them.
+/// The trailer is what lets a replay distinguish weights that rotted on
+/// disk from weights that were written — the record-level CRC is
+/// recomputed on every compaction rewrite, so it alone cannot catch a
+/// payload that went bad *between* writes.
 fn encode_model_payload(model_id: u64, weights: &[Vec<i64>]) -> Vec<u8> {
     let rows = weights.len();
     let cols = weights.first().map_or(0, Vec::len);
-    let mut out = Vec::with_capacity(16 + rows * cols * 8);
+    let mut out = Vec::with_capacity(32 + rows * cols * 8);
     out.extend_from_slice(&model_id.to_le_bytes());
     out.extend_from_slice(&(rows as u32).to_le_bytes());
     out.extend_from_slice(&(cols as u32).to_le_bytes());
@@ -93,17 +98,31 @@ fn encode_model_payload(model_id: u64, weights: &[Vec<i64>]) -> Vec<u8> {
             out.extend_from_slice(&w.to_le_bytes());
         }
     }
+    let mut digest = max_crypto::TranscriptDigest::new();
+    digest.fold(&out);
+    out.extend_from_slice(&digest.value());
     out
 }
 
 /// Deserializes a model record payload; structural defects are typed
-/// refusals (the replay path quarantines on them, never panics).
+/// refusals (the replay path quarantines on them, never panics). The
+/// digest trailer is verified *before* the shape is trusted.
 fn decode_model_payload(bytes: &[u8]) -> Result<(u64, Vec<Vec<i64>>), CheckpointCodecError> {
-    if bytes.len() < 16 {
+    // 16-byte header plus the 16-byte digest trailer is the minimum.
+    if bytes.len() < 32 {
         return Err(CheckpointCodecError::Truncated {
             what: "model header",
         });
     }
+    let (digested, trailer) = bytes.split_at(bytes.len() - 16);
+    let mut digest = max_crypto::TranscriptDigest::new();
+    digest.fold(digested);
+    if trailer != digest.value() {
+        return Err(CheckpointCodecError::DigestMismatch {
+            what: "model weights",
+        });
+    }
+    let bytes = digested;
     let mut id = [0u8; 8];
     id.copy_from_slice(&bytes[..8]);
     let model_id = u64::from_le_bytes(id);
@@ -407,7 +426,11 @@ fn apply_record(
             // Decode up front so corruption quarantines at replay time,
             // not at registry boot; the raw payload is what gets rewritten
             // on compaction.
-            let (model_id, _weights) = decode_model_payload(payload)?;
+            let (model_id, _weights) = decode_model_payload(payload).inspect_err(|err| {
+                if matches!(err, CheckpointCodecError::DigestMismatch { .. }) {
+                    max_telemetry::counter_add("serve.journal.model_digest_mismatch", 1);
+                }
+            })?;
             live_models.insert(model_id, payload.to_vec());
             Ok(())
         }
@@ -787,6 +810,7 @@ mod tests {
     fn checkpoint(session_id: u64) -> SessionCheckpoint {
         let session_seed = derive_seed(77, session_id);
         let (sender, _) = iknp::setup_pair(derive_seed(session_seed, 0x07));
+        let digest = max_crypto::TranscriptDigest::new();
         SessionCheckpoint {
             session_id,
             resume_token: session_id ^ 0xF00D,
@@ -796,7 +820,7 @@ mod tests {
             columns: 3,
             job_seed: 9,
             model_id: None,
-            snapshots: vec![(0, sender.clone()), (1, sender)],
+            snapshots: vec![(0, sender.clone(), digest.clone()), (1, sender, digest)],
         }
     }
 
@@ -1015,6 +1039,28 @@ mod tests {
         let mut huge = payload.clone();
         huge[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_model_payload(&huge).is_err());
+    }
+
+    #[test]
+    fn model_payload_digest_catches_every_single_bit_flip() {
+        let weights = model(2, 3, 5);
+        let payload = encode_model_payload(13, &weights);
+        assert!(decode_model_payload(&payload).is_ok());
+        // Bit rot anywhere in the digested region is a typed digest
+        // refusal; damage to the trailer itself is equally refused.
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut rotted = payload.clone();
+                rotted[byte] ^= 1 << bit;
+                assert!(
+                    matches!(
+                        decode_model_payload(&rotted),
+                        Err(CheckpointCodecError::DigestMismatch { .. })
+                    ),
+                    "flip at byte {byte} bit {bit} was not a digest refusal"
+                );
+            }
+        }
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub use session::{SessionSummary, MAX_JOB_COLUMNS};
 // The prepared-model registry the service embeds; re-exported so binaries
 // and tests reach its types without naming the crate twice.
 pub use max_registry::{
-    Acquired, Eviction, EvictionKind, FallbackTicket, ModelRegistry, PreparedStream, RegisterError,
-    RegistryConfig, RegistryStats,
+    garble_stream, stream_digest, Acquired, Eviction, EvictionKind, FallbackTicket, ModelRegistry,
+    PreparedStream, RegisterError, RegistryConfig, RegistryStats,
 };
 
 use max_telemetry::FlightRecorder;

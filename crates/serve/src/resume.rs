@@ -31,6 +31,7 @@
 use std::collections::VecDeque;
 use std::sync::{Mutex, PoisonError};
 
+use max_crypto::TranscriptDigest;
 use max_ot::iknp::{self, OtExtSender, OtStateShapeError};
 use maxelerator::remote::derive_seed;
 
@@ -57,18 +58,22 @@ pub struct SessionCheckpoint {
     /// material is bit-identical); if the model was evicted in the
     /// meantime the resume is refused with `REJECT(resume)`.
     pub model_id: Option<u64>,
-    /// `(elements_streamed, sender_state)` snapshots at the most recent
-    /// element boundaries, oldest first (at most two).
-    pub snapshots: Vec<(usize, OtExtSender)>,
+    /// `(elements_streamed, sender_state, transcript_digest)` snapshots at
+    /// the most recent element boundaries, oldest first (at most two). The
+    /// digest is the server's rolling transcript digest *at that boundary*,
+    /// so a resumed stream keeps folding from exactly where the client's
+    /// checkpointed digest stands.
+    pub snapshots: Vec<(usize, OtExtSender, TranscriptDigest)>,
 }
 
 impl SessionCheckpoint {
-    /// The sender snapshot at exactly `elements_done`, if held.
-    pub fn snapshot_at(&self, elements_done: usize) -> Option<&OtExtSender> {
+    /// The sender snapshot and transcript digest at exactly
+    /// `elements_done`, if held.
+    pub fn snapshot_at(&self, elements_done: usize) -> Option<(&OtExtSender, &TranscriptDigest)> {
         self.snapshots
             .iter()
-            .find(|(at, _)| *at == elements_done)
-            .map(|(_, sender)| sender)
+            .find(|(at, _, _)| *at == elements_done)
+            .map(|(_, sender, digest)| (sender, digest))
     }
 }
 
@@ -103,6 +108,13 @@ pub enum CheckpointCodecError {
     },
     /// A persisted OT cursor does not fit the sender it rebuilds.
     OtShape(OtStateShapeError),
+    /// A record's embedded content digest does not match its bytes — the
+    /// payload rotted (or was tampered with) *after* it was written, in a
+    /// way the record-level CRC alone might miss across compaction rewrites.
+    DigestMismatch {
+        /// Which digested payload failed verification.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for CheckpointCodecError {
@@ -124,6 +136,9 @@ impl std::fmt::Display for CheckpointCodecError {
                 write!(f, "checkpoint model-id flag {got} is not 0 or 1")
             }
             CheckpointCodecError::OtShape(err) => write!(f, "checkpoint OT cursor: {err}"),
+            CheckpointCodecError::DigestMismatch { what } => {
+                write!(f, "record digest mismatch in {what}")
+            }
         }
     }
 }
@@ -199,9 +214,12 @@ pub fn encode_checkpoint(checkpoint: &SessionCheckpoint) -> Vec<u8> {
     out.push(u8::from(checkpoint.model_id.is_some()));
     out.extend_from_slice(&checkpoint.model_id.unwrap_or(0).to_le_bytes());
     out.push(checkpoint.snapshots.len().min(usize::from(u8::MAX)) as u8);
-    for (elements, sender) in &checkpoint.snapshots {
+    for (elements, sender, digest) in &checkpoint.snapshots {
         let state = sender.export_state();
         out.extend_from_slice(&(*elements as u64).to_le_bytes());
+        let (digest_state, digest_len) = digest.export();
+        out.extend_from_slice(&digest_state);
+        out.extend_from_slice(&digest_len.to_le_bytes());
         out.extend_from_slice(&state.session.to_le_bytes());
         out.extend_from_slice(
             &(state.counters.len().min(usize::from(u16::MAX)) as u16).to_le_bytes(),
@@ -247,6 +265,9 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<SessionCheckpoint, CheckpointCo
     let mut snapshots = Vec::with_capacity(usize::from(count));
     for _ in 0..count {
         let elements = reader.u64("snapshot boundary")?;
+        let mut digest_state = [0u8; 16];
+        digest_state.copy_from_slice(reader.take(16, "snapshot digest state")?);
+        let digest_len = reader.u64("snapshot digest length")?;
         let ot_session = reader.u64("snapshot OT session")?;
         let counters_len = reader.u16("snapshot counter count")?;
         let mut counters = Vec::with_capacity(usize::from(counters_len));
@@ -258,7 +279,11 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<SessionCheckpoint, CheckpointCo
             session: ot_session,
             counters,
         })?;
-        snapshots.push((elements as usize, sender));
+        snapshots.push((
+            elements as usize,
+            sender,
+            TranscriptDigest::import(digest_state, digest_len),
+        ));
     }
     if !reader.bytes.is_empty() {
         return Err(CheckpointCodecError::TrailingBytes {
@@ -374,6 +399,7 @@ mod tests {
 
     fn checkpoint(session_id: u64) -> SessionCheckpoint {
         let (sender, _receiver) = iknp::setup_pair(session_id);
+        let digest = TranscriptDigest::new();
         SessionCheckpoint {
             session_id,
             resume_token: session_id ^ 0x7e57,
@@ -383,7 +409,7 @@ mod tests {
             columns: 1,
             job_seed: 2,
             model_id: None,
-            snapshots: vec![(0, sender.clone()), (1, sender)],
+            snapshots: vec![(0, sender.clone(), digest.clone()), (1, sender, digest)],
         }
     }
 
@@ -428,6 +454,7 @@ mod tests {
         let session_seed = derive_seed(0xBA5E, session_id);
         let ot_seed = derive_seed(session_seed, 0x07);
         let (mut sender, mut receiver) = iknp::setup_pair(ot_seed);
+        let mut digest = TranscriptDigest::new();
         let mut snapshots = Vec::new();
         for element in 0..warmup_elements {
             let choices: Vec<bool> = (0..64).map(|i| (i + element) % 2 == 0).collect();
@@ -441,7 +468,8 @@ mod tests {
                 })
                 .collect();
             let _ = sender.send(&msg, &pairs);
-            snapshots.push((element + 1, sender.clone()));
+            digest.fold(&(element as u64).to_le_bytes());
+            snapshots.push((element + 1, sender.clone(), digest.clone()));
         }
         snapshots.drain(..snapshots.len().saturating_sub(2));
         SessionCheckpoint {
@@ -471,7 +499,7 @@ mod tests {
         assert_eq!(decoded.job_seed, original.job_seed);
         assert_eq!(decoded.model_id, original.model_id);
         assert_eq!(decoded.snapshots.len(), original.snapshots.len());
-        for ((at_a, sender_a), (at_b, sender_b)) in
+        for ((at_a, sender_a, digest_a), (at_b, sender_b, digest_b)) in
             decoded.snapshots.iter().zip(&original.snapshots)
         {
             assert_eq!(at_a, at_b);
@@ -479,6 +507,8 @@ mod tests {
             // keyed state — full behavioral identity is proven in the OT
             // crate's export/import tests and crash_e2e's transcript diff.
             assert_eq!(sender_a.export_state(), sender_b.export_state());
+            assert_eq!(digest_a, digest_b);
+            assert_eq!(digest_a.value(), digest_b.value());
         }
     }
 
@@ -524,10 +554,12 @@ mod tests {
             Err(CheckpointCodecError::SnapshotCount { got: 0xFF })
         ));
 
-        // A wrong-width counter vector is a typed OT-shape refusal.
+        // A wrong-width counter vector is a typed OT-shape refusal. The
+        // counter-count u16 sits after the snapshot's boundary (8), digest
+        // state (16), digest length (8), and OT session (8) fields.
         let mut short_counters = bytes.clone();
-        short_counters[62 + 16] = 3; // counter-count u16 of the 1st snapshot.
-        short_counters[62 + 17] = 0;
+        short_counters[62 + 40] = 3;
+        short_counters[62 + 41] = 0;
         assert!(matches!(
             decode_checkpoint(&short_counters),
             Err(CheckpointCodecError::OtShape(_)

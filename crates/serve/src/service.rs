@@ -143,6 +143,10 @@ pub struct ServeStats {
     pub jobs_prepared: u64,
     /// Round checkpoints deposited by dying sessions.
     pub checkpoints_saved: u64,
+    /// Jobs ended by a transcript-digest mismatch (the v6 integrity
+    /// check): the stream was refused rather than risk a silently wrong
+    /// plaintext, and the client restarts under its integrity budget.
+    pub integrity_rejects: u64,
     /// Times the load-shedding breaker tripped open.
     pub breaker_trips: u64,
     /// Sessions/jobs turned away by an open breaker.
@@ -178,6 +182,7 @@ pub(crate) struct ServiceShared {
     pub(crate) jobs_resumed: AtomicU64,
     pub(crate) jobs_prepared: AtomicU64,
     pub(crate) checkpoints_saved: AtomicU64,
+    pub(crate) integrity_rejects: AtomicU64,
 }
 
 impl ServiceShared {
@@ -247,6 +252,10 @@ impl ServiceShared {
                 "checkpoints_saved",
                 JsonValue::UInt(self.checkpoints_saved.load(Ordering::Relaxed)),
             )
+            .push(
+                "integrity_rejects",
+                JsonValue::UInt(self.integrity_rejects.load(Ordering::Relaxed)),
+            )
             .push("breaker_trips", JsonValue::UInt(self.breaker.trips()))
             .push("shed", JsonValue::UInt(self.breaker.sheds()));
 
@@ -296,6 +305,10 @@ impl ServiceShared {
                 .push("served_fallback", JsonValue::UInt(snap.served_fallback))
                 .push("streams_produced", JsonValue::UInt(snap.streams_produced))
                 .push("streams_discarded", JsonValue::UInt(snap.streams_discarded))
+                .push(
+                    "streams_integrity_dropped",
+                    JsonValue::UInt(snap.streams_integrity_dropped),
+                )
                 .push("streams_trimmed", JsonValue::UInt(snap.streams_trimmed))
                 .push(
                     "evicted_budget",
@@ -514,6 +527,7 @@ impl GcService {
                 jobs_resumed: AtomicU64::new(0),
                 jobs_prepared: AtomicU64::new(0),
                 checkpoints_saved: AtomicU64::new(0),
+                integrity_rejects: AtomicU64::new(0),
             }),
             session_threads: Arc::new(Mutex::new(Vec::new())),
         }
@@ -741,6 +755,7 @@ impl GcService {
             jobs_resumed: self.shared.jobs_resumed.load(Ordering::Relaxed),
             jobs_prepared: self.shared.jobs_prepared.load(Ordering::Relaxed),
             checkpoints_saved: self.shared.checkpoints_saved.load(Ordering::Relaxed),
+            integrity_rejects: self.shared.integrity_rejects.load(Ordering::Relaxed),
             breaker_trips: self.shared.breaker.trips(),
             shed: self.shared.breaker.sheds(),
         }

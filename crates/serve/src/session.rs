@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use max_crypto::TranscriptDigest;
 use max_gc::Transport;
 use max_ot::iknp::{self, OtExtSender};
 use max_registry::{Acquired, PreparedStream, RegisterError};
@@ -26,7 +27,7 @@ use max_telemetry::{FlightRecorder, TraceContext};
 use maxelerator::remote::{
     derive_seed, materialize_job, recv_control, send_control, stream_materialized_job_from,
     ControlMsg, MaterializedJob, PROTOCOL_VERSION, REJECT_DRAINING, REJECT_MODEL, REJECT_OVERLOAD,
-    REJECT_RESUME, REJECT_VERSION, REJECT_WIDTH,
+    REJECT_RESUME, REJECT_VERSION, REJECT_WIDTH, STREAM_DIGEST_MISMATCH,
 };
 use maxelerator::AcceleratorError;
 
@@ -117,6 +118,10 @@ struct JobRun {
     /// registry's weights.
     model_id: Option<u64>,
     start_element: usize,
+    /// Fill-time digest of a prepared stream, re-verified (pipelined
+    /// behind READY) before any material frame leaves; `None` for
+    /// pool-garbled and resumed jobs, whose material was never cached.
+    expected_digest: Option<[u8; 16]>,
 }
 
 /// Builds the checkpoint covering the current snapshot window — the value
@@ -125,7 +130,7 @@ struct JobRun {
 fn window_checkpoint(
     ctx: &SessionCtx<'_>,
     run: &JobRun,
-    snapshots: &VecDeque<(usize, OtExtSender)>,
+    snapshots: &VecDeque<(usize, OtExtSender, TranscriptDigest)>,
 ) -> SessionCheckpoint {
     SessionCheckpoint {
         session_id: ctx.session_id,
@@ -147,7 +152,7 @@ fn journal_window(
     shared: &ServiceShared,
     ctx: &SessionCtx<'_>,
     run: &JobRun,
-    snapshots: &VecDeque<(usize, OtExtSender)>,
+    snapshots: &VecDeque<(usize, OtExtSender, TranscriptDigest)>,
 ) {
     let Some(journal) = &shared.journal else {
         return;
@@ -174,6 +179,7 @@ fn journal_remove(shared: &ServiceShared, session_id: u64) {
 /// at each element boundary; every boundary is journaled (durable) and on
 /// failure the final window is deposited in the in-memory registry,
 /// covering the client's two possible rollback points.
+#[allow(clippy::too_many_arguments)]
 fn stream_job_checkpointed<T: Transport>(
     shared: &ServiceShared,
     summary: &mut SessionSummary,
@@ -182,14 +188,16 @@ fn stream_job_checkpointed<T: Transport>(
     job: &MaterializedJob,
     ot_sender: &mut OtExtSender,
     run: &JobRun,
+    mut digest: TranscriptDigest,
 ) -> Result<(), AcceleratorError> {
     let _stream_span = shared
         .recorder
         .as_ref()
         .filter(|_| ctx.trace.is_traced())
         .map(|rec| rec.trace_span(ctx.trace, "server/stream"));
-    let mut snapshots: VecDeque<(usize, OtExtSender)> = VecDeque::with_capacity(3);
-    snapshots.push_back((run.start_element, ot_sender.clone()));
+    let mut snapshots: VecDeque<(usize, OtExtSender, TranscriptDigest)> =
+        VecDeque::with_capacity(3);
+    snapshots.push_back((run.start_element, ot_sender.clone(), digest.clone()));
     // The pre-job boundary goes to disk before READY: a crash anywhere in
     // the exchange now has a durable floor to resume from.
     journal_window(shared, ctx, run, &snapshots);
@@ -200,11 +208,13 @@ fn stream_job_checkpointed<T: Transport>(
         transport,
         job,
         ot_sender,
+        &mut digest,
         run.job_id,
         ctx.trace,
         run.start_element,
-        |next, sender| {
-            snapshots.push_back((next, sender.clone()));
+        run.expected_digest,
+        |next, sender, boundary_digest| {
+            snapshots.push_back((next, sender.clone(), boundary_digest.clone()));
             if snapshots.len() > 2 {
                 snapshots.pop_front();
             }
@@ -220,7 +230,21 @@ fn stream_job_checkpointed<T: Transport>(
             Ok(())
         }
         Err(err) => {
-            let elements_kept = snapshots.back().map_or(0, |(next, _)| *next as u64);
+            if matches!(err, AcceleratorError::Integrity { .. }) {
+                shared.integrity_rejects.fetch_add(1, Ordering::Relaxed);
+                max_telemetry::counter_add("serve.integrity.rejects", 1);
+                if let Some(flight) = ctx.flight {
+                    flight.log("integrity.reject", format!("{err}"), run.job_id);
+                }
+                // A prepared stream that no longer matches its fill-time
+                // digest is cache/disk rot, not a wire fault: count the
+                // drop so operators can see material decaying in stock.
+                if matches!(err, AcceleratorError::Integrity { what } if what == STREAM_DIGEST_MISMATCH)
+                {
+                    shared.registry.note_integrity_drop();
+                }
+            }
+            let elements_kept = snapshots.back().map_or(0, |(next, _, _)| *next as u64);
             let evicted = shared.resume.save(window_checkpoint(ctx, run, &snapshots));
             summary.checkpoints_saved += 1;
             shared.checkpoints_saved.fetch_add(1, Ordering::Relaxed);
@@ -463,7 +487,10 @@ fn session_loop<T: Transport>(
                 }
             };
             let start_element = elements_done as usize;
-            let Some(sender) = checkpoint.snapshot_at(start_element).cloned() else {
+            let Some((sender, digest)) = checkpoint
+                .snapshot_at(start_element)
+                .map(|(sender, digest)| (sender.clone(), digest.clone()))
+            else {
                 // Unreachable given `valid`, but never panic on peer input.
                 reject(transport, summary, REJECT_RESUME, 0)?;
                 return Ok(());
@@ -502,7 +529,9 @@ fn session_loop<T: Transport>(
                     job_seed: checkpoint.job_seed,
                     model_id: checkpoint.model_id,
                     start_element,
+                    expected_digest: None,
                 },
+                digest,
             )?;
             shared.resume.remove(resumed_id);
             summary.jobs_completed += 1;
@@ -610,7 +639,9 @@ fn session_loop<T: Transport>(
                                 job_seed: stream.seed,
                                 model_id: Some(stream.model_id),
                                 start_element: 0,
+                                expected_digest: Some(stream.digest),
                             },
+                            TranscriptDigest::new(),
                         )?;
                         summary.jobs_completed += 1;
                         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -672,7 +703,9 @@ fn session_loop<T: Transport>(
                                         job_seed,
                                         model_id,
                                         start_element: 0,
+                                        expected_digest: None,
                                     },
+                                    TranscriptDigest::new(),
                                 )?;
                                 summary.jobs_completed += 1;
                                 shared.jobs_completed.fetch_add(1, Ordering::Relaxed);

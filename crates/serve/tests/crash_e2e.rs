@@ -478,6 +478,7 @@ fn killed_server_process_restarts_and_client_resumes() {
                 max_backoff_ms: 400,
                 step_timeout: None,
                 jitter_seed: 7,
+                integrity_retries: 4,
             },
         );
         let ys = client.secure_matmul(&xs).expect("job survives the crash").0;
@@ -541,6 +542,7 @@ fn sigkill_mid_job_restarts_and_client_resumes() {
                 max_backoff_ms: 400,
                 step_timeout: None,
                 jitter_seed: 11,
+                integrity_retries: 4,
             },
         );
         let ys = client

@@ -42,6 +42,7 @@ fn config(dir: &Path) -> JournalConfig {
 fn live_checkpoint(session_id: u64, session_seed: u64, warmup: usize) -> SessionCheckpoint {
     let ot_seed = derive_seed(session_seed, 0x07);
     let (mut sender, mut receiver) = iknp::setup_pair(ot_seed);
+    let mut digest = max_crypto::TranscriptDigest::new();
     let mut snapshots = Vec::new();
     for element in 0..warmup {
         let choices: Vec<bool> = (0..32).map(|i| (i + element) % 2 == 0).collect();
@@ -55,11 +56,12 @@ fn live_checkpoint(session_id: u64, session_seed: u64, warmup: usize) -> Session
             })
             .collect();
         let _ = sender.send(&msg, &pairs);
-        snapshots.push((element + 1, sender.clone()));
+        digest.fold(&(element as u64).to_be_bytes());
+        snapshots.push((element + 1, sender.clone(), digest.clone()));
     }
     snapshots.drain(..snapshots.len().saturating_sub(2));
     if snapshots.is_empty() {
-        snapshots.push((0, sender));
+        snapshots.push((0, sender, digest));
     }
     SessionCheckpoint {
         session_id,
@@ -120,9 +122,10 @@ proptest! {
         prop_assert_eq!(decoded.columns, original.columns);
         prop_assert_eq!(decoded.job_seed, original.job_seed);
         prop_assert_eq!(decoded.snapshots.len(), original.snapshots.len());
-        for ((da, ds), (oa, os)) in decoded.snapshots.iter().zip(&original.snapshots) {
+        for ((da, ds, dd), (oa, os, od)) in decoded.snapshots.iter().zip(&original.snapshots) {
             prop_assert_eq!(da, oa);
             prop_assert_eq!(ds.export_state(), os.export_state());
+            prop_assert_eq!(dd, od);
         }
     }
 

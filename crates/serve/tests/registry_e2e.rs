@@ -4,13 +4,16 @@
 //! models across a restart, and a prepared-vs-inline equivalence proptest.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use max_gc::FramedTcp;
 use max_registry::garble_stream;
 use max_serve::{
     demo_vector, demo_weights, listen_tcp, plain_matvec, GcService, JournalConfig, ServeConfig,
 };
-use maxelerator::{AcceleratorConfig, AcceleratorError, ModelHandle, RemoteClient};
+use maxelerator::{
+    AcceleratorConfig, AcceleratorError, ModelHandle, RemoteClient, ResilientClient, RetryPolicy,
+};
 use proptest::prelude::*;
 
 const WIDTH: usize = 8;
@@ -215,6 +218,76 @@ fn tight_budget_evicts_lru_model_whole() {
     assert_eq!(ys[0], plain_matvec(&weights_b, &x));
     client.goodbye();
     service.shutdown();
+}
+
+#[test]
+fn rotted_prepared_stream_is_rejected_and_healed() {
+    // Two streams in stock; rot one bit of the first stream's material
+    // *after* its fill-time digest was recorded — exactly what a DRAM
+    // fault or cache corruption would do.
+    let service = demo_service(|cfg| {
+        cfg.registry_target_stock = 2;
+        cfg.step_timeout = Some(Duration::from_millis(200));
+    });
+    let weights = model_weights(3, 3, 23);
+    let handle = service
+        .put_model(61, weights.clone())
+        .expect("register")
+        .handle();
+    // `prefill_models` can race the idle-fill worker (a model mid-fill is
+    // skipped), so poll until both streams are stocked.
+    for _ in 0..100 {
+        service.prefill_models();
+        if service.registry().stats().streams_ready >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(service.registry().stats().streams_ready >= 2);
+    assert!(
+        service.registry().rot_first_stream_for_tests(61),
+        "a stocked stream must exist to rot"
+    );
+
+    // The serving layer re-verifies the fill-time digest before any
+    // material frame leaves: the rotted stream becomes a typed
+    // REJECT(integrity), which the resilient client heals by restarting
+    // the job — landing on the healthy second stream.
+    let svc = service.clone();
+    let mut client = ResilientClient::new(
+        move || Ok(svc.connect()),
+        WIDTH,
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ms: 5,
+            max_backoff_ms: 50,
+            step_timeout: Some(Duration::from_millis(500)),
+            jitter_seed: SEED ^ 61,
+            integrity_retries: 4,
+        },
+    )
+    .with_model(handle);
+    let x = demo_vector(3, WIDTH, SEED ^ 0x61);
+    let (y, _) = client.secure_matvec(&x).expect("rot must heal, not fail");
+    assert_eq!(y, plain_matvec(&weights, &x), "healed result must verify");
+    assert!(
+        client.stats().integrity_detected >= 1,
+        "the rot must be *detected*, not silently absorbed: {:?}",
+        client.stats()
+    );
+    assert_eq!(client.stats().integrity_healed, 1);
+    drop(client);
+
+    let reg = service.registry().stats();
+    assert!(
+        reg.streams_integrity_dropped >= 1,
+        "the dropped stream must be counted: {reg:?}"
+    );
+    let stats = service.shutdown();
+    assert!(
+        stats.integrity_rejects >= 1,
+        "the server must count the digest mismatch: {stats:?}"
+    );
 }
 
 fn journaled_service(dir: &Path, mutate: impl FnOnce(&mut ServeConfig)) -> GcService {
